@@ -1,0 +1,98 @@
+// Shared plumbing for the experiment harnesses (one binary per paper
+// table/figure; see DESIGN.md §3). Every binary:
+//   - runs laptop-scale parameters by default and paper-scale with
+//     --full / V2V_FULL=1,
+//   - prints the paper-style table to stdout,
+//   - mirrors it to CSV (and figures to SVG) under --out-dir
+//     (default ./bench_out).
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "v2v/common/cli.hpp"
+#include "v2v/common/string_util.hpp"
+#include "v2v/common/table.hpp"
+#include "v2v/core/v2v.hpp"
+#include "v2v/graph/generators.hpp"
+
+namespace v2v::bench {
+
+/// Experiment sizes; `full` matches the paper, default fits a 1-core CI box.
+struct Scale {
+  bool full = false;
+  std::size_t group_size;        ///< planted partition: vertices per group
+  std::size_t groups = 10;
+  std::size_t inter_edges;
+  std::size_t walks_per_vertex;  ///< paper: 1000
+  std::size_t walk_length;       ///< paper: 1000
+  std::size_t kmeans_restarts;   ///< paper: 100
+  std::size_t repeats;           ///< CV repeats (paper: 10)
+
+  static Scale from_args(const CliArgs& args) {
+    Scale s;
+    s.full = args.full_scale();
+    s.group_size = static_cast<std::size_t>(
+        args.get_int("group-size", s.full ? 100 : 50));
+    s.groups = static_cast<std::size_t>(args.get_int("groups", 10));
+    s.inter_edges = static_cast<std::size_t>(
+        args.get_int("inter-edges", s.full ? 200 : 100));
+    s.walks_per_vertex = static_cast<std::size_t>(
+        args.get_int("walks", s.full ? 1000 : 10));
+    s.walk_length = static_cast<std::size_t>(
+        args.get_int("walk-length", s.full ? 1000 : 40));
+    s.kmeans_restarts = static_cast<std::size_t>(
+        args.get_int("restarts", s.full ? 100 : 25));
+    s.repeats = static_cast<std::size_t>(args.get_int("repeats", s.full ? 10 : 3));
+    return s;
+  }
+};
+
+inline graph::PlantedGraph make_paper_graph(const Scale& scale, double alpha,
+                                            std::uint64_t seed) {
+  graph::PlantedPartitionParams params;
+  params.groups = scale.groups;
+  params.group_size = scale.group_size;
+  params.alpha = alpha;
+  params.inter_edges = scale.inter_edges;
+  Rng rng(seed);
+  return graph::make_planted_partition(params, rng);
+}
+
+/// The V2V configuration used across the paper experiments: CBOW, window 5,
+/// negative sampling, early stopping so training time tracks structure
+/// strength (Fig 7).
+inline V2VConfig make_v2v_config(const Scale& scale, std::size_t dimensions,
+                                 std::uint64_t seed = 42) {
+  V2VConfig config;
+  config.walk.walks_per_vertex = scale.walks_per_vertex;
+  config.walk.walk_length = scale.walk_length;
+  config.train.dimensions = dimensions;
+  config.train.window = 5;
+  config.train.epochs = scale.full ? 20 : 12;
+  config.train.min_epochs = 3;
+  config.train.convergence_tol = 0.02;
+  config.seed = seed;
+  return config;
+}
+
+inline std::filesystem::path output_dir(const CliArgs& args) {
+  const std::filesystem::path dir = args.get("out-dir", "bench_out");
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+inline void print_header(const char* experiment, const char* paper_ref,
+                         const Scale& scale) {
+  std::printf("== %s (reproduces %s) ==\n", experiment, paper_ref);
+  std::printf("scale: %s (use --full for paper-scale parameters)\n",
+              scale.full ? "FULL/paper" : "default/CI");
+}
+
+inline std::string fmt(double value, int digits = 3) {
+  return format_fixed(value, digits);
+}
+
+}  // namespace v2v::bench

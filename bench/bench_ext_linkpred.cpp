@@ -1,0 +1,49 @@
+// Extension experiment (paper §VII: "predicting relationships between
+// pairs of vertices"): link prediction ROC-AUC of cosine similarity over
+// the V2V embedding versus the common-neighbors structural baseline, on
+// planted graphs of varying strength and on the flight network.
+#include "bench_common.hpp"
+#include "v2v/core/link_prediction.hpp"
+#include "v2v/graph/algorithms.hpp"
+#include "v2v/graph/flight_network.hpp"
+
+int main(int argc, char** argv) {
+  using namespace v2v;
+  using namespace v2v::bench;
+  const CliArgs args(argc, argv);
+  const Scale scale = Scale::from_args(args);
+  const double test_fraction = args.get_double("test-fraction", 0.15);
+  print_header("Link prediction (extension)", "paper SSVII relationship prediction",
+               scale);
+
+  Table table({"graph", "V2V-AUC", "common-neighbors-AUC", "test-edges"});
+  for (const double alpha : {0.2, 0.5, 1.0}) {
+    const auto planted =
+        make_paper_graph(scale, alpha, 900 + static_cast<std::uint64_t>(alpha * 10));
+    const auto result = evaluate_link_prediction(
+        planted.graph, make_v2v_config(scale, 32, 66), test_fraction, 5);
+    table.add_row({"planted alpha=" + fmt(alpha, 1), fmt(result.v2v_auc),
+                   fmt(result.common_neighbors_auc),
+                   std::to_string(result.test_edges)});
+  }
+
+  // Flight network: symmetrize the directed routes for the edge split.
+  graph::FlightNetworkParams params;
+  params.airports = scale.full ? 10000 : 800;
+  params.routes = scale.full ? 67000 : 5200;
+  Rng rng(77);
+  const auto net = graph::make_flight_network(params, rng);
+  const auto flights = graph::symmetrized(net.graph);
+  const auto result = evaluate_link_prediction(
+      flights, make_v2v_config(scale, 50, 67), test_fraction, 6);
+  table.add_row({"flight network", fmt(result.v2v_auc),
+                 fmt(result.common_neighbors_auc),
+                 std::to_string(result.test_edges)});
+
+  table.print(std::cout);
+  table.write_csv((output_dir(args) / "ext_linkpred.csv").string());
+  std::printf("\nboth scorers must beat AUC 0.5 by a wide margin; the V2V "
+              "embedding competes with the structural heuristic without "
+              "seeing the graph at prediction time.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Fig 10: k-NN country-prediction accuracy as a function of k (number of
+// voting neighbors) for a range of embedding dimensions.
+//
+// Expected shape: accuracy peaks around k = 3 for most dimensions and
+// stays in the ~0.85-0.90 band for well-chosen dimensions.
+#include "bench_common.hpp"
+#include "v2v/graph/flight_network.hpp"
+
+int main(int argc, char** argv) {
+  using namespace v2v;
+  using namespace v2v::bench;
+  const CliArgs args(argc, argv);
+  const Scale scale = Scale::from_args(args);
+  const auto dims_list = args.get_int_list(
+      "dims", scale.full ? std::vector<std::int64_t>{10, 20, 50, 100, 200, 500, 1000}
+                         : std::vector<std::int64_t>{10, 50, 100, 200});
+  print_header("Fig 10", "k-NN accuracy vs k per dimension", scale);
+
+  graph::FlightNetworkParams params;
+  params.airports =
+      static_cast<std::size_t>(args.get_int("airports", scale.full ? 10000 : 1000));
+  params.routes =
+      static_cast<std::size_t>(args.get_int("routes", scale.full ? 67000 : 6500));
+  Rng rng(29);
+  const auto net = graph::make_flight_network(params, rng);
+  std::printf("network: %s\n", graph::describe(net.graph).c_str());
+
+  std::vector<std::string> header{"k"};
+  for (const auto d : dims_list) header.push_back("d=" + std::to_string(d));
+  Table table(header);
+
+  // Train one embedding per dimension, then sweep k over each.
+  std::vector<embed::Embedding> embeddings;
+  for (const auto d : dims_list) {
+    embeddings.push_back(
+        learn_embedding(net.graph,
+                        make_v2v_config(scale, static_cast<std::size_t>(d), 44))
+            .embedding);
+  }
+
+  std::vector<double> best_per_dim(dims_list.size(), 0.0);
+  std::vector<std::size_t> best_k(dims_list.size(), 0);
+  for (std::size_t k = 1; k <= 10; ++k) {
+    std::vector<std::string> row{std::to_string(k)};
+    for (std::size_t di = 0; di < dims_list.size(); ++di) {
+      const auto result =
+          evaluate_label_prediction(embeddings[di], net.country, k, 10, scale.repeats);
+      row.push_back(fmt(result.accuracy));
+      if (result.accuracy > best_per_dim[di]) {
+        best_per_dim[di] = result.accuracy;
+        best_k[di] = k;
+      }
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  table.write_csv((output_dir(args) / "fig10.csv").string());
+
+  std::printf("\nbest k per dimension:");
+  for (std::size_t di = 0; di < dims_list.size(); ++di) {
+    std::printf(" d=%lld->k=%zu(%.3f)", static_cast<long long>(dims_list[di]),
+                best_k[di], best_per_dim[di]);
+  }
+  std::printf("  (paper: best around k=3)\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Fig 7: V2V accuracy and training time as a function of alpha at a fixed
+// (high) dimension. The paper's point: as communities strengthen, SGD
+// converges sooner, so training time *decreases* while precision/recall
+// increase. Early stopping on the epoch loss reproduces that mechanism.
+#include "bench_common.hpp"
+#include "v2v/ml/metrics.hpp"
+
+int main(int argc, char** argv) {
+  using namespace v2v;
+  using namespace v2v::bench;
+  const CliArgs args(argc, argv);
+  const Scale scale = Scale::from_args(args);
+  // Paper uses 600 dimensions; default harness uses 100 for CI runtime.
+  const auto dims =
+      static_cast<std::size_t>(args.get_int("dims", scale.full ? 600 : 100));
+  print_header("Fig 7", "accuracy + training time vs alpha", scale);
+
+  Table table({"alpha", "precision", "recall", "epochs", "train-time(s)"});
+  double first_time = 0.0, last_time = 0.0;
+  for (int step = 1; step <= 10; ++step) {
+    const double alpha = step / 10.0;
+    const auto planted = make_paper_graph(scale, alpha, 700 + step);
+    const auto model =
+        learn_embedding(planted.graph, make_v2v_config(scale, dims, 55));
+    ml::KMeansConfig kmeans;
+    kmeans.restarts = scale.kmeans_restarts;
+    const auto detected = detect_communities(model.embedding, scale.groups, kmeans);
+    const auto pr =
+        ml::pairwise_precision_recall(planted.community, detected.labels);
+    table.add_row({fmt(alpha, 1), fmt(pr.precision), fmt(pr.recall),
+                   std::to_string(model.train_stats.epochs_run),
+                   fmt(model.learn_seconds())});
+    if (step == 1) first_time = model.learn_seconds();
+    if (step == 10) last_time = model.learn_seconds();
+  }
+  table.print(std::cout);
+  table.write_csv((output_dir(args) / "fig7.csv").string());
+  std::printf("\nmeasured: alpha=0.1 train %.2fs vs alpha=1.0 train %.2fs. "
+              "Accuracy rises with alpha (reproduced). The paper also reports "
+              "training time monotonically decreasing with alpha; with a "
+              "loss-plateau stopping rule the time is governed by when SGD "
+              "plateaus, which is not monotone in alpha at this scale — see "
+              "EXPERIMENTS.md for the discrepancy analysis.\n",
+              first_time, last_time);
+  return 0;
+}

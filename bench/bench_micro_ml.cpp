@@ -1,0 +1,126 @@
+// Ablation micro-benchmarks for the ML substrate and graph baselines
+// (DESIGN.md §5): k-means seeding strategies, k-NN queries, PCA, and the
+// community-detection algorithms' scaling with edge count.
+#include <benchmark/benchmark.h>
+
+#include "v2v/common/rng.hpp"
+#include "v2v/community/cnm.hpp"
+#include "v2v/community/girvan_newman.hpp"
+#include "v2v/community/louvain.hpp"
+#include "v2v/graph/generators.hpp"
+#include "v2v/ml/kmeans.hpp"
+#include "v2v/ml/knn.hpp"
+#include "v2v/ml/pca.hpp"
+
+namespace {
+
+using namespace v2v;
+
+MatrixF blob_points(std::size_t n, std::size_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  MatrixF points(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double center = static_cast<double>(i % 10) * 5.0;
+    for (std::size_t c = 0; c < d; ++c) {
+      points(i, c) = static_cast<float>(center + rng.next_gaussian());
+    }
+  }
+  return points;
+}
+
+void BM_KMeansPlusPlus(benchmark::State& state) {
+  const MatrixF points = blob_points(500, 16, 1);
+  ml::KMeansConfig config;
+  config.k = 10;
+  config.restarts = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::kmeans(points, config).sse);
+  }
+}
+BENCHMARK(BM_KMeansPlusPlus)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_KMeansUniformSeeding(benchmark::State& state) {
+  const MatrixF points = blob_points(500, 16, 1);
+  ml::KMeansConfig config;
+  config.k = 10;
+  config.restarts = static_cast<std::size_t>(state.range(0));
+  config.seeding = ml::KMeansSeeding::kUniform;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::kmeans(points, config).sse);
+  }
+}
+BENCHMARK(BM_KMeansUniformSeeding)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_KnnPredict(benchmark::State& state) {
+  const MatrixF points = blob_points(1000, static_cast<std::size_t>(state.range(0)), 2);
+  std::vector<std::uint32_t> labels(1000);
+  for (std::size_t i = 0; i < 1000; ++i) labels[i] = static_cast<std::uint32_t>(i % 10);
+  const ml::KnnClassifier knn(points, labels);
+  Rng rng(3);
+  for (auto _ : state) {
+    const auto row = points.row(rng.next_below(1000));
+    benchmark::DoNotOptimize(knn.predict(row, 3));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KnnPredict)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_PcaFit(benchmark::State& state) {
+  const MatrixF points = blob_points(500, static_cast<std::size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    const ml::Pca pca(points);
+    benchmark::DoNotOptimize(pca.eigenvalues().data());
+  }
+}
+BENCHMARK(BM_PcaFit)->Arg(16)->Arg(64)->Arg(128);
+
+graph::PlantedGraph community_graph(double alpha) {
+  graph::PlantedPartitionParams params;
+  params.groups = 10;
+  params.group_size = 25;
+  params.alpha = alpha;
+  params.inter_edges = 60;
+  Rng rng(5);
+  return graph::make_planted_partition(params, rng);
+}
+
+void BM_Cnm(benchmark::State& state) {
+  const auto planted = community_graph(state.range(0) / 10.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(community::cluster_cnm(planted.graph).modularity);
+  }
+}
+BENCHMARK(BM_Cnm)->Arg(2)->Arg(5)->Arg(10);  // alpha = 0.2 / 0.5 / 1.0
+
+void BM_Louvain(benchmark::State& state) {
+  const auto planted = community_graph(state.range(0) / 10.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(community::cluster_louvain(planted.graph).modularity);
+  }
+}
+BENCHMARK(BM_Louvain)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_EdgeBetweennessOneRound(benchmark::State& state) {
+  const auto planted = community_graph(state.range(0) / 10.0);
+  const auto& g = planted.graph;
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> adjacency(
+      g.vertex_count());
+  std::uint32_t edge_id = 0;
+  for (graph::VertexId u = 0; u < g.vertex_count(); ++u) {
+    for (const auto v : g.neighbors(u)) {
+      if (v < u) continue;
+      adjacency[u].emplace_back(v, edge_id);
+      adjacency[v].emplace_back(u, edge_id);
+      ++edge_id;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        community::edge_betweenness(adjacency, edge_id).data());
+  }
+}
+BENCHMARK(BM_EdgeBetweennessOneRound)->Arg(2)->Arg(5)->Arg(10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+// Ablation micro-benchmarks for the embedding trainer (DESIGN.md §5):
+// CBOW vs SkipGram, negative sampling vs hierarchical softmax, and
+// dimension scaling. Reported as tokens/second of SGD throughput.
+#include <benchmark/benchmark.h>
+
+#include "v2v/embed/trainer.hpp"
+#include "v2v/graph/generators.hpp"
+#include "v2v/walk/walker.hpp"
+
+namespace {
+
+using namespace v2v;
+
+const walk::Corpus& shared_corpus(std::size_t* vocab) {
+  static std::size_t vocab_size = 0;
+  static const walk::Corpus corpus = [] {
+    graph::PlantedPartitionParams params;
+    params.groups = 10;
+    params.group_size = 30;
+    params.alpha = 0.5;
+    params.inter_edges = 60;
+    Rng rng(1);
+    const auto planted = graph::make_planted_partition(params, rng);
+    vocab_size = planted.graph.vertex_count();
+    walk::WalkConfig config;
+    config.walks_per_vertex = 5;
+    config.walk_length = 30;
+    return walk::generate_corpus(planted.graph, config, 2);
+  }();
+  *vocab = vocab_size;
+  return corpus;
+}
+
+embed::TrainConfig base_config(std::size_t dims) {
+  embed::TrainConfig config;
+  config.dimensions = dims;
+  config.epochs = 1;
+  config.seed = 3;
+  return config;
+}
+
+void run_training(benchmark::State& state, embed::TrainConfig config) {
+  std::size_t vocab = 0;
+  const auto& corpus = shared_corpus(&vocab);
+  for (auto _ : state) {
+    const auto result = embed::train_embedding(corpus, vocab, config);
+    benchmark::DoNotOptimize(result.embedding.matrix().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(corpus.token_count()));
+}
+
+void BM_TrainCbowNegative(benchmark::State& state) {
+  run_training(state, base_config(static_cast<std::size_t>(state.range(0))));
+}
+BENCHMARK(BM_TrainCbowNegative)->Arg(10)->Arg(50)->Arg(100)->Arg(300);
+
+void BM_TrainSkipGramNegative(benchmark::State& state) {
+  auto config = base_config(static_cast<std::size_t>(state.range(0)));
+  config.architecture = embed::Architecture::kSkipGram;
+  config.initial_lr = 0.025;
+  run_training(state, config);
+}
+BENCHMARK(BM_TrainSkipGramNegative)->Arg(10)->Arg(100);
+
+void BM_TrainCbowHierarchical(benchmark::State& state) {
+  auto config = base_config(static_cast<std::size_t>(state.range(0)));
+  config.objective = embed::Objective::kHierarchicalSoftmax;
+  run_training(state, config);
+}
+BENCHMARK(BM_TrainCbowHierarchical)->Arg(10)->Arg(100);
+
+void BM_TrainNegativeCount(benchmark::State& state) {
+  auto config = base_config(50);
+  config.negative = static_cast<std::size_t>(state.range(0));
+  run_training(state, config);
+}
+BENCHMARK(BM_TrainNegativeCount)->Arg(2)->Arg(5)->Arg(15);
+
+void BM_TrainWindowSize(benchmark::State& state) {
+  auto config = base_config(50);
+  config.window = static_cast<std::size_t>(state.range(0));
+  run_training(state, config);
+}
+BENCHMARK(BM_TrainWindowSize)->Arg(2)->Arg(5)->Arg(10);
+
+// Streaming (walk-as-you-train) vs materialized corpus at equal budget:
+// measures the overhead of per-epoch walk regeneration.
+void BM_TrainStreaming(benchmark::State& state) {
+  static const auto planted = [] {
+    graph::PlantedPartitionParams params;
+    params.groups = 10;
+    params.group_size = 30;
+    params.alpha = 0.5;
+    params.inter_edges = 60;
+    Rng rng(1);
+    return graph::make_planted_partition(params, rng);
+  }();
+  walk::WalkConfig walks;
+  walks.walks_per_vertex = 5;
+  walks.walk_length = 30;
+  auto config = base_config(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const auto result =
+        embed::train_embedding_streaming(planted.graph, walks, config);
+    benchmark::DoNotOptimize(result.embedding.matrix().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 300 * 5 * 30);
+}
+BENCHMARK(BM_TrainStreaming)->Arg(10)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

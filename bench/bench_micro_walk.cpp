@@ -1,0 +1,137 @@
+// Ablation micro-benchmarks for the walk engine (DESIGN.md §5):
+// alias-method vs linear-CDF weighted sampling, uniform vs biased walk
+// throughput, temporal-walk overhead, and corpus generation.
+#include <benchmark/benchmark.h>
+
+#include "v2v/common/rng.hpp"
+#include "v2v/graph/generators.hpp"
+#include "v2v/walk/alias_table.hpp"
+#include "v2v/walk/walker.hpp"
+
+namespace {
+
+using namespace v2v;
+
+std::vector<double> make_weights(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> weights(n);
+  for (auto& w : weights) w = rng.next_double() + 0.01;
+  return weights;
+}
+
+void BM_AliasSample(benchmark::State& state) {
+  const auto weights = make_weights(static_cast<std::size_t>(state.range(0)), 1);
+  const walk::AliasTable table{std::span<const double>(weights)};
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AliasSample)->Arg(8)->Arg(64)->Arg(1024);
+
+void BM_LinearCdfSample(benchmark::State& state) {
+  // The O(deg) alternative the alias table replaces.
+  const auto weights = make_weights(static_cast<std::size_t>(state.range(0)), 1);
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  Rng rng(2);
+  for (auto _ : state) {
+    const double target = rng.next_double() * total;
+    double acc = 0.0;
+    std::size_t pick = 0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (acc >= target) {
+        pick = i;
+        break;
+      }
+    }
+    benchmark::DoNotOptimize(pick);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LinearCdfSample)->Arg(8)->Arg(64)->Arg(1024);
+
+graph::PlantedGraph bench_graph() {
+  graph::PlantedPartitionParams params;
+  params.groups = 10;
+  params.group_size = 50;
+  params.alpha = 0.5;
+  params.inter_edges = 100;
+  Rng rng(3);
+  return graph::make_planted_partition(params, rng);
+}
+
+void BM_WalkUniform(benchmark::State& state) {
+  const auto planted = bench_graph();
+  walk::WalkConfig config;
+  config.walk_length = 80;
+  const walk::Walker walker(planted.graph, config);
+  Rng rng(4);
+  std::vector<graph::VertexId> buffer;
+  for (auto _ : state) {
+    walker.walk_from(static_cast<graph::VertexId>(rng.next_below(500)), rng, buffer);
+    benchmark::DoNotOptimize(buffer.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 80);
+}
+BENCHMARK(BM_WalkUniform);
+
+void BM_WalkEdgeWeighted(benchmark::State& state) {
+  // Same graph with random edge weights: alias-table steps.
+  const auto planted = bench_graph();
+  graph::GraphBuilder builder(false);
+  Rng wrng(5);
+  for (graph::VertexId u = 0; u < planted.graph.vertex_count(); ++u) {
+    for (const auto v : planted.graph.neighbors(u)) {
+      if (v > u) builder.add_edge(u, v, wrng.next_double() + 0.1);
+    }
+  }
+  const auto g = builder.build();
+  walk::WalkConfig config;
+  config.walk_length = 80;
+  config.bias = walk::StepBias::kEdgeWeight;
+  const walk::Walker walker(g, config);
+  Rng rng(6);
+  std::vector<graph::VertexId> buffer;
+  for (auto _ : state) {
+    walker.walk_from(static_cast<graph::VertexId>(rng.next_below(500)), rng, buffer);
+    benchmark::DoNotOptimize(buffer.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 80);
+}
+BENCHMARK(BM_WalkEdgeWeighted);
+
+void BM_WalkTemporal(benchmark::State& state) {
+  Rng gen(7);
+  const auto dag = graph::make_temporal_dag(500, 5000, gen);
+  walk::WalkConfig config;
+  config.walk_length = 80;
+  config.temporal = true;
+  const walk::Walker walker(dag, config);
+  Rng rng(8);
+  std::vector<graph::VertexId> buffer;
+  for (auto _ : state) {
+    walker.walk_from(static_cast<graph::VertexId>(rng.next_below(500)), rng, buffer);
+    benchmark::DoNotOptimize(buffer.data());
+  }
+}
+BENCHMARK(BM_WalkTemporal);
+
+void BM_CorpusGeneration(benchmark::State& state) {
+  const auto planted = bench_graph();
+  walk::WalkConfig config;
+  config.walks_per_vertex = static_cast<std::size_t>(state.range(0));
+  config.walk_length = 40;
+  for (auto _ : state) {
+    const auto corpus = walk::generate_corpus(planted.graph, config, 9);
+    benchmark::DoNotOptimize(corpus.token_count());
+  }
+  state.SetItemsProcessed(state.iterations() * 500 * state.range(0) * 40);
+}
+BENCHMARK(BM_CorpusGeneration)->Arg(2)->Arg(10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

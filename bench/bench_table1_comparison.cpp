@@ -1,0 +1,114 @@
+// Table I: community detection — V2V (10-dim embedding + k-means) versus
+// CNM and Girvan–Newman, sweeping the community strength alpha.
+//
+// Expected shape (paper): the graph algorithms hit ~1.0 precision/recall;
+// V2V is slightly lower (~0.95/0.99 averages) but its clustering step runs
+// in milliseconds while the graph algorithms' runtime grows >20x as alpha
+// goes 0.1 -> 1.0. V2V's one-time training cost *decreases* with alpha.
+#include <numeric>
+
+#include "bench_common.hpp"
+#include "v2v/common/timer.hpp"
+#include "v2v/community/cnm.hpp"
+#include "v2v/community/girvan_newman.hpp"
+#include "v2v/ml/metrics.hpp"
+
+namespace {
+
+using namespace v2v;
+using namespace v2v::bench;
+
+struct Row {
+  double alpha;
+  ml::PrecisionRecall v2v_pr, cnm_pr, gn_pr;
+  double v2v_train, v2v_cluster, cnm_time, gn_time;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const Scale scale = Scale::from_args(args);
+  print_header("Table I", "community detection comparison", scale);
+
+  std::vector<Row> rows;
+  for (int step = 1; step <= 10; ++step) {
+    Row row;
+    row.alpha = step / 10.0;
+    const auto planted = make_paper_graph(scale, row.alpha, 1000 + step);
+
+    // V2V: 10-dimensional embedding (as in the paper's Table I).
+    const auto model =
+        learn_embedding(planted.graph, make_v2v_config(scale, 10, 77 + step));
+    row.v2v_train = model.learn_seconds();
+    ml::KMeansConfig kmeans;
+    kmeans.restarts = scale.kmeans_restarts;
+    const auto detected = detect_communities(model.embedding, scale.groups, kmeans);
+    row.v2v_cluster = detected.cluster_seconds;
+    row.v2v_pr = ml::pairwise_precision_recall(planted.community, detected.labels);
+
+    WallTimer timer;
+    const auto cnm = community::cluster_cnm(planted.graph);
+    row.cnm_time = timer.seconds();
+    row.cnm_pr = ml::pairwise_precision_recall(planted.community, cnm.labels);
+
+    timer.restart();
+    community::GirvanNewmanConfig gn_config;
+    // Full runs remove every edge as in the original algorithm. Default
+    // runs stop once Q has not improved for a while; Q only improves when
+    // a component splits, and splits are gated by the inter-group edges,
+    // so a patience of a few hundred removals comfortably covers the gap
+    // to the modularity peak while keeping GN's O(n m^2) cost bounded.
+    if (!scale.full) {
+      gn_config.patience = std::max<std::size_t>(100, 2 * scale.inter_edges);
+    }
+    const auto gn = community::cluster_girvan_newman(planted.graph, gn_config);
+    row.gn_time = timer.seconds();
+    row.gn_pr = ml::pairwise_precision_recall(planted.community, gn.labels);
+
+    rows.push_back(row);
+  }
+
+  Table table({"alpha", "V2V-Prec", "V2V-Rec", "V2V-Train(s)", "V2V-Run(s)",
+               "CNM-Prec", "CNM-Rec", "CNM-Run(s)", "GN-Prec", "GN-Rec",
+               "GN-Run(s)"});
+  Row avg{};
+  for (const auto& row : rows) {
+    table.add_row({fmt(row.alpha, 1), fmt(row.v2v_pr.precision),
+                   fmt(row.v2v_pr.recall), fmt(row.v2v_train),
+                   fmt(row.v2v_cluster, 5), fmt(row.cnm_pr.precision),
+                   fmt(row.cnm_pr.recall), fmt(row.cnm_time, 4),
+                   fmt(row.gn_pr.precision), fmt(row.gn_pr.recall),
+                   fmt(row.gn_time, 4)});
+    avg.v2v_pr.precision += row.v2v_pr.precision / 10;
+    avg.v2v_pr.recall += row.v2v_pr.recall / 10;
+    avg.v2v_train += row.v2v_train / 10;
+    avg.v2v_cluster += row.v2v_cluster / 10;
+    avg.cnm_pr.precision += row.cnm_pr.precision / 10;
+    avg.cnm_pr.recall += row.cnm_pr.recall / 10;
+    avg.cnm_time += row.cnm_time / 10;
+    avg.gn_pr.precision += row.gn_pr.precision / 10;
+    avg.gn_pr.recall += row.gn_pr.recall / 10;
+    avg.gn_time += row.gn_time / 10;
+  }
+  table.add_row({"avg.", fmt(avg.v2v_pr.precision), fmt(avg.v2v_pr.recall),
+                 fmt(avg.v2v_train), fmt(avg.v2v_cluster, 5),
+                 fmt(avg.cnm_pr.precision), fmt(avg.cnm_pr.recall),
+                 fmt(avg.cnm_time, 4), fmt(avg.gn_pr.precision),
+                 fmt(avg.gn_pr.recall), fmt(avg.gn_time, 4)});
+  table.print(std::cout);
+  table.write_csv((output_dir(args) / "table1.csv").string());
+
+  const double gn_growth = rows.back().gn_time / std::max(rows.front().gn_time, 1e-9);
+  const double cnm_growth = rows.back().cnm_time / std::max(rows.front().cnm_time, 1e-9);
+  std::printf("\nshape checks: V2V clustering is %.0fx faster than GN at "
+              "alpha=1.0 (paper: ~10^6x vs multi-hour runs); graph-algorithm "
+              "runtime grew %.1fx (GN, patience-bounded) / %.1fx (CNM) from "
+              "alpha=0.1 to 1.0 — the paper's >20x growth needs the full GN "
+              "dendrogram, run with --full to remove the patience bound. Note "
+              "our heap-based CNM is far faster than the SNAP implementation "
+              "the paper timed, so CNM's absolute times here are milliseconds.\n",
+              rows.back().gn_time / std::max(rows.back().v2v_cluster, 1e-9),
+              gn_growth, cnm_growth);
+  return 0;
+}

@@ -1,0 +1,211 @@
+// v2v_tool: command-line front end to the whole library, operating on
+// plain edge-list files. This is the "I just want embeddings for my
+// graph" entry point.
+//
+//   v2v_tool embed <edges.txt> --output=vectors.txt [--dims=50] [--directed]
+//            [--config=saved.cfg] [--save-config=out.cfg]
+//   v2v_tool communities <edges.txt> [--k=10] [--auto-k] [--method=v2v|cnm|gn|louvain|lp]
+//   v2v_tool predict <vectors.txt> <labels.txt> [--k=3] [--folds=10]
+//   v2v_tool nearest <vectors.txt> <vertex> [--k=5]
+//   v2v_tool layout <edges.txt> --output=graph.svg [--iterations=200]
+//   v2v_tool stats <edges.txt> [--directed]
+//
+// Edge lists are "u v [weight [timestamp]]" lines, '#' comments. Label
+// files are "vertex label" lines with integer labels.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "v2v/common/cli.hpp"
+#include "v2v/common/string_util.hpp"
+#include "v2v/community/cnm.hpp"
+#include "v2v/community/girvan_newman.hpp"
+#include "v2v/community/label_propagation.hpp"
+#include "v2v/community/louvain.hpp"
+#include "v2v/community/modularity.hpp"
+#include "v2v/core/config_io.hpp"
+#include "v2v/core/v2v.hpp"
+#include "v2v/graph/algorithms.hpp"
+#include "v2v/graph/io.hpp"
+#include "v2v/graph/labels_io.hpp"
+#include "v2v/graph/structure.hpp"
+#include "v2v/viz/svg.hpp"
+
+namespace {
+
+using namespace v2v;
+
+graph::Graph load_graph(const std::string& path, const CliArgs& args) {
+  graph::EdgeListOptions options;
+  options.directed = args.get_bool("directed");
+  return graph::read_edge_list_file(path, options);
+}
+
+V2VConfig config_from_args(const CliArgs& args) {
+  V2VConfig config;
+  if (args.has("config")) config = load_config_file(args.get("config", ""));
+  config.train.dimensions =
+      static_cast<std::size_t>(args.get_int("dims", static_cast<std::int64_t>(
+                                                        config.train.dimensions)));
+  config.walk.walks_per_vertex = static_cast<std::size_t>(args.get_int(
+      "walks", static_cast<std::int64_t>(config.walk.walks_per_vertex)));
+  config.walk.walk_length = static_cast<std::size_t>(args.get_int(
+      "walk-length", static_cast<std::int64_t>(config.walk.walk_length)));
+  config.train.epochs = static_cast<std::size_t>(
+      args.get_int("epochs", static_cast<std::int64_t>(config.train.epochs)));
+  config.seed = static_cast<std::uint64_t>(args.get_int(
+      "seed", static_cast<std::int64_t>(config.seed)));
+  if (args.get_bool("temporal")) config.walk.temporal = true;
+  return config;
+}
+
+int cmd_embed(const CliArgs& args) {
+  const auto& input = args.positional().at(1);
+  const graph::Graph g = load_graph(input, args);
+  std::fprintf(stderr, "loaded %s\n", graph::describe(g).c_str());
+
+  const V2VConfig config = config_from_args(args);
+  if (args.has("save-config")) save_config_file(config, args.get("save-config", ""));
+  const auto model = learn_embedding(g, config);
+  std::fprintf(stderr, "trained %zu x %zu in %.2fs (%zu walks, %zu tokens)\n",
+               model.embedding.vertex_count(), model.embedding.dimensions(),
+               model.learn_seconds(), model.corpus_walks, model.corpus_tokens);
+
+  const std::string output = args.get("output", "vectors.txt");
+  model.embedding.save_text_file(output);
+  std::fprintf(stderr, "wrote %s\n", output.c_str());
+  return 0;
+}
+
+int cmd_communities(const CliArgs& args) {
+  const auto& input = args.positional().at(1);
+  const graph::Graph g = load_graph(input, args);
+  const auto k = static_cast<std::size_t>(args.get_int("k", 10));
+  const std::string method = args.get("method", "v2v");
+
+  std::vector<std::uint32_t> labels;
+  if (method == "v2v") {
+    const auto model = learn_embedding(g, config_from_args(args));
+    if (args.get_bool("auto-k")) {
+      const auto result = detect_communities_auto(model.embedding, 2, k);
+      std::fprintf(stderr, "auto-selected k = %zu (silhouette)\n", result.chosen_k);
+      labels = result.detection.labels;
+    } else {
+      labels = detect_communities(model.embedding, k).labels;
+    }
+  } else if (method == "cnm") {
+    labels = community::cluster_cnm(g).labels;
+  } else if (method == "gn") {
+    community::GirvanNewmanConfig gn;
+    gn.patience = g.edge_count() / 4;
+    labels = community::cluster_girvan_newman(g, gn).labels;
+  } else if (method == "louvain") {
+    labels = community::cluster_louvain(g).labels;
+  } else if (method == "lp") {
+    labels = community::cluster_label_propagation(g).labels;
+  } else {
+    std::fprintf(stderr, "unknown --method '%s'\n", method.c_str());
+    return 2;
+  }
+  if (!g.directed()) {
+    std::fprintf(stderr, "modularity: %.4f\n", community::modularity(g, labels));
+  }
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    std::printf("%zu\t%u\n", v, labels[v]);
+  }
+  return 0;
+}
+
+int cmd_predict(const CliArgs& args) {
+  const auto embedding = embed::Embedding::load_text_file(args.positional().at(1));
+  const auto labels =
+      graph::read_labels_file(args.positional().at(2), embedding.vertex_count());
+  const auto k = static_cast<std::size_t>(args.get_int("k", 3));
+  const auto folds = static_cast<std::size_t>(args.get_int("folds", 10));
+  const auto repeats = static_cast<std::size_t>(args.get_int("repeats", 3));
+  const auto result = evaluate_label_prediction(embedding, labels, k, folds, repeats);
+  std::printf("k-NN accuracy (k=%zu, %zu-fold CV x %zu): %.4f +/- %.4f\n", k, folds,
+              repeats, result.accuracy, result.stddev);
+  return 0;
+}
+
+int cmd_nearest(const CliArgs& args) {
+  const auto embedding = embed::Embedding::load_text_file(args.positional().at(1));
+  const auto vertex = parse_int(args.positional().at(2));
+  if (!vertex || *vertex < 0 ||
+      static_cast<std::size_t>(*vertex) >= embedding.vertex_count()) {
+    std::fprintf(stderr, "bad vertex id\n");
+    return 2;
+  }
+  const auto k = static_cast<std::size_t>(args.get_int("k", 5));
+  for (const auto u : embedding.nearest(static_cast<std::size_t>(*vertex), k)) {
+    std::printf("%u\t%.4f\n", u,
+                embedding.cosine_similarity(static_cast<std::size_t>(*vertex), u));
+  }
+  return 0;
+}
+
+int cmd_layout(const CliArgs& args) {
+  const graph::Graph g = load_graph(args.positional().at(1), args);
+  viz::ForceAtlas2Config config;
+  config.iterations = static_cast<std::size_t>(args.get_int("iterations", 200));
+  const auto layout = viz::layout_forceatlas2(g, config);
+  viz::SvgOptions svg;
+  svg.draw_edges = true;
+  svg.title = args.positional().at(1);
+  const std::string output = args.get("output", "graph.svg");
+  viz::write_graph_svg(output, g, layout.positions, {}, svg);
+  std::fprintf(stderr, "wrote %s\n", output.c_str());
+  return 0;
+}
+
+int cmd_stats(const CliArgs& args) {
+  const graph::Graph g = load_graph(args.positional().at(1), args);
+  std::printf("%s\n", graph::describe(g).c_str());
+  const auto degrees = graph::degree_stats(g);
+  std::printf("degree: min %zu, mean %.2f, max %zu\n", degrees.min, degrees.mean,
+              degrees.max);
+  std::printf("connected components: %zu\n", graph::connected_components(g).count);
+  if (!g.directed()) {
+    std::printf("triangles: %llu\n",
+                static_cast<unsigned long long>(graph::triangle_count(g)));
+    std::printf("average clustering: %.4f\n", graph::average_clustering(g));
+    std::printf("transitivity: %.4f\n", graph::transitivity(g));
+    std::printf("degeneracy (max k-core): %u\n", graph::degeneracy(g));
+  }
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: v2v_tool <embed|communities|predict|nearest|layout|stats> "
+               "<args...>\n       (see the header of examples/v2v_tool.cpp)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.positional().empty()) {
+    usage();
+    return 2;
+  }
+  const std::string& command = args.positional()[0];
+  try {
+    if (command == "embed" && args.positional().size() >= 2) return cmd_embed(args);
+    if (command == "communities" && args.positional().size() >= 2) {
+      return cmd_communities(args);
+    }
+    if (command == "predict" && args.positional().size() >= 3) return cmd_predict(args);
+    if (command == "nearest" && args.positional().size() >= 3) return cmd_nearest(args);
+    if (command == "layout" && args.positional().size() >= 2) return cmd_layout(args);
+    if (command == "stats" && args.positional().size() >= 2) return cmd_stats(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+  return 2;
+}

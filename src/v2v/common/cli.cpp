@@ -1,0 +1,77 @@
+#include "v2v/common/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "v2v/common/string_util.hpp"
+
+namespace v2v {
+
+CliArgs::CliArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      flags_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      flags_[std::string(arg)] = argv[++i];
+    } else {
+      flags_[std::string(arg)] = "true";
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const { return flags_.count(name) > 0; }
+
+std::string CliArgs::get(const std::string& name, const std::string& fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& name, std::int64_t fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  const auto value = parse_int(it->second);
+  if (!value) throw std::invalid_argument("--" + name + " expects an integer");
+  return *value;
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  const auto value = parse_double(it->second);
+  if (!value) throw std::invalid_argument("--" + name + " expects a number");
+  return *value;
+}
+
+bool CliArgs::get_bool(const std::string& name, bool fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::int64_t> CliArgs::get_int_list(
+    const std::string& name, const std::vector<std::int64_t>& fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  std::vector<std::int64_t> out;
+  for (const auto piece : split(it->second, ',')) {
+    const auto value = parse_int(piece);
+    if (!value) throw std::invalid_argument("--" + name + " expects integers");
+    out.push_back(*value);
+  }
+  return out;
+}
+
+bool CliArgs::full_scale() const {
+  if (get_bool("full")) return true;
+  const char* env = std::getenv("V2V_FULL");
+  return env != nullptr && std::string_view(env) == "1";
+}
+
+}  // namespace v2v

@@ -1,0 +1,50 @@
+#include "v2v/common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string_view>
+
+namespace v2v::log_detail {
+namespace {
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("V2V_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  const std::string_view value(env);
+  if (value == "error") return LogLevel::kError;
+  if (value == "warn") return LogLevel::kWarn;
+  if (value == "info") return LogLevel::kInfo;
+  if (value == "debug") return LogLevel::kDebug;
+  return LogLevel::kWarn;
+}
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level{static_cast<int>(level_from_env())};
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel current_level() { return static_cast<LogLevel>(level_storage().load()); }
+
+void set_level(LogLevel level) { level_storage().store(static_cast<int>(level)); }
+
+void emit(LogLevel level, const std::string& message) {
+  static std::mutex mutex;
+  std::lock_guard lock(mutex);
+  std::fprintf(stderr, "[v2v %s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace v2v::log_detail

@@ -1,0 +1,46 @@
+// Leveled stderr logger. Level is controlled programmatically or via the
+// V2V_LOG environment variable (error|warn|info|debug); default is warn so
+// benchmark output stays clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace v2v {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+namespace log_detail {
+LogLevel current_level();
+void set_level(LogLevel level);
+void emit(LogLevel level, const std::string& message);
+}  // namespace log_detail
+
+inline void set_log_level(LogLevel level) { log_detail::set_level(level); }
+
+template <typename... Args>
+void log_at(LogLevel level, Args&&... args) {
+  if (static_cast<int>(level) > static_cast<int>(log_detail::current_level())) return;
+  std::ostringstream os;
+  (os << ... << args);
+  log_detail::emit(level, os.str());
+}
+
+template <typename... Args>
+void log_error(Args&&... args) {
+  log_at(LogLevel::kError, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  log_at(LogLevel::kWarn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  log_at(LogLevel::kInfo, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_debug(Args&&... args) {
+  log_at(LogLevel::kDebug, std::forward<Args>(args)...);
+}
+
+}  // namespace v2v

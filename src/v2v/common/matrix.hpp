@@ -1,0 +1,60 @@
+// Row-major dense matrix of floats. This is the storage for embeddings and
+// the ML substrate: row = one vertex vector. Kept intentionally minimal —
+// contiguous storage, span-style row access, no expression templates.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace v2v {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] std::span<T> row(std::size_t r) noexcept {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const T> row(std::size_t r) const noexcept {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] T& operator()(std::size_t r, std::size_t c) noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const T& operator()(std::size_t r, std::size_t c) const noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] T* data() noexcept { return data_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.data(); }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using MatrixF = Matrix<float>;
+using MatrixD = Matrix<double>;
+
+}  // namespace v2v

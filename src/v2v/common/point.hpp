@@ -1,0 +1,11 @@
+// A 2-D point, shared by the layout (viz) and projection (ml) code.
+#pragma once
+
+namespace v2v {
+
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+}  // namespace v2v

@@ -1,0 +1,30 @@
+// Small string helpers used by graph I/O and the CLI parser.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace v2v {
+
+/// Splits `text` on `sep`, keeping empty fields.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view text, char sep);
+
+/// Splits on any whitespace run, dropping empty fields.
+[[nodiscard]] std::vector<std::string_view> split_ws(std::string_view text);
+
+/// Strips leading/trailing whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Locale-independent numeric parsing; nullopt on any trailing garbage.
+[[nodiscard]] std::optional<std::int64_t> parse_int(std::string_view text);
+[[nodiscard]] std::optional<double> parse_double(std::string_view text);
+
+/// Formats a double with `digits` significant fraction digits, no
+/// locale dependence ("0.00765"-style cells in Table I).
+[[nodiscard]] std::string format_fixed(double value, int digits);
+
+}  // namespace v2v

@@ -1,0 +1,71 @@
+#include "v2v/common/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace v2v {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("Table: row arity mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) {
+        os << std::string(width[c] - row[c].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+namespace {
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Table: cannot open " + path);
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << csv_escape(row[c]);
+      if (c + 1 < row.size()) out << ',';
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace v2v

@@ -1,0 +1,37 @@
+// Console table and CSV emission for the experiment harnesses. Every bench
+// binary prints a paper-style aligned table to stdout and can mirror it to
+// a CSV file for plotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace v2v {
+
+/// A simple column-aligned text table with an optional CSV mirror.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must match the header arity.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with column alignment and a header rule.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (quotes fields containing comma/quote/newline).
+  void write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept { return header_; }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& data() const noexcept {
+    return rows_;
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace v2v

@@ -1,0 +1,59 @@
+// Minimal work-sharing thread pool with a blocking parallel_for, used for
+// corpus generation and Hogwild SGD. The pool is deliberately simple: the
+// workloads in this library are large, uniform loops, so static block
+// partitioning with one task per worker is both fastest and deterministic
+// in its work assignment (results may still differ across thread counts
+// where algorithms are racy by design, e.g. Hogwild).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace v2v {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; runs on some worker eventually.
+  void submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void wait_idle();
+
+  /// Runs fn(chunk_index, begin, end) over [0, count) split into
+  /// size() contiguous chunks, blocking until every chunk is done.
+  /// fn must be safe to call concurrently from distinct threads.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Convenience: one-shot parallel loop using a transient set of threads.
+/// For hot loops, reuse a ThreadPool instead.
+void parallel_for_once(std::size_t threads, std::size_t count,
+                       const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+}  // namespace v2v

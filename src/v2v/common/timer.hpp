@@ -1,0 +1,63 @@
+// Wall-clock timing helpers used by the experiment harnesses. All paper
+// tables report seconds, so the default accessor is seconds as double.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace v2v {
+
+/// Monotonic stopwatch. Started on construction; restart() re-arms it.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(Clock::now()) {}
+
+  void restart() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last restart().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const noexcept { return seconds() * 1e3; }
+
+  [[nodiscard]] std::uint64_t nanoseconds() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates the wall time of several disjoint intervals (e.g. total
+/// SGD time excluding corpus generation).
+class AccumulatingTimer {
+ public:
+  void start() noexcept {
+    timer_.restart();
+    running_ = true;
+  }
+  void stop() noexcept {
+    if (running_) {
+      total_ += timer_.seconds();
+      running_ = false;
+    }
+  }
+  [[nodiscard]] double seconds() const noexcept {
+    return total_ + (running_ ? timer_.seconds() : 0.0);
+  }
+  void reset() noexcept {
+    total_ = 0.0;
+    running_ = false;
+  }
+
+ private:
+  WallTimer timer_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace v2v

@@ -1,0 +1,76 @@
+// Span-based vector kernels shared by the embedding trainer, k-means, k-NN
+// and PCA. These are the innermost loops of the library; they are written
+// so the compiler auto-vectorizes them (contiguous spans, no aliasing
+// surprises, fused loops).
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+namespace v2v {
+
+template <typename T>
+[[nodiscard]] inline double dot(std::span<const T> a, std::span<const T> b) noexcept {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += static_cast<double>(a[i]) * b[i];
+  return sum;
+}
+
+template <typename T>
+[[nodiscard]] inline double squared_norm(std::span<const T> a) noexcept {
+  return dot(a, a);
+}
+
+template <typename T>
+[[nodiscard]] inline double norm(std::span<const T> a) noexcept {
+  return std::sqrt(squared_norm(a));
+}
+
+template <typename T>
+[[nodiscard]] inline double squared_distance(std::span<const T> a,
+                                             std::span<const T> b) noexcept {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+/// Cosine distance in [0, 2]: 1 - cos(a, b). Zero vectors are treated as
+/// maximally distant from everything (distance 1) rather than NaN.
+template <typename T>
+[[nodiscard]] inline double cosine_distance(std::span<const T> a,
+                                            std::span<const T> b) noexcept {
+  const double na = norm(a);
+  const double nb = norm(b);
+  if (na == 0.0 || nb == 0.0) return 1.0;
+  return 1.0 - dot(a, b) / (na * nb);
+}
+
+/// y += alpha * x
+template <typename T>
+inline void axpy(double alpha, std::span<const T> x, std::span<T> y) noexcept {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] += static_cast<T>(alpha * x[i]);
+  }
+}
+
+template <typename T>
+inline void scale(std::span<T> x, double alpha) noexcept {
+  for (auto& v : x) v = static_cast<T>(v * alpha);
+}
+
+/// Normalizes x to unit L2 norm in place; leaves zero vectors untouched.
+template <typename T>
+inline void normalize(std::span<T> x) noexcept {
+  const double n = norm(std::span<const T>(x.data(), x.size()));
+  if (n > 0.0) scale(x, 1.0 / n);
+}
+
+}  // namespace v2v

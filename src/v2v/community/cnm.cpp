@@ -1,0 +1,119 @@
+#include "v2v/community/cnm.hpp"
+
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "v2v/community/modularity.hpp"
+
+namespace v2v::community {
+namespace {
+
+struct HeapEntry {
+  double gain;
+  std::uint32_t i, j;
+  std::uint32_t version_i, version_j;
+  bool operator<(const HeapEntry& other) const { return gain < other.gain; }
+};
+
+}  // namespace
+
+CnmResult cluster_cnm(const graph::Graph& g) {
+  if (g.directed()) throw std::invalid_argument("cnm: undirected graph required");
+  const std::size_t n = g.vertex_count();
+  CnmResult result;
+  result.labels.assign(n, 0);
+  if (n == 0) return result;
+
+  const double m = g.total_edge_weight();
+  if (m <= 0.0) {
+    // Edgeless: every vertex its own community.
+    for (std::size_t v = 0; v < n; ++v) result.labels[v] = static_cast<std::uint32_t>(v);
+    result.community_count = n;
+    return result;
+  }
+
+  // Community state. `parent` implements union-find with path halving so
+  // final labels can be resolved; `weight_to` maps community -> w_ij
+  // (total edge weight between the two communities).
+  std::vector<std::uint32_t> parent(n);
+  std::vector<std::uint32_t> version(n, 0);
+  std::vector<double> a(n, 0.0);  // degree fraction
+  std::vector<bool> alive(n, true);
+  std::vector<std::unordered_map<std::uint32_t, double>> weight_to(n);
+  for (std::uint32_t v = 0; v < n; ++v) parent[v] = v;
+
+  auto find = [&](std::uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+
+  const double two_m = 2.0 * m;
+  for (graph::VertexId u = 0; u < n; ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto wts = g.arc_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const graph::VertexId v = nbrs[i];
+      const double w = wts.empty() ? 1.0 : wts[i];
+      a[u] += w / two_m;
+      if (v != u) weight_to[u][v] += w;  // self-loops do not create pairs
+    }
+  }
+
+  auto gain = [&](std::uint32_t i, std::uint32_t j, double w_ij) {
+    return w_ij / m - 2.0 * a[i] * a[j];
+  };
+
+  std::priority_queue<HeapEntry> heap;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (const auto& [v, w] : weight_to[u]) {
+      if (u < v) heap.push({gain(u, v, w), u, v, 0, 0});
+    }
+  }
+
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    const std::uint32_t i = top.i, j = top.j;
+    if (!alive[i] || !alive[j]) continue;
+    if (version[i] != top.version_i || version[j] != top.version_j) continue;
+    if (top.gain <= 0.0) break;  // no positive merge remains
+
+    // Merge j into i (keep the one with the bigger neighbor map to bound
+    // total map-move work).
+    const std::uint32_t keep = weight_to[i].size() >= weight_to[j].size() ? i : j;
+    const std::uint32_t drop = keep == i ? j : i;
+    alive[drop] = false;
+    parent[drop] = keep;
+    a[keep] += a[drop];
+    ++version[keep];
+    ++result.merges;
+
+    weight_to[keep].erase(drop);
+    for (const auto& [k, w] : weight_to[drop]) {
+      if (k == keep || !alive[k]) continue;
+      weight_to[keep][k] += w;
+      weight_to[k].erase(drop);
+      weight_to[k][keep] = weight_to[keep][k];
+    }
+    weight_to[drop].clear();
+
+    // Only pairs touching `keep` changed; everything else keeps its gain.
+    // Stale (keep, k) heap entries die on the version[keep] check.
+    for (const auto& [k, w] : weight_to[keep]) {
+      if (!alive[k]) continue;
+      heap.push({gain(keep, k, w), keep, k, version[keep], version[k]});
+    }
+  }
+
+  for (std::uint32_t v = 0; v < n; ++v) result.labels[v] = find(v);
+  result.community_count = compact_labels(result.labels);
+  result.modularity = modularity(g, result.labels);
+  return result;
+}
+
+}  // namespace v2v::community

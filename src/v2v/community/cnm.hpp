@@ -1,0 +1,31 @@
+// Clauset–Newman–Moore greedy modularity maximization ("Finding community
+// structure in very large networks", Phys. Rev. E 70, 2004) — the paper's
+// first graph-based baseline (Table I).
+//
+// Every vertex starts as its own community; at each step the pair of
+// connected communities with the largest modularity gain
+//   dQ(i, j) = w_ij / m - 2 a_i a_j,   a_i = deg(i) / 2m
+// is merged. Merging stops when the best gain is non-positive (or when
+// everything has merged). Implementation: per-community neighbor maps plus
+// a lazy max-heap with community version stamps, giving the classic
+// O(m d log n) behaviour.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "v2v/graph/graph.hpp"
+
+namespace v2v::community {
+
+struct CnmResult {
+  std::vector<std::uint32_t> labels;  ///< dense community ids per vertex
+  std::size_t community_count = 0;
+  double modularity = 0.0;            ///< Q of the returned partition
+  std::size_t merges = 0;
+};
+
+/// Runs CNM on an undirected (optionally weighted) graph.
+[[nodiscard]] CnmResult cluster_cnm(const graph::Graph& g);
+
+}  // namespace v2v::community

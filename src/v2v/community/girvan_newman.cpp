@@ -1,0 +1,152 @@
+#include "v2v/community/girvan_newman.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "v2v/community/modularity.hpp"
+
+namespace v2v::community {
+
+std::vector<double> edge_betweenness(
+    const std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>& adjacency,
+    std::size_t edge_count) {
+  const std::size_t n = adjacency.size();
+  std::vector<double> betweenness(edge_count, 0.0);
+
+  // Brandes (unweighted): BFS from every source, then dependency
+  // accumulation in reverse BFS order, attributing flow to edges.
+  std::vector<std::int64_t> distance(n);
+  std::vector<double> sigma(n), delta(n);
+  std::vector<std::uint32_t> order;
+  order.reserve(n);
+
+  for (std::uint32_t s = 0; s < n; ++s) {
+    std::fill(distance.begin(), distance.end(), -1);
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    order.clear();
+
+    distance[s] = 0;
+    sigma[s] = 1.0;
+    std::deque<std::uint32_t> queue{s};
+    while (!queue.empty()) {
+      const std::uint32_t u = queue.front();
+      queue.pop_front();
+      order.push_back(u);
+      for (const auto& [v, edge] : adjacency[u]) {
+        if (distance[v] < 0) {
+          distance[v] = distance[u] + 1;
+          queue.push_back(v);
+        }
+        if (distance[v] == distance[u] + 1) sigma[v] += sigma[u];
+      }
+    }
+
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const std::uint32_t w = *it;
+      for (const auto& [v, edge] : adjacency[w]) {
+        // Predecessor relation: v precedes w when dist(v) + 1 == dist(w).
+        if (distance[v] + 1 == distance[w]) {
+          const double c = sigma[v] / sigma[w] * (1.0 + delta[w]);
+          betweenness[edge] += c;
+          delta[v] += c;
+        }
+      }
+    }
+  }
+  // Each undirected pair (s, t) was counted from both endpoints.
+  for (auto& b : betweenness) b /= 2.0;
+  return betweenness;
+}
+
+GirvanNewmanResult cluster_girvan_newman(const graph::Graph& g,
+                                         const GirvanNewmanConfig& config) {
+  if (g.directed()) {
+    throw std::invalid_argument("girvan-newman: undirected graph required");
+  }
+  const std::size_t n = g.vertex_count();
+  GirvanNewmanResult result;
+  result.labels.assign(n, 0);
+  if (n == 0) return result;
+
+  // Mutable adjacency with stable edge ids so edges can be removed.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> adjacency(n);
+  std::size_t edge_count = 0;
+  for (graph::VertexId u = 0; u < n; ++u) {
+    for (const graph::VertexId v : g.neighbors(u)) {
+      if (v < u) continue;
+      const auto id = static_cast<std::uint32_t>(edge_count++);
+      adjacency[u].emplace_back(v, id);
+      if (v != u) adjacency[v].emplace_back(u, id);
+    }
+  }
+
+  auto components_as_labels = [&] {
+    std::vector<std::uint32_t> labels(n, UINT32_MAX);
+    std::uint32_t next = 0;
+    std::deque<std::uint32_t> queue;
+    for (std::uint32_t s = 0; s < n; ++s) {
+      if (labels[s] != UINT32_MAX) continue;
+      labels[s] = next;
+      queue.push_back(s);
+      while (!queue.empty()) {
+        const std::uint32_t u = queue.front();
+        queue.pop_front();
+        for (const auto& [v, edge] : adjacency[u]) {
+          if (labels[v] == UINT32_MAX) {
+            labels[v] = next;
+            queue.push_back(v);
+          }
+        }
+      }
+      ++next;
+    }
+    return labels;
+  };
+
+  // Track the best-modularity partition along the removal sequence.
+  result.labels = components_as_labels();
+  result.modularity = modularity(g, result.labels);
+  std::size_t since_improvement = 0;
+  std::size_t remaining = edge_count;
+
+  while (remaining > 0) {
+    if (config.max_removals > 0 && result.edges_removed >= config.max_removals) break;
+    if (config.patience > 0 && since_improvement >= config.patience) break;
+
+    const auto betweenness = edge_betweenness(adjacency, edge_count);
+    std::uint32_t worst_edge = UINT32_MAX;
+    double worst_value = -1.0;
+    for (std::uint32_t u = 0; u < n; ++u) {
+      for (const auto& [v, edge] : adjacency[u]) {
+        if (betweenness[edge] > worst_value) {
+          worst_value = betweenness[edge];
+          worst_edge = edge;
+        }
+      }
+    }
+    if (worst_edge == UINT32_MAX) break;
+
+    for (auto& nbrs : adjacency) {
+      std::erase_if(nbrs, [worst_edge](const auto& e) { return e.second == worst_edge; });
+    }
+    --remaining;
+    ++result.edges_removed;
+
+    auto labels = components_as_labels();
+    const double q = modularity(g, labels);
+    if (q > result.modularity) {
+      result.modularity = q;
+      result.labels = std::move(labels);
+      since_improvement = 0;
+    } else {
+      ++since_improvement;
+    }
+  }
+
+  result.community_count = compact_labels(result.labels);
+  return result;
+}
+
+}  // namespace v2v::community

@@ -1,0 +1,46 @@
+// Girvan–Newman divisive community detection ("Community structure in
+// social and biological networks", PNAS 99, 2002) — the paper's second
+// graph-based baseline (Table I).
+//
+// Repeatedly: compute edge betweenness with Brandes' algorithm, remove the
+// highest-betweenness edge, and record the modularity of the resulting
+// connected-component partition. The returned partition is the one with
+// the highest modularity seen along the removal sequence. Worst case
+// O(n m^2) — exactly the cost profile Table I demonstrates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "v2v/graph/graph.hpp"
+
+namespace v2v::community {
+
+struct GirvanNewmanConfig {
+  /// Stop after this many consecutive edge removals without a modularity
+  /// improvement; 0 runs the full dendrogram (every edge removed).
+  std::size_t patience = 0;
+  /// Hard cap on edge removals (0 = no cap). Useful to bound runtime.
+  std::size_t max_removals = 0;
+};
+
+struct GirvanNewmanResult {
+  std::vector<std::uint32_t> labels;
+  std::size_t community_count = 0;
+  double modularity = 0.0;
+  std::size_t edges_removed = 0;  ///< removals performed before stopping
+};
+
+/// Runs Girvan–Newman on an undirected, unweighted graph (edge weights are
+/// ignored for the shortest-path computation, as in the original).
+[[nodiscard]] GirvanNewmanResult cluster_girvan_newman(
+    const graph::Graph& g, const GirvanNewmanConfig& config = {});
+
+/// Brandes edge betweenness for an adjacency-list graph; exposed for
+/// testing. `adjacency[u]` lists (neighbor, edge_id); betweenness is
+/// accumulated per edge_id. Unreachable pairs contribute nothing.
+[[nodiscard]] std::vector<double> edge_betweenness(
+    const std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>& adjacency,
+    std::size_t edge_count);
+
+}  // namespace v2v::community

@@ -1,0 +1,66 @@
+#include "v2v/community/label_propagation.hpp"
+
+#include <numeric>
+#include <unordered_map>
+
+#include "v2v/common/rng.hpp"
+#include "v2v/community/modularity.hpp"
+
+namespace v2v::community {
+
+LabelPropagationResult cluster_label_propagation(const graph::Graph& g,
+                                                 const LabelPropagationConfig& config) {
+  const std::size_t n = g.vertex_count();
+  LabelPropagationResult result;
+  result.labels.resize(n);
+  std::iota(result.labels.begin(), result.labels.end(), 0u);
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  Rng rng(config.seed);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+
+  std::unordered_map<std::uint32_t, double> tally;
+  std::vector<std::uint32_t> ties;
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    rng.shuffle(order);
+    bool changed = false;
+    for (const std::size_t u : order) {
+      const auto nbrs = g.neighbors(u);
+      if (nbrs.empty()) continue;
+      const auto wts = g.arc_weights(static_cast<graph::VertexId>(u));
+      tally.clear();
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        tally[result.labels[nbrs[i]]] += wts.empty() ? 1.0 : wts[i];
+      }
+      double best = -1.0;
+      ties.clear();
+      for (const auto& [label, weight] : tally) {
+        if (weight > best + 1e-12) {
+          best = weight;
+          ties.assign(1, label);
+        } else if (weight > best - 1e-12) {
+          ties.push_back(label);
+        }
+      }
+      const std::uint32_t pick = ties[rng.next_below(ties.size())];
+      if (pick != result.labels[u]) {
+        result.labels[u] = pick;
+        changed = true;
+      }
+    }
+    result.iterations = iter + 1;
+    if (!changed) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.community_count = compact_labels(result.labels);
+  return result;
+}
+
+}  // namespace v2v::community

@@ -1,0 +1,28 @@
+// Asynchronous label propagation (Raghavan et al. 2007). A fast, simple
+// extension baseline: every vertex repeatedly adopts the most frequent
+// label among its neighbors until a fixed point (or the iteration cap).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "v2v/graph/graph.hpp"
+
+namespace v2v::community {
+
+struct LabelPropagationConfig {
+  std::size_t max_iterations = 100;
+  std::uint64_t seed = 1;  ///< update order shuffle + tie breaking
+};
+
+struct LabelPropagationResult {
+  std::vector<std::uint32_t> labels;
+  std::size_t community_count = 0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+[[nodiscard]] LabelPropagationResult cluster_label_propagation(
+    const graph::Graph& g, const LabelPropagationConfig& config = {});
+
+}  // namespace v2v::community

@@ -1,0 +1,168 @@
+#include "v2v/community/louvain.hpp"
+
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "v2v/common/rng.hpp"
+#include "v2v/community/modularity.hpp"
+
+namespace v2v::community {
+namespace {
+
+/// Weighted adjacency in plain vectors; rebuilt at each coarsening level.
+struct LevelGraph {
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> adjacency;
+  std::vector<double> self_loop;  // intra weight kept on coarse vertices
+  double total_weight = 0.0;      // sum of edge weights (m)
+
+  [[nodiscard]] std::size_t size() const { return adjacency.size(); }
+};
+
+LevelGraph from_graph(const graph::Graph& g) {
+  LevelGraph lg;
+  lg.adjacency.resize(g.vertex_count());
+  lg.self_loop.assign(g.vertex_count(), 0.0);
+  for (graph::VertexId u = 0; u < g.vertex_count(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto wts = g.arc_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const double w = wts.empty() ? 1.0 : wts[i];
+      if (nbrs[i] == u) {
+        lg.self_loop[u] += w;  // each self arc appears once per CSR entry
+      } else {
+        lg.adjacency[u].emplace_back(nbrs[i], w);
+      }
+    }
+  }
+  lg.total_weight = g.total_edge_weight();
+  return lg;
+}
+
+struct LevelOutcome {
+  std::vector<std::uint32_t> assignment;  // community per (coarse) vertex
+  double gain = 0.0;
+};
+
+LevelOutcome one_level(const LevelGraph& lg, const LouvainConfig& config, Rng& rng) {
+  const std::size_t n = lg.size();
+  const double two_m = 2.0 * lg.total_weight;
+  LevelOutcome out;
+  out.assignment.resize(n);
+  std::iota(out.assignment.begin(), out.assignment.end(), 0u);
+  if (two_m <= 0.0) return out;
+
+  std::vector<double> degree(n, 0.0);       // weighted degree per vertex
+  std::vector<double> community_total(n);   // sum of degrees per community
+  for (std::size_t u = 0; u < n; ++u) {
+    degree[u] = 2.0 * lg.self_loop[u];
+    for (const auto& [v, w] : lg.adjacency[u]) degree[u] += w;
+    community_total[u] = degree[u];
+  }
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  rng.shuffle(order);
+
+  std::unordered_map<std::uint32_t, double> weight_to;  // community -> w(u, c)
+  for (std::size_t pass = 0; pass < config.max_passes; ++pass) {
+    double pass_gain = 0.0;
+    for (const std::size_t u : order) {
+      const std::uint32_t current = out.assignment[u];
+      weight_to.clear();
+      weight_to[current] += 0.0;
+      for (const auto& [v, w] : lg.adjacency[u]) {
+        weight_to[out.assignment[v]] += w;
+      }
+
+      community_total[current] -= degree[u];
+      const double base = weight_to[current];
+
+      // Net modularity change of moving u from `current` (u already
+      // removed from its total) into community c:
+      //   dQ = (w_uc - w_u,current) / m - deg_u (tot_c - tot_current) / 2m^2
+      std::uint32_t best = current;
+      double best_gain = 0.0;
+      for (const auto& [c, w_uc] : weight_to) {
+        const double net =
+            (w_uc - base) / lg.total_weight -
+            degree[u] * (community_total[c] - community_total[current]) /
+                (two_m * lg.total_weight);
+        if (net > best_gain + 1e-15) {
+          best_gain = net;
+          best = c;
+        }
+      }
+
+      community_total[best] += degree[u];
+      if (best != current) {
+        out.assignment[u] = best;
+        pass_gain += best_gain;
+      }
+    }
+    out.gain += pass_gain;
+    if (pass_gain < config.min_gain) break;
+  }
+  return out;
+}
+
+LevelGraph coarsen(const LevelGraph& lg, const std::vector<std::uint32_t>& assignment,
+                   std::size_t community_count) {
+  LevelGraph coarse;
+  coarse.adjacency.resize(community_count);
+  coarse.self_loop.assign(community_count, 0.0);
+  coarse.total_weight = lg.total_weight;
+
+  std::vector<std::unordered_map<std::uint32_t, double>> agg(community_count);
+  for (std::size_t u = 0; u < lg.size(); ++u) {
+    const std::uint32_t cu = assignment[u];
+    coarse.self_loop[cu] += lg.self_loop[u];
+    for (const auto& [v, w] : lg.adjacency[u]) {
+      const std::uint32_t cv = assignment[v];
+      if (cu == cv) {
+        coarse.self_loop[cu] += w / 2.0;  // each intra edge appears twice
+      } else {
+        agg[cu][cv] += w;
+      }
+    }
+  }
+  for (std::size_t c = 0; c < community_count; ++c) {
+    coarse.adjacency[c].assign(agg[c].begin(), agg[c].end());
+  }
+  return coarse;
+}
+
+}  // namespace
+
+LouvainResult cluster_louvain(const graph::Graph& g, const LouvainConfig& config) {
+  if (g.directed()) throw std::invalid_argument("louvain: undirected graph required");
+  const std::size_t n = g.vertex_count();
+  LouvainResult result;
+  result.labels.resize(n);
+  std::iota(result.labels.begin(), result.labels.end(), 0u);
+  if (n == 0) {
+    return result;
+  }
+
+  Rng rng(config.seed);
+  LevelGraph lg = from_graph(g);
+
+  for (std::size_t level = 0; level < config.max_levels; ++level) {
+    LevelOutcome outcome = one_level(lg, config, rng);
+    std::vector<std::uint32_t> assignment = outcome.assignment;
+    const std::size_t communities = compact_labels(assignment);
+    ++result.levels;
+
+    // Map original vertices through this level's assignment.
+    for (auto& label : result.labels) label = assignment[label];
+
+    if (communities == lg.size() || outcome.gain < config.min_gain) break;
+    lg = coarsen(lg, assignment, communities);
+  }
+
+  result.community_count = compact_labels(result.labels);
+  result.modularity = modularity(g, result.labels);
+  return result;
+}
+
+}  // namespace v2v::community

@@ -1,0 +1,31 @@
+// Louvain modularity optimization (Blondel et al. 2008). Not in the
+// paper's Table I, but included as the scalable graph-based reference the
+// paper's §VII ("experiments on larger scale networks") points toward; the
+// ablation bench uses it to extend the runtime comparison beyond CNM/GN.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "v2v/graph/graph.hpp"
+
+namespace v2v::community {
+
+struct LouvainConfig {
+  std::size_t max_passes = 20;       ///< local-move sweeps per level
+  std::size_t max_levels = 32;       ///< coarsening levels
+  double min_gain = 1e-9;            ///< stop a level when total gain is below
+  std::uint64_t seed = 1;            ///< vertex visiting order shuffle
+};
+
+struct LouvainResult {
+  std::vector<std::uint32_t> labels;
+  std::size_t community_count = 0;
+  double modularity = 0.0;
+  std::size_t levels = 0;
+};
+
+[[nodiscard]] LouvainResult cluster_louvain(const graph::Graph& g,
+                                            const LouvainConfig& config = {});
+
+}  // namespace v2v::community

@@ -1,0 +1,51 @@
+#include "v2v/community/modularity.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace v2v::community {
+
+double modularity(const graph::Graph& g, std::span<const std::uint32_t> labels) {
+  if (g.directed()) {
+    throw std::invalid_argument("modularity: undirected graph required");
+  }
+  if (labels.size() != g.vertex_count()) {
+    throw std::invalid_argument("modularity: label vector size mismatch");
+  }
+  const double two_m = 2.0 * g.total_edge_weight();
+  if (two_m <= 0.0) return 0.0;
+
+  // intra[c]  = total weight of arcs inside community c (2x edge weight)
+  // degree[c] = total weighted degree of community c
+  std::unordered_map<std::uint32_t, double> intra, degree;
+  for (graph::VertexId u = 0; u < g.vertex_count(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto wts = g.arc_weights(u);
+    double du = 0.0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const double w = wts.empty() ? 1.0 : wts[i];
+      du += w;
+      if (labels[u] == labels[nbrs[i]]) intra[labels[u]] += w;
+    }
+    degree[labels[u]] += du;
+  }
+  double q = 0.0;
+  for (const auto& [c, deg] : degree) {
+    const double in = intra.count(c) ? intra.at(c) : 0.0;
+    q += in / two_m - (deg / two_m) * (deg / two_m);
+  }
+  return q;
+}
+
+std::size_t compact_labels(std::span<std::uint32_t> labels) {
+  std::unordered_map<std::uint32_t, std::uint32_t> remap;
+  for (auto& label : labels) {
+    const auto [it, inserted] =
+        remap.emplace(label, static_cast<std::uint32_t>(remap.size()));
+    label = it->second;
+  }
+  return remap.size();
+}
+
+}  // namespace v2v::community

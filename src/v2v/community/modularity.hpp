@@ -1,0 +1,24 @@
+// Newman modularity Q of a vertex partition, for undirected (optionally
+// weighted) graphs:
+//   Q = (1/2m) * sum_{u,v} [A_uv - d_u d_v / 2m] * delta(c_u, c_v)
+// Self-loops are handled per the standard convention (they contribute
+// their full weight to A_vv and twice to the degree).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "v2v/graph/graph.hpp"
+
+namespace v2v::community {
+
+/// Computes Q for the given labels. Requires an undirected graph; throws
+/// std::invalid_argument otherwise. Returns 0 for an edgeless graph.
+[[nodiscard]] double modularity(const graph::Graph& g,
+                                std::span<const std::uint32_t> labels);
+
+/// Relabels cluster ids to a dense range [0, k) preserving order of first
+/// appearance; returns the number of distinct labels.
+std::size_t compact_labels(std::span<std::uint32_t> labels);
+
+}  // namespace v2v::community

@@ -1,0 +1,93 @@
+#include "v2v/core/analysis.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "v2v/common/rng.hpp"
+#include "v2v/ml/silhouette.hpp"
+
+namespace v2v {
+
+CosineMarginReport cosine_margin(const embed::Embedding& embedding,
+                                 std::span<const std::uint32_t> labels,
+                                 std::size_t sample_pairs, std::uint64_t seed) {
+  const std::size_t n = embedding.vertex_count();
+  if (labels.size() != n) {
+    throw std::invalid_argument("cosine_margin: labels size mismatch");
+  }
+  if (n < 2) return {};
+
+  double same = 0.0, cross = 0.0;
+  std::size_t same_n = 0, cross_n = 0;
+  auto account = [&](std::size_t a, std::size_t b) {
+    const double sim = embedding.cosine_similarity(a, b);
+    if (labels[a] == labels[b]) {
+      same += sim;
+      ++same_n;
+    } else {
+      cross += sim;
+      ++cross_n;
+    }
+  };
+
+  const std::size_t total_pairs = n * (n - 1) / 2;
+  if (sample_pairs == 0 || sample_pairs >= total_pairs) {
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = a + 1; b < n; ++b) account(a, b);
+    }
+  } else {
+    Rng rng(seed);
+    std::size_t drawn = 0;
+    while (drawn < sample_pairs) {
+      const std::size_t a = rng.next_below(n);
+      const std::size_t b = rng.next_below(n);
+      if (a == b) continue;
+      account(a, b);
+      ++drawn;
+    }
+  }
+
+  CosineMarginReport report;
+  if (same_n > 0) report.mean_same_label = same / static_cast<double>(same_n);
+  if (cross_n > 0) report.mean_cross_label = cross / static_cast<double>(cross_n);
+  return report;
+}
+
+double neighborhood_purity(const embed::Embedding& embedding,
+                           std::span<const std::uint32_t> labels, std::size_t k) {
+  const std::size_t n = embedding.vertex_count();
+  if (labels.size() != n) {
+    throw std::invalid_argument("neighborhood_purity: labels size mismatch");
+  }
+  if (n < 2 || k == 0) return 0.0;
+  double purity_sum = 0.0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto neighbors = embedding.nearest(v, k);
+    if (neighbors.empty()) continue;
+    std::size_t matching = 0;
+    for (const auto u : neighbors) matching += labels[u] == labels[v] ? 1 : 0;
+    purity_sum += static_cast<double>(matching) / static_cast<double>(neighbors.size());
+  }
+  return purity_sum / static_cast<double>(n);
+}
+
+EmbeddingQualityReport evaluate_embedding_quality(
+    const embed::Embedding& embedding, std::span<const std::uint32_t> labels,
+    std::size_t neighbors, std::size_t sample_pairs, std::uint64_t seed) {
+  EmbeddingQualityReport report;
+  report.cosine = cosine_margin(embedding, labels, sample_pairs, seed);
+  report.neighborhood_purity = neighborhood_purity(embedding, labels, neighbors);
+  report.silhouette = ml::silhouette_score(embedding.matrix(), labels);
+  return report;
+}
+
+std::string describe(const EmbeddingQualityReport& report) {
+  std::ostringstream os;
+  os << "cosine similarity: " << report.cosine.mean_same_label
+     << " within labels vs " << report.cosine.mean_cross_label
+     << " across (margin " << report.cosine.margin() << "); neighborhood purity "
+     << report.neighborhood_purity << "; label silhouette " << report.silhouette;
+  return os.str();
+}
+
+}  // namespace v2v

@@ -1,0 +1,51 @@
+// Embedding quality diagnostics, ground-truth-aware and unsupervised.
+// These are the measurements the paper's figures are built from, exposed
+// as API so downstream users can evaluate their own embeddings.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "v2v/embed/embedding.hpp"
+
+namespace v2v {
+
+struct CosineMarginReport {
+  double mean_same_label = 0.0;   ///< mean cosine similarity within a label
+  double mean_cross_label = 0.0;  ///< mean cosine similarity across labels
+  /// mean_same_label - mean_cross_label; > 0 means labels are separable.
+  [[nodiscard]] double margin() const { return mean_same_label - mean_cross_label; }
+};
+
+/// Cosine-similarity margin between same-label and cross-label vertex
+/// pairs. Exact when the pair count is small; otherwise estimated from
+/// `sample_pairs` random pairs (0 = always exact).
+[[nodiscard]] CosineMarginReport cosine_margin(
+    const embed::Embedding& embedding, std::span<const std::uint32_t> labels,
+    std::size_t sample_pairs = 0, std::uint64_t seed = 1);
+
+/// Fraction of each vertex's k nearest neighbors that share its label,
+/// averaged over all vertices ("neighborhood purity"). 1.0 means every
+/// local neighborhood is label-pure.
+[[nodiscard]] double neighborhood_purity(const embed::Embedding& embedding,
+                                         std::span<const std::uint32_t> labels,
+                                         std::size_t k = 5);
+
+struct EmbeddingQualityReport {
+  CosineMarginReport cosine;
+  double neighborhood_purity = 0.0;
+  double silhouette = 0.0;  ///< silhouette of the ground-truth partition
+};
+
+/// One-call diagnostic bundle; `sample_pairs` bounds the cosine-margin
+/// cost on large embeddings.
+[[nodiscard]] EmbeddingQualityReport evaluate_embedding_quality(
+    const embed::Embedding& embedding, std::span<const std::uint32_t> labels,
+    std::size_t neighbors = 5, std::size_t sample_pairs = 20000,
+    std::uint64_t seed = 1);
+
+/// Human-readable one-paragraph rendering of the report.
+[[nodiscard]] std::string describe(const EmbeddingQualityReport& report);
+
+}  // namespace v2v

@@ -1,0 +1,19 @@
+// Text (de)serialization of V2VConfig as "key = value" lines, so every
+// experiment can be re-run from a saved config file. Unknown keys are an
+// error (catches typos); missing keys keep their defaults.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "v2v/core/v2v.hpp"
+
+namespace v2v {
+
+void save_config(const V2VConfig& config, std::ostream& out);
+void save_config_file(const V2VConfig& config, const std::string& path);
+
+[[nodiscard]] V2VConfig load_config(std::istream& in);
+[[nodiscard]] V2VConfig load_config_file(const std::string& path);
+
+}  // namespace v2v

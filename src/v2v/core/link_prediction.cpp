@@ -1,0 +1,92 @@
+#include "v2v/core/link_prediction.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "v2v/graph/perturb.hpp"
+
+namespace v2v {
+
+double roc_auc(std::span<const double> positive_scores,
+               std::span<const double> negative_scores) {
+  if (positive_scores.empty() || negative_scores.empty()) {
+    throw std::invalid_argument("roc_auc: need both positives and negatives");
+  }
+  // Rank-sum (Mann-Whitney U) formulation with midranks for ties.
+  struct Entry {
+    double score;
+    bool positive;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(positive_scores.size() + negative_scores.size());
+  for (const double s : positive_scores) entries.push_back({s, true});
+  for (const double s : negative_scores) entries.push_back({s, false});
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.score < b.score; });
+
+  double rank_sum = 0.0;
+  std::size_t i = 0;
+  while (i < entries.size()) {
+    std::size_t j = i;
+    while (j < entries.size() && entries[j].score == entries[i].score) ++j;
+    const double midrank = (static_cast<double>(i) + static_cast<double>(j - 1)) / 2.0 + 1.0;
+    for (std::size_t k = i; k < j; ++k) {
+      if (entries[k].positive) rank_sum += midrank;
+    }
+    i = j;
+  }
+  const auto p = static_cast<double>(positive_scores.size());
+  const auto n = static_cast<double>(negative_scores.size());
+  const double u = rank_sum - p * (p + 1.0) / 2.0;
+  return u / (p * n);
+}
+
+std::vector<double> score_edges_cosine(
+    const embed::Embedding& embedding,
+    std::span<const std::pair<graph::VertexId, graph::VertexId>> pairs) {
+  std::vector<double> scores;
+  scores.reserve(pairs.size());
+  for (const auto& [u, v] : pairs) {
+    scores.push_back(embedding.cosine_similarity(u, v));
+  }
+  return scores;
+}
+
+std::vector<double> score_edges_common_neighbors(
+    const graph::Graph& g,
+    std::span<const std::pair<graph::VertexId, graph::VertexId>> pairs) {
+  std::vector<double> scores;
+  scores.reserve(pairs.size());
+  std::unordered_set<graph::VertexId> mark;
+  for (const auto& [u, v] : pairs) {
+    mark.clear();
+    for (const auto x : g.neighbors(u)) mark.insert(x);
+    std::size_t common = 0;
+    for (const auto x : g.neighbors(v)) common += mark.count(x);
+    scores.push_back(static_cast<double>(common));
+  }
+  return scores;
+}
+
+LinkPredictionResult evaluate_link_prediction(const graph::Graph& g,
+                                              const V2VConfig& config,
+                                              double test_fraction,
+                                              std::uint64_t seed) {
+  Rng rng(seed);
+  const auto split = graph::split_edges_for_link_prediction(g, test_fraction, rng);
+  const auto model = learn_embedding(split.train, config);
+
+  LinkPredictionResult result;
+  result.test_edges = split.test_positive.size();
+  const auto pos_cos = score_edges_cosine(model.embedding, split.test_positive);
+  const auto neg_cos = score_edges_cosine(model.embedding, split.test_negative);
+  result.v2v_auc = roc_auc(pos_cos, neg_cos);
+
+  const auto pos_cn = score_edges_common_neighbors(split.train, split.test_positive);
+  const auto neg_cn = score_edges_common_neighbors(split.train, split.test_negative);
+  result.common_neighbors_auc = roc_auc(pos_cn, neg_cn);
+  return result;
+}
+
+}  // namespace v2v

@@ -1,0 +1,46 @@
+// Link prediction on V2V embeddings (paper conclusion: the embedding is
+// "useful ... in predicting relationships between pairs of vertices").
+// Scores a candidate edge (u, v) by the cosine similarity of the two
+// vertex vectors, evaluated with ROC-AUC on a held-out edge split; a
+// common-neighbors heuristic is included as the graph-based baseline.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "v2v/core/v2v.hpp"
+#include "v2v/embed/embedding.hpp"
+#include "v2v/graph/graph.hpp"
+
+namespace v2v {
+
+/// ROC-AUC of score-ranked positives vs negatives: the probability that a
+/// random positive outscores a random negative (ties count 1/2). Exact
+/// O((p+n) log(p+n)) computation.
+[[nodiscard]] double roc_auc(std::span<const double> positive_scores,
+                             std::span<const double> negative_scores);
+
+/// Cosine-similarity edge scores from an embedding.
+[[nodiscard]] std::vector<double> score_edges_cosine(
+    const embed::Embedding& embedding,
+    std::span<const std::pair<graph::VertexId, graph::VertexId>> pairs);
+
+/// Common-neighbors counts on a graph (the classic structural baseline).
+[[nodiscard]] std::vector<double> score_edges_common_neighbors(
+    const graph::Graph& g,
+    std::span<const std::pair<graph::VertexId, graph::VertexId>> pairs);
+
+struct LinkPredictionResult {
+  double v2v_auc = 0.0;               ///< cosine-over-embedding AUC
+  double common_neighbors_auc = 0.0;  ///< structural baseline AUC
+  std::size_t test_edges = 0;
+};
+
+/// End-to-end evaluation: splits edges, embeds the training graph with
+/// `config`, and reports AUC for both scorers.
+[[nodiscard]] LinkPredictionResult evaluate_link_prediction(const graph::Graph& g,
+                                                            const V2VConfig& config,
+                                                            double test_fraction,
+                                                            std::uint64_t seed);
+
+}  // namespace v2v

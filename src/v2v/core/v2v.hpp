@@ -1,0 +1,105 @@
+// Public entry point of the library: the V2V pipeline of the paper.
+//
+//   graph  --(constrained random walks)-->  corpus
+//   corpus --(CBOW / SkipGram SGD)------->  Embedding
+//   Embedding --> { community detection, label prediction, visualization }
+//
+// Example:
+//   v2v::V2VConfig config;
+//   config.walk.walks_per_vertex = 10;
+//   config.train.dimensions = 50;
+//   auto model = v2v::learn_embedding(graph, config);
+//   auto communities = v2v::detect_communities(model.embedding, 10);
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "v2v/embed/embedding.hpp"
+#include "v2v/embed/trainer.hpp"
+#include "v2v/graph/graph.hpp"
+#include "v2v/ml/kmeans.hpp"
+#include "v2v/ml/knn.hpp"
+#include "v2v/ml/metrics.hpp"
+#include "v2v/viz/forceatlas2.hpp"
+#include "v2v/walk/walker.hpp"
+
+namespace v2v {
+
+struct V2VConfig {
+  walk::WalkConfig walk;
+  embed::TrainConfig train;
+  /// Master seed; when nonzero it derives the walk and train seeds so one
+  /// knob controls full reproducibility.
+  std::uint64_t seed = 42;
+  /// When true, walks are generated on the fly during SGD instead of
+  /// materializing the corpus (embed::train_embedding_streaming). Use for
+  /// paper-scale walk budgets (t = l = 1000) whose corpus would not fit
+  /// in memory. Fresh walks are drawn each epoch.
+  bool streaming = false;
+};
+
+struct V2VModel {
+  embed::Embedding embedding;
+  embed::TrainStats train_stats;
+  double walk_seconds = 0.0;
+  double train_seconds = 0.0;
+  std::size_t corpus_walks = 0;
+  std::size_t corpus_tokens = 0;
+
+  /// Total learning time, the paper's "training time" column.
+  [[nodiscard]] double learn_seconds() const noexcept {
+    return walk_seconds + train_seconds;
+  }
+};
+
+/// Runs walks + training; the returned embedding covers every vertex.
+[[nodiscard]] V2VModel learn_embedding(const graph::Graph& g, const V2VConfig& config);
+
+// ---------------------------------------------------------------------------
+// Applications (paper §III–§V)
+// ---------------------------------------------------------------------------
+
+struct CommunityDetectionResult {
+  std::vector<std::uint32_t> labels;
+  double cluster_seconds = 0.0;  ///< the "Running time" column of Table I
+  double sse = 0.0;
+};
+
+/// Paper §III: k-means over the embedding space. `kmeans_config.k` is
+/// overwritten by `k`.
+[[nodiscard]] CommunityDetectionResult detect_communities(
+    const embed::Embedding& embedding, std::size_t k,
+    ml::KMeansConfig kmeans_config = {});
+
+/// Like detect_communities but chooses k automatically by the silhouette
+/// curve over [k_min, k_max] (paper §VII asks for principled parameter
+/// selection). The chosen k is reported in the result.
+struct AutoCommunityResult {
+  CommunityDetectionResult detection;
+  std::size_t chosen_k = 0;
+  std::vector<std::pair<std::size_t, double>> silhouette_curve;
+};
+[[nodiscard]] AutoCommunityResult detect_communities_auto(
+    const embed::Embedding& embedding, std::size_t k_min = 2, std::size_t k_max = 20,
+    ml::KMeansConfig kmeans_config = {});
+
+struct LabelPredictionResult {
+  double accuracy = 0.0;       ///< mean over folds and repeats
+  double stddev = 0.0;         ///< across repeats
+  std::size_t predictions = 0;
+};
+
+/// Paper §V: k-NN label prediction evaluated with `folds`-fold cross
+/// validation repeated `repeats` times (paper: 10-fold, 10 repeats).
+[[nodiscard]] LabelPredictionResult evaluate_label_prediction(
+    const embed::Embedding& embedding, const std::vector<std::uint32_t>& labels,
+    std::size_t neighbors, std::size_t folds = 10, std::size_t repeats = 10,
+    ml::DistanceMetric metric = ml::DistanceMetric::kCosine, std::uint64_t seed = 1);
+
+/// Paper §IV: PCA projection of the embedding to `components` dimensions,
+/// returned as 2-D points when components == 2 (use ml::Pca directly for
+/// higher-dimensional projections).
+[[nodiscard]] std::vector<viz::Point2> project_pca_2d(const embed::Embedding& embedding);
+
+}  // namespace v2v

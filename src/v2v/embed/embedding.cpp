@@ -1,0 +1,140 @@
+#include "v2v/embed/embedding.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "v2v/common/vec_math.hpp"
+
+namespace v2v::embed {
+
+double Embedding::cosine_similarity(std::size_t a, std::size_t b) const {
+  return 1.0 - cosine_distance(vector(a), vector(b));
+}
+
+std::vector<std::uint32_t> Embedding::nearest(std::size_t v, std::size_t k) const {
+  std::vector<std::pair<double, std::uint32_t>> scored;
+  scored.reserve(vertex_count() - 1);
+  for (std::size_t u = 0; u < vertex_count(); ++u) {
+    if (u == v) continue;
+    scored.emplace_back(cosine_similarity(v, u), static_cast<std::uint32_t>(u));
+  }
+  k = std::min(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(k),
+                    scored.end(), [](const auto& x, const auto& y) {
+                      return x.first > y.first ||
+                             (x.first == y.first && x.second < y.second);
+                    });
+  std::vector<std::uint32_t> out(k);
+  for (std::size_t i = 0; i < k; ++i) out[i] = scored[i].second;
+  return out;
+}
+
+std::vector<std::uint32_t> Embedding::analogy(std::size_t a, std::size_t b,
+                                              std::size_t c, std::size_t k) const {
+  std::vector<float> query(dimensions());
+  const auto va = vector(a);
+  const auto vb = vector(b);
+  const auto vc = vector(c);
+  for (std::size_t i = 0; i < dimensions(); ++i) {
+    query[i] = vb[i] - va[i] + vc[i];
+  }
+  std::vector<std::pair<double, std::uint32_t>> scored;
+  scored.reserve(vertex_count());
+  for (std::size_t u = 0; u < vertex_count(); ++u) {
+    if (u == a || u == b || u == c) continue;
+    scored.emplace_back(
+        1.0 - cosine_distance(std::span<const float>(query), vector(u)),
+        static_cast<std::uint32_t>(u));
+  }
+  k = std::min(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(k),
+                    scored.end(), [](const auto& x, const auto& y) {
+                      return x.first > y.first ||
+                             (x.first == y.first && x.second < y.second);
+                    });
+  std::vector<std::uint32_t> out(k);
+  for (std::size_t i = 0; i < k; ++i) out[i] = scored[i].second;
+  return out;
+}
+
+Embedding Embedding::normalized() const {
+  Embedding copy(*this);
+  for (std::size_t v = 0; v < copy.vertex_count(); ++v) {
+    normalize(copy.vector(v));
+  }
+  return copy;
+}
+
+void Embedding::save_text(std::ostream& out) const {
+  out << vertex_count() << ' ' << dimensions() << '\n';
+  for (std::size_t v = 0; v < vertex_count(); ++v) {
+    out << v;
+    for (const float x : vector(v)) out << ' ' << x;
+    out << '\n';
+  }
+}
+
+void Embedding::save_text_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Embedding: cannot open " + path);
+  save_text(out);
+}
+
+Embedding Embedding::load_text(std::istream& in) {
+  std::size_t n = 0, d = 0;
+  if (!(in >> n >> d)) throw std::runtime_error("Embedding: bad header");
+  Embedding out(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t id = 0;
+    if (!(in >> id) || id >= n) throw std::runtime_error("Embedding: bad row id");
+    for (std::size_t c = 0; c < d; ++c) {
+      if (!(in >> out.vectors_(id, c))) throw std::runtime_error("Embedding: truncated row");
+    }
+  }
+  return out;
+}
+
+Embedding Embedding::load_text_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("Embedding: cannot open " + path);
+  return load_text(in);
+}
+
+namespace {
+constexpr char kMagic[8] = {'V', '2', 'V', 'E', 'M', 'B', '0', '1'};
+}
+
+void Embedding::save_binary_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("Embedding: cannot open " + path);
+  out.write(kMagic, sizeof(kMagic));
+  const std::uint64_t n = vertex_count(), d = dimensions();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&d), sizeof(d));
+  out.write(reinterpret_cast<const char*>(vectors_.data()),
+            static_cast<std::streamsize>(n * d * sizeof(float)));
+}
+
+Embedding Embedding::load_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("Embedding: cannot open " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("Embedding: bad magic in " + path);
+  }
+  std::uint64_t n = 0, d = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(&d), sizeof(d));
+  if (!in) throw std::runtime_error("Embedding: truncated header in " + path);
+  Embedding out(n, d);
+  in.read(reinterpret_cast<char*>(out.vectors_.data()),
+          static_cast<std::streamsize>(n * d * sizeof(float)));
+  if (!in) throw std::runtime_error("Embedding: truncated data in " + path);
+  return out;
+}
+
+}  // namespace v2v::embed

@@ -1,0 +1,62 @@
+// The product of V2V training: one dense vector per vertex.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "v2v/common/matrix.hpp"
+
+namespace v2v::embed {
+
+class Embedding {
+ public:
+  Embedding() = default;
+  Embedding(std::size_t vertices, std::size_t dimensions)
+      : vectors_(vertices, dimensions) {}
+  explicit Embedding(MatrixF vectors) : vectors_(std::move(vectors)) {}
+
+  [[nodiscard]] std::size_t vertex_count() const noexcept { return vectors_.rows(); }
+  [[nodiscard]] std::size_t dimensions() const noexcept { return vectors_.cols(); }
+
+  [[nodiscard]] std::span<const float> vector(std::size_t v) const noexcept {
+    return vectors_.row(v);
+  }
+  [[nodiscard]] std::span<float> vector(std::size_t v) noexcept { return vectors_.row(v); }
+
+  [[nodiscard]] const MatrixF& matrix() const noexcept { return vectors_; }
+  [[nodiscard]] MatrixF& matrix() noexcept { return vectors_; }
+
+  /// Cosine similarity between two vertex vectors (0 for zero vectors).
+  [[nodiscard]] double cosine_similarity(std::size_t a, std::size_t b) const;
+
+  /// Indices of the `k` nearest vertices to `v` by cosine similarity,
+  /// excluding `v` itself, most similar first.
+  [[nodiscard]] std::vector<std::uint32_t> nearest(std::size_t v, std::size_t k) const;
+
+  /// word2vec-style analogy query "a is to b as c is to ?": the k vertices
+  /// whose vectors are closest (cosine) to vec(b) - vec(a) + vec(c),
+  /// excluding a, b and c themselves.
+  [[nodiscard]] std::vector<std::uint32_t> analogy(std::size_t a, std::size_t b,
+                                                   std::size_t c, std::size_t k) const;
+
+  /// Returns a copy with every row L2-normalized.
+  [[nodiscard]] Embedding normalized() const;
+
+  /// word2vec text format: header "n d", then one "id x1 ... xd" per row.
+  void save_text(std::ostream& out) const;
+  void save_text_file(const std::string& path) const;
+  [[nodiscard]] static Embedding load_text(std::istream& in);
+  [[nodiscard]] static Embedding load_text_file(const std::string& path);
+
+  /// Compact binary format (magic + dims + raw floats).
+  void save_binary_file(const std::string& path) const;
+  [[nodiscard]] static Embedding load_binary_file(const std::string& path);
+
+ private:
+  MatrixF vectors_;
+};
+
+}  // namespace v2v::embed

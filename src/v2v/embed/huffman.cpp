@@ -1,0 +1,83 @@
+#include "v2v/embed/huffman.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace v2v::embed {
+
+HuffmanTree::HuffmanTree(std::span<const std::uint64_t> frequencies) {
+  const std::size_t vocab = frequencies.size();
+  if (vocab == 0) throw std::invalid_argument("HuffmanTree: empty vocabulary");
+  codes_.resize(vocab);
+  if (vocab == 1) {
+    // Degenerate tree: a single leaf needs one decision node so training
+    // has something to update; give it the code "0" through node 0.
+    inner_count_ = 1;
+    codes_[0].points = {0};
+    codes_[0].code = {0};
+    return;
+  }
+  inner_count_ = vocab - 1;
+
+  // Sort symbols by descending frequency (ties by id for determinism).
+  std::vector<std::uint32_t> order(vocab);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const std::uint64_t fa = std::max<std::uint64_t>(frequencies[a], 1);
+    const std::uint64_t fb = std::max<std::uint64_t>(frequencies[b], 1);
+    return fa > fb || (fa == fb && a < b);
+  });
+
+  // count[] holds leaves (ascending when traversed from the back) followed
+  // by merged inner nodes; the classic two-pointer merge.
+  const std::size_t total = 2 * vocab - 1;
+  std::vector<std::uint64_t> count(total, 0);
+  std::vector<std::uint32_t> parent(total, 0);
+  std::vector<std::uint8_t> branch(total, 0);
+  for (std::size_t i = 0; i < vocab; ++i) {
+    count[i] = std::max<std::uint64_t>(frequencies[order[vocab - 1 - i]], 1);
+  }
+  // count[0..vocab) is ascending; inner nodes appended are ascending too.
+  std::size_t leaf = 0;        // next unmerged leaf
+  std::size_t inner = vocab;   // next unmerged inner node
+  for (std::size_t made = vocab; made < total; ++made) {
+    auto take_min = [&]() -> std::size_t {
+      if (leaf < vocab && (inner >= made || count[leaf] <= count[inner])) return leaf++;
+      return inner++;
+    };
+    const std::size_t a = take_min();
+    const std::size_t b = take_min();
+    count[made] = count[a] + count[b];
+    parent[a] = static_cast<std::uint32_t>(made);
+    parent[b] = static_cast<std::uint32_t>(made);
+    branch[b] = 1;
+  }
+
+  // Walk each leaf to the root collecting its code, then reverse.
+  for (std::size_t i = 0; i < vocab; ++i) {
+    const std::uint32_t symbol = order[vocab - 1 - i];
+    HuffmanCode& hc = codes_[symbol];
+    std::size_t node = i;
+    while (node != total - 1) {
+      hc.code.push_back(branch[node]);
+      node = parent[node];
+      hc.points.push_back(static_cast<std::uint32_t>(node - vocab));
+    }
+    std::reverse(hc.code.begin(), hc.code.end());
+    std::reverse(hc.points.begin(), hc.points.end());
+  }
+}
+
+double HuffmanTree::mean_code_length(std::span<const std::uint64_t> frequencies) const {
+  double weighted = 0.0;
+  double total = 0.0;
+  for (std::size_t s = 0; s < codes_.size(); ++s) {
+    const auto f = static_cast<double>(std::max<std::uint64_t>(frequencies[s], 1));
+    weighted += f * static_cast<double>(codes_[s].code.size());
+    total += f;
+  }
+  return total > 0 ? weighted / total : 0.0;
+}
+
+}  // namespace v2v::embed

@@ -1,0 +1,44 @@
+// Huffman coding over vertex frequencies, for hierarchical-softmax
+// training. Follows the classic word2vec construction: vocab sorted by
+// descending count, then a two-pointer merge builds the binary tree in
+// O(V) after sorting; each leaf gets its root-to-leaf code and the list of
+// inner-node indices on its path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace v2v::embed {
+
+struct HuffmanCode {
+  /// Inner-node ids (0-based, < vocab-1) from root toward the leaf.
+  std::vector<std::uint32_t> points;
+  /// Branch taken at each node: 0 = left, 1 = right. Same length as points.
+  std::vector<std::uint8_t> code;
+};
+
+class HuffmanTree {
+ public:
+  /// Builds codes for `frequencies.size()` symbols; zero frequencies are
+  /// treated as 1 so every symbol gets a code.
+  explicit HuffmanTree(std::span<const std::uint64_t> frequencies);
+
+  [[nodiscard]] std::size_t vocab_size() const noexcept { return codes_.size(); }
+
+  /// Number of inner nodes (= vocab - 1 for vocab >= 1).
+  [[nodiscard]] std::size_t inner_count() const noexcept { return inner_count_; }
+
+  [[nodiscard]] const HuffmanCode& code(std::size_t symbol) const noexcept {
+    return codes_[symbol];
+  }
+
+  /// Expected code length weighted by frequency (entropy-bound check).
+  [[nodiscard]] double mean_code_length(std::span<const std::uint64_t> frequencies) const;
+
+ private:
+  std::vector<HuffmanCode> codes_;
+  std::size_t inner_count_ = 0;
+};
+
+}  // namespace v2v::embed

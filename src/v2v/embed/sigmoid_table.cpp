@@ -1,0 +1,10 @@
+#include "v2v/embed/sigmoid_table.hpp"
+
+namespace v2v::embed {
+
+const SigmoidTable& sigmoid_table() {
+  static const SigmoidTable table;
+  return table;
+}
+
+}  // namespace v2v::embed

@@ -1,0 +1,39 @@
+// Precomputed logistic function, the classic word2vec trick: sigma(x) is
+// read from a 1024-entry table over [-6, 6] and clamped outside. The SGD
+// inner loop calls this once per (context, target) pair, so avoiding expf
+// is a measurable win.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+namespace v2v::embed {
+
+class SigmoidTable {
+ public:
+  SigmoidTable() noexcept {
+    for (std::size_t i = 0; i < kSize; ++i) {
+      const double x = (static_cast<double>(i) / kSize * 2.0 - 1.0) * kMaxExp;
+      values_[i] = static_cast<float>(1.0 / (1.0 + std::exp(-x)));
+    }
+  }
+
+  [[nodiscard]] float operator()(float x) const noexcept {
+    if (x >= kMaxExp) return 1.0f;
+    if (x <= -kMaxExp) return 0.0f;
+    const auto idx =
+        static_cast<std::size_t>((x + kMaxExp) * (kSize / (2.0f * kMaxExp)));
+    return values_[idx < kSize ? idx : kSize - 1];
+  }
+
+  static constexpr float kMaxExp = 6.0f;
+
+ private:
+  static constexpr std::size_t kSize = 1024;
+  std::array<float, kSize> values_{};
+};
+
+/// Shared immutable instance (construction is cheap but not free).
+[[nodiscard]] const SigmoidTable& sigmoid_table();
+
+}  // namespace v2v::embed

@@ -1,0 +1,374 @@
+#include "v2v/embed/trainer.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+
+#include "v2v/common/rng.hpp"
+#include "v2v/common/thread_pool.hpp"
+#include "v2v/common/timer.hpp"
+#include "v2v/embed/huffman.hpp"
+#include "v2v/embed/sigmoid_table.hpp"
+#include "v2v/walk/alias_table.hpp"
+
+namespace v2v::embed {
+namespace {
+
+constexpr double kLossEps = 1e-7;  // clamp for -log terms
+
+/// All shared state of one training run; worker threads hold a reference.
+struct TrainerState {
+  const TrainConfig& config;
+  MatrixF syn0;      // input vectors == the embedding
+  MatrixF syn1;      // output vectors (HS inner nodes or NS per-vertex)
+  walk::AliasTable noise;           // NS noise distribution ~ freq^0.75
+  HuffmanTree* huffman = nullptr;   // HS only
+  std::vector<double> keep_probability;  // subsampling; empty = keep all
+  std::atomic<std::uint64_t> tokens_processed{0};
+  std::uint64_t planned_tokens = 0;
+
+  explicit TrainerState(const TrainConfig& cfg) : config(cfg) {}
+};
+
+/// Per-thread accumulators, merged after each epoch.
+struct EpochShard {
+  double loss = 0.0;
+  std::uint64_t examples = 0;
+};
+
+float dotf(const float* a, const float* b, std::size_t d) {
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < d; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+/// One positive/negative pair update against output row `row`:
+/// grad = (label - sigma(f)) * lr; accumulates into `input_grad` and
+/// updates the output row in place. Returns the pair's loss contribution.
+double pair_update(const float* input, float* row, float* input_grad, std::size_t d,
+                   float label, float lr) {
+  const float f = dotf(input, row, d);
+  const float sig = sigmoid_table()(f);
+  const float g = (label - sig) * lr;
+  for (std::size_t i = 0; i < d; ++i) {
+    input_grad[i] += g * row[i];
+    row[i] += g * input[i];
+  }
+  const double p = label > 0.5f ? sig : 1.0f - sig;
+  return -std::log(std::max(static_cast<double>(p), kLossEps));
+}
+
+/// Trains the hidden->output layer for one target given the assembled
+/// input vector; fills input_grad with the back-propagated gradient.
+double train_target(TrainerState& state, const float* input, float* input_grad,
+                    std::uint32_t target, float lr, Rng& rng) {
+  const std::size_t d = state.config.dimensions;
+  std::fill(input_grad, input_grad + d, 0.0f);
+  double loss = 0.0;
+  if (state.config.objective == Objective::kNegativeSampling) {
+    loss += pair_update(input, state.syn1.row(target).data(), input_grad, d, 1.0f, lr);
+    for (std::size_t k = 0; k < state.config.negative; ++k) {
+      auto sample = static_cast<std::uint32_t>(state.noise.sample(rng));
+      if (sample == target) continue;  // word2vec skips collisions
+      loss += pair_update(input, state.syn1.row(sample).data(), input_grad, d, 0.0f, lr);
+    }
+  } else {
+    const HuffmanCode& code = state.huffman->code(target);
+    for (std::size_t b = 0; b < code.code.size(); ++b) {
+      // Huffman branch 0 is the "positive" direction, as in word2vec.
+      const float label = code.code[b] == 0 ? 1.0f : 0.0f;
+      loss += pair_update(input, state.syn1.row(code.points[b]).data(), input_grad, d,
+                          label, lr);
+    }
+  }
+  return loss;
+}
+
+float current_lr(const TrainerState& state) {
+  const auto done = static_cast<double>(
+      state.tokens_processed.load(std::memory_order_relaxed));
+  const double frac = std::min(1.0, done / static_cast<double>(state.planned_tokens));
+  const double lr = state.config.initial_lr * (1.0 - frac);
+  return static_cast<float>(
+      std::max(lr, state.config.initial_lr * state.config.min_lr_fraction));
+}
+
+/// Per-worker trainer: owns scratch buffers and the SGD inner loop for one
+/// sentence (walk). Shared by the corpus-backed and streaming drivers.
+class SentenceTrainer {
+ public:
+  SentenceTrainer(TrainerState& state, Rng rng)
+      : state_(state),
+        rng_(rng),
+        neu1_(state.config.dimensions),
+        grad_(state.config.dimensions),
+        lr_(current_lr(state)) {}
+
+  void train_sentence(std::span<const std::uint32_t> raw_walk) {
+    const std::size_t d = state_.config.dimensions;
+    const std::size_t window = state_.config.window;
+    const bool cbow = state_.config.architecture == Architecture::kCbow;
+
+    sentence_.clear();
+    for (const auto token : raw_walk) {
+      if (!state_.keep_probability.empty() &&
+          rng_.next_double() >= state_.keep_probability[token]) {
+        continue;
+      }
+      sentence_.push_back(token);
+    }
+
+    for (std::size_t pos = 0; pos < sentence_.size(); ++pos) {
+      const std::uint32_t target = sentence_[pos];
+      // word2vec's randomized effective window: uniform in [1, window].
+      const std::size_t reduced = rng_.next_below(window);
+      const std::size_t lo = pos > window - reduced ? pos - (window - reduced) : 0;
+      const std::size_t hi = std::min(sentence_.size(), pos + (window - reduced) + 1);
+
+      if (cbow) {
+        std::fill(neu1_.begin(), neu1_.end(), 0.0f);
+        std::size_t context_count = 0;
+        for (std::size_t c = lo; c < hi; ++c) {
+          if (c == pos) continue;
+          const auto row = state_.syn0.row(sentence_[c]);
+          for (std::size_t i = 0; i < d; ++i) neu1_[i] += row[i];
+          ++context_count;
+        }
+        if (context_count == 0) continue;
+        const float inv = 1.0f / static_cast<float>(context_count);
+        for (auto& x : neu1_) x *= inv;
+        shard_.loss += train_target(state_, neu1_.data(), grad_.data(), target, lr_, rng_);
+        ++shard_.examples;
+        for (std::size_t c = lo; c < hi; ++c) {
+          if (c == pos) continue;
+          auto row = state_.syn0.row(sentence_[c]);
+          for (std::size_t i = 0; i < d; ++i) row[i] += grad_[i];
+        }
+      } else {
+        for (std::size_t c = lo; c < hi; ++c) {
+          if (c == pos) continue;
+          auto row = state_.syn0.row(sentence_[c]);
+          shard_.loss += train_target(state_, row.data(), grad_.data(), target, lr_, rng_);
+          ++shard_.examples;
+          for (std::size_t i = 0; i < d; ++i) row[i] += grad_[i];
+        }
+      }
+    }
+
+    since_lr_update_ += raw_walk.size();
+    if (since_lr_update_ >= 10000) {
+      state_.tokens_processed.fetch_add(since_lr_update_, std::memory_order_relaxed);
+      since_lr_update_ = 0;
+      lr_ = current_lr(state_);
+    }
+  }
+
+  /// Flushes the residual token count and returns the accumulated stats.
+  [[nodiscard]] EpochShard finish() {
+    state_.tokens_processed.fetch_add(since_lr_update_, std::memory_order_relaxed);
+    since_lr_update_ = 0;
+    return shard_;
+  }
+
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+ private:
+  TrainerState& state_;
+  Rng rng_;
+  std::vector<float> neu1_, grad_;
+  std::vector<std::uint32_t> sentence_;
+  EpochShard shard_;
+  float lr_;
+  std::uint64_t since_lr_update_ = 0;
+};
+
+void validate_config(const TrainConfig& config) {
+  if (config.dimensions == 0) throw std::invalid_argument("train: dimensions == 0");
+  if (config.window == 0) throw std::invalid_argument("train: window == 0");
+  if (config.epochs == 0) throw std::invalid_argument("train: epochs == 0");
+}
+
+void initialize_vectors(TrainerState& state, std::size_t vocab_size) {
+  Rng init_rng(state.config.seed);
+  state.syn0 = MatrixF(vocab_size, state.config.dimensions);
+  for (std::size_t v = 0; v < vocab_size; ++v) {
+    auto row = state.syn0.row(v);
+    for (auto& x : row) {
+      x = (init_rng.next_float() - 0.5f) / static_cast<float>(state.config.dimensions);
+    }
+  }
+}
+
+/// Sets up the output layer and noise/Huffman structures from a frequency
+/// profile (corpus counts, or a degree proxy for streaming). Returns the
+/// HuffmanTree by value so its storage outlives the training loop.
+std::unique_ptr<HuffmanTree> initialize_objective(
+    TrainerState& state, std::span<const std::uint64_t> frequencies) {
+  std::unique_ptr<HuffmanTree> huffman;
+  if (state.config.objective == Objective::kHierarchicalSoftmax) {
+    huffman = std::make_unique<HuffmanTree>(frequencies);
+    state.huffman = huffman.get();
+    state.syn1 = MatrixF(huffman->inner_count(), state.config.dimensions);
+  } else {
+    state.syn1 = MatrixF(frequencies.size(), state.config.dimensions);
+    std::vector<double> noise_weights(frequencies.size());
+    for (std::size_t v = 0; v < frequencies.size(); ++v) {
+      noise_weights[v] =
+          std::pow(static_cast<double>(std::max<std::uint64_t>(frequencies[v], 1)), 0.75);
+    }
+    state.noise = walk::AliasTable(noise_weights);
+  }
+  return huffman;
+}
+
+void initialize_subsampling(TrainerState& state,
+                            std::span<const std::uint64_t> frequencies,
+                            std::uint64_t total_tokens) {
+  if (state.config.subsample <= 0.0 || total_tokens == 0) return;
+  state.keep_probability.assign(frequencies.size(), 1.0);
+  const auto total = static_cast<double>(total_tokens);
+  for (std::size_t v = 0; v < frequencies.size(); ++v) {
+    const double f = static_cast<double>(frequencies[v]) / total;
+    if (f > state.config.subsample) {
+      state.keep_probability[v] =
+          std::sqrt(state.config.subsample / f) + state.config.subsample / f;
+    }
+  }
+}
+
+/// Shared epoch loop: `run_epoch(epoch)` must execute one full pass and
+/// return the merged per-thread stats.
+TrainResult run_training(TrainerState& state,
+                         const std::function<EpochShard(std::size_t)>& run_epoch) {
+  WallTimer timer;
+  TrainResult result;
+  double prev_loss = 0.0;
+  const TrainConfig& config = state.config;
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const EpochShard totals = run_epoch(epoch);
+    result.stats.examples += totals.examples;
+    const double mean_loss =
+        totals.examples > 0 ? totals.loss / static_cast<double>(totals.examples) : 0.0;
+    result.stats.epoch_loss.push_back(mean_loss);
+    result.stats.epochs_run = epoch + 1;
+
+    if (config.convergence_tol > 0.0 && epoch + 1 >= config.min_epochs && epoch > 0) {
+      if (prev_loss - mean_loss < config.convergence_tol * prev_loss) {
+        result.stats.converged_early = true;
+        break;
+      }
+    }
+    prev_loss = mean_loss;
+  }
+
+  result.stats.train_seconds = timer.seconds();
+  result.embedding = Embedding(std::move(state.syn0));
+  return result;
+}
+
+}  // namespace
+
+TrainResult train_embedding(const walk::Corpus& corpus, std::size_t vocab_size,
+                            const TrainConfig& config) {
+  validate_config(config);
+  if (vocab_size == 0) throw std::invalid_argument("train: empty vocabulary");
+  for (const auto token : corpus.tokens()) {
+    if (token >= vocab_size) throw std::invalid_argument("train: token out of vocabulary");
+  }
+
+  TrainerState state(config);
+  state.planned_tokens =
+      std::max<std::uint64_t>(1, config.epochs * corpus.token_count());
+  initialize_vectors(state, vocab_size);
+  const auto frequencies = corpus.vertex_frequencies(vocab_size);
+  const auto huffman =
+      initialize_objective(state, std::span<const std::uint64_t>(frequencies));
+  initialize_subsampling(state, std::span<const std::uint64_t>(frequencies),
+                         corpus.token_count());
+
+  const std::size_t threads = std::max<std::size_t>(1, config.threads);
+  const Rng root(config.seed ^ 0xd1b54a32d192ed03ULL);
+
+  return run_training(state, [&](std::size_t epoch) {
+    std::vector<EpochShard> shards(threads);
+    parallel_for_once(threads, corpus.walk_count(),
+                      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+                        SentenceTrainer trainer(state,
+                                                root.fork(epoch * threads + chunk));
+                        for (std::size_t w = begin; w < end; ++w) {
+                          trainer.train_sentence(corpus.walk(w));
+                        }
+                        shards[chunk] = trainer.finish();
+                      });
+    EpochShard totals;
+    for (const auto& shard : shards) {
+      totals.loss += shard.loss;
+      totals.examples += shard.examples;
+    }
+    return totals;
+  });
+}
+
+TrainResult train_embedding_streaming(const graph::Graph& g,
+                                      const walk::WalkConfig& walk_config,
+                                      const TrainConfig& config) {
+  validate_config(config);
+  const std::size_t vocab_size = g.vertex_count();
+  if (vocab_size == 0) throw std::invalid_argument("train: empty graph");
+
+  TrainerState state(config);
+  state.planned_tokens = std::max<std::uint64_t>(
+      1, config.epochs * vocab_size * walk_config.walks_per_vertex *
+             walk_config.walk_length);
+  initialize_vectors(state, vocab_size);
+
+  // Visit-frequency proxy: weighted out-degree + 1 (exact stationary
+  // distribution for uniform walks on connected undirected graphs).
+  std::vector<std::uint64_t> frequencies(vocab_size);
+  std::uint64_t total_proxy = 0;
+  for (graph::VertexId v = 0; v < vocab_size; ++v) {
+    frequencies[v] = static_cast<std::uint64_t>(
+                         std::llround(g.weighted_out_degree(v) * 16.0)) + 1;
+    total_proxy += frequencies[v];
+  }
+  const auto huffman =
+      initialize_objective(state, std::span<const std::uint64_t>(frequencies));
+  initialize_subsampling(state, std::span<const std::uint64_t>(frequencies),
+                         total_proxy);
+
+  const walk::Walker walker(g, walk_config);
+  const std::size_t threads = std::max<std::size_t>(1, config.threads);
+  const Rng root(config.seed ^ 0xd1b54a32d192ed03ULL);
+  const Rng walk_root(config.seed ^ 0x94d049bb133111ebULL);
+
+  return run_training(state, [&](std::size_t epoch) {
+    std::vector<EpochShard> shards(threads);
+    parallel_for_once(
+        threads, vocab_size, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+          SentenceTrainer trainer(state, root.fork(epoch * threads + chunk));
+          std::vector<graph::VertexId> buffer;
+          buffer.reserve(walk_config.walk_length);
+          for (std::size_t v = begin; v < end; ++v) {
+            // Fresh walks every epoch, deterministic per (seed, epoch, v).
+            Rng walk_rng = walk_root.fork(epoch * vocab_size + v);
+            for (std::size_t w = 0; w < walk_config.walks_per_vertex; ++w) {
+              walker.walk_from(static_cast<graph::VertexId>(v), walk_rng, buffer);
+              trainer.train_sentence(buffer);
+            }
+          }
+          shards[chunk] = trainer.finish();
+        });
+    EpochShard totals;
+    for (const auto& shard : shards) {
+      totals.loss += shard.loss;
+      totals.examples += shard.examples;
+    }
+    return totals;
+  });
+}
+
+}  // namespace v2v::embed

@@ -1,0 +1,55 @@
+#include "v2v/embed/vocabulary.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace v2v::embed {
+
+Vocabulary::Vocabulary(const walk::Corpus& corpus, std::uint64_t min_count) {
+  // Count over the dense external range [0, max_token].
+  std::uint32_t max_token = 0;
+  for (const auto token : corpus.tokens()) max_token = std::max(max_token, token);
+  const std::size_t range = corpus.token_count() == 0 ? 0 : max_token + 1;
+  const auto counts = corpus.vertex_frequencies(range);
+
+  std::vector<std::uint32_t> kept;
+  for (std::uint32_t ext = 0; ext < range; ++ext) {
+    if (counts[ext] >= min_count && counts[ext] > 0) kept.push_back(ext);
+  }
+  std::sort(kept.begin(), kept.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return counts[a] > counts[b] || (counts[a] == counts[b] && a < b);
+  });
+
+  external_ = std::move(kept);
+  frequency_.reserve(external_.size());
+  internal_of_.assign(range, 0);
+  for (std::uint32_t internal = 0; internal < external_.size(); ++internal) {
+    const std::uint32_t ext = external_[internal];
+    frequency_.push_back(counts[ext]);
+    internal_of_[ext] = internal + 1;
+    total_tokens_ += counts[ext];
+  }
+}
+
+std::optional<std::uint32_t> Vocabulary::to_internal(std::uint32_t external) const {
+  if (external >= internal_of_.size() || internal_of_[external] == 0) {
+    return std::nullopt;
+  }
+  return internal_of_[external] - 1;
+}
+
+walk::Corpus Vocabulary::remap(const walk::Corpus& corpus) const {
+  walk::Corpus out;
+  out.reserve(corpus.walk_count(), corpus.token_count());
+  std::vector<graph::VertexId> buffer;
+  for (std::size_t w = 0; w < corpus.walk_count(); ++w) {
+    buffer.clear();
+    for (const auto token : corpus.walk(w)) {
+      if (const auto internal = to_internal(token)) buffer.push_back(*internal);
+    }
+    out.add_walk(buffer);
+  }
+  return out;
+}
+
+}  // namespace v2v::embed

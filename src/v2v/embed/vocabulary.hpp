@@ -1,0 +1,51 @@
+// Vocabulary over vertex ids: compacts a (possibly sparse) id space to a
+// dense training id range and applies word2vec-style min-count filtering.
+// On a plain graph every vertex is its own vocabulary entry and this layer
+// is the identity; it matters when embedding corpora whose token space is
+// sparse (e.g. walks imported from logs, the "computer network request
+// paths" motivating example of paper §II).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "v2v/walk/corpus.hpp"
+
+namespace v2v::embed {
+
+class Vocabulary {
+ public:
+  /// Builds from corpus token counts; tokens occurring fewer than
+  /// `min_count` times are dropped. Internal ids are assigned by
+  /// descending frequency (ties by external id) like word2vec.
+  Vocabulary(const walk::Corpus& corpus, std::uint64_t min_count = 1);
+
+  [[nodiscard]] std::size_t size() const noexcept { return external_.size(); }
+
+  /// Internal id for an external token, or nullopt if filtered/unknown.
+  [[nodiscard]] std::optional<std::uint32_t> to_internal(std::uint32_t external) const;
+
+  /// External token for an internal id.
+  [[nodiscard]] std::uint32_t to_external(std::uint32_t internal) const {
+    return external_[internal];
+  }
+
+  /// Occurrence count of an internal id in the source corpus.
+  [[nodiscard]] std::uint64_t frequency(std::uint32_t internal) const {
+    return frequency_[internal];
+  }
+
+  [[nodiscard]] std::uint64_t total_tokens() const noexcept { return total_tokens_; }
+
+  /// Rewrites a corpus into internal ids, dropping filtered tokens.
+  [[nodiscard]] walk::Corpus remap(const walk::Corpus& corpus) const;
+
+ private:
+  std::vector<std::uint32_t> external_;          // internal -> external
+  std::vector<std::uint64_t> frequency_;         // internal -> count
+  std::vector<std::uint32_t> internal_of_;       // external -> internal + 1 (0 = none)
+  std::uint64_t total_tokens_ = 0;
+};
+
+}  // namespace v2v::embed

@@ -1,0 +1,90 @@
+#include "v2v/graph/algorithms.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace v2v::graph {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, VertexId source) {
+  std::vector<std::uint32_t> dist(g.vertex_count(), kUnreachable);
+  if (source >= g.vertex_count()) return dist;
+  std::deque<VertexId> queue{source};
+  dist[source] = 0;
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    for (const VertexId v : g.neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+Components connected_components(const Graph& g) {
+  Components result;
+  result.label.assign(g.vertex_count(), kUnreachable);
+  std::deque<VertexId> queue;
+  for (VertexId s = 0; s < g.vertex_count(); ++s) {
+    if (result.label[s] != kUnreachable) continue;
+    const auto id = static_cast<std::uint32_t>(result.count++);
+    result.label[s] = id;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const VertexId u = queue.front();
+      queue.pop_front();
+      for (const VertexId v : g.neighbors(u)) {
+        if (result.label[v] == kUnreachable) {
+          result.label[v] = id;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.vertex_count() == 0) return true;
+  return connected_components(g).count == 1;
+}
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats stats;
+  if (g.vertex_count() == 0) return stats;
+  stats.min = g.out_degree(0);
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    const std::size_t d = g.out_degree(v);
+    stats.min = std::min(stats.min, d);
+    stats.max = std::max(stats.max, d);
+    stats.mean += static_cast<double>(d);
+  }
+  stats.mean /= static_cast<double>(g.vertex_count());
+  return stats;
+}
+
+Graph symmetrized(const Graph& g) {
+  GraphBuilder builder(/*directed=*/false);
+  builder.reserve_vertices(g.vertex_count());
+  // Deduplicate {u,v} pairs so a symmetric directed pair yields one edge.
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(g.arc_count());
+  for (VertexId u = 0; u < g.vertex_count(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto wts = g.arc_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId v = nbrs[i];
+      const VertexId lo = std::min(u, v);
+      const VertexId hi = std::max(u, v);
+      const std::uint64_t key = (static_cast<std::uint64_t>(lo) << 32) | hi;
+      if (!seen.insert(key).second) continue;
+      builder.add_edge(lo, hi, wts.empty() ? 1.0 : wts[i]);
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace v2v::graph

@@ -1,0 +1,42 @@
+// Basic graph algorithms used by generators, tests and the community
+// baselines: BFS, connected components, degree statistics.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "v2v/graph/graph.hpp"
+
+namespace v2v::graph {
+
+inline constexpr std::uint32_t kUnreachable = std::numeric_limits<std::uint32_t>::max();
+
+/// Hop distances from `source` (kUnreachable where not reachable).
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const Graph& g, VertexId source);
+
+/// Connected components via BFS over the *underlying undirected* structure
+/// for undirected graphs; for directed graphs this computes weakly
+/// connected components only if the graph stores both arc directions —
+/// callers with one-directional CSR should symmetrize first.
+/// Returns (component id per vertex, number of components).
+struct Components {
+  std::vector<std::uint32_t> label;
+  std::size_t count = 0;
+};
+[[nodiscard]] Components connected_components(const Graph& g);
+
+[[nodiscard]] bool is_connected(const Graph& g);
+
+struct DegreeStats {
+  std::size_t min = 0;
+  std::size_t max = 0;
+  double mean = 0.0;
+};
+[[nodiscard]] DegreeStats degree_stats(const Graph& g);
+
+/// Returns an undirected copy of g: every arc (u,v) becomes an undirected
+/// edge {u,v}; duplicates from symmetric directed pairs are collapsed.
+[[nodiscard]] Graph symmetrized(const Graph& g);
+
+}  // namespace v2v::graph

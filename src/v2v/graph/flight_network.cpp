@@ -1,0 +1,152 @@
+#include "v2v/graph/flight_network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace v2v::graph {
+namespace {
+
+constexpr double kDeg2Rad = std::numbers::pi / 180.0;
+
+struct ContinentSeed {
+  const char* name;
+  double lat, lon;
+  double spread;  // degrees
+};
+
+// Rough real-world anchor points; ten regions, matching Fig 8's legend.
+constexpr ContinentSeed kContinentSeeds[] = {
+    {"North America", 45.0, -100.0, 18.0}, {"Europe", 50.0, 15.0, 12.0},
+    {"Asia", 35.0, 105.0, 20.0},           {"Middle East", 27.0, 45.0, 8.0},
+    {"Central America", 15.0, -90.0, 6.0}, {"Oceania", -25.0, 140.0, 14.0},
+    {"South America", -15.0, -60.0, 14.0}, {"Africa", 5.0, 20.0, 16.0},
+    {"Balkans", 43.0, 21.0, 4.0},          {"Caribbean", 18.0, -73.0, 5.0},
+};
+
+}  // namespace
+
+double great_circle_distance(double lat1, double lon1, double lat2, double lon2) {
+  const double phi1 = lat1 * kDeg2Rad;
+  const double phi2 = lat2 * kDeg2Rad;
+  const double dphi = (lat2 - lat1) * kDeg2Rad;
+  const double dlam = (lon2 - lon1) * kDeg2Rad;
+  const double a = std::sin(dphi / 2) * std::sin(dphi / 2) +
+                   std::cos(phi1) * std::cos(phi2) * std::sin(dlam / 2) * std::sin(dlam / 2);
+  return 2.0 * std::atan2(std::sqrt(a), std::sqrt(1.0 - a));
+}
+
+FlightNetwork make_flight_network(const FlightNetworkParams& params, Rng& rng) {
+  if (params.continents == 0 ||
+      params.continents > std::size(kContinentSeeds)) {
+    throw std::invalid_argument("flight network: continents must be 1..10");
+  }
+  if (params.airports < params.continents * params.countries_per_continent) {
+    throw std::invalid_argument("flight network: too few airports for the country grid");
+  }
+
+  FlightNetwork net;
+  const std::size_t n = params.airports;
+  net.continent.resize(n);
+  net.country.resize(n);
+  net.latitude.resize(n);
+  net.longitude.resize(n);
+  net.size.resize(n);
+  for (std::size_t c = 0; c < params.continents; ++c) {
+    net.continent_names.emplace_back(kContinentSeeds[c].name);
+  }
+  net.country_count = params.continents * params.countries_per_continent;
+
+  // Country centers scattered inside their continent.
+  std::vector<double> country_lat(net.country_count), country_lon(net.country_count);
+  for (std::size_t c = 0; c < params.continents; ++c) {
+    const auto& seed = kContinentSeeds[c];
+    for (std::size_t k = 0; k < params.countries_per_continent; ++k) {
+      const std::size_t id = c * params.countries_per_continent + k;
+      country_lat[id] = seed.lat + rng.next_gaussian() * seed.spread * 0.5;
+      country_lon[id] = seed.lon + rng.next_gaussian() * seed.spread;
+    }
+  }
+
+  // Airports: round-robin over countries so every country is populated,
+  // scattered around the country center; size follows a Zipf law so a few
+  // hubs dominate, as in real airline networks.
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t country = v % net.country_count;
+    net.country[v] = static_cast<std::uint32_t>(country);
+    net.continent[v] = static_cast<std::uint32_t>(country / params.countries_per_continent);
+    net.latitude[v] = country_lat[country] + rng.next_gaussian() * 2.0;
+    net.longitude[v] = country_lon[country] + rng.next_gaussian() * 2.0;
+    const double rank = static_cast<double>(v / net.country_count + 1);
+    net.size[v] = 1.0 / std::pow(rank, params.hub_exponent);
+  }
+
+  GraphBuilder builder(/*directed=*/true);
+  builder.reserve_vertices(n);
+  std::unordered_set<std::uint64_t> used;
+  used.reserve(params.routes * 2);
+  auto add_route = [&](VertexId u, VertexId v) {
+    if (u == v) return false;
+    const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+    if (!used.insert(key).second) return false;
+    builder.add_edge(u, v);
+    return true;
+  };
+
+  // Long-haul backbone: routes between the biggest hubs (both directions),
+  // so that the network is globally connected through hubs.
+  const auto longhaul_target =
+      static_cast<std::size_t>(params.longhaul_fraction * static_cast<double>(params.routes));
+  const std::size_t hub_count = std::max<std::size_t>(2, net.country_count / 2);
+  std::size_t added = 0;
+  while (added < longhaul_target) {
+    const auto u = static_cast<VertexId>(rng.next_below(hub_count));
+    const auto v = static_cast<VertexId>(rng.next_below(hub_count));
+    if (add_route(u, v)) ++added;
+  }
+
+  // Domestic hub-and-spoke routes: both endpoints in one country, one of
+  // them biased toward the country's hubs (low rank = big airport). These
+  // give each country a dense internal cluster, mirroring real domestic
+  // networks, and make country labels recoverable from structure alone.
+  const auto domestic_target = longhaul_target +
+      static_cast<std::size_t>(params.domestic_fraction * static_cast<double>(params.routes));
+  const std::size_t ranks = (n + net.country_count - 1) / net.country_count;
+  auto sample_rank = [&](double exponent) {
+    // Rejection-sample rank r in [0, ranks) with weight 1/(r+1)^exponent.
+    for (;;) {
+      const std::size_t r = rng.next_below(ranks);
+      if (rng.next_double() < std::pow(static_cast<double>(r + 1), -exponent)) return r;
+    }
+  };
+  while (added < domestic_target) {
+    const std::size_t country = rng.next_below(net.country_count);
+    const std::size_t hub_rank = sample_rank(1.5);
+    const std::size_t spoke_rank = rng.next_below(ranks);
+    const std::size_t u = country + hub_rank * net.country_count;
+    const std::size_t v = country + spoke_rank * net.country_count;
+    if (u >= n || v >= n) continue;
+    if (add_route(static_cast<VertexId>(u), static_cast<VertexId>(v))) ++added;
+  }
+
+  // Gravity-model routes: candidate pair (u, v) accepted with probability
+  // proportional to size(u)*size(v)*exp(-decay * distance). Rejection
+  // sampling against that acceptance keeps generation O(routes) expected.
+  while (added < params.routes) {
+    const auto u = static_cast<VertexId>(rng.next_below(n));
+    const auto v = static_cast<VertexId>(rng.next_below(n));
+    if (u == v) continue;
+    const double dist = great_circle_distance(net.latitude[u], net.longitude[u],
+                                              net.latitude[v], net.longitude[v]);
+    const double accept =
+        net.size[u] * net.size[v] * std::exp(-params.distance_decay * dist);
+    if (rng.next_double() < accept && add_route(u, v)) ++added;
+  }
+
+  net.graph = builder.build();
+  return net;
+}
+
+}  // namespace v2v::graph

@@ -1,0 +1,250 @@
+#include "v2v/graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace v2v::graph {
+namespace {
+
+std::uint64_t pair_key(VertexId u, VertexId v) {
+  const VertexId lo = std::min(u, v);
+  const VertexId hi = std::max(u, v);
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+}  // namespace
+
+PlantedGraph make_planted_partition(const PlantedPartitionParams& params, Rng& rng) {
+  if (params.groups == 0 || params.group_size < 2) {
+    throw std::invalid_argument("planted partition: need >=1 group of >=2 vertices");
+  }
+  if (params.alpha <= 0.0 || params.alpha > 1.0) {
+    throw std::invalid_argument("planted partition: alpha must be in (0, 1]");
+  }
+  const std::size_t s = params.group_size;
+  const std::size_t n = params.groups * s;
+  const std::size_t pairs_per_group = s * (s - 1) / 2;
+  const auto intra_target = static_cast<std::size_t>(
+      std::llround(params.alpha * static_cast<double>(pairs_per_group)));
+
+  PlantedGraph out;
+  out.group_count = params.groups;
+  out.community.resize(n);
+
+  GraphBuilder builder(/*directed=*/false);
+  builder.reserve_vertices(n);
+
+  // Intra-group edges: enumerate all pairs of the group and keep a random
+  // subset of exactly `intra_target` (partial Fisher–Yates).
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  pairs.reserve(pairs_per_group);
+  for (std::size_t gi = 0; gi < params.groups; ++gi) {
+    const auto base = static_cast<VertexId>(gi * s);
+    for (std::size_t v = 0; v < s; ++v) out.community[base + v] = static_cast<std::uint32_t>(gi);
+
+    pairs.clear();
+    for (VertexId a = 0; a < s; ++a) {
+      for (VertexId b = a + 1; b < s; ++b) {
+        pairs.emplace_back(base + a, base + b);
+      }
+    }
+    for (std::size_t i = 0; i < intra_target; ++i) {
+      const std::size_t j = i + rng.next_below(pairs.size() - i);
+      std::swap(pairs[i], pairs[j]);
+      builder.add_edge(pairs[i].first, pairs[i].second);
+    }
+  }
+
+  // Inter-group edges: distinct pairs with endpoints in different groups.
+  std::unordered_set<std::uint64_t> used;
+  used.reserve(params.inter_edges * 2);
+  std::size_t added = 0;
+  while (added < params.inter_edges && params.groups > 1) {
+    const auto u = static_cast<VertexId>(rng.next_below(n));
+    const auto v = static_cast<VertexId>(rng.next_below(n));
+    if (u == v || out.community[u] == out.community[v]) continue;
+    if (!used.insert(pair_key(u, v)).second) continue;
+    builder.add_edge(u, v);
+    ++added;
+  }
+
+  out.graph = builder.build();
+  return out;
+}
+
+Graph make_erdos_renyi_gnm(std::size_t n, std::size_t m, Rng& rng, bool directed) {
+  const std::size_t max_edges = directed ? n * (n - 1) : n * (n - 1) / 2;
+  if (m > max_edges) throw std::invalid_argument("G(n,m): m exceeds possible edges");
+  GraphBuilder builder(directed);
+  builder.reserve_vertices(n);
+  std::unordered_set<std::uint64_t> used;
+  used.reserve(m * 2);
+  while (builder.edge_count() < m) {
+    const auto u = static_cast<VertexId>(rng.next_below(n));
+    const auto v = static_cast<VertexId>(rng.next_below(n));
+    if (u == v) continue;
+    const std::uint64_t key =
+        directed ? (static_cast<std::uint64_t>(u) << 32) | v : pair_key(u, v);
+    if (!used.insert(key).second) continue;
+    builder.add_edge(u, v);
+  }
+  return builder.build();
+}
+
+Graph make_erdos_renyi_gnp(std::size_t n, double p, Rng& rng) {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("G(n,p): p must be in [0,1]");
+  GraphBuilder builder(/*directed=*/false);
+  builder.reserve_vertices(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (rng.next_bool(p)) builder.add_edge(u, v);
+    }
+  }
+  return builder.build();
+}
+
+Graph make_barabasi_albert(std::size_t n, std::size_t attach, Rng& rng) {
+  if (attach == 0 || n <= attach) {
+    throw std::invalid_argument("BA: need n > attach >= 1");
+  }
+  GraphBuilder builder(/*directed=*/false);
+  builder.reserve_vertices(n);
+  // `stubs` holds one entry per edge endpoint, so sampling a uniform entry
+  // is degree-proportional sampling.
+  std::vector<VertexId> stubs;
+  const std::size_t seed_size = attach + 1;
+  for (VertexId u = 0; u < seed_size; ++u) {
+    for (VertexId v = u + 1; v < seed_size; ++v) {
+      builder.add_edge(u, v);
+      stubs.push_back(u);
+      stubs.push_back(v);
+    }
+  }
+  std::vector<VertexId> chosen;
+  for (VertexId newcomer = static_cast<VertexId>(seed_size); newcomer < n; ++newcomer) {
+    chosen.clear();
+    while (chosen.size() < attach) {
+      const VertexId candidate = stubs[rng.next_below(stubs.size())];
+      if (std::find(chosen.begin(), chosen.end(), candidate) == chosen.end()) {
+        chosen.push_back(candidate);
+      }
+    }
+    for (const VertexId target : chosen) {
+      builder.add_edge(newcomer, target);
+      stubs.push_back(newcomer);
+      stubs.push_back(target);
+    }
+  }
+  return builder.build();
+}
+
+Graph make_watts_strogatz(std::size_t n, std::size_t k, double beta, Rng& rng) {
+  if (n < 2 * k + 1) throw std::invalid_argument("WS: need n > 2k");
+  GraphBuilder builder(/*directed=*/false);
+  builder.reserve_vertices(n);
+  std::unordered_set<std::uint64_t> used;
+  auto try_add = [&](VertexId u, VertexId v) {
+    if (u == v) return false;
+    if (!used.insert(pair_key(u, v)).second) return false;
+    builder.add_edge(u, v);
+    return true;
+  };
+  for (VertexId u = 0; u < n; ++u) {
+    for (std::size_t j = 1; j <= k; ++j) {
+      VertexId v = static_cast<VertexId>((u + j) % n);
+      if (rng.next_bool(beta)) {
+        // Rewire: pick a random non-duplicate target.
+        for (int attempt = 0; attempt < 64; ++attempt) {
+          const auto w = static_cast<VertexId>(rng.next_below(n));
+          if (try_add(u, w)) {
+            v = w;
+            break;
+          }
+          if (attempt == 63) try_add(u, v);  // give up, keep lattice edge
+        }
+      } else {
+        try_add(u, v);
+      }
+    }
+  }
+  return builder.build();
+}
+
+Graph make_complete(std::size_t n) {
+  GraphBuilder builder(false);
+  builder.reserve_vertices(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) builder.add_edge(u, v);
+  }
+  return builder.build();
+}
+
+Graph make_ring(std::size_t n) {
+  GraphBuilder builder(false);
+  builder.reserve_vertices(n);
+  if (n == 2) {
+    builder.add_edge(0, 1);
+  } else if (n > 2) {
+    for (VertexId u = 0; u < n; ++u) {
+      builder.add_edge(u, static_cast<VertexId>((u + 1) % n));
+    }
+  }
+  return builder.build();
+}
+
+Graph make_path(std::size_t n) {
+  GraphBuilder builder(false);
+  builder.reserve_vertices(n);
+  for (VertexId u = 0; u + 1 < n; ++u) builder.add_edge(u, u + 1);
+  return builder.build();
+}
+
+Graph make_star(std::size_t n) {
+  GraphBuilder builder(false);
+  builder.reserve_vertices(n);
+  for (VertexId leaf = 1; leaf < n; ++leaf) builder.add_edge(0, leaf);
+  return builder.build();
+}
+
+Graph make_grid(std::size_t rows, std::size_t cols) {
+  GraphBuilder builder(false);
+  builder.reserve_vertices(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<VertexId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) builder.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) builder.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return builder.build();
+}
+
+Graph make_temporal_dag(std::size_t n, std::size_t m, Rng& rng) {
+  if (n < 2) throw std::invalid_argument("temporal DAG: need n >= 2");
+  GraphBuilder builder(/*directed=*/true);
+  builder.reserve_vertices(n);
+  std::unordered_set<std::uint64_t> used;
+  std::size_t added = 0;
+  const std::size_t max_edges = n * (n - 1) / 2;
+  m = std::min(m, max_edges);
+  while (added < m) {
+    auto u = static_cast<VertexId>(rng.next_below(n));
+    auto v = static_cast<VertexId>(rng.next_below(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);  // edges go forward in the topological order
+    const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+    if (!used.insert(key).second) continue;
+    // Timestamp grows with the source position so that every directed path
+    // is automatically time-respecting, with jitter to vary window tests.
+    const double ts = static_cast<double>(u) + rng.next_double() * 0.5;
+    builder.add_edge(u, v, 1.0, ts);
+    ++added;
+  }
+  return builder.build();
+}
+
+}  // namespace v2v::graph

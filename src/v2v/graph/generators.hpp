@@ -1,0 +1,69 @@
+// Synthetic graph generators.
+//
+// The central one is make_planted_partition: the paper's §III-A benchmark —
+// 10 groups of 100 vertices, each group an α-quasi-clique, plus 200 random
+// inter-group edges. The classic models (Erdős–Rényi, Barabási–Albert,
+// Watts–Strogatz, …) are provided for tests and extension experiments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "v2v/common/rng.hpp"
+#include "v2v/graph/graph.hpp"
+
+namespace v2v::graph {
+
+/// A generated graph together with its planted ground-truth communities.
+struct PlantedGraph {
+  Graph graph;
+  /// community[v] in [0, group_count)
+  std::vector<std::uint32_t> community;
+  std::size_t group_count = 0;
+};
+
+struct PlantedPartitionParams {
+  std::size_t groups = 10;          ///< number of communities
+  std::size_t group_size = 100;     ///< vertices per community
+  double alpha = 0.5;               ///< quasi-clique strength, (0, 1]
+  std::size_t inter_edges = 200;    ///< random edges between groups
+};
+
+/// Paper §III-A generator. Each group receives
+/// round(alpha * s*(s-1)/2) distinct intra-group edges chosen uniformly at
+/// random (the paper's formula counts ordered pairs; we use the unordered
+/// equivalent so alpha = 1 yields exactly a clique), plus `inter_edges`
+/// distinct edges whose endpoints lie in different groups.
+[[nodiscard]] PlantedGraph make_planted_partition(const PlantedPartitionParams& params,
+                                                  Rng& rng);
+
+/// G(n, m): n vertices, m distinct uniformly random edges, no self-loops.
+[[nodiscard]] Graph make_erdos_renyi_gnm(std::size_t n, std::size_t m, Rng& rng,
+                                         bool directed = false);
+
+/// G(n, p): each of the n*(n-1)/2 pairs independently with probability p.
+[[nodiscard]] Graph make_erdos_renyi_gnp(std::size_t n, double p, Rng& rng);
+
+/// Barabási–Albert preferential attachment: start with a clique on
+/// `attach` + 1 vertices, each new vertex attaches to `attach` existing
+/// vertices with probability proportional to degree.
+[[nodiscard]] Graph make_barabasi_albert(std::size_t n, std::size_t attach, Rng& rng);
+
+/// Watts–Strogatz small world: ring lattice with `k` neighbors per side,
+/// each edge rewired with probability `beta`.
+[[nodiscard]] Graph make_watts_strogatz(std::size_t n, std::size_t k, double beta,
+                                        Rng& rng);
+
+[[nodiscard]] Graph make_complete(std::size_t n);
+[[nodiscard]] Graph make_ring(std::size_t n);
+[[nodiscard]] Graph make_path(std::size_t n);
+[[nodiscard]] Graph make_star(std::size_t n);
+
+/// 2-D grid of rows x cols vertices with 4-neighborhood.
+[[nodiscard]] Graph make_grid(std::size_t rows, std::size_t cols);
+
+/// A directed random DAG with monotone-increasing edge timestamps; used to
+/// exercise temporal walk constraints. Vertex ids are a topological order.
+[[nodiscard]] Graph make_temporal_dag(std::size_t n, std::size_t m, Rng& rng);
+
+}  // namespace v2v::graph

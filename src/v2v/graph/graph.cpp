@@ -1,0 +1,98 @@
+#include "v2v/graph/graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace v2v::graph {
+
+bool Graph::has_arc(VertexId u, VertexId v) const noexcept {
+  const auto nbrs = neighbors(u);
+  return std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end();
+}
+
+double Graph::weighted_out_degree(VertexId v) const noexcept {
+  if (weights_.empty()) return static_cast<double>(out_degree(v));
+  double sum = 0.0;
+  for (const double w : arc_weights(v)) sum += w;
+  return sum;
+}
+
+double Graph::total_edge_weight() const noexcept {
+  double sum = 0.0;
+  if (weights_.empty()) {
+    sum = static_cast<double>(arc_count());
+  } else {
+    for (const double w : weights_) sum += w;
+  }
+  return directed_ ? sum : sum / 2.0;
+}
+
+void GraphBuilder::reserve_vertices(std::size_t n) {
+  vertex_count_ = std::max(vertex_count_, n);
+}
+
+void GraphBuilder::add_edge(VertexId u, VertexId v, double weight, double timestamp) {
+  if (weight < 0.0) throw std::invalid_argument("GraphBuilder: negative edge weight");
+  edges_.push_back({u, v, weight, timestamp});
+  vertex_count_ = std::max({vertex_count_, static_cast<std::size_t>(u) + 1,
+                            static_cast<std::size_t>(v) + 1});
+  any_weight_ |= (weight != 1.0);
+  any_timestamp_ |= (timestamp != kNoTimestamp);
+}
+
+void GraphBuilder::set_vertex_weight(VertexId v, double weight) {
+  if (weight < 0.0) throw std::invalid_argument("GraphBuilder: negative vertex weight");
+  vertex_weights_.emplace_back(v, weight);
+  vertex_count_ = std::max(vertex_count_, static_cast<std::size_t>(v) + 1);
+}
+
+Graph GraphBuilder::build() const {
+  Graph g;
+  g.directed_ = directed_;
+  const std::size_t n = vertex_count_;
+  const std::size_t arcs = edges_.size() * (directed_ ? 1 : 2);
+
+  // Counting sort into CSR: count, prefix-sum, scatter.
+  std::vector<ArcId> counts(n + 1, 0);
+  for (const auto& e : edges_) {
+    ++counts[e.u + 1];
+    if (!directed_) ++counts[e.v + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) counts[i] += counts[i - 1];
+  g.offsets_ = counts;
+
+  g.targets_.resize(arcs);
+  if (any_weight_) g.weights_.assign(arcs, 1.0);
+  if (any_timestamp_) g.timestamps_.assign(arcs, kNoTimestamp);
+
+  std::vector<ArcId> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  auto scatter = [&](VertexId src, VertexId dst, double w, double ts) {
+    const ArcId slot = cursor[src]++;
+    g.targets_[slot] = dst;
+    if (any_weight_) g.weights_[slot] = w;
+    if (any_timestamp_) g.timestamps_[slot] = ts;
+  };
+  for (const auto& e : edges_) {
+    scatter(e.u, e.v, e.weight, e.timestamp);
+    if (!directed_) scatter(e.v, e.u, e.weight, e.timestamp);
+  }
+
+  if (!vertex_weights_.empty()) {
+    g.vertex_weights_.assign(n, 1.0);
+    for (const auto& [v, w] : vertex_weights_) g.vertex_weights_[v] = w;
+  }
+  return g;
+}
+
+std::string describe(const Graph& g) {
+  std::ostringstream os;
+  os << "n=" << g.vertex_count() << " m=" << g.edge_count()
+     << (g.directed() ? " directed" : " undirected");
+  if (g.has_edge_weights()) os << " edge-weighted";
+  if (g.has_vertex_weights()) os << " vertex-weighted";
+  if (g.has_timestamps()) os << " timestamped";
+  return os.str();
+}
+
+}  // namespace v2v::graph

@@ -1,0 +1,148 @@
+// Compressed-sparse-row graph: the substrate every other subsystem walks.
+//
+// The graph is immutable after construction (build it with GraphBuilder).
+// Undirected graphs store each edge as two arcs; all per-arc attributes
+// (weight, timestamp) are mirrored. Optional attributes are stored only
+// when present so the common unweighted case pays nothing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace v2v::graph {
+
+using VertexId = std::uint32_t;
+using ArcId = std::uint64_t;
+
+inline constexpr double kNoTimestamp = -1.0;
+
+/// One directed arc as seen from its source vertex.
+struct Arc {
+  VertexId target = 0;
+  double weight = 1.0;
+  double timestamp = kNoTimestamp;
+};
+
+class GraphBuilder;
+
+class Graph {
+ public:
+  Graph() = default;
+
+  [[nodiscard]] std::size_t vertex_count() const noexcept { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+
+  /// Number of stored arcs (undirected edges count twice).
+  [[nodiscard]] std::size_t arc_count() const noexcept { return targets_.size(); }
+
+  /// Logical edge count: arcs for directed graphs, arcs/2 for undirected.
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return directed_ ? arc_count() : arc_count() / 2;
+  }
+
+  [[nodiscard]] bool directed() const noexcept { return directed_; }
+  [[nodiscard]] bool has_edge_weights() const noexcept { return !weights_.empty(); }
+  [[nodiscard]] bool has_timestamps() const noexcept { return !timestamps_.empty(); }
+  [[nodiscard]] bool has_vertex_weights() const noexcept { return !vertex_weights_.empty(); }
+
+  [[nodiscard]] std::size_t out_degree(VertexId v) const noexcept {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Neighbor targets of v, in insertion order.
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const noexcept {
+    return {targets_.data() + offsets_[v], out_degree(v)};
+  }
+
+  /// Per-arc weights aligned with neighbors(v); empty span if unweighted.
+  [[nodiscard]] std::span<const double> arc_weights(VertexId v) const noexcept {
+    if (weights_.empty()) return {};
+    return {weights_.data() + offsets_[v], out_degree(v)};
+  }
+
+  /// Per-arc timestamps aligned with neighbors(v); empty span if untimed.
+  [[nodiscard]] std::span<const double> arc_timestamps(VertexId v) const noexcept {
+    if (timestamps_.empty()) return {};
+    return {timestamps_.data() + offsets_[v], out_degree(v)};
+  }
+
+  /// Weight of vertex v (1.0 when the graph carries no vertex weights).
+  [[nodiscard]] double vertex_weight(VertexId v) const noexcept {
+    return vertex_weights_.empty() ? 1.0 : vertex_weights_[v];
+  }
+
+  /// Weight of the arc at `offset` within v's adjacency (1.0 if unweighted).
+  [[nodiscard]] double arc_weight_at(VertexId v, std::size_t offset) const noexcept {
+    return weights_.empty() ? 1.0 : weights_[offsets_[v] + offset];
+  }
+
+  /// Linear scan membership test; O(out_degree(u)).
+  [[nodiscard]] bool has_arc(VertexId u, VertexId v) const noexcept;
+
+  /// Sum of all arc weights out of v (out_degree if unweighted).
+  [[nodiscard]] double weighted_out_degree(VertexId v) const noexcept;
+
+  /// Total weight of all edges: sum of arc weights, halved if undirected.
+  [[nodiscard]] double total_edge_weight() const noexcept;
+
+  /// CSR offset array, size vertex_count()+1. Exposed for algorithms that
+  /// iterate arcs directly (betweenness, modularity).
+  [[nodiscard]] std::span<const ArcId> offsets() const noexcept { return offsets_; }
+  [[nodiscard]] std::span<const VertexId> targets() const noexcept { return targets_; }
+
+ private:
+  friend class GraphBuilder;
+
+  bool directed_ = false;
+  std::vector<ArcId> offsets_{0};
+  std::vector<VertexId> targets_;
+  std::vector<double> weights_;      // empty == all 1.0
+  std::vector<double> timestamps_;   // empty == no timestamps
+  std::vector<double> vertex_weights_;  // empty == all 1.0
+};
+
+/// Accumulates edges and produces an immutable CSR Graph.
+class GraphBuilder {
+ public:
+  /// `directed` decides whether add_edge inserts one arc or two.
+  explicit GraphBuilder(bool directed = false) : directed_(directed) {}
+
+  /// Ensures the graph has at least `n` vertices (isolated ones allowed).
+  void reserve_vertices(std::size_t n);
+
+  /// Adds an edge; vertex ids may be sparse, the builder grows as needed.
+  /// Self-loops are allowed; parallel edges are kept as-is.
+  void add_edge(VertexId u, VertexId v, double weight = 1.0,
+                double timestamp = kNoTimestamp);
+
+  /// Sets the weight used for vertex-weight-biased walks.
+  void set_vertex_weight(VertexId v, double weight);
+
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_.size(); }
+  [[nodiscard]] std::size_t vertex_count() const noexcept { return vertex_count_; }
+  [[nodiscard]] bool directed() const noexcept { return directed_; }
+
+  /// Builds the CSR graph. The builder can be reused afterwards (it keeps
+  /// its edge list).
+  [[nodiscard]] Graph build() const;
+
+ private:
+  struct EdgeRecord {
+    VertexId u, v;
+    double weight;
+    double timestamp;
+  };
+
+  bool directed_;
+  std::size_t vertex_count_ = 0;
+  bool any_weight_ = false;
+  bool any_timestamp_ = false;
+  std::vector<EdgeRecord> edges_;
+  std::vector<std::pair<VertexId, double>> vertex_weights_;
+};
+
+/// Human-readable one-line summary ("n=1000 m=25000 undirected weighted").
+[[nodiscard]] std::string describe(const Graph& g);
+
+}  // namespace v2v::graph

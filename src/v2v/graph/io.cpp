@@ -1,0 +1,88 @@
+#include "v2v/graph/io.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "v2v/common/string_util.hpp"
+
+namespace v2v::graph {
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& why) {
+  throw std::runtime_error("edge list line " + std::to_string(line_no) + ": " + why);
+}
+
+}  // namespace
+
+Graph read_edge_list(std::istream& in, const EdgeListOptions& options) {
+  GraphBuilder builder(options.directed);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    const std::string_view body = trim(
+        hash == std::string::npos ? std::string_view(line)
+                                  : std::string_view(line).substr(0, hash));
+    if (body.empty()) continue;
+    const auto fields = split_ws(body);
+    if (fields.size() < 2) fail(line_no, "expected at least 'u v'");
+    const auto u = parse_int(fields[0]);
+    const auto v = parse_int(fields[1]);
+    if (!u || !v || *u < 0 || *v < 0) fail(line_no, "bad vertex id");
+
+    double weight = 1.0;
+    double timestamp = kNoTimestamp;
+    if (fields.size() >= 3) {
+      const auto w = parse_double(fields[2]);
+      if (!w) fail(line_no, "bad weight");
+      weight = *w;
+    } else if (options.expect_weights || options.expect_timestamps) {
+      fail(line_no, "missing weight column");
+    }
+    if (fields.size() >= 4) {
+      const auto ts = parse_double(fields[3]);
+      if (!ts) fail(line_no, "bad timestamp");
+      timestamp = *ts;
+    } else if (options.expect_timestamps) {
+      fail(line_no, "missing timestamp column");
+    }
+    if (fields.size() > 4) fail(line_no, "too many columns");
+    builder.add_edge(static_cast<VertexId>(*u), static_cast<VertexId>(*v), weight,
+                     timestamp);
+  }
+  return builder.build();
+}
+
+Graph read_edge_list_file(const std::string& path, const EdgeListOptions& options) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_edge_list(in, options);
+}
+
+void write_edge_list(const Graph& g, std::ostream& out) {
+  out << "# " << describe(g) << '\n';
+  for (VertexId u = 0; u < g.vertex_count(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto wts = g.arc_weights(u);
+    const auto tss = g.arc_timestamps(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId v = nbrs[i];
+      if (!g.directed() && v < u) continue;  // emit each undirected edge once
+      out << u << ' ' << v;
+      if (g.has_edge_weights() || g.has_timestamps()) {
+        out << ' ' << (wts.empty() ? 1.0 : wts[i]);
+      }
+      if (g.has_timestamps()) out << ' ' << tss[i];
+      out << '\n';
+    }
+  }
+}
+
+void write_edge_list_file(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  write_edge_list(g, out);
+}
+
+}  // namespace v2v::graph

@@ -1,0 +1,29 @@
+// Edge-list I/O. Format: whitespace-separated "u v [weight [timestamp]]"
+// lines; '#' starts a comment. Errors throw std::runtime_error with the
+// offending line number.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "v2v/graph/graph.hpp"
+
+namespace v2v::graph {
+
+struct EdgeListOptions {
+  bool directed = false;
+  bool expect_weights = false;     ///< require a weight column
+  bool expect_timestamps = false;  ///< require a timestamp column (implies weights)
+};
+
+[[nodiscard]] Graph read_edge_list(std::istream& in, const EdgeListOptions& options = {});
+[[nodiscard]] Graph read_edge_list_file(const std::string& path,
+                                        const EdgeListOptions& options = {});
+
+/// Writes one line per logical edge (per arc for directed graphs). Weight
+/// and timestamp columns are emitted only when the graph has them.
+void write_edge_list(const Graph& g, std::ostream& out);
+void write_edge_list_file(const Graph& g, const std::string& path);
+
+}  // namespace v2v::graph

@@ -1,0 +1,72 @@
+#include "v2v/graph/labels_io.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "v2v/common/string_util.hpp"
+
+namespace v2v::graph {
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& why) {
+  throw std::runtime_error("labels line " + std::to_string(line_no) + ": " + why);
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> read_labels(std::istream& in, std::size_t vertex_count) {
+  std::vector<std::uint32_t> labels(vertex_count, 0);
+  std::vector<bool> seen(vertex_count, false);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    const std::string_view body =
+        trim(hash == std::string::npos ? std::string_view(line)
+                                       : std::string_view(line).substr(0, hash));
+    if (body.empty()) continue;
+    const auto fields = split_ws(body);
+    if (fields.size() != 2) fail(line_no, "expected 'vertex label'");
+    const auto v = parse_int(fields[0]);
+    const auto label = parse_int(fields[1]);
+    if (!v || *v < 0 || static_cast<std::size_t>(*v) >= vertex_count) {
+      fail(line_no, "bad vertex id");
+    }
+    if (!label || *label < 0) fail(line_no, "bad label");
+    const auto vertex = static_cast<std::size_t>(*v);
+    if (seen[vertex]) fail(line_no, "duplicate vertex " + std::to_string(vertex));
+    labels[vertex] = static_cast<std::uint32_t>(*label);
+    seen[vertex] = true;
+  }
+  for (std::size_t v = 0; v < vertex_count; ++v) {
+    if (!seen[v]) {
+      throw std::runtime_error("labels: vertex " + std::to_string(v) +
+                               " has no label");
+    }
+  }
+  return labels;
+}
+
+std::vector<std::uint32_t> read_labels_file(const std::string& path,
+                                            std::size_t vertex_count) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("labels: cannot open " + path);
+  return read_labels(in, vertex_count);
+}
+
+void write_labels(std::span<const std::uint32_t> labels, std::ostream& out) {
+  out << "# vertex label\n";
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    out << v << ' ' << labels[v] << '\n';
+  }
+}
+
+void write_labels_file(std::span<const std::uint32_t> labels,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("labels: cannot open " + path);
+  write_labels(labels, out);
+}
+
+}  // namespace v2v::graph

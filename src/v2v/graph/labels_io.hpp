@@ -1,0 +1,27 @@
+// Vertex-label file I/O. Format: "vertex label" per line (non-negative
+// integers), '#' comments. Used for ground-truth community files and
+// k-NN training labels.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace v2v::graph {
+
+/// Reads labels for exactly `vertex_count` vertices; every vertex must be
+/// assigned exactly once. Throws std::runtime_error with the offending
+/// line number on malformed input, duplicates, or missing vertices.
+[[nodiscard]] std::vector<std::uint32_t> read_labels(std::istream& in,
+                                                     std::size_t vertex_count);
+[[nodiscard]] std::vector<std::uint32_t> read_labels_file(const std::string& path,
+                                                          std::size_t vertex_count);
+
+void write_labels(std::span<const std::uint32_t> labels, std::ostream& out);
+void write_labels_file(std::span<const std::uint32_t> labels,
+                       const std::string& path);
+
+}  // namespace v2v::graph

@@ -1,0 +1,136 @@
+#include "v2v/graph/perturb.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace v2v::graph {
+namespace {
+
+std::uint64_t pair_key(VertexId u, VertexId v) {
+  const VertexId lo = std::min(u, v);
+  const VertexId hi = std::max(u, v);
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+struct EdgeRecord {
+  VertexId u, v;
+  double weight, timestamp;
+};
+
+/// Collects each logical edge once (per arc for directed graphs).
+std::vector<EdgeRecord> collect_edges(const Graph& g) {
+  std::vector<EdgeRecord> edges;
+  edges.reserve(g.edge_count());
+  for (VertexId u = 0; u < g.vertex_count(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto wts = g.arc_weights(u);
+    const auto tss = g.arc_timestamps(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId v = nbrs[i];
+      if (!g.directed() && v < u) continue;
+      edges.push_back({u, v, wts.empty() ? 1.0 : wts[i],
+                       tss.empty() ? kNoTimestamp : tss[i]});
+    }
+  }
+  return edges;
+}
+
+Graph rebuild(const Graph& g, const std::vector<EdgeRecord>& edges,
+              std::size_t keep_count) {
+  GraphBuilder builder(g.directed());
+  builder.reserve_vertices(g.vertex_count());
+  for (std::size_t i = 0; i < keep_count; ++i) {
+    builder.add_edge(edges[i].u, edges[i].v, edges[i].weight, edges[i].timestamp);
+  }
+  return builder.build();
+}
+
+}  // namespace
+
+Graph remove_random_edges(const Graph& g, double fraction, Rng& rng) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("remove_random_edges: fraction must be in [0, 1]");
+  }
+  auto edges = collect_edges(g);
+  rng.shuffle(edges);
+  const auto keep = edges.size() -
+      static_cast<std::size_t>(std::llround(fraction * static_cast<double>(edges.size())));
+  return rebuild(g, edges, keep);
+}
+
+Graph add_random_edges(const Graph& g, std::size_t count, Rng& rng) {
+  const std::size_t n = g.vertex_count();
+  if (n < 2 && count > 0) {
+    throw std::invalid_argument("add_random_edges: graph too small");
+  }
+  auto edges = collect_edges(g);
+  std::unordered_set<std::uint64_t> existing;
+  existing.reserve(edges.size() * 2);
+  for (const auto& e : edges) {
+    existing.insert(g.directed() ? (static_cast<std::uint64_t>(e.u) << 32) | e.v
+                                 : pair_key(e.u, e.v));
+  }
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 100 * std::max<std::size_t>(count, 1);
+  while (added < count && attempts < max_attempts) {
+    ++attempts;
+    const auto u = static_cast<VertexId>(rng.next_below(n));
+    const auto v = static_cast<VertexId>(rng.next_below(n));
+    if (u == v) continue;
+    const std::uint64_t key =
+        g.directed() ? (static_cast<std::uint64_t>(u) << 32) | v : pair_key(u, v);
+    if (!existing.insert(key).second) continue;
+    edges.push_back({u, v, 1.0, kNoTimestamp});
+    ++added;
+  }
+  return rebuild(g, edges, edges.size());
+}
+
+Graph rewire_random_edges(const Graph& g, double fraction, Rng& rng) {
+  const auto removed_count =
+      static_cast<std::size_t>(std::llround(fraction * static_cast<double>(g.edge_count())));
+  const Graph pruned = remove_random_edges(g, fraction, rng);
+  return add_random_edges(pruned, removed_count, rng);
+}
+
+EdgeSplit split_edges_for_link_prediction(const Graph& g, double test_fraction,
+                                          Rng& rng) {
+  if (g.directed()) {
+    throw std::invalid_argument("link prediction split: undirected graph required");
+  }
+  if (test_fraction <= 0.0 || test_fraction >= 1.0) {
+    throw std::invalid_argument("link prediction split: fraction must be in (0, 1)");
+  }
+  auto edges = collect_edges(g);
+  rng.shuffle(edges);
+  const auto test_count =
+      static_cast<std::size_t>(std::llround(test_fraction * static_cast<double>(edges.size())));
+  const std::size_t keep = edges.size() - test_count;
+
+  EdgeSplit split;
+  split.train = rebuild(g, edges, keep);
+  split.test_positive.reserve(test_count);
+  for (std::size_t i = keep; i < edges.size(); ++i) {
+    split.test_positive.emplace_back(edges[i].u, edges[i].v);
+  }
+
+  // Negatives: distinct pairs that are absent from the ORIGINAL graph (not
+  // just the training graph), so they are genuine non-edges.
+  std::unordered_set<std::uint64_t> existing;
+  for (const auto& e : edges) existing.insert(pair_key(e.u, e.v));
+  const std::size_t n = g.vertex_count();
+  std::unordered_set<std::uint64_t> used;
+  while (split.test_negative.size() < split.test_positive.size()) {
+    const auto u = static_cast<VertexId>(rng.next_below(n));
+    const auto v = static_cast<VertexId>(rng.next_below(n));
+    if (u == v) continue;
+    const std::uint64_t key = pair_key(u, v);
+    if (existing.count(key) > 0 || !used.insert(key).second) continue;
+    split.test_negative.emplace_back(u, v);
+  }
+  return split;
+}
+
+}  // namespace v2v::graph

@@ -1,0 +1,39 @@
+// Graph error injection (paper §III-C "Errors" and §VII "graphs with
+// missing or incorrect data"): utilities that corrupt a graph in
+// controlled ways so robustness experiments can compare V2V against the
+// direct graph algorithms under noise.
+#pragma once
+
+#include <vector>
+
+#include "v2v/common/rng.hpp"
+#include "v2v/graph/graph.hpp"
+
+namespace v2v::graph {
+
+/// Deletes a uniformly random `fraction` of the edges (missing data).
+/// Vertex set is preserved. fraction must be in [0, 1].
+[[nodiscard]] Graph remove_random_edges(const Graph& g, double fraction, Rng& rng);
+
+/// Adds `count` spurious distinct edges between uniformly random distinct
+/// endpoint pairs that are not already connected (incorrect data).
+[[nodiscard]] Graph add_random_edges(const Graph& g, std::size_t count, Rng& rng);
+
+/// Convenience: removes `fraction` of edges and adds the same number of
+/// random edges, keeping the edge count (noisy rewiring).
+[[nodiscard]] Graph rewire_random_edges(const Graph& g, double fraction, Rng& rng);
+
+/// Splits the edges of an undirected graph into a training graph and a
+/// held-out positive test set of `test_fraction` edges, plus an equal
+/// number of sampled non-edges (negative test pairs). Used by link
+/// prediction. The training graph keeps the full vertex set.
+struct EdgeSplit {
+  Graph train;
+  std::vector<std::pair<VertexId, VertexId>> test_positive;
+  std::vector<std::pair<VertexId, VertexId>> test_negative;
+};
+[[nodiscard]] EdgeSplit split_edges_for_link_prediction(const Graph& g,
+                                                        double test_fraction,
+                                                        Rng& rng);
+
+}  // namespace v2v::graph

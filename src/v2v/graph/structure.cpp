@@ -1,0 +1,164 @@
+#include "v2v/graph/structure.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace v2v::graph {
+namespace {
+
+/// Deduplicated, sorted neighbor lists without self-loops.
+std::vector<std::vector<VertexId>> simple_adjacency(const Graph& g) {
+  std::vector<std::vector<VertexId>> adjacency(g.vertex_count());
+  for (VertexId u = 0; u < g.vertex_count(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    auto& list = adjacency[u];
+    list.assign(nbrs.begin(), nbrs.end());
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    list.erase(std::remove(list.begin(), list.end(), u), list.end());
+  }
+  return adjacency;
+}
+
+void require_undirected(const Graph& g, const char* what) {
+  if (g.directed()) {
+    throw std::invalid_argument(std::string(what) + ": undirected graph required");
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> triangles_per_vertex(const Graph& g) {
+  require_undirected(g, "triangles");
+  const auto adjacency = simple_adjacency(g);
+  std::vector<std::uint64_t> count(g.vertex_count(), 0);
+  std::vector<VertexId> intersection;
+  for (VertexId u = 0; u < g.vertex_count(); ++u) {
+    for (const VertexId v : adjacency[u]) {
+      if (v <= u) continue;
+      intersection.clear();
+      std::set_intersection(adjacency[u].begin(), adjacency[u].end(),
+                            adjacency[v].begin(), adjacency[v].end(),
+                            std::back_inserter(intersection));
+      for (const VertexId w : intersection) {
+        if (w > v) {  // count each triangle once at its smallest vertex pair
+          ++count[u];
+          ++count[v];
+          ++count[w];
+        }
+      }
+    }
+  }
+  return count;
+}
+
+std::uint64_t triangle_count(const Graph& g) {
+  const auto per_vertex = triangles_per_vertex(g);
+  const std::uint64_t total =
+      std::accumulate(per_vertex.begin(), per_vertex.end(), std::uint64_t{0});
+  return total / 3;
+}
+
+std::vector<double> local_clustering(const Graph& g) {
+  require_undirected(g, "clustering");
+  const auto adjacency = simple_adjacency(g);
+  const auto triangles = triangles_per_vertex(g);
+  std::vector<double> coeff(g.vertex_count(), 0.0);
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    const std::size_t d = adjacency[v].size();
+    if (d < 2) continue;
+    coeff[v] = 2.0 * static_cast<double>(triangles[v]) /
+               (static_cast<double>(d) * static_cast<double>(d - 1));
+  }
+  return coeff;
+}
+
+double average_clustering(const Graph& g) {
+  const auto coeff = local_clustering(g);
+  if (coeff.empty()) return 0.0;
+  return std::accumulate(coeff.begin(), coeff.end(), 0.0) /
+         static_cast<double>(coeff.size());
+}
+
+double transitivity(const Graph& g) {
+  require_undirected(g, "transitivity");
+  const auto adjacency = simple_adjacency(g);
+  const std::uint64_t triangles = triangle_count(g);
+  std::uint64_t wedges = 0;
+  for (const auto& nbrs : adjacency) {
+    const auto d = static_cast<std::uint64_t>(nbrs.size());
+    wedges += d * (d - 1) / 2;
+  }
+  if (wedges == 0) return 0.0;
+  return 3.0 * static_cast<double>(triangles) / static_cast<double>(wedges);
+}
+
+std::vector<std::uint32_t> core_numbers(const Graph& g) {
+  require_undirected(g, "core numbers");
+  const auto adjacency = simple_adjacency(g);
+  const std::size_t n = g.vertex_count();
+  std::vector<std::uint32_t> degree(n), core(n, 0);
+  std::size_t max_degree = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    degree[v] = static_cast<std::uint32_t>(adjacency[v].size());
+    max_degree = std::max<std::size_t>(max_degree, degree[v]);
+  }
+
+  // Bucket sort vertices by degree (Batagelj-Zaversnik).
+  std::vector<std::size_t> bin(max_degree + 2, 0);
+  for (std::size_t v = 0; v < n; ++v) ++bin[degree[v]];
+  std::size_t start = 0;
+  for (std::size_t d = 0; d <= max_degree; ++d) {
+    const std::size_t count = bin[d];
+    bin[d] = start;
+    start += count;
+  }
+  std::vector<std::size_t> position(n), order(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    position[v] = bin[degree[v]]++;
+    order[position[v]] = v;
+  }
+  // Restore bin starts.
+  for (std::size_t d = max_degree + 1; d > 0; --d) bin[d] = bin[d - 1];
+  bin[0] = 0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t v = order[i];
+    core[v] = degree[v];
+    for (const VertexId u : adjacency[v]) {
+      if (degree[u] > degree[v]) {
+        // Swap u toward the front of its degree bucket, then decrement.
+        const std::size_t du = degree[u];
+        const std::size_t pu = position[u];
+        const std::size_t pw = bin[du];
+        const std::size_t w = order[pw];
+        if (u != w) {
+          std::swap(order[pu], order[pw]);
+          position[u] = pw;
+          position[w] = pu;
+        }
+        ++bin[du];
+        --degree[u];
+      }
+    }
+  }
+  return core;
+}
+
+std::uint32_t degeneracy(const Graph& g) {
+  const auto cores = core_numbers(g);
+  return cores.empty() ? 0 : *std::max_element(cores.begin(), cores.end());
+}
+
+std::vector<std::size_t> degree_histogram(const Graph& g) {
+  std::size_t max_degree = 0;
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    max_degree = std::max(max_degree, g.out_degree(v));
+  }
+  std::vector<std::size_t> histogram(max_degree + 1, 0);
+  for (VertexId v = 0; v < g.vertex_count(); ++v) ++histogram[g.out_degree(v)];
+  return histogram;
+}
+
+}  // namespace v2v::graph

@@ -1,0 +1,40 @@
+// Structural graph analytics: triangles, clustering coefficients, k-core
+// decomposition, degree histograms. Used by the examples to characterize
+// generated networks and by tests as independent ground truth for the
+// generators (e.g. quasi-cliques must be triangle-dense, ER graphs not).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "v2v/graph/graph.hpp"
+
+namespace v2v::graph {
+
+/// Number of triangles through each vertex (undirected graphs; parallel
+/// edges and self-loops are ignored). O(sum over edges of min-degree).
+[[nodiscard]] std::vector<std::uint64_t> triangles_per_vertex(const Graph& g);
+
+/// Total triangle count (each triangle counted once).
+[[nodiscard]] std::uint64_t triangle_count(const Graph& g);
+
+/// Local clustering coefficient per vertex: triangles(v) / C(deg(v), 2);
+/// 0 for vertices of degree < 2.
+[[nodiscard]] std::vector<double> local_clustering(const Graph& g);
+
+/// Mean of the local clustering coefficients (Watts-Strogatz definition).
+[[nodiscard]] double average_clustering(const Graph& g);
+
+/// Global clustering coefficient (transitivity): 3*triangles / open wedges.
+[[nodiscard]] double transitivity(const Graph& g);
+
+/// Core number per vertex (Batagelj-Zaversnik peeling, O(n + m)).
+[[nodiscard]] std::vector<std::uint32_t> core_numbers(const Graph& g);
+
+/// Largest k such that the k-core is non-empty (degeneracy).
+[[nodiscard]] std::uint32_t degeneracy(const Graph& g);
+
+/// histogram[d] = number of vertices with out-degree d.
+[[nodiscard]] std::vector<std::size_t> degree_histogram(const Graph& g);
+
+}  // namespace v2v::graph

@@ -1,0 +1,36 @@
+#include "v2v/ml/crossval.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace v2v::ml {
+
+std::vector<Fold> make_kfold(std::size_t n, std::size_t folds, Rng& rng) {
+  if (folds < 2) throw std::invalid_argument("kfold: need >= 2 folds");
+  if (n < folds) throw std::invalid_argument("kfold: fewer samples than folds");
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+
+  std::vector<Fold> out(folds);
+  const std::size_t base = n / folds;
+  const std::size_t extra = n % folds;
+  std::size_t cursor = 0;
+  for (std::size_t f = 0; f < folds; ++f) {
+    const std::size_t len = base + (f < extra ? 1 : 0);
+    out[f].test.assign(order.begin() + static_cast<std::ptrdiff_t>(cursor),
+                       order.begin() + static_cast<std::ptrdiff_t>(cursor + len));
+    cursor += len;
+  }
+  for (std::size_t f = 0; f < folds; ++f) {
+    out[f].train.reserve(n - out[f].test.size());
+    for (std::size_t g = 0; g < folds; ++g) {
+      if (g == f) continue;
+      out[f].train.insert(out[f].train.end(), out[g].test.begin(), out[g].test.end());
+    }
+  }
+  return out;
+}
+
+}  // namespace v2v::ml

@@ -1,0 +1,21 @@
+// k-fold cross-validation splits (paper §V uses 10-fold CV, repeated 10
+// times with the average reported).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "v2v/common/rng.hpp"
+
+namespace v2v::ml {
+
+struct Fold {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// Shuffles [0, n) and cuts it into `folds` near-equal parts. Every index
+/// appears in exactly one test set; folds differ in size by at most 1.
+[[nodiscard]] std::vector<Fold> make_kfold(std::size_t n, std::size_t folds, Rng& rng);
+
+}  // namespace v2v::ml

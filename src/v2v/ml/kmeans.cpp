@@ -1,0 +1,206 @@
+#include "v2v/ml/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "v2v/common/rng.hpp"
+#include "v2v/common/thread_pool.hpp"
+#include "v2v/common/vec_math.hpp"
+
+namespace v2v::ml {
+namespace {
+
+double point_centroid_sqdist(std::span<const float> p, std::span<const double> c) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double d = static_cast<double>(p[i]) - c[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+MatrixD seed_uniform(const MatrixF& points, std::size_t k, Rng& rng) {
+  const auto chosen = [&] {
+    // Distinct rows via partial Fisher-Yates over indices.
+    std::vector<std::size_t> idx(points.rows());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j = i + rng.next_below(idx.size() - i);
+      std::swap(idx[i], idx[j]);
+    }
+    idx.resize(k);
+    return idx;
+  }();
+  MatrixD centroids(k, points.cols());
+  for (std::size_t c = 0; c < k; ++c) {
+    const auto row = points.row(chosen[c]);
+    for (std::size_t i = 0; i < points.cols(); ++i) centroids(c, i) = row[i];
+  }
+  return centroids;
+}
+
+MatrixD seed_plus_plus(const MatrixF& points, std::size_t k, Rng& rng) {
+  const std::size_t n = points.rows();
+  MatrixD centroids(k, points.cols());
+  std::vector<double> dist2(n, std::numeric_limits<double>::max());
+
+  std::size_t first = rng.next_below(n);
+  for (std::size_t i = 0; i < points.cols(); ++i) {
+    centroids(0, i) = points(first, i);
+  }
+  for (std::size_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      const double d = point_centroid_sqdist(points.row(p), centroids.row(c - 1));
+      dist2[p] = std::min(dist2[p], d);
+      total += dist2[p];
+    }
+    std::size_t pick = 0;
+    if (total > 0.0) {
+      const double target = rng.next_double() * total;
+      double acc = 0.0;
+      for (std::size_t p = 0; p < n; ++p) {
+        acc += dist2[p];
+        if (acc >= target) {
+          pick = p;
+          break;
+        }
+      }
+    } else {
+      pick = rng.next_below(n);  // all points identical to current centers
+    }
+    for (std::size_t i = 0; i < points.cols(); ++i) centroids(c, i) = points(pick, i);
+  }
+  return centroids;
+}
+
+struct LloydOutcome {
+  std::vector<std::uint32_t> assignment;
+  MatrixD centroids;
+  double sse = 0.0;
+  std::size_t iterations = 0;
+};
+
+LloydOutcome lloyd(const MatrixF& points, MatrixD centroids,
+                   const KMeansConfig& config) {
+  const std::size_t n = points.rows();
+  const std::size_t d = points.cols();
+  const std::size_t k = centroids.rows();
+  LloydOutcome out;
+  out.assignment.assign(n, 0);
+  std::vector<std::size_t> counts(k);
+  double prev_sse = std::numeric_limits<double>::max();
+
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    // Assignment step.
+    double sse = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      double best = std::numeric_limits<double>::max();
+      std::uint32_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double dd = point_centroid_sqdist(points.row(p), centroids.row(c));
+        if (dd < best) {
+          best = dd;
+          best_c = static_cast<std::uint32_t>(c);
+        }
+      }
+      out.assignment[p] = best_c;
+      sse += best;
+    }
+    out.iterations = iter + 1;
+
+    // Update step.
+    centroids.fill(0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (std::size_t p = 0; p < n; ++p) {
+      const auto row = points.row(p);
+      auto c = centroids.row(out.assignment[p]);
+      for (std::size_t i = 0; i < d; ++i) c[i] += row[i];
+      ++counts[out.assignment[p]];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster with the point farthest from its centroid.
+        std::size_t far = 0;
+        double far_d = -1.0;
+        for (std::size_t p = 0; p < n; ++p) {
+          const double dd =
+              point_centroid_sqdist(points.row(p), centroids.row(out.assignment[p]));
+          if (dd > far_d) {
+            far_d = dd;
+            far = p;
+          }
+        }
+        for (std::size_t i = 0; i < d; ++i) centroids(c, i) = points(far, i);
+        continue;
+      }
+      auto row = centroids.row(c);
+      const double inv = 1.0 / static_cast<double>(counts[c]);
+      for (std::size_t i = 0; i < d; ++i) row[i] *= inv;
+    }
+
+    out.sse = sse;
+    if (prev_sse - sse <= config.tolerance * std::max(prev_sse, 1e-30)) break;
+    prev_sse = sse;
+  }
+  out.centroids = std::move(centroids);
+  return out;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const MatrixF& points, const KMeansConfig& config) {
+  const std::size_t n = points.rows();
+  if (config.k == 0) throw std::invalid_argument("kmeans: k == 0");
+  if (config.k > n) throw std::invalid_argument("kmeans: k > number of points");
+  if (config.restarts == 0) throw std::invalid_argument("kmeans: restarts == 0");
+
+  const Rng root(config.seed);
+  const std::size_t threads = std::max<std::size_t>(1, config.threads);
+  std::vector<LloydOutcome> best_per_thread(threads);
+  std::vector<bool> has_result(threads, false);
+
+  parallel_for_once(threads, config.restarts,
+                    [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+                      for (std::size_t r = begin; r < end; ++r) {
+                        Rng rng = root.fork(r);
+                        MatrixD seeds = config.seeding == KMeansSeeding::kPlusPlus
+                                            ? seed_plus_plus(points, config.k, rng)
+                                            : seed_uniform(points, config.k, rng);
+                        LloydOutcome outcome = lloyd(points, std::move(seeds), config);
+                        if (!has_result[chunk] ||
+                            outcome.sse < best_per_thread[chunk].sse) {
+                          best_per_thread[chunk] = std::move(outcome);
+                          has_result[chunk] = true;
+                        }
+                      }
+                    });
+
+  std::size_t winner = 0;
+  for (std::size_t t = 1; t < threads; ++t) {
+    if (!has_result[t]) continue;
+    if (!has_result[winner] || best_per_thread[t].sse < best_per_thread[winner].sse) {
+      winner = t;
+    }
+  }
+  KMeansResult result;
+  result.assignment = std::move(best_per_thread[winner].assignment);
+  result.centroids = std::move(best_per_thread[winner].centroids);
+  result.sse = best_per_thread[winner].sse;
+  result.iterations = best_per_thread[winner].iterations;
+  result.restarts_run = config.restarts;
+  return result;
+}
+
+double kmeans_sse(const MatrixF& points, const std::vector<std::uint32_t>& assignment,
+                  const MatrixD& centroids) {
+  double sse = 0.0;
+  for (std::size_t p = 0; p < points.rows(); ++p) {
+    sse += point_centroid_sqdist(points.row(p), centroids.row(assignment[p]));
+  }
+  return sse;
+}
+
+}  // namespace v2v::ml

@@ -1,0 +1,44 @@
+// k-means clustering (paper §III): Lloyd's algorithm with k-means++
+// seeding, repeated `restarts` times keeping the solution with the lowest
+// within-cluster sum of squares. The paper uses 100 restarts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "v2v/common/matrix.hpp"
+
+namespace v2v::ml {
+
+enum class KMeansSeeding : std::uint8_t { kPlusPlus, kUniform };
+
+struct KMeansConfig {
+  std::size_t k = 10;
+  std::size_t max_iterations = 100;   ///< Lloyd iterations per restart
+  std::size_t restarts = 100;         ///< paper default
+  KMeansSeeding seeding = KMeansSeeding::kPlusPlus;
+  double tolerance = 1e-6;            ///< relative SSE improvement to keep iterating
+  std::uint64_t seed = 1;
+  std::size_t threads = 1;            ///< restarts are embarrassingly parallel
+};
+
+struct KMeansResult {
+  std::vector<std::uint32_t> assignment;  ///< cluster id per point
+  MatrixD centroids;                      ///< k x d
+  double sse = 0.0;                       ///< sum of squared distances to centroids
+  std::size_t iterations = 0;             ///< Lloyd iterations of the winning restart
+  std::size_t restarts_run = 0;
+};
+
+/// Clusters the rows of `points`. Empty clusters are re-seeded with the
+/// point farthest from its centroid, so exactly k clusters are returned
+/// whenever k <= #points. Throws std::invalid_argument for k == 0 or
+/// k > #points.
+[[nodiscard]] KMeansResult kmeans(const MatrixF& points, const KMeansConfig& config);
+
+/// SSE of an assignment against given centroids (for tests/validation).
+[[nodiscard]] double kmeans_sse(const MatrixF& points,
+                                const std::vector<std::uint32_t>& assignment,
+                                const MatrixD& centroids);
+
+}  // namespace v2v::ml

@@ -1,0 +1,78 @@
+#include "v2v/ml/knn.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "v2v/common/vec_math.hpp"
+
+namespace v2v::ml {
+
+KnnClassifier::KnnClassifier(const MatrixF& points, std::vector<std::uint32_t> labels,
+                             DistanceMetric metric)
+    : points_(points), labels_(std::move(labels)), metric_(metric) {
+  if (points_.rows() != labels_.size()) {
+    throw std::invalid_argument("knn: points/labels size mismatch");
+  }
+  if (points_.rows() == 0) throw std::invalid_argument("knn: empty training set");
+}
+
+KnnClassifier::KnnClassifier(const MatrixF& points, std::span<const std::size_t> rows,
+                             std::span<const std::uint32_t> labels,
+                             DistanceMetric metric)
+    : points_(rows.size(), points.cols()), metric_(metric) {
+  if (rows.empty()) throw std::invalid_argument("knn: empty training set");
+  labels_.reserve(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto src = points.row(rows[i]);
+    auto dst = points_.row(i);
+    std::copy(src.begin(), src.end(), dst.begin());
+    labels_.push_back(labels[rows[i]]);
+  }
+}
+
+std::uint32_t KnnClassifier::predict(std::span<const float> query, std::size_t k) const {
+  if (k == 0) throw std::invalid_argument("knn: k == 0");
+  k = std::min(k, points_.rows());
+
+  // Collect the k smallest distances with a partial sort over a scratch
+  // array of (distance, index).
+  thread_local std::vector<std::pair<double, std::size_t>> scored;
+  scored.clear();
+  scored.reserve(points_.rows());
+  for (std::size_t i = 0; i < points_.rows(); ++i) {
+    const double d = metric_ == DistanceMetric::kCosine
+                         ? cosine_distance(query, std::span<const float>(points_.row(i)))
+                         : squared_distance(query, std::span<const float>(points_.row(i)));
+    scored.emplace_back(d, i);
+  }
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(k),
+                    scored.end());
+
+  // Majority vote; ties resolve to the tied label with the nearest voter,
+  // which is also the first encountered since voters are distance-sorted.
+  std::unordered_map<std::uint32_t, std::size_t> votes;
+  std::uint32_t best_label = labels_[scored[0].second];
+  std::size_t best_votes = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::uint32_t label = labels_[scored[i].second];
+    const std::size_t v = ++votes[label];
+    if (v > best_votes) {
+      best_votes = v;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+std::vector<std::uint32_t> KnnClassifier::predict_rows(
+    const MatrixF& points, std::span<const std::size_t> rows, std::size_t k) const {
+  std::vector<std::uint32_t> out;
+  out.reserve(rows.size());
+  for (const std::size_t r : rows) {
+    out.push_back(predict(points.row(r), k));
+  }
+  return out;
+}
+
+}  // namespace v2v::ml

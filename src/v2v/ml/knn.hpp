@@ -1,0 +1,44 @@
+// k-nearest-neighbor classification (paper §V): majority vote among the k
+// closest training vectors under cosine (default) or Euclidean distance.
+// Brute-force search — exact, and fast enough at the paper's scales.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "v2v/common/matrix.hpp"
+
+namespace v2v::ml {
+
+enum class DistanceMetric : std::uint8_t { kCosine, kEuclidean };
+
+class KnnClassifier {
+ public:
+  /// Stores (a copy of) the training rows and their labels.
+  KnnClassifier(const MatrixF& points, std::vector<std::uint32_t> labels,
+                DistanceMetric metric = DistanceMetric::kCosine);
+
+  /// Fit from selected rows of a larger matrix (used by cross-validation).
+  KnnClassifier(const MatrixF& points, std::span<const std::size_t> rows,
+                std::span<const std::uint32_t> labels,
+                DistanceMetric metric = DistanceMetric::kCosine);
+
+  /// Majority vote among the k nearest training points. Vote ties break
+  /// toward the label whose voter is nearest (word2vec k=1 behaviour when
+  /// all k labels are distinct).
+  [[nodiscard]] std::uint32_t predict(std::span<const float> query, std::size_t k) const;
+
+  [[nodiscard]] std::vector<std::uint32_t> predict_rows(const MatrixF& points,
+                                                        std::span<const std::size_t> rows,
+                                                        std::size_t k) const;
+
+  [[nodiscard]] std::size_t train_size() const noexcept { return labels_.size(); }
+
+ private:
+  MatrixF points_;
+  std::vector<std::uint32_t> labels_;
+  DistanceMetric metric_;
+};
+
+}  // namespace v2v::ml

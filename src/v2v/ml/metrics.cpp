@@ -1,0 +1,137 @@
+#include "v2v/ml/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace v2v::ml {
+namespace {
+
+std::uint64_t choose2(std::uint64_t n) { return n * (n - 1) / 2; }
+
+struct Contingency {
+  std::unordered_map<std::uint64_t, std::uint64_t> cells;  // (truth, pred) -> count
+  std::unordered_map<std::uint32_t, std::uint64_t> truth_sizes;
+  std::unordered_map<std::uint32_t, std::uint64_t> pred_sizes;
+  std::uint64_t n = 0;
+};
+
+Contingency build_contingency(std::span<const std::uint32_t> truth,
+                              std::span<const std::uint32_t> predicted) {
+  if (truth.size() != predicted.size()) {
+    throw std::invalid_argument("metrics: label vectors differ in size");
+  }
+  Contingency t;
+  t.n = truth.size();
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(truth[i]) << 32) | predicted[i];
+    ++t.cells[key];
+    ++t.truth_sizes[truth[i]];
+    ++t.pred_sizes[predicted[i]];
+  }
+  return t;
+}
+
+}  // namespace
+
+PairCounts count_pairs(std::span<const std::uint32_t> truth,
+                       std::span<const std::uint32_t> predicted) {
+  const Contingency t = build_contingency(truth, predicted);
+  PairCounts counts;
+  counts.total_pairs = choose2(t.n);
+  for (const auto& [key, size] : t.cells) counts.same_both += choose2(size);
+  for (const auto& [label, size] : t.truth_sizes) counts.same_truth += choose2(size);
+  for (const auto& [label, size] : t.pred_sizes) counts.same_predicted += choose2(size);
+  return counts;
+}
+
+PrecisionRecall pairwise_precision_recall(std::span<const std::uint32_t> truth,
+                                          std::span<const std::uint32_t> predicted) {
+  const PairCounts c = count_pairs(truth, predicted);
+  PrecisionRecall pr;
+  pr.precision = c.same_predicted > 0
+                     ? static_cast<double>(c.same_both) / static_cast<double>(c.same_predicted)
+                     : 1.0;
+  pr.recall = c.same_truth > 0
+                  ? static_cast<double>(c.same_both) / static_cast<double>(c.same_truth)
+                  : 1.0;
+  return pr;
+}
+
+double adjusted_rand_index(std::span<const std::uint32_t> truth,
+                           std::span<const std::uint32_t> predicted) {
+  const PairCounts c = count_pairs(truth, predicted);
+  if (c.total_pairs == 0) return 1.0;
+  const double index = static_cast<double>(c.same_both);
+  const double expected = static_cast<double>(c.same_truth) *
+                          static_cast<double>(c.same_predicted) /
+                          static_cast<double>(c.total_pairs);
+  const double max_index =
+      0.5 * (static_cast<double>(c.same_truth) + static_cast<double>(c.same_predicted));
+  const double denom = max_index - expected;
+  if (denom == 0.0) return index == expected ? 1.0 : 0.0;
+  return (index - expected) / denom;
+}
+
+double normalized_mutual_information(std::span<const std::uint32_t> truth,
+                                     std::span<const std::uint32_t> predicted) {
+  const Contingency t = build_contingency(truth, predicted);
+  if (t.n == 0) return 1.0;
+  const double n = static_cast<double>(t.n);
+
+  auto entropy = [&](const std::unordered_map<std::uint32_t, std::uint64_t>& sizes) {
+    double h = 0.0;
+    for (const auto& [label, size] : sizes) {
+      const double p = static_cast<double>(size) / n;
+      if (p > 0.0) h -= p * std::log(p);
+    }
+    return h;
+  };
+  const double h_truth = entropy(t.truth_sizes);
+  const double h_pred = entropy(t.pred_sizes);
+
+  double mi = 0.0;
+  for (const auto& [key, size] : t.cells) {
+    const auto truth_label = static_cast<std::uint32_t>(key >> 32);
+    const auto pred_label = static_cast<std::uint32_t>(key & 0xffffffffu);
+    const double pij = static_cast<double>(size) / n;
+    const double pi = static_cast<double>(t.truth_sizes.at(truth_label)) / n;
+    const double pj = static_cast<double>(t.pred_sizes.at(pred_label)) / n;
+    mi += pij * std::log(pij / (pi * pj));
+  }
+  const double norm = 0.5 * (h_truth + h_pred);
+  if (norm <= 0.0) return 1.0;  // both partitions trivial
+  return mi / norm;
+}
+
+double purity(std::span<const std::uint32_t> truth,
+              std::span<const std::uint32_t> predicted) {
+  const Contingency t = build_contingency(truth, predicted);
+  if (t.n == 0) return 1.0;
+  // For each predicted cluster, take its largest cell.
+  std::unordered_map<std::uint32_t, std::uint64_t> best;
+  for (const auto& [key, size] : t.cells) {
+    const auto pred_label = static_cast<std::uint32_t>(key & 0xffffffffu);
+    auto& slot = best[pred_label];
+    slot = std::max(slot, size);
+  }
+  std::uint64_t correct = 0;
+  for (const auto& [label, size] : best) correct += size;
+  return static_cast<double>(correct) / static_cast<double>(t.n);
+}
+
+double accuracy(std::span<const std::uint32_t> truth,
+                std::span<const std::uint32_t> predicted) {
+  if (truth.size() != predicted.size()) {
+    throw std::invalid_argument("metrics: label vectors differ in size");
+  }
+  if (truth.empty()) return 1.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    correct += truth[i] == predicted[i] ? 1 : 0;
+  }
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+}  // namespace v2v::ml

@@ -1,0 +1,58 @@
+// Clustering/classification quality metrics.
+//
+// The paper evaluates community detection with *pairwise* precision and
+// recall (§III-B): a pair of vertices is a true positive when it shares
+// both a ground-truth community and a predicted cluster. Both metrics are
+// computed in O(n + #distinct cells) from the contingency table using
+// "pairs = sum over cells of C(cell, 2)" identities — never by enumerating
+// the O(n^2) pairs. NMI / ARI / purity are provided as extensions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace v2v::ml {
+
+struct PairCounts {
+  std::uint64_t same_both = 0;     ///< pairs together in truth and prediction
+  std::uint64_t same_truth = 0;    ///< pairs together in ground truth
+  std::uint64_t same_predicted = 0;///< pairs together in prediction
+  std::uint64_t total_pairs = 0;   ///< C(n, 2)
+};
+
+[[nodiscard]] PairCounts count_pairs(std::span<const std::uint32_t> truth,
+                                     std::span<const std::uint32_t> predicted);
+
+struct PrecisionRecall {
+  double precision = 0.0;
+  double recall = 0.0;
+  [[nodiscard]] double f1() const {
+    const double s = precision + recall;
+    return s > 0.0 ? 2.0 * precision * recall / s : 0.0;
+  }
+};
+
+/// Pairwise precision/recall per the paper's definition. Conventions for
+/// degenerate cases: if no pair is predicted together, precision = 1; if
+/// no pair is together in the truth, recall = 1.
+[[nodiscard]] PrecisionRecall pairwise_precision_recall(
+    std::span<const std::uint32_t> truth, std::span<const std::uint32_t> predicted);
+
+/// Adjusted Rand Index in [-1, 1]; 1 = identical partitions.
+[[nodiscard]] double adjusted_rand_index(std::span<const std::uint32_t> truth,
+                                         std::span<const std::uint32_t> predicted);
+
+/// Normalized Mutual Information in [0, 1] (arithmetic-mean normalization).
+[[nodiscard]] double normalized_mutual_information(
+    std::span<const std::uint32_t> truth, std::span<const std::uint32_t> predicted);
+
+/// Fraction of points whose cluster's majority truth label matches theirs.
+[[nodiscard]] double purity(std::span<const std::uint32_t> truth,
+                            std::span<const std::uint32_t> predicted);
+
+/// Plain classification accuracy.
+[[nodiscard]] double accuracy(std::span<const std::uint32_t> truth,
+                              std::span<const std::uint32_t> predicted);
+
+}  // namespace v2v::ml

@@ -1,0 +1,149 @@
+#include "v2v/ml/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace v2v::ml {
+
+EigenDecomposition jacobi_eigen_symmetric(MatrixD a, std::size_t max_sweeps,
+                                          double tolerance) {
+  const std::size_t d = a.rows();
+  if (d == 0 || a.cols() != d) {
+    throw std::invalid_argument("jacobi: matrix must be square and non-empty");
+  }
+  MatrixD v(d, d, 0.0);
+  for (std::size_t i = 0; i < d; ++i) v(i, i) = 1.0;
+
+  auto off_diagonal_norm = [&] {
+    double sum = 0.0;
+    for (std::size_t p = 0; p < d; ++p) {
+      for (std::size_t q = p + 1; q < d; ++q) sum += a(p, q) * a(p, q);
+    }
+    return std::sqrt(sum);
+  };
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm() <= tolerance) break;
+    for (std::size_t p = 0; p < d; ++p) {
+      for (std::size_t q = p + 1; q < d; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) <= tolerance * 1e-3) continue;
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t i = 0; i < d; ++i) {
+          const double aip = a(i, p);
+          const double aiq = a(i, q);
+          a(i, p) = c * aip - s * aiq;
+          a(i, q) = s * aip + c * aiq;
+        }
+        for (std::size_t i = 0; i < d; ++i) {
+          const double api = a(p, i);
+          const double aqi = a(q, i);
+          a(p, i) = c * api - s * aqi;
+          a(q, i) = s * api + c * aqi;
+        }
+        for (std::size_t i = 0; i < d; ++i) {
+          const double vip = v(i, p);
+          const double viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  EigenDecomposition out;
+  out.values.resize(d);
+  std::vector<std::size_t> order(d);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> diag(d);
+  for (std::size_t i = 0; i < d; ++i) diag[i] = a(i, i);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return diag[x] > diag[y]; });
+  out.vectors = MatrixD(d, d);
+  for (std::size_t r = 0; r < d; ++r) {
+    out.values[r] = diag[order[r]];
+    for (std::size_t i = 0; i < d; ++i) out.vectors(r, i) = v(i, order[r]);
+  }
+  return out;
+}
+
+Pca::Pca(const MatrixF& points) {
+  const std::size_t n = points.rows();
+  const std::size_t d = points.cols();
+  if (n == 0 || d == 0) throw std::invalid_argument("pca: empty input");
+
+  mean_.assign(d, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = points.row(r);
+    for (std::size_t c = 0; c < d; ++c) mean_[c] += row[c];
+  }
+  for (auto& m : mean_) m /= static_cast<double>(n);
+
+  MatrixD cov(d, d, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = points.row(r);
+    for (std::size_t i = 0; i < d; ++i) {
+      const double xi = row[i] - mean_[i];
+      for (std::size_t j = i; j < d; ++j) {
+        cov(i, j) += xi * (row[j] - mean_[j]);
+      }
+    }
+  }
+  const double denom = n > 1 ? static_cast<double>(n - 1) : 1.0;
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i; j < d; ++j) {
+      cov(i, j) /= denom;
+      cov(j, i) = cov(i, j);
+    }
+  }
+
+  auto eig = jacobi_eigen_symmetric(std::move(cov));
+  eigenvalues_ = std::move(eig.values);
+  components_ = std::move(eig.vectors);
+  // Clamp tiny negative eigenvalues from rounding.
+  for (auto& v : eigenvalues_) v = std::max(v, 0.0);
+}
+
+std::vector<double> Pca::component(std::size_t c) const {
+  if (c >= components_.rows()) throw std::out_of_range("pca: component index");
+  const auto row = components_.row(c);
+  return {row.begin(), row.end()};
+}
+
+double Pca::explained_variance(std::size_t count) const {
+  const double total = std::accumulate(eigenvalues_.begin(), eigenvalues_.end(), 0.0);
+  if (total <= 0.0) return 0.0;
+  count = std::min(count, eigenvalues_.size());
+  const double head = std::accumulate(eigenvalues_.begin(),
+                                      eigenvalues_.begin() + static_cast<std::ptrdiff_t>(count), 0.0);
+  return head / total;
+}
+
+MatrixD Pca::transform(const MatrixF& points, std::size_t components) const {
+  if (points.cols() != dimensions()) {
+    throw std::invalid_argument("pca: dimension mismatch in transform");
+  }
+  components = std::min(components, components_.rows());
+  MatrixD out(points.rows(), components);
+  for (std::size_t r = 0; r < points.rows(); ++r) {
+    const auto row = points.row(r);
+    for (std::size_t c = 0; c < components; ++c) {
+      const auto axis = components_.row(c);
+      double sum = 0.0;
+      for (std::size_t i = 0; i < dimensions(); ++i) {
+        sum += (row[i] - mean_[i]) * axis[i];
+      }
+      out(r, c) = sum;
+    }
+  }
+  return out;
+}
+
+}  // namespace v2v::ml

@@ -1,0 +1,52 @@
+// Principal Component Analysis (paper §IV): mean-center, form the d x d
+// covariance matrix, diagonalize it with a cyclic Jacobi eigensolver, and
+// project onto the leading eigenvectors. Exact and dependency-free; d is
+// at most ~1000 in all V2V experiments, so O(d^3) is fine.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "v2v/common/matrix.hpp"
+
+namespace v2v::ml {
+
+class Pca {
+ public:
+  /// Fits on the rows of `points`. Throws on empty input.
+  explicit Pca(const MatrixF& points);
+
+  [[nodiscard]] std::size_t dimensions() const noexcept { return mean_.size(); }
+
+  /// Eigenvalues of the covariance matrix, descending; size = d.
+  [[nodiscard]] const std::vector<double>& eigenvalues() const noexcept {
+    return eigenvalues_;
+  }
+
+  /// Component c as a unit vector (row c of the rotation), c < d.
+  [[nodiscard]] std::vector<double> component(std::size_t c) const;
+
+  /// Fraction of total variance captured by the first `count` components.
+  [[nodiscard]] double explained_variance(std::size_t count) const;
+
+  /// Projects rows of `points` onto the first `components` principal axes.
+  [[nodiscard]] MatrixD transform(const MatrixF& points, std::size_t components) const;
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> eigenvalues_;   // descending
+  MatrixD components_;                // row i = i-th principal axis
+};
+
+/// Symmetric eigendecomposition by cyclic Jacobi rotations. `matrix` is a
+/// dense symmetric d x d; returns (eigenvalues, eigenvectors-as-rows)
+/// sorted by descending eigenvalue. Exposed for testing.
+struct EigenDecomposition {
+  std::vector<double> values;
+  MatrixD vectors;  // row i corresponds to values[i]
+};
+[[nodiscard]] EigenDecomposition jacobi_eigen_symmetric(MatrixD matrix,
+                                                        std::size_t max_sweeps = 64,
+                                                        double tolerance = 1e-12);
+
+}  // namespace v2v::ml

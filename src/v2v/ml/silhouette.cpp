@@ -1,0 +1,84 @@
+#include "v2v/ml/silhouette.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "v2v/common/vec_math.hpp"
+#include "v2v/ml/kmeans.hpp"
+
+namespace v2v::ml {
+
+std::vector<double> silhouette_samples(const MatrixF& points,
+                                       std::span<const std::uint32_t> assignment) {
+  const std::size_t n = points.rows();
+  if (assignment.size() != n) {
+    throw std::invalid_argument("silhouette: assignment size mismatch");
+  }
+  std::uint32_t k = 0;
+  for (const auto c : assignment) k = std::max(k, c + 1);
+  std::vector<std::size_t> cluster_size(k, 0);
+  for (const auto c : assignment) ++cluster_size[c];
+
+  std::vector<double> samples(n, 0.0);
+  std::vector<double> mean_to_cluster(k);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (cluster_size[assignment[i]] <= 1) continue;  // singleton: s = 0
+    std::fill(mean_to_cluster.begin(), mean_to_cluster.end(), 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double d = std::sqrt(squared_distance(
+          std::span<const float>(points.row(i)), std::span<const float>(points.row(j))));
+      mean_to_cluster[assignment[j]] += d;
+    }
+    const std::uint32_t own = assignment[i];
+    double a = mean_to_cluster[own] / static_cast<double>(cluster_size[own] - 1);
+    double b = std::numeric_limits<double>::max();
+    for (std::uint32_t c = 0; c < k; ++c) {
+      if (c == own || cluster_size[c] == 0) continue;
+      b = std::min(b, mean_to_cluster[c] / static_cast<double>(cluster_size[c]));
+    }
+    if (b == std::numeric_limits<double>::max()) continue;  // single cluster
+    const double denom = std::max(a, b);
+    samples[i] = denom > 0.0 ? (b - a) / denom : 0.0;
+  }
+  return samples;
+}
+
+double silhouette_score(const MatrixF& points,
+                        std::span<const std::uint32_t> assignment) {
+  const auto samples = silhouette_samples(points, assignment);
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double s : samples) sum += s;
+  return sum / static_cast<double>(samples.size());
+}
+
+KSelection select_k_by_silhouette(const MatrixF& points, std::size_t k_min,
+                                  std::size_t k_max, std::size_t restarts,
+                                  std::uint64_t seed) {
+  if (k_min < 2) throw std::invalid_argument("select_k: k_min must be >= 2");
+  if (k_max < k_min) throw std::invalid_argument("select_k: k_max < k_min");
+  if (k_max > points.rows()) {
+    throw std::invalid_argument("select_k: k_max exceeds number of points");
+  }
+  KSelection selection;
+  double best = -2.0;
+  for (std::size_t k = k_min; k <= k_max; ++k) {
+    KMeansConfig config;
+    config.k = k;
+    config.restarts = restarts;
+    config.seed = seed + k;
+    const auto clusters = kmeans(points, config);
+    const double score = silhouette_score(points, clusters.assignment);
+    selection.scores.emplace_back(k, score);
+    if (score > best) {
+      best = score;
+      selection.best_k = k;
+    }
+  }
+  return selection;
+}
+
+}  // namespace v2v::ml

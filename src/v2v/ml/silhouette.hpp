@@ -1,0 +1,39 @@
+// Silhouette analysis (Rousseeuw 1987) for choosing the number of
+// clusters — the paper's §VII calls for "a principled manner of selecting
+// the various parameters"; silhouette over the embedding space answers
+// the k-selection part without ground truth.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "v2v/common/matrix.hpp"
+
+namespace v2v::ml {
+
+/// Per-point silhouette s(i) = (b_i - a_i) / max(a_i, b_i), where a_i is
+/// the mean distance to the point's own cluster and b_i the mean distance
+/// to the nearest other cluster. Points in singleton clusters score 0.
+/// Exact O(n^2 d) Euclidean computation.
+[[nodiscard]] std::vector<double> silhouette_samples(
+    const MatrixF& points, std::span<const std::uint32_t> assignment);
+
+/// Mean silhouette over all points, in [-1, 1]; higher is better.
+[[nodiscard]] double silhouette_score(const MatrixF& points,
+                                      std::span<const std::uint32_t> assignment);
+
+struct KSelection {
+  std::size_t best_k = 0;
+  std::vector<std::pair<std::size_t, double>> scores;  ///< (k, silhouette)
+};
+
+/// Clusters `points` with k-means for every k in [k_min, k_max] and
+/// returns the silhouette curve plus its argmax. `restarts` and `seed`
+/// feed the underlying k-means.
+[[nodiscard]] KSelection select_k_by_silhouette(const MatrixF& points,
+                                                std::size_t k_min, std::size_t k_max,
+                                                std::size_t restarts = 10,
+                                                std::uint64_t seed = 1);
+
+}  // namespace v2v::ml

@@ -1,0 +1,181 @@
+#include "v2v/ml/tsne.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "v2v/common/rng.hpp"
+#include "v2v/common/vec_math.hpp"
+
+namespace v2v::ml {
+namespace {
+
+/// Pairwise squared Euclidean distances between rows.
+MatrixD pairwise_sqdist(const MatrixF& points) {
+  const std::size_t n = points.rows();
+  MatrixD d2(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = squared_distance(std::span<const float>(points.row(i)),
+                                        std::span<const float>(points.row(j)));
+      d2(i, j) = d;
+      d2(j, i) = d;
+    }
+  }
+  return d2;
+}
+
+/// Calibrates row i's Gaussian bandwidth so the conditional distribution
+/// has the requested perplexity; writes p_{j|i} into row i of `p`.
+void calibrate_row(const MatrixD& d2, std::size_t i, double perplexity, MatrixD& p) {
+  const std::size_t n = d2.rows();
+  const double target_entropy = std::log(perplexity);
+  double beta = 1.0, beta_lo = 0.0, beta_hi = std::numeric_limits<double>::max();
+
+  for (int iter = 0; iter < 64; ++iter) {
+    double sum = 0.0, weighted = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double w = std::exp(-beta * d2(i, j));
+      p(i, j) = w;
+      sum += w;
+      weighted += w * d2(i, j);
+    }
+    if (sum <= 0.0) {
+      // All neighbors infinitely far at this beta; soften and retry.
+      beta /= 10.0;
+      continue;
+    }
+    const double entropy = std::log(sum) + beta * weighted / sum;
+    const double diff = entropy - target_entropy;
+    if (std::abs(diff) < 1e-5) break;
+    if (diff > 0) {  // entropy too high -> sharpen
+      beta_lo = beta;
+      beta = beta_hi == std::numeric_limits<double>::max() ? beta * 2 : (beta + beta_hi) / 2;
+    } else {
+      beta_hi = beta;
+      beta = (beta + beta_lo) / 2;
+    }
+  }
+  double sum = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j != i) sum += p(i, j);
+  }
+  const double inv = sum > 0 ? 1.0 / sum : 0.0;
+  for (std::size_t j = 0; j < n; ++j) p(i, j) = j == i ? 0.0 : p(i, j) * inv;
+}
+
+}  // namespace
+
+TsneResult tsne_2d(const MatrixF& points, const TsneConfig& config) {
+  const std::size_t n = points.rows();
+  if (n == 0) throw std::invalid_argument("tsne: empty input");
+  if (n < 4) throw std::invalid_argument("tsne: need at least 4 points");
+  if (config.perplexity * 3.0 >= static_cast<double>(n)) {
+    throw std::invalid_argument("tsne: perplexity too large for n");
+  }
+
+  // High-dimensional affinities: symmetrized conditional Gaussians.
+  const MatrixD d2 = pairwise_sqdist(points);
+  MatrixD p(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) calibrate_row(d2, i, config.perplexity, p);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double sym = std::max((p(i, j) + p(j, i)) / (2.0 * static_cast<double>(n)),
+                                  1e-12);
+      p(i, j) = sym;
+      p(j, i) = sym;
+    }
+    p(i, i) = 0.0;
+  }
+
+  // Init: small Gaussian cloud.
+  Rng rng(config.seed);
+  std::vector<double> y(2 * n), velocity(2 * n, 0.0), gains(2 * n, 1.0);
+  for (auto& coord : y) coord = rng.next_gaussian() * 1e-2;
+
+  std::vector<double> q_num(n * n);  // Student-t numerators
+  std::vector<double> grad(2 * n);
+  TsneResult result;
+
+  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    const double exaggeration =
+        iter < config.exaggeration_iters ? config.early_exaggeration : 1.0;
+
+    // Low-dimensional affinities (Student t, dof 1).
+    double q_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      q_num[i * n + i] = 0.0;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double dx = y[2 * i] - y[2 * j];
+        const double dy = y[2 * i + 1] - y[2 * j + 1];
+        const double num = 1.0 / (1.0 + dx * dx + dy * dy);
+        q_num[i * n + j] = num;
+        q_num[j * n + i] = num;
+        q_sum += 2.0 * num;
+      }
+    }
+    q_sum = std::max(q_sum, 1e-12);
+
+    // Gradient: 4 * sum_j (exagg*p_ij - q_ij) * num_ij * (y_i - y_j).
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double num = q_num[i * n + j];
+        const double q = num / q_sum;
+        const double mult = (exaggeration * p(i, j) - q) * num;
+        grad[2 * i] += 4.0 * mult * (y[2 * i] - y[2 * j]);
+        grad[2 * i + 1] += 4.0 * mult * (y[2 * i + 1] - y[2 * j + 1]);
+      }
+    }
+
+    // Momentum update with per-coordinate adaptive gains.
+    const double momentum =
+        iter < config.momentum_switch ? config.momentum : config.final_momentum;
+    for (std::size_t c = 0; c < 2 * n; ++c) {
+      const bool same_sign = (grad[c] > 0) == (velocity[c] > 0);
+      gains[c] = same_sign ? std::max(gains[c] * 0.8, 0.01) : gains[c] + 0.2;
+      velocity[c] = momentum * velocity[c] - config.learning_rate * gains[c] * grad[c];
+      y[c] += velocity[c];
+    }
+
+    // Re-center to keep the solution bounded.
+    double mean_x = 0.0, mean_y = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      mean_x += y[2 * i];
+      mean_y += y[2 * i + 1];
+    }
+    mean_x /= static_cast<double>(n);
+    mean_y /= static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      y[2 * i] -= mean_x;
+      y[2 * i + 1] -= mean_y;
+    }
+  }
+
+  // Final KL divergence (without exaggeration).
+  double q_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) q_sum += 2.0 * q_num[i * n + j];
+  }
+  q_sum = std::max(q_sum, 1e-12);
+  double kl = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double q = std::max(q_num[i * n + j] / q_sum, 1e-12);
+      kl += p(i, j) * std::log(p(i, j) / q);
+    }
+  }
+  result.kl_divergence = kl;
+
+  result.positions.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.positions[i] = {y[2 * i], y[2 * i + 1]};
+  }
+  return result;
+}
+
+}  // namespace v2v::ml

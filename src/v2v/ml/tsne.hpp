@@ -1,0 +1,37 @@
+// t-SNE (van der Maaten & Hinton 2008) — the second visualization method
+// the paper cites (§I) next to PCA. Exact O(n^2) implementation with the
+// standard refinements: binary-search perplexity calibration, symmetrized
+// affinities, early exaggeration, and momentum gradient descent. Intended
+// for the paper-scale inputs (a few thousand points).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "v2v/common/matrix.hpp"
+#include "v2v/common/point.hpp"
+
+namespace v2v::ml {
+
+struct TsneConfig {
+  double perplexity = 30.0;       ///< effective number of neighbors
+  std::size_t iterations = 500;
+  double learning_rate = 200.0;
+  double early_exaggeration = 12.0;
+  std::size_t exaggeration_iters = 100;
+  double momentum = 0.5;          ///< switches to final_momentum later
+  double final_momentum = 0.8;
+  std::size_t momentum_switch = 250;
+  std::uint64_t seed = 1;
+};
+
+struct TsneResult {
+  std::vector<Point2> positions;
+  double kl_divergence = 0.0;     ///< final objective value
+};
+
+/// Embeds the rows of `points` into 2-D. Throws std::invalid_argument for
+/// empty input or perplexity >= n/3 (the calibration would be degenerate).
+[[nodiscard]] TsneResult tsne_2d(const MatrixF& points, const TsneConfig& config = {});
+
+}  // namespace v2v::ml

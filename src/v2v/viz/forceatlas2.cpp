@@ -1,0 +1,150 @@
+#include "v2v/viz/forceatlas2.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace v2v::viz {
+
+LayoutResult layout_forceatlas2(const graph::Graph& g, const ForceAtlas2Config& config) {
+  const std::size_t n = g.vertex_count();
+  LayoutResult result;
+  result.positions.resize(n);
+  if (n == 0) return result;
+
+  Rng rng(config.seed);
+  for (auto& p : result.positions) {
+    p.x = rng.next_double(-1.0, 1.0) * std::sqrt(static_cast<double>(n));
+    p.y = rng.next_double(-1.0, 1.0) * std::sqrt(static_cast<double>(n));
+  }
+
+  std::vector<double> mass(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    mass[v] = static_cast<double>(g.out_degree(static_cast<graph::VertexId>(v))) + 1.0;
+  }
+
+  std::vector<Point2> force(n), prev_force(n);
+  double speed = 1.0;
+  double speed_efficiency = 1.0;
+
+  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    std::fill(force.begin(), force.end(), Point2{});
+
+    // Pairwise repulsion, O(n^2).
+    for (std::size_t u = 0; u < n; ++u) {
+      for (std::size_t v = u + 1; v < n; ++v) {
+        double dx = result.positions[u].x - result.positions[v].x;
+        double dy = result.positions[u].y - result.positions[v].y;
+        double d2 = dx * dx + dy * dy;
+        if (d2 < 1e-9) {  // coincident: nudge apart deterministically
+          dx = 1e-3 * (static_cast<double>(u % 7) - 3.0 + 0.1);
+          dy = 1e-3 * (static_cast<double>(v % 5) - 2.0 + 0.1);
+          d2 = dx * dx + dy * dy;
+        }
+        const double f = config.repulsion * mass[u] * mass[v] / d2;
+        force[u].x += dx * f;
+        force[u].y += dy * f;
+        force[v].x -= dx * f;
+        force[v].y -= dy * f;
+      }
+    }
+
+    // Attraction along arcs (each undirected edge contributes twice with
+    // half strength via its two arcs; directed arcs act once).
+    const double arc_scale = g.directed() ? 1.0 : 0.5;
+    for (graph::VertexId u = 0; u < n; ++u) {
+      for (const graph::VertexId v : g.neighbors(u)) {
+        if (u == v) continue;
+        const double dx = result.positions[v].x - result.positions[u].x;
+        const double dy = result.positions[v].y - result.positions[u].y;
+        const double d = std::sqrt(dx * dx + dy * dy);
+        if (d < 1e-12) continue;
+        const double f =
+            arc_scale * (config.linlog ? std::log1p(d) / d : 1.0);
+        force[u].x += dx * f;
+        force[u].y += dy * f;
+        if (g.directed()) {
+          // Pull the target symmetrically so directed graphs don't drift.
+          force[v].x -= dx * f;
+          force[v].y -= dy * f;
+        }
+      }
+    }
+
+    // Gravity toward the origin keeps disconnected parts on canvas.
+    for (std::size_t v = 0; v < n; ++v) {
+      const double d = std::hypot(result.positions[v].x, result.positions[v].y);
+      if (d > 1e-12) {
+        const double f = config.gravity * mass[v] / d;
+        force[v].x -= result.positions[v].x * f;
+        force[v].y -= result.positions[v].y * f;
+      }
+    }
+
+    // Adaptive speed from global swing/traction (FA2 §"speed").
+    double swing = 0.0, traction = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      const double sx = force[v].x - prev_force[v].x;
+      const double sy = force[v].y - prev_force[v].y;
+      const double tx = force[v].x + prev_force[v].x;
+      const double ty = force[v].y + prev_force[v].y;
+      swing += mass[v] * std::hypot(sx, sy);
+      traction += 0.5 * mass[v] * std::hypot(tx, ty);
+    }
+    const double estimated = config.jitter_tolerance * config.jitter_tolerance *
+                             traction / (swing + 1e-12);
+    const double target_speed = std::min(estimated * speed_efficiency, 10.0);
+    if (target_speed > speed * 1.5) {
+      speed *= 1.5;
+    } else {
+      speed = std::max(target_speed, speed * 0.5);
+    }
+    speed_efficiency = std::clamp(speed_efficiency, 0.05, 1.0);
+    result.final_swing = swing / static_cast<double>(n);
+
+    for (std::size_t v = 0; v < n; ++v) {
+      const double local_swing =
+          std::hypot(force[v].x - prev_force[v].x, force[v].y - prev_force[v].y);
+      const double factor = speed / (1.0 + std::sqrt(speed * local_swing));
+      result.positions[v].x += force[v].x * factor;
+      result.positions[v].y += force[v].y * factor;
+    }
+    prev_force = force;
+  }
+  return result;
+}
+
+double group_separation(const std::vector<Point2>& positions,
+                        const std::vector<std::uint32_t>& group) {
+  std::unordered_map<std::uint32_t, Point2> centroid;
+  std::unordered_map<std::uint32_t, std::size_t> count;
+  for (std::size_t v = 0; v < positions.size(); ++v) {
+    centroid[group[v]].x += positions[v].x;
+    centroid[group[v]].y += positions[v].y;
+    ++count[group[v]];
+  }
+  for (auto& [label, c] : centroid) {
+    c.x /= static_cast<double>(count[label]);
+    c.y /= static_cast<double>(count[label]);
+  }
+
+  double spread = 0.0;
+  for (std::size_t v = 0; v < positions.size(); ++v) {
+    const auto& c = centroid[group[v]];
+    spread += std::hypot(positions[v].x - c.x, positions[v].y - c.y);
+  }
+  spread /= static_cast<double>(std::max<std::size_t>(positions.size(), 1));
+
+  double between = 0.0;
+  std::size_t pairs = 0;
+  for (auto it = centroid.begin(); it != centroid.end(); ++it) {
+    for (auto jt = std::next(it); jt != centroid.end(); ++jt) {
+      between += std::hypot(it->second.x - jt->second.x, it->second.y - jt->second.y);
+      ++pairs;
+    }
+  }
+  if (pairs == 0 || spread <= 1e-12) return 0.0;
+  return (between / static_cast<double>(pairs)) / spread;
+}
+
+}  // namespace v2v::viz

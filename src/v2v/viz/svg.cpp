@@ -1,0 +1,125 @@
+#include "v2v/viz/svg.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+namespace v2v::viz {
+namespace {
+
+struct Scale {
+  double min_x, min_y, span_x, span_y;
+  int width, height, margin;
+
+  [[nodiscard]] double sx(double x) const {
+    return margin + (x - min_x) / span_x * (width - 2 * margin);
+  }
+  [[nodiscard]] double sy(double y) const {
+    // Flip y so "up" in data space is up on screen.
+    return height - margin - (y - min_y) / span_y * (height - 2 * margin);
+  }
+};
+
+Scale fit(const std::vector<Point2>& points, const SvgOptions& options) {
+  double min_x = std::numeric_limits<double>::max(), max_x = -min_x;
+  double min_y = min_x, max_y = max_x;
+  for (const auto& p : points) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  if (points.empty()) min_x = min_y = 0.0, max_x = max_y = 1.0;
+  const double span_x = std::max(max_x - min_x, 1e-9);
+  const double span_y = std::max(max_y - min_y, 1e-9);
+  return {min_x, min_y, span_x, span_y, options.width, options.height, 30};
+}
+
+std::ofstream open_svg(const std::string& path, const SvgOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("svg: cannot open " + path);
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << options.width
+      << "\" height=\"" << options.height << "\">\n"
+      << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  if (!options.title.empty()) {
+    out << "<text x=\"12\" y=\"20\" font-family=\"sans-serif\" font-size=\"14\">"
+        << options.title << "</text>\n";
+  }
+  return out;
+}
+
+void emit_legend(std::ofstream& out, const SvgOptions& options) {
+  for (std::size_t c = 0; c < options.class_names.size(); ++c) {
+    const int y = 40 + static_cast<int>(c) * 18;
+    out << "<circle cx=\"16\" cy=\"" << y << "\" r=\"5\" fill=\""
+        << svg_palette()[c % svg_palette().size()] << "\"/>\n"
+        << "<text x=\"26\" y=\"" << y + 4
+        << "\" font-family=\"sans-serif\" font-size=\"12\">" << options.class_names[c]
+        << "</text>\n";
+  }
+}
+
+void emit_points(std::ofstream& out, const std::vector<Point2>& points,
+                 const std::vector<std::uint32_t>& classes, const Scale& scale,
+                 double radius) {
+  const auto& palette = svg_palette();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const std::string& color =
+        classes.empty() ? palette[0] : palette[classes[i] % palette.size()];
+    out << "<circle cx=\"" << scale.sx(points[i].x) << "\" cy=\""
+        << scale.sy(points[i].y) << "\" r=\"" << radius << "\" fill=\"" << color
+        << "\" fill-opacity=\"0.8\"/>\n";
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& svg_palette() {
+  static const std::vector<std::string> palette = {
+      "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b",
+      "#e377c2", "#7f7f7f", "#bcbd22", "#17becf", "#aec7e8", "#ffbb78"};
+  return palette;
+}
+
+void write_scatter_svg(const std::string& path, const std::vector<Point2>& points,
+                       const std::vector<std::uint32_t>& classes,
+                       const SvgOptions& options) {
+  if (!classes.empty() && classes.size() != points.size()) {
+    throw std::invalid_argument("svg: classes/points size mismatch");
+  }
+  auto out = open_svg(path, options);
+  const Scale scale = fit(points, options);
+  emit_points(out, points, classes, scale, options.point_radius);
+  emit_legend(out, options);
+  out << "</svg>\n";
+}
+
+void write_graph_svg(const std::string& path, const graph::Graph& g,
+                     const std::vector<Point2>& positions,
+                     const std::vector<std::uint32_t>& classes,
+                     const SvgOptions& options) {
+  if (positions.size() != g.vertex_count()) {
+    throw std::invalid_argument("svg: positions/graph size mismatch");
+  }
+  auto out = open_svg(path, options);
+  const Scale scale = fit(positions, options);
+  if (options.draw_edges) {
+    // Edges first so points draw on top.
+    out << "<g stroke=\"#cccccc\" stroke-width=\"0.4\" stroke-opacity=\"0.5\">\n";
+    for (graph::VertexId u = 0; u < g.vertex_count(); ++u) {
+      for (const graph::VertexId v : g.neighbors(u)) {
+        if (!g.directed() && v < u) continue;
+        out << "<line x1=\"" << scale.sx(positions[u].x) << "\" y1=\""
+            << scale.sy(positions[u].y) << "\" x2=\"" << scale.sx(positions[v].x)
+            << "\" y2=\"" << scale.sy(positions[v].y) << "\"/>\n";
+      }
+    }
+    out << "</g>\n";
+  }
+  emit_points(out, positions, classes, scale, options.point_radius);
+  emit_legend(out, options);
+  out << "</svg>\n";
+}
+
+}  // namespace v2v::viz

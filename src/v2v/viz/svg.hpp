@@ -1,0 +1,37 @@
+// SVG emission so the reproduced figures (3, 4, 8) can actually be viewed.
+// Points are auto-scaled to the canvas; classes map to a 12-color palette.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "v2v/graph/graph.hpp"
+#include "v2v/viz/forceatlas2.hpp"
+
+namespace v2v::viz {
+
+struct SvgOptions {
+  int width = 900;
+  int height = 900;
+  double point_radius = 3.0;
+  bool draw_edges = true;         ///< write_graph_svg only; scatter has no edges
+  std::string title;
+  std::vector<std::string> class_names;  ///< legend labels, optional
+};
+
+/// Scatter plot of 2-D points colored by class id.
+void write_scatter_svg(const std::string& path, const std::vector<Point2>& points,
+                       const std::vector<std::uint32_t>& classes,
+                       const SvgOptions& options = {});
+
+/// Graph drawing: layout positions + edges + class colors (Fig 3 style).
+void write_graph_svg(const std::string& path, const graph::Graph& g,
+                     const std::vector<Point2>& positions,
+                     const std::vector<std::uint32_t>& classes,
+                     const SvgOptions& options = {});
+
+/// The palette used for class colors (cycled when classes exceed it).
+[[nodiscard]] const std::vector<std::string>& svg_palette();
+
+}  // namespace v2v::viz

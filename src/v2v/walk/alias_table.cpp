@@ -1,0 +1,53 @@
+#include "v2v/walk/alias_table.hpp"
+
+#include <stdexcept>
+
+namespace v2v::walk {
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  if (n == 0) throw std::invalid_argument("AliasTable: empty weights");
+  double total = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("AliasTable: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("AliasTable: all-zero weights");
+
+  probability_.resize(n);
+  alias_.resize(n);
+  // Scaled probabilities; entries > 1 are "large", < 1 are "small".
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    probability_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers are exactly 1 up to rounding.
+  for (const std::uint32_t i : large) {
+    probability_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (const std::uint32_t i : small) {
+    probability_[i] = 1.0;
+    alias_[i] = i;
+  }
+}
+
+}  // namespace v2v::walk

@@ -1,0 +1,35 @@
+// Walker's alias method (Vose's variant) for O(1) sampling from a discrete
+// distribution. Used for weight-biased random-walk steps and for the
+// unigram^0.75 negative-sampling table in the embedding trainer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "v2v/common/rng.hpp"
+
+namespace v2v::walk {
+
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Builds from non-negative weights; at least one must be positive.
+  explicit AliasTable(std::span<const double> weights);
+
+  [[nodiscard]] std::size_t size() const noexcept { return probability_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return probability_.empty(); }
+
+  /// Samples an index with probability weight[i] / sum(weights). O(1).
+  [[nodiscard]] std::size_t sample(Rng& rng) const noexcept {
+    const std::size_t slot = rng.next_below(probability_.size());
+    return rng.next_double() < probability_[slot] ? slot : alias_[slot];
+  }
+
+ private:
+  std::vector<double> probability_;
+  std::vector<std::uint32_t> alias_;
+};
+
+}  // namespace v2v::walk

@@ -1,0 +1,22 @@
+#include "v2v/walk/corpus.hpp"
+
+namespace v2v::walk {
+
+void Corpus::append(const Corpus& other) {
+  const std::size_t base = tokens_.size();
+  tokens_.insert(tokens_.end(), other.tokens_.begin(), other.tokens_.end());
+  offsets_.reserve(offsets_.size() + other.walk_count());
+  for (std::size_t i = 1; i < other.offsets_.size(); ++i) {
+    offsets_.push_back(base + other.offsets_[i]);
+  }
+}
+
+std::vector<std::uint64_t> Corpus::vertex_frequencies(std::size_t vocab) const {
+  std::vector<std::uint64_t> freq(vocab, 0);
+  for (const auto token : tokens_) {
+    if (token < vocab) ++freq[token];
+  }
+  return freq;
+}
+
+}  // namespace v2v::walk

@@ -1,0 +1,48 @@
+// A corpus of vertex sequences ("sentences") produced by random walks.
+// Stored flat (tokens + offsets) so the CBOW trainer streams it with zero
+// pointer chasing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "v2v/graph/graph.hpp"
+
+namespace v2v::walk {
+
+class Corpus {
+ public:
+  Corpus() = default;
+
+  void reserve(std::size_t walks, std::size_t tokens) {
+    offsets_.reserve(walks + 1);
+    tokens_.reserve(tokens);
+  }
+
+  void add_walk(std::span<const graph::VertexId> walk) {
+    tokens_.insert(tokens_.end(), walk.begin(), walk.end());
+    offsets_.push_back(tokens_.size());
+  }
+
+  /// Appends all walks of `other` (used to merge per-thread shards).
+  void append(const Corpus& other);
+
+  [[nodiscard]] std::size_t walk_count() const noexcept { return offsets_.size() - 1; }
+  [[nodiscard]] std::size_t token_count() const noexcept { return tokens_.size(); }
+
+  [[nodiscard]] std::span<const graph::VertexId> walk(std::size_t i) const noexcept {
+    return {tokens_.data() + offsets_[i], offsets_[i + 1] - offsets_[i]};
+  }
+
+  [[nodiscard]] std::span<const graph::VertexId> tokens() const noexcept { return tokens_; }
+
+  /// Occurrence count per vertex id in [0, vocab); ids >= vocab are ignored.
+  [[nodiscard]] std::vector<std::uint64_t> vertex_frequencies(std::size_t vocab) const;
+
+ private:
+  std::vector<graph::VertexId> tokens_;
+  std::vector<std::size_t> offsets_{0};
+};
+
+}  // namespace v2v::walk

@@ -1,0 +1,98 @@
+#include "v2v/walk/second_order.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "v2v/common/thread_pool.hpp"
+
+namespace v2v::walk {
+
+Node2VecWalker::Node2VecWalker(const graph::Graph& g, const Node2VecConfig& config)
+    : graph_(g), config_(config) {
+  if (config_.walk_length == 0) {
+    throw std::invalid_argument("node2vec: walk_length must be >= 1");
+  }
+  if (config_.p <= 0.0 || config_.q <= 0.0) {
+    throw std::invalid_argument("node2vec: p and q must be positive");
+  }
+  sorted_neighbors_.resize(g.vertex_count());
+  for (graph::VertexId v = 0; v < g.vertex_count(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    sorted_neighbors_[v].assign(nbrs.begin(), nbrs.end());
+    std::sort(sorted_neighbors_[v].begin(), sorted_neighbors_[v].end());
+  }
+  max_weight_ = std::max({1.0, 1.0 / config_.p, 1.0 / config_.q});
+}
+
+bool Node2VecWalker::adjacent(graph::VertexId u, graph::VertexId v) const noexcept {
+  const auto& nbrs = sorted_neighbors_[u];
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+void Node2VecWalker::walk_from(graph::VertexId start, Rng& rng,
+                               std::vector<graph::VertexId>& out) const {
+  out.clear();
+  out.push_back(start);
+
+  // First step is uniform (no previous vertex yet).
+  auto first_nbrs = graph_.neighbors(start);
+  if (first_nbrs.empty() || config_.walk_length == 1) return;
+  graph::VertexId prev = start;
+  graph::VertexId current = first_nbrs[rng.next_below(first_nbrs.size())];
+  out.push_back(current);
+
+  while (out.size() < config_.walk_length) {
+    const auto nbrs = graph_.neighbors(current);
+    if (nbrs.empty()) break;
+    // Rejection sampling: draw a uniform candidate, accept with
+    // probability weight(candidate) / max_weight.
+    graph::VertexId next = 0;
+    for (;;) {
+      const graph::VertexId candidate = nbrs[rng.next_below(nbrs.size())];
+      double weight;
+      if (candidate == prev) {
+        weight = 1.0 / config_.p;
+      } else if (adjacent(prev, candidate)) {
+        weight = 1.0;
+      } else {
+        weight = 1.0 / config_.q;
+      }
+      if (rng.next_double() * max_weight_ <= weight) {
+        next = candidate;
+        break;
+      }
+    }
+    prev = current;
+    current = next;
+    out.push_back(current);
+  }
+}
+
+Corpus generate_corpus_node2vec(const graph::Graph& g, const Node2VecConfig& config,
+                                std::uint64_t seed) {
+  const Node2VecWalker walker(g, config);
+  const std::size_t n = g.vertex_count();
+  const std::size_t threads = std::max<std::size_t>(1, config.threads);
+
+  std::vector<Corpus> shards(threads);
+  const Rng root(seed);
+  parallel_for_once(threads, n, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+    Corpus& shard = shards[chunk];
+    std::vector<graph::VertexId> buffer;
+    buffer.reserve(config.walk_length);
+    for (std::size_t v = begin; v < end; ++v) {
+      Rng rng = root.fork(v);
+      for (std::size_t w = 0; w < config.walks_per_vertex; ++w) {
+        walker.walk_from(static_cast<graph::VertexId>(v), rng, buffer);
+        shard.add_walk(buffer);
+      }
+    }
+  });
+
+  if (threads == 1) return std::move(shards[0]);
+  Corpus merged;
+  for (const auto& shard : shards) merged.append(shard);
+  return merged;
+}
+
+}  // namespace v2v::walk

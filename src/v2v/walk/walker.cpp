@@ -1,0 +1,149 @@
+#include "v2v/walk/walker.hpp"
+
+#include <stdexcept>
+
+#include "v2v/common/thread_pool.hpp"
+
+namespace v2v::walk {
+
+Walker::Walker(const graph::Graph& g, const WalkConfig& config)
+    : graph_(g), config_(config) {
+  if (config_.walk_length == 0) {
+    throw std::invalid_argument("Walker: walk_length must be >= 1");
+  }
+  if (config_.temporal && !g.has_timestamps()) {
+    throw std::invalid_argument("Walker: temporal walks need edge timestamps");
+  }
+  constrained_ = config_.temporal;
+
+  // Static biased steps use per-vertex alias tables; temporal walks cannot
+  // (the admissible arc set changes per step), they fall back to a linear
+  // weighted scan in step().
+  if (!constrained_ && config_.bias != StepBias::kUniform) {
+    use_alias_ = true;
+    alias_.resize(g.vertex_count());
+    std::vector<double> weights;
+    for (graph::VertexId v = 0; v < g.vertex_count(); ++v) {
+      const auto nbrs = g.neighbors(v);
+      if (nbrs.empty()) continue;
+      weights.clear();
+      weights.reserve(nbrs.size());
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        weights.push_back(config_.bias == StepBias::kEdgeWeight
+                              ? g.arc_weight_at(v, i)
+                              : g.vertex_weight(nbrs[i]));
+      }
+      double total = 0.0;
+      for (const double w : weights) total += w;
+      if (total > 0.0) alias_[v] = AliasTable(weights);
+      // All-zero weights leave an empty table: treated as a dead end.
+    }
+  }
+}
+
+std::optional<std::pair<graph::VertexId, double>> Walker::step(
+    graph::VertexId current, double prev_timestamp, Rng& rng) const {
+  const auto nbrs = graph_.neighbors(current);
+  if (nbrs.empty()) return std::nullopt;
+
+  if (!constrained_) {
+    if (config_.bias == StepBias::kUniform) {
+      const std::size_t pick = rng.next_below(nbrs.size());
+      return std::make_pair(nbrs[pick], graph::kNoTimestamp);
+    }
+    const AliasTable& table = alias_[current];
+    if (table.empty()) return std::nullopt;  // all candidate weights zero
+    const std::size_t pick = table.sample(rng);
+    return std::make_pair(nbrs[pick], graph::kNoTimestamp);
+  }
+
+  // Temporal step: gather admissible arcs and their bias weights, then
+  // sample by cumulative weight. O(out_degree) per step.
+  const auto timestamps = graph_.arc_timestamps(current);
+  double total = 0.0;
+  thread_local std::vector<std::pair<std::size_t, double>> candidates;
+  candidates.clear();
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    const double ts = timestamps[i];
+    if (prev_timestamp != graph::kNoTimestamp) {
+      if (ts < prev_timestamp) continue;
+      if (config_.time_window > 0.0 && ts - prev_timestamp > config_.time_window) continue;
+    }
+    double w = 1.0;
+    if (config_.bias == StepBias::kEdgeWeight) {
+      w = graph_.arc_weight_at(current, i);
+    } else if (config_.bias == StepBias::kVertexWeight) {
+      w = graph_.vertex_weight(nbrs[i]);
+    }
+    if (w <= 0.0) continue;
+    total += w;
+    candidates.emplace_back(i, total);
+  }
+  if (candidates.empty()) return std::nullopt;
+  const double target = rng.next_double() * total;
+  // Binary search over the cumulative weights.
+  std::size_t lo = 0, hi = candidates.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (candidates[mid].second <= target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  const std::size_t arc = candidates[lo].first;
+  return std::make_pair(nbrs[arc], timestamps[arc]);
+}
+
+void Walker::walk_from(graph::VertexId start, Rng& rng,
+                       std::vector<graph::VertexId>& out) const {
+  out.clear();
+  out.push_back(start);
+  graph::VertexId current = start;
+  double prev_ts = graph::kNoTimestamp;
+  while (out.size() < config_.walk_length) {
+    const auto next = step(current, prev_ts, rng);
+    if (!next) break;  // dead end (directed sink / temporal cul-de-sac)
+    current = next->first;
+    prev_ts = next->second;
+    out.push_back(current);
+  }
+}
+
+Corpus generate_corpus(const graph::Graph& g, const WalkConfig& config,
+                       std::uint64_t seed) {
+  const Walker walker(g, config);
+  const std::size_t n = g.vertex_count();
+  const std::size_t threads = std::max<std::size_t>(1, config.threads);
+
+  std::vector<Corpus> shards(threads);
+  const Rng root(seed);
+  parallel_for_once(threads, n, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+    Corpus& shard = shards[chunk];
+    shard.reserve((end - begin) * config.walks_per_vertex,
+                  (end - begin) * config.walks_per_vertex * config.walk_length);
+    std::vector<graph::VertexId> buffer;
+    buffer.reserve(config.walk_length);
+    for (std::size_t v = begin; v < end; ++v) {
+      // Per-vertex stream: deterministic regardless of the thread count.
+      Rng rng = root.fork(v);
+      for (std::size_t w = 0; w < config.walks_per_vertex; ++w) {
+        walker.walk_from(static_cast<graph::VertexId>(v), rng, buffer);
+        shard.add_walk(buffer);
+      }
+    }
+  });
+
+  if (threads == 1) return std::move(shards[0]);
+  Corpus merged;
+  std::size_t walks = 0, tokens = 0;
+  for (const auto& shard : shards) {
+    walks += shard.walk_count();
+    tokens += shard.token_count();
+  }
+  merged.reserve(walks, tokens);
+  for (const auto& shard : shards) merged.append(shard);
+  return merged;
+}
+
+}  // namespace v2v::walk

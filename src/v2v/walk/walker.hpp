@@ -1,0 +1,74 @@
+// Constrained random walks (paper §II-A).
+//
+// Starting from every vertex, the walker runs `walks_per_vertex`
+// independent walks of up to `walk_length` vertices. Steps can be biased
+// and constrained:
+//   - Uniform          : uniform over out-neighbors (the basic walk)
+//   - EdgeWeight       : probability proportional to the arc weight
+//   - VertexWeight     : probability proportional to the target's weight
+// Direction is always respected: on a directed graph only out-arcs are
+// followed and a walk terminates early at a dead end. If the graph carries
+// timestamps and `temporal` is set, consecutive arcs must have
+// non-decreasing timestamps; `time_window > 0` additionally bounds the gap
+// between consecutive arc timestamps.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "v2v/common/rng.hpp"
+#include "v2v/graph/graph.hpp"
+#include "v2v/walk/alias_table.hpp"
+#include "v2v/walk/corpus.hpp"
+
+namespace v2v::walk {
+
+enum class StepBias : std::uint8_t { kUniform, kEdgeWeight, kVertexWeight };
+
+struct WalkConfig {
+  std::size_t walks_per_vertex = 10;  ///< paper default t = 1000
+  std::size_t walk_length = 80;       ///< vertices per walk; paper ℓ = 1000
+  StepBias bias = StepBias::kUniform;
+  bool temporal = false;      ///< enforce non-decreasing arc timestamps
+  double time_window = 0.0;   ///< max gap between consecutive timestamps; <=0 = off
+  std::size_t threads = 1;    ///< worker threads for corpus generation
+};
+
+/// Runs walks from all start vertices and returns the merged corpus.
+/// Deterministic for a fixed (graph, config, seed) triple, including under
+/// multithreading: each start vertex owns an independent RNG stream.
+[[nodiscard]] Corpus generate_corpus(const graph::Graph& g, const WalkConfig& config,
+                                     std::uint64_t seed);
+
+/// Stateful walker; reusable across walks, owns the per-vertex alias
+/// tables for weight-biased stepping.
+class Walker {
+ public:
+  Walker(const graph::Graph& g, const WalkConfig& config);
+  /// The walker keeps a reference to the graph; binding a temporary would
+  /// dangle, so it is rejected at compile time.
+  Walker(graph::Graph&&, const WalkConfig&) = delete;
+
+  /// Appends one walk from `start` into `out` (cleared first). The walk
+  /// contains at least the start vertex.
+  void walk_from(graph::VertexId start, Rng& rng,
+                 std::vector<graph::VertexId>& out) const;
+
+  [[nodiscard]] const WalkConfig& config() const noexcept { return config_; }
+
+ private:
+  /// Picks the next vertex from `current` given the previous arc
+  /// timestamp; nullopt when no admissible arc exists.
+  [[nodiscard]] std::optional<std::pair<graph::VertexId, double>> step(
+      graph::VertexId current, double prev_timestamp, Rng& rng) const;
+
+  const graph::Graph& graph_;
+  WalkConfig config_;
+  /// One alias table per vertex with >=1 out-arc, for static biased steps.
+  std::vector<AliasTable> alias_;
+  bool use_alias_ = false;
+  bool constrained_ = false;  // temporal filtering required per step
+};
+
+}  // namespace v2v::walk

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "v2v/common/log.hpp"
+#include "v2v/common/timer.hpp"
+
+namespace v2v {
+namespace {
+
+TEST(WallTimer, MeasuresElapsedTime) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = timer.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+  EXPECT_NEAR(timer.milliseconds(), timer.seconds() * 1e3,
+              timer.seconds() * 1e3 * 0.5);
+}
+
+TEST(WallTimer, RestartResets) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  timer.restart();
+  EXPECT_LT(timer.seconds(), 0.015);
+}
+
+TEST(WallTimer, MonotoneNonDecreasing) {
+  WallTimer timer;
+  double prev = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double now = timer.seconds();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+  EXPECT_GT(timer.nanoseconds(), 0u);
+}
+
+TEST(AccumulatingTimer, SumsDisjointIntervals) {
+  AccumulatingTimer timer;
+  timer.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  timer.stop();
+  const double first = timer.seconds();
+  EXPECT_GE(first, 0.008);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_NEAR(timer.seconds(), first, 1e-9);  // stopped: no accumulation
+  timer.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  timer.stop();
+  EXPECT_GE(timer.seconds(), first + 0.008);
+}
+
+TEST(AccumulatingTimer, ResetClears) {
+  AccumulatingTimer timer;
+  timer.start();
+  timer.stop();
+  timer.reset();
+  EXPECT_DOUBLE_EQ(timer.seconds(), 0.0);
+}
+
+TEST(AccumulatingTimer, RunningTimerCountsLiveTime) {
+  AccumulatingTimer timer;
+  timer.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(timer.seconds(), 0.008);  // still running
+  timer.stop();
+}
+
+TEST(AccumulatingTimer, DoubleStopIsIdempotent) {
+  AccumulatingTimer timer;
+  timer.start();
+  timer.stop();
+  const double once = timer.seconds();
+  timer.stop();
+  EXPECT_DOUBLE_EQ(timer.seconds(), once);
+}
+
+TEST(Log, LevelGatesEmission) {
+  // Only verifies that levels round-trip and calls do not crash; output
+  // goes to stderr and is not captured here.
+  set_log_level(LogLevel::kError);
+  log_warn("suppressed ", 42);
+  log_debug("suppressed");
+  set_log_level(LogLevel::kDebug);
+  log_debug("emitted ", 1, " ", 2.5);
+  log_info("emitted");
+  set_log_level(LogLevel::kWarn);  // restore default for other tests
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace v2v

@@ -1,0 +1,199 @@
+#include "v2v/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace v2v {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b()) ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestoresSequence) {
+  Rng a(77);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 32; ++i) first.push_back(a());
+  a.reseed(77);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a(), first[i]);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  const Rng root(9);
+  Rng a = root.fork(0);
+  Rng b = root.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b()) ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  const Rng root(9);
+  Rng a = root.fork(5);
+  Rng b = root.fork(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowOneAlwaysZero) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr std::size_t kBuckets = 10;
+  constexpr std::size_t kDraws = 100000;
+  std::vector<std::size_t> counts(kBuckets, 0);
+  for (std::size_t i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (const auto c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), expected, expected * 0.1);
+  }
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng rng(6);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto x = rng.next_int(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    saw_lo |= x == -3;
+    saw_hi |= x == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(8);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, NextFloatInUnitInterval) {
+  Rng rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    const float x = rng.next_float();
+    ASSERT_GE(x, 0.0f);
+    ASSERT_LT(x, 1.0f);
+  }
+}
+
+TEST(Rng, NextDoubleRangeRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double(-2.5, 7.5);
+    ASSERT_GE(x, -2.5);
+    ASSERT_LT(x, 7.5);
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(15);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.next_bool(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, GaussianMomentsMatchStandardNormal) {
+  Rng rng(19);
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.next_gaussian();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / kDraws, 1.0, 0.02);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(2);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(2);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  const auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);  // probability of identity is ~1/100!
+}
+
+TEST(Rng, SampleIndicesDistinctAndSorted) {
+  Rng rng(5);
+  const auto sample = rng.sample_indices(100, 20);
+  ASSERT_EQ(sample.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+  const std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (const auto i : sample) EXPECT_LT(i, 100u);
+}
+
+TEST(Rng, SampleIndicesCountGeNReturnsAll) {
+  Rng rng(5);
+  const auto sample = rng.sample_indices(10, 25);
+  ASSERT_EQ(sample.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(Rng, SplitmixAdvancesState) {
+  std::uint64_t state = 42;
+  const auto a = splitmix64(state);
+  const auto b = splitmix64(state);
+  EXPECT_NE(a, b);
+}
+
+// Property sweep: next_below must be unbiased across a range of bounds.
+class RngBoundSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBoundSweep, MeanIsCentered) {
+  const std::uint64_t bound = GetParam();
+  Rng rng(bound * 977 + 1);
+  double sum = 0.0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(rng.next_below(bound));
+  }
+  const double expected = (static_cast<double>(bound) - 1.0) / 2.0;
+  EXPECT_NEAR(sum / kDraws, expected, static_cast<double>(bound) * 0.02 + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundSweep,
+                         ::testing::Values(2, 3, 7, 10, 100, 1000, 4096));
+
+}  // namespace
+}  // namespace v2v

@@ -1,0 +1,104 @@
+#include "v2v/common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace v2v {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SizeMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, ZeroThreadsUsesHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForChunksArePartition) {
+  ThreadPool pool(3);
+  std::vector<std::pair<std::size_t, std::size_t>> ranges(3, {0, 0});
+  pool.parallel_for(10, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+    ranges[chunk] = {begin, end};
+  });
+  std::size_t total = 0;
+  for (const auto& [b, e] : ranges) total += e - b;
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(ThreadPool, ParallelForZeroCountIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForFewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int> calls{0};
+  pool.parallel_for(3, [&](std::size_t, std::size_t begin, std::size_t end) {
+    EXPECT_EQ(end - begin, 1u);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ThreadPool, WaitIdleWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ParallelForOnce, CoversRangeExactly) {
+  std::vector<std::atomic<int>> hits(500);
+  parallel_for_once(4, 500, [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForOnce, SingleThreadRunsInline) {
+  std::size_t covered = 0;
+  parallel_for_once(1, 42, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+    EXPECT_EQ(chunk, 0u);
+    covered += end - begin;
+  });
+  EXPECT_EQ(covered, 42u);
+}
+
+TEST(ParallelForOnce, SumMatchesSerial) {
+  std::vector<long> partial(8, 0);
+  parallel_for_once(8, 10000, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+    long sum = 0;
+    for (std::size_t i = begin; i < end; ++i) sum += static_cast<long>(i);
+    partial[chunk] = sum;
+  });
+  const long total = std::accumulate(partial.begin(), partial.end(), 0L);
+  EXPECT_EQ(total, 10000L * 9999L / 2L);
+}
+
+}  // namespace
+}  // namespace v2v

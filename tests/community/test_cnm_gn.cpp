@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "v2v/community/cnm.hpp"
+#include "v2v/community/girvan_newman.hpp"
+#include "v2v/community/modularity.hpp"
+#include "v2v/graph/generators.hpp"
+#include "v2v/ml/metrics.hpp"
+
+namespace v2v::community {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+
+Graph two_triangles_bridge() {
+  GraphBuilder builder(false);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  builder.add_edge(0, 2);
+  builder.add_edge(3, 4);
+  builder.add_edge(4, 5);
+  builder.add_edge(3, 5);
+  builder.add_edge(2, 3);
+  return builder.build();
+}
+
+graph::PlantedGraph planted(double alpha, std::uint64_t seed) {
+  graph::PlantedPartitionParams params;
+  params.groups = 5;
+  params.group_size = 16;
+  params.alpha = alpha;
+  params.inter_edges = 20;
+  Rng rng(seed);
+  return graph::make_planted_partition(params, rng);
+}
+
+TEST(Cnm, SplitsTwoTriangles) {
+  const auto result = cluster_cnm(two_triangles_bridge());
+  EXPECT_EQ(result.community_count, 2u);
+  EXPECT_EQ(result.labels[0], result.labels[1]);
+  EXPECT_EQ(result.labels[1], result.labels[2]);
+  EXPECT_EQ(result.labels[3], result.labels[4]);
+  EXPECT_NE(result.labels[0], result.labels[3]);
+  EXPECT_NEAR(result.modularity, 5.0 / 14.0, 1e-9);
+}
+
+TEST(Cnm, RecoversPlantedCommunitiesAtHighAlpha) {
+  const auto p = planted(0.9, 1);
+  const auto result = cluster_cnm(p.graph);
+  const auto pr = ml::pairwise_precision_recall(p.community, result.labels);
+  EXPECT_GT(pr.precision, 0.95);
+  EXPECT_GT(pr.recall, 0.95);
+}
+
+TEST(Cnm, GoodAccuracyAtModerateAlpha) {
+  const auto p = planted(0.4, 2);
+  const auto result = cluster_cnm(p.graph);
+  const auto pr = ml::pairwise_precision_recall(p.community, result.labels);
+  EXPECT_GT(pr.f1(), 0.8);
+}
+
+TEST(Cnm, EmptyAndEdgelessGraphs) {
+  EXPECT_EQ(cluster_cnm(Graph{}).community_count, 0u);
+  GraphBuilder builder(false);
+  builder.reserve_vertices(3);
+  const auto result = cluster_cnm(builder.build());
+  EXPECT_EQ(result.community_count, 3u);  // all singletons
+}
+
+TEST(Cnm, DirectedThrows) {
+  GraphBuilder builder(true);
+  builder.add_edge(0, 1);
+  EXPECT_THROW((void)cluster_cnm(builder.build()), std::invalid_argument);
+}
+
+TEST(Cnm, CompleteGraphMergesEverything) {
+  const auto result = cluster_cnm(graph::make_complete(8));
+  // No split of a clique has positive modularity, but greedy merging with
+  // positive gains may still merge all; accept 1 community.
+  EXPECT_LE(result.community_count, 8u);
+  EXPECT_GE(result.modularity, -1e-9);
+}
+
+TEST(Cnm, ModularityMatchesRecomputation) {
+  const auto p = planted(0.6, 3);
+  const auto result = cluster_cnm(p.graph);
+  EXPECT_NEAR(result.modularity, modularity(p.graph, result.labels), 1e-9);
+}
+
+TEST(Cnm, WeightedGraphPrefersHeavyEdges) {
+  // Two pairs with heavy internal edges, light cross edges.
+  GraphBuilder builder(false);
+  builder.add_edge(0, 1, 10.0);
+  builder.add_edge(2, 3, 10.0);
+  builder.add_edge(1, 2, 0.1);
+  builder.add_edge(0, 3, 0.1);
+  const auto result = cluster_cnm(builder.build());
+  EXPECT_EQ(result.labels[0], result.labels[1]);
+  EXPECT_EQ(result.labels[2], result.labels[3]);
+  EXPECT_NE(result.labels[0], result.labels[2]);
+}
+
+TEST(EdgeBetweenness, BridgeHasHighestScore) {
+  // Adjacency for two triangles + bridge; edge ids 0..6 with bridge = 6.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> adjacency(6);
+  auto add = [&](std::uint32_t u, std::uint32_t v, std::uint32_t id) {
+    adjacency[u].emplace_back(v, id);
+    adjacency[v].emplace_back(u, id);
+  };
+  add(0, 1, 0);
+  add(1, 2, 1);
+  add(0, 2, 2);
+  add(3, 4, 3);
+  add(4, 5, 4);
+  add(3, 5, 5);
+  add(2, 3, 6);
+  const auto bc = edge_betweenness(adjacency, 7);
+  for (std::uint32_t e = 0; e < 6; ++e) EXPECT_LT(bc[e], bc[6]);
+  // The bridge carries all 9 cross pairs.
+  EXPECT_NEAR(bc[6], 9.0, 1e-9);
+}
+
+TEST(EdgeBetweenness, PathEdgesKnownValues) {
+  // Path 0-1-2-3: edge (1,2) carries pairs {0,1}x{2,3} = 4 plus ...
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> adjacency(4);
+  auto add = [&](std::uint32_t u, std::uint32_t v, std::uint32_t id) {
+    adjacency[u].emplace_back(v, id);
+    adjacency[v].emplace_back(u, id);
+  };
+  add(0, 1, 0);
+  add(1, 2, 1);
+  add(2, 3, 2);
+  const auto bc = edge_betweenness(adjacency, 3);
+  EXPECT_NEAR(bc[0], 3.0, 1e-9);  // pairs (0,1),(0,2),(0,3)
+  EXPECT_NEAR(bc[1], 4.0, 1e-9);  // pairs (0,2),(0,3),(1,2),(1,3)
+  EXPECT_NEAR(bc[2], 3.0, 1e-9);
+}
+
+TEST(EdgeBetweenness, SplitShortestPathsShareCredit) {
+  // Square 0-1-2-3-0: every pair has paths; opposite corners split 50/50.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> adjacency(4);
+  auto add = [&](std::uint32_t u, std::uint32_t v, std::uint32_t id) {
+    adjacency[u].emplace_back(v, id);
+    adjacency[v].emplace_back(u, id);
+  };
+  add(0, 1, 0);
+  add(1, 2, 1);
+  add(2, 3, 2);
+  add(3, 0, 3);
+  const auto bc = edge_betweenness(adjacency, 4);
+  for (const auto b : bc) EXPECT_NEAR(b, 2.0, 1e-9);  // symmetry
+}
+
+TEST(GirvanNewman, SplitsTwoTriangles) {
+  const auto result = cluster_girvan_newman(two_triangles_bridge());
+  EXPECT_EQ(result.community_count, 2u);
+  EXPECT_EQ(result.labels[0], result.labels[2]);
+  EXPECT_EQ(result.labels[3], result.labels[5]);
+  EXPECT_NE(result.labels[0], result.labels[3]);
+}
+
+TEST(GirvanNewman, RecoversPlantedCommunities) {
+  const auto p = planted(0.8, 4);
+  GirvanNewmanConfig config;
+  config.patience = p.graph.edge_count() / 4;
+  const auto result = cluster_girvan_newman(p.graph, config);
+  const auto pr = ml::pairwise_precision_recall(p.community, result.labels);
+  EXPECT_GT(pr.precision, 0.95);
+  EXPECT_GT(pr.recall, 0.95);
+}
+
+TEST(GirvanNewman, MaxRemovalsBoundsWork) {
+  const auto p = planted(0.5, 5);
+  GirvanNewmanConfig config;
+  config.max_removals = 10;
+  const auto result = cluster_girvan_newman(p.graph, config);
+  EXPECT_LE(result.edges_removed, 10u);
+}
+
+TEST(GirvanNewman, EmptyGraph) {
+  const auto result = cluster_girvan_newman(Graph{});
+  EXPECT_EQ(result.community_count, 0u);
+}
+
+TEST(GirvanNewman, DirectedThrows) {
+  GraphBuilder builder(true);
+  builder.add_edge(0, 1);
+  EXPECT_THROW((void)cluster_girvan_newman(builder.build()), std::invalid_argument);
+}
+
+TEST(GirvanNewman, DisconnectedComponentsSeparated) {
+  GraphBuilder builder(false);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  builder.add_edge(3, 4);
+  builder.add_edge(4, 5);
+  const auto result = cluster_girvan_newman(builder.build());
+  EXPECT_GE(result.community_count, 2u);
+  EXPECT_NE(result.labels[0], result.labels[3]);
+}
+
+TEST(GirvanNewman, ModularityMatchesRecomputation) {
+  const auto p = planted(0.7, 6);
+  GirvanNewmanConfig config;
+  config.patience = 30;
+  const auto result = cluster_girvan_newman(p.graph, config);
+  EXPECT_NEAR(result.modularity, modularity(p.graph, result.labels), 1e-9);
+}
+
+}  // namespace
+}  // namespace v2v::community

@@ -1,0 +1,82 @@
+// Cross-algorithm consistency properties on randomized inputs: all
+// community detectors must return valid labelings whose modularity is
+// consistent with their own reports and no worse than trivial baselines.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "v2v/community/cnm.hpp"
+#include "v2v/community/girvan_newman.hpp"
+#include "v2v/community/label_propagation.hpp"
+#include "v2v/community/louvain.hpp"
+#include "v2v/community/modularity.hpp"
+#include "v2v/graph/generators.hpp"
+
+namespace v2v::community {
+namespace {
+
+class RandomGraphSweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  graph::Graph make_graph() const {
+    Rng rng(GetParam());
+    // Mix of structure and noise so results are non-trivial.
+    graph::PlantedPartitionParams params;
+    params.groups = 3 + GetParam() % 4;
+    params.group_size = 12 + GetParam() % 9;
+    params.alpha = 0.3 + 0.1 * static_cast<double>(GetParam() % 5);
+    params.inter_edges = 15;
+    return graph::make_planted_partition(params, rng).graph;
+  }
+};
+
+TEST_P(RandomGraphSweep, CnmReportsItsOwnModularity) {
+  const auto g = make_graph();
+  const auto result = cluster_cnm(g);
+  EXPECT_NEAR(result.modularity, modularity(g, result.labels), 1e-9);
+  EXPECT_EQ(result.labels.size(), g.vertex_count());
+  for (const auto label : result.labels) EXPECT_LT(label, result.community_count);
+}
+
+TEST_P(RandomGraphSweep, LouvainReportsItsOwnModularity) {
+  const auto g = make_graph();
+  const auto result = cluster_louvain(g);
+  EXPECT_NEAR(result.modularity, modularity(g, result.labels), 1e-9);
+  for (const auto label : result.labels) EXPECT_LT(label, result.community_count);
+}
+
+TEST_P(RandomGraphSweep, DetectorsBeatSingletonsAndMonolith) {
+  const auto g = make_graph();
+  std::vector<std::uint32_t> singletons(g.vertex_count());
+  std::iota(singletons.begin(), singletons.end(), 0u);
+  const std::vector<std::uint32_t> monolith(g.vertex_count(), 0);
+  const double trivial_best =
+      std::max(modularity(g, singletons), modularity(g, monolith));
+
+  EXPECT_GE(cluster_cnm(g).modularity, trivial_best);
+  EXPECT_GE(cluster_louvain(g).modularity, trivial_best);
+  GirvanNewmanConfig gn;
+  gn.patience = g.edge_count() / 4;
+  EXPECT_GE(cluster_girvan_newman(g, gn).modularity, trivial_best);
+}
+
+TEST_P(RandomGraphSweep, LouvainAtLeastMatchesCnmRoughly) {
+  // Louvain typically reaches modularity >= CNM - small slack.
+  const auto g = make_graph();
+  const auto cnm = cluster_cnm(g);
+  const auto louvain = cluster_louvain(g);
+  EXPECT_GE(louvain.modularity, cnm.modularity - 0.05);
+}
+
+TEST_P(RandomGraphSweep, LabelPropagationProducesValidLabeling) {
+  const auto g = make_graph();
+  const auto result = cluster_label_propagation(g);
+  EXPECT_EQ(result.labels.size(), g.vertex_count());
+  for (const auto label : result.labels) EXPECT_LT(label, result.community_count);
+  EXPECT_GE(result.iterations, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphSweep,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace v2v::community

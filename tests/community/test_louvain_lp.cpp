@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "v2v/community/cnm.hpp"
+#include "v2v/community/label_propagation.hpp"
+#include "v2v/community/louvain.hpp"
+#include "v2v/community/modularity.hpp"
+#include "v2v/graph/generators.hpp"
+#include "v2v/ml/metrics.hpp"
+
+namespace v2v::community {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+
+graph::PlantedGraph planted(double alpha, std::uint64_t seed) {
+  graph::PlantedPartitionParams params;
+  params.groups = 6;
+  params.group_size = 20;
+  params.alpha = alpha;
+  params.inter_edges = 30;
+  Rng rng(seed);
+  return graph::make_planted_partition(params, rng);
+}
+
+TEST(Louvain, RecoversPlantedCommunities) {
+  const auto p = planted(0.7, 1);
+  const auto result = cluster_louvain(p.graph);
+  const auto pr = ml::pairwise_precision_recall(p.community, result.labels);
+  EXPECT_GT(pr.precision, 0.95);
+  EXPECT_GT(pr.recall, 0.95);
+}
+
+TEST(Louvain, ModularityMatchesRecomputation) {
+  const auto p = planted(0.5, 2);
+  const auto result = cluster_louvain(p.graph);
+  EXPECT_NEAR(result.modularity, modularity(p.graph, result.labels), 1e-9);
+  EXPECT_GT(result.modularity, 0.3);
+}
+
+TEST(Louvain, TwoCliquesBridge) {
+  GraphBuilder builder(false);
+  for (std::uint32_t u = 0; u < 5; ++u) {
+    for (std::uint32_t v = u + 1; v < 5; ++v) {
+      builder.add_edge(u, v);
+      builder.add_edge(u + 5, v + 5);
+    }
+  }
+  builder.add_edge(4, 5);
+  const auto result = cluster_louvain(builder.build());
+  EXPECT_EQ(result.community_count, 2u);
+  EXPECT_EQ(result.labels[0], result.labels[4]);
+  EXPECT_EQ(result.labels[5], result.labels[9]);
+  EXPECT_NE(result.labels[0], result.labels[5]);
+}
+
+TEST(Louvain, EmptyAndEdgeless) {
+  EXPECT_EQ(cluster_louvain(Graph{}).community_count, 0u);
+  GraphBuilder builder(false);
+  builder.reserve_vertices(4);
+  const auto result = cluster_louvain(builder.build());
+  EXPECT_EQ(result.community_count, 4u);
+}
+
+TEST(Louvain, DirectedThrows) {
+  GraphBuilder builder(true);
+  builder.add_edge(0, 1);
+  EXPECT_THROW((void)cluster_louvain(builder.build()), std::invalid_argument);
+}
+
+TEST(Louvain, DeterministicForSeed) {
+  const auto p = planted(0.6, 3);
+  const auto a = cluster_louvain(p.graph);
+  const auto b = cluster_louvain(p.graph);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(Louvain, BeatsSingletonModularity) {
+  Rng rng(4);
+  const Graph g = graph::make_barabasi_albert(150, 3, rng);
+  const auto result = cluster_louvain(g);
+  EXPECT_GT(result.modularity, 0.0);
+  EXPECT_LT(result.community_count, 150u);
+}
+
+TEST(LabelPropagation, SeparatesCliquePair) {
+  GraphBuilder builder(false);
+  for (std::uint32_t u = 0; u < 6; ++u) {
+    for (std::uint32_t v = u + 1; v < 6; ++v) {
+      builder.add_edge(u, v);
+      builder.add_edge(u + 6, v + 6);
+    }
+  }
+  builder.add_edge(0, 6);
+  const auto result = cluster_label_propagation(builder.build());
+  EXPECT_EQ(result.community_count, 2u);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(LabelPropagation, RecoversStrongPlantedStructure) {
+  const auto p = planted(0.9, 5);
+  const auto result = cluster_label_propagation(p.graph);
+  const auto pr = ml::pairwise_precision_recall(p.community, result.labels);
+  EXPECT_GT(pr.f1(), 0.9);
+}
+
+TEST(LabelPropagation, IsolatedVerticesKeepOwnLabels) {
+  GraphBuilder builder(false);
+  builder.add_edge(0, 1);
+  builder.reserve_vertices(4);
+  const auto result = cluster_label_propagation(builder.build());
+  EXPECT_GE(result.community_count, 3u);
+}
+
+TEST(LabelPropagation, EmptyGraphConverges) {
+  const auto result = cluster_label_propagation(Graph{});
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.community_count, 0u);
+}
+
+TEST(LabelPropagation, IterationCapRespected) {
+  const auto p = planted(0.2, 6);
+  LabelPropagationConfig config;
+  config.max_iterations = 2;
+  const auto result = cluster_label_propagation(p.graph, config);
+  EXPECT_LE(result.iterations, 2u);
+}
+
+// Property sweep: all four graph algorithms recover exact planted
+// partitions when alpha = 1 (pure cliques + sparse noise).
+enum class Algo { kCnm, kLouvain, kLabelProp };
+class ExactRecoverySweep : public ::testing::TestWithParam<Algo> {};
+
+TEST_P(ExactRecoverySweep, AlphaOneIsExact) {
+  graph::PlantedPartitionParams params;
+  params.groups = 4;
+  params.group_size = 15;
+  params.alpha = 1.0;
+  params.inter_edges = 8;
+  Rng rng(7);
+  const auto p = graph::make_planted_partition(params, rng);
+  std::vector<std::uint32_t> labels;
+  switch (GetParam()) {
+    case Algo::kCnm: labels = cluster_cnm(p.graph).labels; break;
+    case Algo::kLouvain: labels = cluster_louvain(p.graph).labels; break;
+    case Algo::kLabelProp: labels = cluster_label_propagation(p.graph).labels; break;
+  }
+  const auto pr = ml::pairwise_precision_recall(p.community, labels);
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, ExactRecoverySweep,
+                         ::testing::Values(Algo::kCnm, Algo::kLouvain,
+                                           Algo::kLabelProp));
+
+}  // namespace
+}  // namespace v2v::community

@@ -1,0 +1,122 @@
+#include "v2v/community/modularity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "v2v/graph/generators.hpp"
+
+namespace v2v::community {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+
+TEST(Modularity, TwoTrianglesBridge) {
+  // Classic example: two triangles joined by one edge.
+  GraphBuilder builder(false);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  builder.add_edge(0, 2);
+  builder.add_edge(3, 4);
+  builder.add_edge(4, 5);
+  builder.add_edge(3, 5);
+  builder.add_edge(2, 3);
+  const Graph g = builder.build();
+  const std::vector<std::uint32_t> split{0, 0, 0, 1, 1, 1};
+  // m=7; communities each have intra=3, degree sum=7.
+  // Q = 2*(3/7 - (7/14)^2) = 6/7 - 1/2 = 5/14.
+  EXPECT_NEAR(modularity(g, split), 5.0 / 14.0, 1e-12);
+}
+
+TEST(Modularity, SingleCommunityIsZero) {
+  const Graph g = graph::make_complete(6);
+  const std::vector<std::uint32_t> one(6, 0);
+  EXPECT_NEAR(modularity(g, one), 0.0, 1e-12);
+}
+
+TEST(Modularity, AllSingletonsIsNegative) {
+  const Graph g = graph::make_complete(6);
+  std::vector<std::uint32_t> singletons(6);
+  std::iota(singletons.begin(), singletons.end(), 0u);
+  EXPECT_LT(modularity(g, singletons), 0.0);
+}
+
+TEST(Modularity, EdgelessGraphIsZero) {
+  GraphBuilder builder(false);
+  builder.reserve_vertices(4);
+  const std::vector<std::uint32_t> labels{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(modularity(builder.build(), labels), 0.0);
+}
+
+TEST(Modularity, GoodSplitBeatsBadSplit) {
+  Rng rng(1);
+  graph::PlantedPartitionParams params;
+  params.groups = 4;
+  params.group_size = 15;
+  params.alpha = 0.8;
+  params.inter_edges = 20;
+  const auto planted = graph::make_planted_partition(params, rng);
+  // Bad split: interleave labels.
+  std::vector<std::uint32_t> bad(planted.community.size());
+  for (std::size_t v = 0; v < bad.size(); ++v) bad[v] = v % 4;
+  EXPECT_GT(modularity(planted.graph, planted.community),
+            modularity(planted.graph, bad) + 0.3);
+}
+
+TEST(Modularity, WeightedEdgesRespected) {
+  GraphBuilder builder(false);
+  builder.add_edge(0, 1, 10.0);
+  builder.add_edge(2, 3, 10.0);
+  builder.add_edge(1, 2, 1.0);
+  const Graph g = builder.build();
+  const std::vector<std::uint32_t> split{0, 0, 1, 1};
+  // m=21; each community: intra=10, degree=21.
+  // Q = 2*(10/21 - (21/42)^2) = 20/21 - 1/2.
+  EXPECT_NEAR(modularity(g, split), 20.0 / 21.0 - 0.5, 1e-12);
+}
+
+TEST(Modularity, DirectedGraphThrows) {
+  GraphBuilder builder(true);
+  builder.add_edge(0, 1);
+  const std::vector<std::uint32_t> labels{0, 0};
+  EXPECT_THROW((void)modularity(builder.build(), labels), std::invalid_argument);
+}
+
+TEST(Modularity, SizeMismatchThrows) {
+  const Graph g = graph::make_ring(4);
+  const std::vector<std::uint32_t> labels{0, 0};
+  EXPECT_THROW((void)modularity(g, labels), std::invalid_argument);
+}
+
+TEST(Modularity, UpperBoundedByOne) {
+  Rng rng(2);
+  graph::PlantedPartitionParams params;
+  params.groups = 8;
+  params.group_size = 10;
+  params.alpha = 1.0;
+  params.inter_edges = 5;
+  const auto planted = graph::make_planted_partition(params, rng);
+  const double q = modularity(planted.graph, planted.community);
+  EXPECT_GT(q, 0.5);
+  EXPECT_LE(q, 1.0);
+}
+
+TEST(CompactLabels, DensifiesPreservingGroups) {
+  std::vector<std::uint32_t> labels{42, 7, 42, 100, 7};
+  const std::size_t k = compact_labels(labels);
+  EXPECT_EQ(k, 3u);
+  EXPECT_EQ(labels[0], 0u);
+  EXPECT_EQ(labels[1], 1u);
+  EXPECT_EQ(labels[2], 0u);
+  EXPECT_EQ(labels[3], 2u);
+  EXPECT_EQ(labels[4], 1u);
+}
+
+TEST(CompactLabels, EmptyIsZero) {
+  std::vector<std::uint32_t> labels;
+  EXPECT_EQ(compact_labels(labels), 0u);
+}
+
+}  // namespace
+}  // namespace v2v::community

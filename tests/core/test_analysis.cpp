@@ -1,0 +1,95 @@
+#include "v2v/core/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "v2v/core/v2v.hpp"
+#include "v2v/graph/generators.hpp"
+
+namespace v2v {
+namespace {
+
+/// Hand-built embedding: labels 0 cluster near +x, labels 1 near +y.
+embed::Embedding axis_embedding() {
+  embed::Embedding e(6, 2);
+  for (std::size_t v = 0; v < 3; ++v) {
+    e.vector(v)[0] = 1.0f;
+    e.vector(v)[1] = 0.05f * static_cast<float>(v);
+  }
+  for (std::size_t v = 3; v < 6; ++v) {
+    e.vector(v)[0] = 0.05f * static_cast<float>(v - 3);
+    e.vector(v)[1] = 1.0f;
+  }
+  return e;
+}
+
+const std::vector<std::uint32_t> kAxisLabels{0, 0, 0, 1, 1, 1};
+
+TEST(CosineMargin, SeparatedClustersHavePositiveMargin) {
+  const auto report = cosine_margin(axis_embedding(), kAxisLabels);
+  EXPECT_GT(report.mean_same_label, 0.9);
+  EXPECT_LT(report.mean_cross_label, 0.2);
+  EXPECT_GT(report.margin(), 0.7);
+}
+
+TEST(CosineMargin, SampledEstimateTracksExact) {
+  const auto exact = cosine_margin(axis_embedding(), kAxisLabels, 0);
+  const auto sampled = cosine_margin(axis_embedding(), kAxisLabels, 5000, 3);
+  EXPECT_NEAR(sampled.margin(), exact.margin(), 0.1);
+}
+
+TEST(CosineMargin, MismatchedLabelsThrow) {
+  const std::vector<std::uint32_t> wrong{0, 1};
+  EXPECT_THROW((void)cosine_margin(axis_embedding(), wrong), std::invalid_argument);
+}
+
+TEST(CosineMargin, TinyEmbeddingIsZero) {
+  const embed::Embedding e(1, 2);
+  const std::vector<std::uint32_t> one{0};
+  const auto report = cosine_margin(e, one);
+  EXPECT_DOUBLE_EQ(report.margin(), 0.0);
+}
+
+TEST(NeighborhoodPurity, PureClustersScoreOne) {
+  EXPECT_DOUBLE_EQ(neighborhood_purity(axis_embedding(), kAxisLabels, 2), 1.0);
+}
+
+TEST(NeighborhoodPurity, RandomLabelsScoreNearChance) {
+  const std::vector<std::uint32_t> alternating{0, 1, 0, 1, 0, 1};
+  const double purity = neighborhood_purity(axis_embedding(), alternating, 2);
+  EXPECT_LT(purity, 0.7);
+}
+
+TEST(NeighborhoodPurity, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(neighborhood_purity(axis_embedding(), kAxisLabels, 0), 0.0);
+  const embed::Embedding tiny(1, 2);
+  const std::vector<std::uint32_t> one{0};
+  EXPECT_DOUBLE_EQ(neighborhood_purity(tiny, one, 3), 0.0);
+}
+
+TEST(QualityReport, EndToEndOnPlantedGraph) {
+  graph::PlantedPartitionParams params;
+  params.groups = 4;
+  params.group_size = 20;
+  params.alpha = 0.7;
+  params.inter_edges = 20;
+  Rng rng(61);
+  const auto planted = graph::make_planted_partition(params, rng);
+  V2VConfig config;
+  config.walk.walks_per_vertex = 8;
+  config.walk.walk_length = 30;
+  config.train.dimensions = 16;
+  config.train.epochs = 3;
+  const auto model = learn_embedding(planted.graph, config);
+
+  const auto report = evaluate_embedding_quality(model.embedding, planted.community);
+  EXPECT_GT(report.cosine.margin(), 0.3);
+  EXPECT_GT(report.neighborhood_purity, 0.9);
+  EXPECT_GT(report.silhouette, 0.0);
+
+  const std::string text = describe(report);
+  EXPECT_NE(text.find("margin"), std::string::npos);
+  EXPECT_NE(text.find("purity"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace v2v

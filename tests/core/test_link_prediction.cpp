@@ -1,0 +1,93 @@
+#include "v2v/core/link_prediction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "v2v/graph/generators.hpp"
+
+namespace v2v {
+namespace {
+
+TEST(RocAuc, PerfectSeparation) {
+  const std::vector<double> pos{0.9, 0.8, 0.7};
+  const std::vector<double> neg{0.3, 0.2, 0.1};
+  EXPECT_DOUBLE_EQ(roc_auc(pos, neg), 1.0);
+}
+
+TEST(RocAuc, PerfectlyWrong) {
+  const std::vector<double> pos{0.1, 0.2};
+  const std::vector<double> neg{0.8, 0.9};
+  EXPECT_DOUBLE_EQ(roc_auc(pos, neg), 0.0);
+}
+
+TEST(RocAuc, AllTiedIsHalf) {
+  const std::vector<double> pos{0.5, 0.5};
+  const std::vector<double> neg{0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(roc_auc(pos, neg), 0.5);
+}
+
+TEST(RocAuc, HandComputedMixedCase) {
+  // pos {3, 1}, neg {2, 0}: pairs (3>2), (3>0), (1<2), (1>0) -> 3/4.
+  const std::vector<double> pos{3.0, 1.0};
+  const std::vector<double> neg{2.0, 0.0};
+  EXPECT_DOUBLE_EQ(roc_auc(pos, neg), 0.75);
+}
+
+TEST(RocAuc, EmptyThrows) {
+  const std::vector<double> some{1.0};
+  const std::vector<double> none;
+  EXPECT_THROW((void)roc_auc(none, some), std::invalid_argument);
+  EXPECT_THROW((void)roc_auc(some, none), std::invalid_argument);
+}
+
+TEST(ScoreEdges, CosineUsesEmbedding) {
+  embed::Embedding e(3, 2);
+  e.vector(0)[0] = 1.0f;
+  e.vector(1)[0] = 1.0f;
+  e.vector(2)[1] = 1.0f;
+  const std::vector<std::pair<graph::VertexId, graph::VertexId>> pairs{{0, 1}, {0, 2}};
+  const auto scores = score_edges_cosine(e, pairs);
+  ASSERT_EQ(scores.size(), 2u);
+  EXPECT_NEAR(scores[0], 1.0, 1e-9);
+  EXPECT_NEAR(scores[1], 0.0, 1e-9);
+}
+
+TEST(ScoreEdges, CommonNeighborsCounts) {
+  graph::GraphBuilder builder(false);
+  builder.add_edge(0, 2);
+  builder.add_edge(0, 3);
+  builder.add_edge(1, 2);
+  builder.add_edge(1, 3);
+  builder.add_edge(1, 4);
+  const auto g = builder.build();
+  const std::vector<std::pair<graph::VertexId, graph::VertexId>> pairs{{0, 1}, {0, 4}};
+  const auto scores = score_edges_common_neighbors(g, pairs);
+  EXPECT_DOUBLE_EQ(scores[0], 2.0);  // 2 and 3
+  EXPECT_DOUBLE_EQ(scores[1], 0.0);
+}
+
+TEST(LinkPrediction, BeatsChanceOnCommunityGraph) {
+  graph::PlantedPartitionParams params;
+  params.groups = 5;
+  params.group_size = 24;
+  params.alpha = 0.5;
+  params.inter_edges = 40;
+  Rng rng(1);
+  const auto planted = graph::make_planted_partition(params, rng);
+
+  V2VConfig config;
+  config.walk.walks_per_vertex = 8;
+  config.walk.walk_length = 30;
+  config.train.dimensions = 16;
+  config.train.epochs = 3;
+  const auto result = evaluate_link_prediction(planted.graph, config, 0.15, 7);
+  // Held-out edges are mostly intra-community; cosine similarity on the
+  // embedding must rank them far above random non-edges.
+  EXPECT_GT(result.v2v_auc, 0.8);
+  EXPECT_GT(result.common_neighbors_auc, 0.8);
+  EXPECT_EQ(result.test_edges,
+            static_cast<std::size_t>(
+                std::llround(0.15 * static_cast<double>(planted.graph.edge_count()))));
+}
+
+}  // namespace
+}  // namespace v2v

@@ -1,0 +1,187 @@
+// Integration tests: the full V2V pipeline against planted structure and
+// the synthetic flight network — the end-to-end behaviour the paper's
+// evaluation rests on.
+#include "v2v/core/v2v.hpp"
+
+#include <gtest/gtest.h>
+
+#include "v2v/graph/flight_network.hpp"
+#include "v2v/graph/generators.hpp"
+#include "v2v/ml/pca.hpp"
+
+namespace v2v {
+namespace {
+
+graph::PlantedGraph small_planted(double alpha) {
+  graph::PlantedPartitionParams params;
+  params.groups = 5;
+  params.group_size = 24;
+  params.alpha = alpha;
+  params.inter_edges = 40;
+  Rng rng(31);
+  return graph::make_planted_partition(params, rng);
+}
+
+V2VConfig fast_config(std::size_t dims = 16) {
+  V2VConfig config;
+  config.walk.walks_per_vertex = 8;
+  config.walk.walk_length = 30;
+  config.train.dimensions = dims;
+  config.train.epochs = 3;
+  return config;
+}
+
+TEST(Pipeline, ModelShapeAndStats) {
+  const auto planted = small_planted(0.5);
+  const auto model = learn_embedding(planted.graph, fast_config());
+  EXPECT_EQ(model.embedding.vertex_count(), planted.graph.vertex_count());
+  EXPECT_EQ(model.embedding.dimensions(), 16u);
+  EXPECT_EQ(model.corpus_walks, planted.graph.vertex_count() * 8);
+  EXPECT_GT(model.corpus_tokens, 0u);
+  EXPECT_GE(model.learn_seconds(), model.train_seconds);
+}
+
+TEST(Pipeline, DeterministicForMasterSeed) {
+  const auto planted = small_planted(0.5);
+  const auto a = learn_embedding(planted.graph, fast_config());
+  const auto b = learn_embedding(planted.graph, fast_config());
+  EXPECT_TRUE(a.embedding.matrix() == b.embedding.matrix());
+}
+
+TEST(Pipeline, MasterSeedChangesEverything) {
+  const auto planted = small_planted(0.5);
+  V2VConfig config = fast_config();
+  const auto a = learn_embedding(planted.graph, config);
+  config.seed = 43;
+  const auto b = learn_embedding(planted.graph, config);
+  EXPECT_FALSE(a.embedding.matrix() == b.embedding.matrix());
+}
+
+TEST(Pipeline, CommunityDetectionBeatsChanceByFar) {
+  const auto planted = small_planted(0.5);
+  const auto model = learn_embedding(planted.graph, fast_config());
+  ml::KMeansConfig kmeans;
+  kmeans.restarts = 20;
+  const auto detected = detect_communities(model.embedding, 5, kmeans);
+  const auto pr = ml::pairwise_precision_recall(planted.community, detected.labels);
+  // Chance pairwise precision here is ~1/5.
+  EXPECT_GT(pr.precision, 0.9);
+  EXPECT_GT(pr.recall, 0.9);
+  EXPECT_GT(detected.cluster_seconds, 0.0);
+}
+
+TEST(Pipeline, AutoKFindsPlantedGroupCount) {
+  const auto planted = small_planted(0.7);
+  const auto model = learn_embedding(planted.graph, fast_config());
+  ml::KMeansConfig kmeans;
+  kmeans.restarts = 8;
+  const auto result = detect_communities_auto(model.embedding, 2, 10, kmeans);
+  EXPECT_EQ(result.chosen_k, 5u);  // planted group count
+  const auto pr =
+      ml::pairwise_precision_recall(planted.community, result.detection.labels);
+  EXPECT_GT(pr.f1(), 0.9);
+  EXPECT_FALSE(result.silhouette_curve.empty());
+}
+
+TEST(Pipeline, StrongerCommunitiesAreEasier) {
+  const auto weak = small_planted(0.15);
+  const auto strong = small_planted(0.9);
+  const auto model_weak = learn_embedding(weak.graph, fast_config());
+  const auto model_strong = learn_embedding(strong.graph, fast_config());
+  ml::KMeansConfig kmeans;
+  kmeans.restarts = 15;
+  const auto pr_weak = ml::pairwise_precision_recall(
+      weak.community, detect_communities(model_weak.embedding, 5, kmeans).labels);
+  const auto pr_strong = ml::pairwise_precision_recall(
+      strong.community, detect_communities(model_strong.embedding, 5, kmeans).labels);
+  EXPECT_GE(pr_strong.f1(), pr_weak.f1() - 0.05);
+  EXPECT_GT(pr_strong.f1(), 0.95);
+}
+
+TEST(Pipeline, LabelPredictionOnFlightNetwork) {
+  graph::FlightNetworkParams params;
+  params.airports = 600;
+  params.routes = 4000;
+  Rng rng(5);
+  const auto net = graph::make_flight_network(params, rng);
+  const auto model = learn_embedding(net.graph, fast_config(24));
+  const auto result =
+      evaluate_label_prediction(model.embedding, net.country, 3, 10, 2);
+  // Chance is < 1%; the embedding must do far better.
+  EXPECT_GT(result.accuracy, 0.5);
+  EXPECT_EQ(result.predictions, 2u * 600u);
+  EXPECT_GE(result.stddev, 0.0);
+}
+
+TEST(Pipeline, ContinentPredictionEvenEasier) {
+  graph::FlightNetworkParams params;
+  params.airports = 600;
+  params.routes = 4000;
+  Rng rng(6);
+  const auto net = graph::make_flight_network(params, rng);
+  const auto model = learn_embedding(net.graph, fast_config(24));
+  const auto country = evaluate_label_prediction(model.embedding, net.country, 3, 10, 2);
+  const auto continent =
+      evaluate_label_prediction(model.embedding, net.continent, 3, 10, 2);
+  EXPECT_GT(continent.accuracy, country.accuracy);
+}
+
+TEST(Pipeline, PcaProjectionSeparatesCommunities) {
+  const auto planted = small_planted(0.6);
+  const auto model = learn_embedding(planted.graph, fast_config(32));
+  const auto points = project_pca_2d(model.embedding);
+  ASSERT_EQ(points.size(), planted.graph.vertex_count());
+  EXPECT_GT(viz::group_separation(points, planted.community), 1.0);
+}
+
+TEST(Pipeline, WalkSecondsAndTrainSecondsPopulated) {
+  const auto planted = small_planted(0.4);
+  const auto model = learn_embedding(planted.graph, fast_config());
+  EXPECT_GE(model.walk_seconds, 0.0);
+  EXPECT_GT(model.train_seconds, 0.0);
+  EXPECT_EQ(model.train_stats.epochs_run, 3u);
+}
+
+TEST(Pipeline, DirectedGraphWorksEndToEnd) {
+  Rng rng(7);
+  const auto g = graph::make_erdos_renyi_gnm(80, 600, rng, /*directed=*/true);
+  const auto model = learn_embedding(g, fast_config(8));
+  EXPECT_EQ(model.embedding.vertex_count(), 80u);
+  // Directed walks may terminate early but corpus must not be empty.
+  EXPECT_GT(model.corpus_tokens, model.corpus_walks);
+}
+
+TEST(Pipeline, WeightBiasedWalksWork) {
+  const auto planted = small_planted(0.5);
+  V2VConfig config = fast_config();
+  config.walk.bias = walk::StepBias::kEdgeWeight;
+  const auto model = learn_embedding(planted.graph, config);
+  EXPECT_EQ(model.embedding.vertex_count(), planted.graph.vertex_count());
+}
+
+// Property sweep (paper Figs 5/6 shape): community-detection F1 stays high
+// across alpha and dimensions.
+struct SweepParam {
+  double alpha;
+  std::size_t dims;
+};
+class PipelineSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(PipelineSweep, F1AboveThreshold) {
+  const auto planted = small_planted(GetParam().alpha);
+  const auto model = learn_embedding(planted.graph, fast_config(GetParam().dims));
+  ml::KMeansConfig kmeans;
+  kmeans.restarts = 15;
+  const auto detected = detect_communities(model.embedding, 5, kmeans);
+  const auto pr = ml::pairwise_precision_recall(planted.community, detected.labels);
+  EXPECT_GT(pr.f1(), 0.75) << "alpha=" << GetParam().alpha
+                           << " dims=" << GetParam().dims;
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphaDims, PipelineSweep,
+                         ::testing::Values(SweepParam{0.3, 10}, SweepParam{0.3, 50},
+                                           SweepParam{0.6, 10}, SweepParam{0.6, 50},
+                                           SweepParam{1.0, 10}, SweepParam{1.0, 50}));
+
+}  // namespace
+}  // namespace v2v

@@ -1,0 +1,136 @@
+#include "v2v/embed/embedding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "v2v/common/vec_math.hpp"
+
+namespace v2v::embed {
+namespace {
+
+Embedding small_embedding() {
+  Embedding e(3, 2);
+  e.vector(0)[0] = 1.0f;
+  e.vector(0)[1] = 0.0f;
+  e.vector(1)[0] = 0.0f;
+  e.vector(1)[1] = 1.0f;
+  e.vector(2)[0] = 1.0f;
+  e.vector(2)[1] = 1.0f;
+  return e;
+}
+
+TEST(Embedding, CosineSimilarity) {
+  const Embedding e = small_embedding();
+  EXPECT_NEAR(e.cosine_similarity(0, 1), 0.0, 1e-9);
+  EXPECT_NEAR(e.cosine_similarity(0, 2), 1.0 / std::sqrt(2.0), 1e-6);
+  EXPECT_NEAR(e.cosine_similarity(0, 0), 1.0, 1e-9);
+}
+
+TEST(Embedding, NearestExcludesSelfAndOrders) {
+  const Embedding e = small_embedding();
+  const auto nn = e.nearest(0, 2);
+  ASSERT_EQ(nn.size(), 2u);
+  EXPECT_EQ(nn[0], 2u);  // most similar to (1,0) is (1,1)
+  EXPECT_EQ(nn[1], 1u);
+}
+
+TEST(Embedding, NearestClampsK) {
+  const Embedding e = small_embedding();
+  EXPECT_EQ(e.nearest(0, 100).size(), 2u);
+  EXPECT_TRUE(e.nearest(0, 0).empty());
+}
+
+TEST(Embedding, AnalogyRecoversParallelogram) {
+  // Vectors arranged so that 0 -> 1 equals 2 -> 3 exactly.
+  Embedding e(5, 2);
+  e.vector(0)[0] = 1.0f;              // a  = (1, 0)
+  e.vector(1)[0] = 1.0f;              // b  = (1, 1)
+  e.vector(1)[1] = 1.0f;
+  e.vector(2)[0] = 3.0f;              // c  = (3, 0)
+  e.vector(3)[0] = 3.0f;              // d  = (3, 1)  <- the answer
+  e.vector(3)[1] = 1.0f;
+  e.vector(4)[0] = -1.0f;             // distractor
+  const auto result = e.analogy(0, 1, 2, 1);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], 3u);
+}
+
+TEST(Embedding, AnalogyExcludesInputs) {
+  const Embedding e = small_embedding();
+  const auto result = e.analogy(0, 1, 2, 5);
+  for (const auto v : result) {
+    EXPECT_NE(v, 0u);
+    EXPECT_NE(v, 1u);
+    EXPECT_NE(v, 2u);
+  }
+  EXPECT_TRUE(result.empty());  // only 3 vertices, all excluded
+}
+
+TEST(Embedding, NormalizedRowsAreUnit) {
+  const Embedding norm = small_embedding().normalized();
+  for (std::size_t v = 0; v < norm.vertex_count(); ++v) {
+    EXPECT_NEAR(v2v::norm(norm.vector(v)), 1.0, 1e-6);
+  }
+}
+
+TEST(Embedding, TextRoundTrip) {
+  const Embedding e = small_embedding();
+  std::stringstream buffer;
+  e.save_text(buffer);
+  const Embedding back = Embedding::load_text(buffer);
+  ASSERT_EQ(back.vertex_count(), 3u);
+  ASSERT_EQ(back.dimensions(), 2u);
+  for (std::size_t v = 0; v < 3; ++v) {
+    for (std::size_t d = 0; d < 2; ++d) {
+      EXPECT_FLOAT_EQ(back.vector(v)[d], e.vector(v)[d]);
+    }
+  }
+}
+
+TEST(Embedding, TextLoadRejectsBadHeader) {
+  std::stringstream buffer("garbage");
+  EXPECT_THROW((void)Embedding::load_text(buffer), std::runtime_error);
+}
+
+TEST(Embedding, TextLoadRejectsBadRowId) {
+  std::stringstream buffer("2 2\n5 1.0 2.0\n");
+  EXPECT_THROW((void)Embedding::load_text(buffer), std::runtime_error);
+}
+
+TEST(Embedding, TextLoadRejectsTruncatedRow) {
+  std::stringstream buffer("1 3\n0 1.0 2.0");
+  EXPECT_THROW((void)Embedding::load_text(buffer), std::runtime_error);
+}
+
+TEST(Embedding, BinaryRoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "v2v_embed_test.bin").string();
+  const Embedding e = small_embedding();
+  e.save_binary_file(path);
+  const Embedding back = Embedding::load_binary_file(path);
+  EXPECT_TRUE(back.matrix() == e.matrix());
+  std::filesystem::remove(path);
+}
+
+TEST(Embedding, BinaryRejectsBadMagic) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "v2v_embed_bad.bin").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTAMODEL-------";
+  }
+  EXPECT_THROW((void)Embedding::load_binary_file(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Embedding, MissingFilesThrow) {
+  EXPECT_THROW((void)Embedding::load_text_file("/no/such/file"), std::runtime_error);
+  EXPECT_THROW((void)Embedding::load_binary_file("/no/such/file"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace v2v::embed

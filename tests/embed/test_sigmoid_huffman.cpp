@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "v2v/embed/huffman.hpp"
+#include "v2v/embed/sigmoid_table.hpp"
+
+namespace v2v::embed {
+namespace {
+
+TEST(SigmoidTable, MatchesExactSigmoidInRange) {
+  const SigmoidTable& table = sigmoid_table();
+  for (float x = -5.9f; x <= 5.9f; x += 0.37f) {
+    const double exact = 1.0 / (1.0 + std::exp(-static_cast<double>(x)));
+    EXPECT_NEAR(static_cast<double>(table(x)), exact, 0.01) << "x=" << x;
+  }
+}
+
+TEST(SigmoidTable, SaturatesOutsideRange) {
+  const SigmoidTable& table = sigmoid_table();
+  EXPECT_FLOAT_EQ(table(100.0f), 1.0f);
+  EXPECT_FLOAT_EQ(table(6.0f), 1.0f);
+  EXPECT_FLOAT_EQ(table(-100.0f), 0.0f);
+  EXPECT_FLOAT_EQ(table(-6.0f), 0.0f);
+}
+
+TEST(SigmoidTable, MonotoneNonDecreasing) {
+  const SigmoidTable& table = sigmoid_table();
+  float prev = -1.0f;
+  for (float x = -7.0f; x <= 7.0f; x += 0.05f) {
+    const float y = table(x);
+    EXPECT_GE(y, prev - 1e-6f);
+    prev = y;
+  }
+}
+
+TEST(SigmoidTable, CenterIsHalf) {
+  EXPECT_NEAR(sigmoid_table()(0.0f), 0.5f, 0.01f);
+}
+
+TEST(Huffman, TwoSymbolsGetOneBitCodes) {
+  const std::vector<std::uint64_t> freq{5, 3};
+  const HuffmanTree tree{std::span<const std::uint64_t>(freq)};
+  EXPECT_EQ(tree.vocab_size(), 2u);
+  EXPECT_EQ(tree.inner_count(), 1u);
+  EXPECT_EQ(tree.code(0).code.size(), 1u);
+  EXPECT_EQ(tree.code(1).code.size(), 1u);
+  EXPECT_NE(tree.code(0).code[0], tree.code(1).code[0]);
+}
+
+TEST(Huffman, FrequentSymbolsGetShorterCodes) {
+  const std::vector<std::uint64_t> freq{100, 1, 1, 1, 1, 1, 1, 1};
+  const HuffmanTree tree{std::span<const std::uint64_t>(freq)};
+  for (std::size_t s = 1; s < freq.size(); ++s) {
+    EXPECT_LE(tree.code(0).code.size(), tree.code(s).code.size());
+  }
+}
+
+TEST(Huffman, CodesArePrefixFree) {
+  const std::vector<std::uint64_t> freq{7, 5, 3, 3, 2, 1, 1};
+  const HuffmanTree tree{std::span<const std::uint64_t>(freq)};
+  auto code_string = [&](std::size_t s) {
+    std::string out;
+    for (const auto bit : tree.code(s).code) out += static_cast<char>('0' + bit);
+    return out;
+  };
+  for (std::size_t a = 0; a < freq.size(); ++a) {
+    for (std::size_t b = 0; b < freq.size(); ++b) {
+      if (a == b) continue;
+      const auto ca = code_string(a);
+      const auto cb = code_string(b);
+      EXPECT_FALSE(cb.size() >= ca.size() && cb.substr(0, ca.size()) == ca)
+          << "code of " << a << " prefixes code of " << b;
+    }
+  }
+}
+
+TEST(Huffman, PointsAreValidInnerNodes) {
+  const std::vector<std::uint64_t> freq{4, 3, 2, 1, 1};
+  const HuffmanTree tree{std::span<const std::uint64_t>(freq)};
+  for (std::size_t s = 0; s < freq.size(); ++s) {
+    const auto& code = tree.code(s);
+    ASSERT_EQ(code.points.size(), code.code.size());
+    for (const auto p : code.points) EXPECT_LT(p, tree.inner_count());
+    // Root inner node (the last one created) heads every path.
+    EXPECT_EQ(code.points.front(), static_cast<std::uint32_t>(tree.inner_count() - 1));
+  }
+}
+
+TEST(Huffman, MeanCodeLengthNearEntropy) {
+  // Dyadic distribution: entropy is exactly the Huffman mean length.
+  const std::vector<std::uint64_t> freq{8, 4, 2, 1, 1};
+  const HuffmanTree tree{std::span<const std::uint64_t>(freq)};
+  const double mean = tree.mean_code_length(std::span<const std::uint64_t>(freq));
+  // H = (8*1 + 4*2 + 2*3 + 1*4 + 1*4) / 16 = 30/16 = 1.875
+  EXPECT_NEAR(mean, 1.875, 1e-9);
+}
+
+TEST(Huffman, ZeroFrequenciesStillGetCodes) {
+  const std::vector<std::uint64_t> freq{0, 0, 10};
+  const HuffmanTree tree{std::span<const std::uint64_t>(freq)};
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_FALSE(tree.code(s).code.empty());
+  }
+}
+
+TEST(Huffman, SingleSymbolDegenerateTree) {
+  const std::vector<std::uint64_t> freq{3};
+  const HuffmanTree tree{std::span<const std::uint64_t>(freq)};
+  EXPECT_EQ(tree.inner_count(), 1u);
+  EXPECT_EQ(tree.code(0).code.size(), 1u);
+}
+
+TEST(Huffman, EmptyVocabularyThrows) {
+  const std::vector<std::uint64_t> freq;
+  EXPECT_THROW(HuffmanTree{std::span<const std::uint64_t>(freq)},
+               std::invalid_argument);
+}
+
+TEST(Huffman, LargeUniformVocabBalancedDepths) {
+  std::vector<std::uint64_t> freq(256, 1);
+  const HuffmanTree tree{std::span<const std::uint64_t>(freq)};
+  for (std::size_t s = 0; s < freq.size(); ++s) {
+    EXPECT_EQ(tree.code(s).code.size(), 8u);  // perfectly balanced
+  }
+}
+
+}  // namespace
+}  // namespace v2v::embed

@@ -1,0 +1,81 @@
+#include "v2v/embed/vocabulary.hpp"
+
+#include <gtest/gtest.h>
+
+namespace v2v::embed {
+namespace {
+
+walk::Corpus sample_corpus() {
+  // Token counts: 0 -> 1, 3 -> 4, 7 -> 2 (ids 1,2,4,5,6 never appear).
+  walk::Corpus corpus;
+  corpus.add_walk(std::vector<graph::VertexId>{3, 3, 7, 0});
+  corpus.add_walk(std::vector<graph::VertexId>{3, 7, 3});
+  return corpus;
+}
+
+TEST(Vocabulary, CompactsSparseIds) {
+  const Vocabulary vocab(sample_corpus());
+  EXPECT_EQ(vocab.size(), 3u);
+  EXPECT_EQ(vocab.total_tokens(), 7u);
+}
+
+TEST(Vocabulary, OrderedByDescendingFrequency) {
+  const Vocabulary vocab(sample_corpus());
+  EXPECT_EQ(vocab.to_external(0), 3u);  // count 4
+  EXPECT_EQ(vocab.to_external(1), 7u);  // count 2
+  EXPECT_EQ(vocab.to_external(2), 0u);  // count 1
+  EXPECT_EQ(vocab.frequency(0), 4u);
+  EXPECT_EQ(vocab.frequency(2), 1u);
+}
+
+TEST(Vocabulary, RoundTripMapping) {
+  const Vocabulary vocab(sample_corpus());
+  for (std::uint32_t internal = 0; internal < vocab.size(); ++internal) {
+    const auto back = vocab.to_internal(vocab.to_external(internal));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, internal);
+  }
+}
+
+TEST(Vocabulary, UnknownAndFilteredReturnNullopt) {
+  const Vocabulary vocab(sample_corpus());
+  EXPECT_FALSE(vocab.to_internal(1).has_value());   // never seen
+  EXPECT_FALSE(vocab.to_internal(99).has_value());  // out of range
+}
+
+TEST(Vocabulary, MinCountFilters) {
+  const Vocabulary vocab(sample_corpus(), /*min_count=*/2);
+  EXPECT_EQ(vocab.size(), 2u);
+  EXPECT_FALSE(vocab.to_internal(0).has_value());  // count 1 < 2
+  EXPECT_TRUE(vocab.to_internal(3).has_value());
+}
+
+TEST(Vocabulary, RemapRewritesAndDrops) {
+  const Vocabulary vocab(sample_corpus(), /*min_count=*/2);
+  const walk::Corpus remapped = vocab.remap(sample_corpus());
+  EXPECT_EQ(remapped.walk_count(), 2u);
+  // Walk 1 was {3,3,7,0}; 0 is dropped -> {int(3), int(3), int(7)}.
+  ASSERT_EQ(remapped.walk(0).size(), 3u);
+  EXPECT_EQ(remapped.walk(0)[0], *vocab.to_internal(3));
+  EXPECT_EQ(remapped.walk(0)[2], *vocab.to_internal(7));
+  // Every remapped token is a valid internal id.
+  for (const auto token : remapped.tokens()) EXPECT_LT(token, vocab.size());
+}
+
+TEST(Vocabulary, EmptyCorpus) {
+  const walk::Corpus corpus;
+  const Vocabulary vocab(corpus);
+  EXPECT_EQ(vocab.size(), 0u);
+  EXPECT_EQ(vocab.total_tokens(), 0u);
+}
+
+TEST(Vocabulary, FrequencyTieBreaksById) {
+  walk::Corpus corpus;
+  corpus.add_walk(std::vector<graph::VertexId>{5, 2});
+  const Vocabulary vocab(corpus);
+  EXPECT_EQ(vocab.to_external(0), 2u);
+  EXPECT_EQ(vocab.to_external(1), 5u);
+}
+
+}  // namespace
+}  // namespace v2v::embed

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "v2v/graph/algorithms.hpp"
+#include "v2v/graph/generators.hpp"
+#include "v2v/graph/io.hpp"
+
+namespace v2v::graph {
+namespace {
+
+TEST(Bfs, DistancesOnPath) {
+  const Graph g = make_path(5);
+  const auto dist = bfs_distances(g, 0);
+  for (std::uint32_t v = 0; v < 5; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(Bfs, UnreachableMarked) {
+  GraphBuilder builder(false);
+  builder.add_edge(0, 1);
+  builder.reserve_vertices(4);
+  const auto dist = bfs_distances(builder.build(), 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(Bfs, OutOfRangeSourceAllUnreachable) {
+  const Graph g = make_path(3);
+  const auto dist = bfs_distances(g, 9);
+  for (const auto d : dist) EXPECT_EQ(d, kUnreachable);
+}
+
+TEST(Components, CountsIslands) {
+  GraphBuilder builder(false);
+  builder.add_edge(0, 1);
+  builder.add_edge(2, 3);
+  builder.reserve_vertices(5);
+  const auto comp = connected_components(builder.build());
+  EXPECT_EQ(comp.count, 3u);
+  EXPECT_EQ(comp.label[0], comp.label[1]);
+  EXPECT_EQ(comp.label[2], comp.label[3]);
+  EXPECT_NE(comp.label[0], comp.label[2]);
+  EXPECT_NE(comp.label[4], comp.label[0]);
+}
+
+TEST(Components, EmptyAndSingle) {
+  EXPECT_TRUE(is_connected(GraphBuilder(false).build()));
+  GraphBuilder one(false);
+  one.reserve_vertices(1);
+  EXPECT_TRUE(is_connected(one.build()));
+}
+
+TEST(Components, RingIsConnected) {
+  EXPECT_TRUE(is_connected(make_ring(10)));
+}
+
+TEST(DegreeStats, PathStats) {
+  const auto stats = degree_stats(make_path(5));
+  EXPECT_EQ(stats.min, 1u);
+  EXPECT_EQ(stats.max, 2u);
+  EXPECT_DOUBLE_EQ(stats.mean, 8.0 / 5.0);
+}
+
+TEST(Symmetrized, DirectedBecomesUndirected) {
+  GraphBuilder builder(true);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 0);  // symmetric pair collapses to one edge
+  builder.add_edge(1, 2);
+  const Graph sym = symmetrized(builder.build());
+  EXPECT_FALSE(sym.directed());
+  EXPECT_EQ(sym.edge_count(), 2u);
+  EXPECT_TRUE(sym.has_arc(2, 1));
+}
+
+TEST(EdgeListIo, ReadBasic) {
+  std::istringstream in("0 1\n1 2\n# comment line\n2 3 # trailing comment\n\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.vertex_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 3u);
+}
+
+TEST(EdgeListIo, ReadWeightsAndTimestamps) {
+  std::istringstream in("0 1 2.5 10.0\n1 2 1.0 20.0\n");
+  EdgeListOptions options;
+  options.expect_timestamps = true;
+  const Graph g = read_edge_list(in, options);
+  EXPECT_TRUE(g.has_edge_weights());
+  EXPECT_TRUE(g.has_timestamps());
+  EXPECT_DOUBLE_EQ(g.weighted_out_degree(1), 3.5);
+}
+
+TEST(EdgeListIo, ErrorsCarryLineNumbers) {
+  {
+    std::istringstream in("0 1\nbogus\n");
+    EXPECT_THROW(
+        {
+          try {
+            (void)read_edge_list(in);
+          } catch (const std::runtime_error& e) {
+            EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+            throw;
+          }
+        },
+        std::runtime_error);
+  }
+  {
+    std::istringstream in("0 1 1.0 2.0 extra\n");
+    EXPECT_THROW((void)read_edge_list(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("0 -1\n");
+    EXPECT_THROW((void)read_edge_list(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("0 1\n");
+    EdgeListOptions options;
+    options.expect_weights = true;
+    EXPECT_THROW((void)read_edge_list(in, options), std::runtime_error);
+  }
+}
+
+TEST(EdgeListIo, RoundTripUndirected) {
+  Rng rng(6);
+  const Graph g = make_erdos_renyi_gnm(30, 80, rng);
+  std::ostringstream out;
+  write_edge_list(g, out);
+  std::istringstream in(out.str());
+  const Graph back = read_edge_list(in);
+  EXPECT_EQ(back.vertex_count(), g.vertex_count());
+  EXPECT_EQ(back.edge_count(), g.edge_count());
+  for (VertexId u = 0; u < g.vertex_count(); ++u) {
+    for (const VertexId v : g.neighbors(u)) EXPECT_TRUE(back.has_arc(u, v));
+  }
+}
+
+TEST(EdgeListIo, RoundTripDirectedWeighted) {
+  GraphBuilder builder(true);
+  builder.add_edge(0, 1, 2.0);
+  builder.add_edge(2, 0, 0.5);
+  const Graph g = builder.build();
+  std::ostringstream out;
+  write_edge_list(g, out);
+  std::istringstream in(out.str());
+  EdgeListOptions options;
+  options.directed = true;
+  const Graph back = read_edge_list(in, options);
+  EXPECT_TRUE(back.directed());
+  EXPECT_EQ(back.arc_count(), 2u);
+  EXPECT_DOUBLE_EQ(back.weighted_out_degree(0), 2.0);
+}
+
+TEST(EdgeListIo, MissingFileThrows) {
+  EXPECT_THROW((void)read_edge_list_file("/nonexistent/v2v.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace v2v::graph

@@ -1,0 +1,116 @@
+#include "v2v/graph/flight_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace v2v::graph {
+namespace {
+
+FlightNetworkParams small_params() {
+  FlightNetworkParams params;
+  params.airports = 600;
+  params.routes = 3000;
+  return params;
+}
+
+TEST(FlightNetwork, ShapeMatchesParams) {
+  Rng rng(1);
+  const auto net = make_flight_network(small_params(), rng);
+  EXPECT_EQ(net.graph.vertex_count(), 600u);
+  EXPECT_EQ(net.graph.arc_count(), 3000u);
+  EXPECT_TRUE(net.graph.directed());
+  EXPECT_EQ(net.continent_names.size(), 10u);
+  EXPECT_EQ(net.country_count, 120u);
+}
+
+TEST(FlightNetwork, MetadataCoversAllAirports) {
+  Rng rng(2);
+  const auto net = make_flight_network(small_params(), rng);
+  ASSERT_EQ(net.continent.size(), 600u);
+  ASSERT_EQ(net.country.size(), 600u);
+  ASSERT_EQ(net.latitude.size(), 600u);
+  ASSERT_EQ(net.size.size(), 600u);
+  for (std::size_t v = 0; v < 600; ++v) {
+    EXPECT_LT(net.continent[v], 10u);
+    EXPECT_LT(net.country[v], net.country_count);
+    // country id encodes its continent
+    EXPECT_EQ(net.continent[v], net.country[v] / 12);
+  }
+}
+
+TEST(FlightNetwork, EveryCountryPopulated) {
+  Rng rng(3);
+  const auto net = make_flight_network(small_params(), rng);
+  std::vector<std::size_t> count(net.country_count, 0);
+  for (const auto c : net.country) ++count[c];
+  for (const auto n : count) EXPECT_GT(n, 0u);
+}
+
+TEST(FlightNetwork, HubSizesAreZipf) {
+  Rng rng(4);
+  const auto net = make_flight_network(small_params(), rng);
+  // Airport v has rank v / country_count; rank-0 airports have size 1.
+  EXPECT_DOUBLE_EQ(net.size[0], 1.0);
+  EXPECT_LT(net.size[net.country_count], net.size[0]);
+}
+
+TEST(FlightNetwork, RoutesAreMostlyLocal) {
+  Rng rng(5);
+  const auto net = make_flight_network(small_params(), rng);
+  std::size_t intra_continent = 0;
+  std::size_t total = 0;
+  for (VertexId u = 0; u < net.graph.vertex_count(); ++u) {
+    for (const VertexId v : net.graph.neighbors(u)) {
+      intra_continent += net.continent[u] == net.continent[v] ? 1 : 0;
+      ++total;
+    }
+  }
+  // The gravity model plus domestic routes must make same-continent routes
+  // dominate — that locality is what V2V learns from.
+  EXPECT_GT(static_cast<double>(intra_continent) / static_cast<double>(total), 0.6);
+}
+
+TEST(FlightNetwork, TooFewAirportsThrows) {
+  Rng rng(1);
+  FlightNetworkParams params;
+  params.airports = 10;  // < continents * countries_per_continent
+  EXPECT_THROW(make_flight_network(params, rng), std::invalid_argument);
+}
+
+TEST(FlightNetwork, InvalidContinentCountThrows) {
+  Rng rng(1);
+  FlightNetworkParams params;
+  params.continents = 11;
+  EXPECT_THROW(make_flight_network(params, rng), std::invalid_argument);
+  params.continents = 0;
+  EXPECT_THROW(make_flight_network(params, rng), std::invalid_argument);
+}
+
+TEST(GreatCircle, KnownDistances) {
+  // Same point -> 0.
+  EXPECT_NEAR(great_circle_distance(10, 20, 10, 20), 0.0, 1e-12);
+  // Antipodal points -> pi.
+  EXPECT_NEAR(great_circle_distance(0, 0, 0, 180), std::numbers::pi, 1e-9);
+  // Pole to pole.
+  EXPECT_NEAR(great_circle_distance(90, 0, -90, 0), std::numbers::pi, 1e-9);
+  // Quarter circle along the equator.
+  EXPECT_NEAR(great_circle_distance(0, 0, 0, 90), std::numbers::pi / 2, 1e-9);
+}
+
+TEST(GreatCircle, SymmetricAndNonNegative) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    const double lat1 = rng.next_double(-90, 90), lon1 = rng.next_double(-180, 180);
+    const double lat2 = rng.next_double(-90, 90), lon2 = rng.next_double(-180, 180);
+    const double d12 = great_circle_distance(lat1, lon1, lat2, lon2);
+    const double d21 = great_circle_distance(lat2, lon2, lat1, lon1);
+    EXPECT_NEAR(d12, d21, 1e-12);
+    EXPECT_GE(d12, 0.0);
+    EXPECT_LE(d12, std::numbers::pi + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace v2v::graph

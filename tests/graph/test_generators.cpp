@@ -1,0 +1,258 @@
+#include "v2v/graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "v2v/graph/algorithms.hpp"
+
+namespace v2v::graph {
+namespace {
+
+TEST(PlantedPartition, SizesAndLabels) {
+  PlantedPartitionParams params;
+  params.groups = 4;
+  params.group_size = 25;
+  params.alpha = 0.5;
+  params.inter_edges = 30;
+  Rng rng(1);
+  const auto planted = make_planted_partition(params, rng);
+  EXPECT_EQ(planted.graph.vertex_count(), 100u);
+  EXPECT_EQ(planted.group_count, 4u);
+  ASSERT_EQ(planted.community.size(), 100u);
+  for (std::size_t v = 0; v < 100; ++v) {
+    EXPECT_EQ(planted.community[v], v / 25);
+  }
+}
+
+TEST(PlantedPartition, EdgeCountMatchesFormula) {
+  PlantedPartitionParams params;
+  params.groups = 3;
+  params.group_size = 20;
+  params.alpha = 0.4;
+  params.inter_edges = 17;
+  Rng rng(2);
+  const auto planted = make_planted_partition(params, rng);
+  const std::size_t per_group =
+      static_cast<std::size_t>(0.4 * (20.0 * 19.0 / 2.0) + 0.5);
+  EXPECT_EQ(planted.graph.edge_count(), 3 * per_group + 17);
+}
+
+TEST(PlantedPartition, AlphaOneMakesCliques) {
+  PlantedPartitionParams params;
+  params.groups = 2;
+  params.group_size = 10;
+  params.alpha = 1.0;
+  params.inter_edges = 0;
+  Rng rng(3);
+  const auto planted = make_planted_partition(params, rng);
+  for (VertexId u = 0; u < 10; ++u) {
+    for (VertexId v = 0; v < 10; ++v) {
+      if (u != v) {
+        EXPECT_TRUE(planted.graph.has_arc(u, v));
+      }
+    }
+  }
+  EXPECT_FALSE(planted.graph.has_arc(0, 15));
+}
+
+TEST(PlantedPartition, InterEdgesCrossGroups) {
+  PlantedPartitionParams params;
+  params.groups = 5;
+  params.group_size = 10;
+  params.alpha = 0.3;
+  params.inter_edges = 40;
+  Rng rng(4);
+  const auto planted = make_planted_partition(params, rng);
+  std::size_t cross_arcs = 0;
+  for (VertexId u = 0; u < planted.graph.vertex_count(); ++u) {
+    for (const VertexId v : planted.graph.neighbors(u)) {
+      if (planted.community[u] != planted.community[v]) ++cross_arcs;
+    }
+  }
+  EXPECT_EQ(cross_arcs, 2u * 40u);
+}
+
+TEST(PlantedPartition, NoDuplicateEdges) {
+  PlantedPartitionParams params;
+  params.groups = 3;
+  params.group_size = 12;
+  params.alpha = 0.9;
+  params.inter_edges = 20;
+  Rng rng(5);
+  const auto planted = make_planted_partition(params, rng);
+  for (VertexId u = 0; u < planted.graph.vertex_count(); ++u) {
+    const auto nbrs = planted.graph.neighbors(u);
+    const std::set<VertexId> unique(nbrs.begin(), nbrs.end());
+    EXPECT_EQ(unique.size(), nbrs.size()) << "duplicate neighbor at " << u;
+    EXPECT_EQ(unique.count(u), 0u) << "self-loop at " << u;
+  }
+}
+
+TEST(PlantedPartition, InvalidParamsThrow) {
+  Rng rng(1);
+  PlantedPartitionParams params;
+  params.alpha = 0.0;
+  EXPECT_THROW(make_planted_partition(params, rng), std::invalid_argument);
+  params.alpha = 1.5;
+  EXPECT_THROW(make_planted_partition(params, rng), std::invalid_argument);
+  params.alpha = 0.5;
+  params.group_size = 1;
+  EXPECT_THROW(make_planted_partition(params, rng), std::invalid_argument);
+}
+
+TEST(PlantedPartition, DeterministicForSeed) {
+  PlantedPartitionParams params;
+  Rng rng1(9), rng2(9);
+  const auto a = make_planted_partition(params, rng1);
+  const auto b = make_planted_partition(params, rng2);
+  EXPECT_EQ(a.graph.edge_count(), b.graph.edge_count());
+  for (VertexId v = 0; v < a.graph.vertex_count(); ++v) {
+    const auto na = a.graph.neighbors(v);
+    const auto nb = b.graph.neighbors(v);
+    ASSERT_EQ(na.size(), nb.size());
+    EXPECT_TRUE(std::equal(na.begin(), na.end(), nb.begin()));
+  }
+}
+
+TEST(ErdosRenyi, GnmExactEdgeCount) {
+  Rng rng(1);
+  const Graph g = make_erdos_renyi_gnm(50, 200, rng);
+  EXPECT_EQ(g.vertex_count(), 50u);
+  EXPECT_EQ(g.edge_count(), 200u);
+}
+
+TEST(ErdosRenyi, GnmDirected) {
+  Rng rng(1);
+  const Graph g = make_erdos_renyi_gnm(20, 100, rng, /*directed=*/true);
+  EXPECT_TRUE(g.directed());
+  EXPECT_EQ(g.arc_count(), 100u);
+}
+
+TEST(ErdosRenyi, GnmTooManyEdgesThrows) {
+  Rng rng(1);
+  EXPECT_THROW(make_erdos_renyi_gnm(5, 11, rng), std::invalid_argument);
+}
+
+TEST(ErdosRenyi, GnpEdgeCountNearExpectation) {
+  Rng rng(7);
+  const Graph g = make_erdos_renyi_gnp(100, 0.2, rng);
+  const double expected = 0.2 * 100.0 * 99.0 / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.edge_count()), expected, expected * 0.15);
+}
+
+TEST(ErdosRenyi, GnpExtremes) {
+  Rng rng(7);
+  EXPECT_EQ(make_erdos_renyi_gnp(20, 0.0, rng).edge_count(), 0u);
+  EXPECT_EQ(make_erdos_renyi_gnp(10, 1.0, rng).edge_count(), 45u);
+  EXPECT_THROW(make_erdos_renyi_gnp(10, 1.5, rng), std::invalid_argument);
+}
+
+TEST(BarabasiAlbert, DegreesAndConnectivity) {
+  Rng rng(2);
+  const Graph g = make_barabasi_albert(200, 3, rng);
+  EXPECT_EQ(g.vertex_count(), 200u);
+  // Seed clique C(4,2)=6 edges + 196 newcomers x 3 edges.
+  EXPECT_EQ(g.edge_count(), 6u + 196u * 3u);
+  EXPECT_TRUE(is_connected(g));
+  // Every non-seed vertex has degree >= 3.
+  for (VertexId v = 4; v < 200; ++v) EXPECT_GE(g.out_degree(v), 3u);
+}
+
+TEST(BarabasiAlbert, HubsEmerge) {
+  Rng rng(3);
+  const Graph g = make_barabasi_albert(500, 2, rng);
+  const auto stats = degree_stats(g);
+  // Preferential attachment should make the max degree much larger than
+  // the mean (scale-free-ish tail).
+  EXPECT_GT(static_cast<double>(stats.max), 4.0 * stats.mean);
+}
+
+TEST(BarabasiAlbert, InvalidParamsThrow) {
+  Rng rng(1);
+  EXPECT_THROW(make_barabasi_albert(5, 0, rng), std::invalid_argument);
+  EXPECT_THROW(make_barabasi_albert(3, 3, rng), std::invalid_argument);
+}
+
+TEST(WattsStrogatz, LatticeWhenBetaZero) {
+  Rng rng(1);
+  const Graph g = make_watts_strogatz(30, 2, 0.0, rng);
+  EXPECT_EQ(g.edge_count(), 60u);
+  for (VertexId v = 0; v < 30; ++v) {
+    EXPECT_TRUE(g.has_arc(v, (v + 1) % 30));
+    EXPECT_TRUE(g.has_arc(v, (v + 2) % 30));
+  }
+}
+
+TEST(WattsStrogatz, RewiringChangesLattice) {
+  Rng rng(2);
+  const Graph g = make_watts_strogatz(100, 3, 0.5, rng);
+  std::size_t lattice_edges = 0;
+  for (VertexId v = 0; v < 100; ++v) {
+    for (std::size_t j = 1; j <= 3; ++j) {
+      if (g.has_arc(v, static_cast<VertexId>((v + j) % 100))) ++lattice_edges;
+    }
+  }
+  EXPECT_LT(lattice_edges, 290u);  // some edges must have moved
+}
+
+TEST(ClassicShapes, CompleteRingPathStarGrid) {
+  EXPECT_EQ(make_complete(6).edge_count(), 15u);
+  EXPECT_EQ(make_ring(6).edge_count(), 6u);
+  EXPECT_EQ(make_ring(2).edge_count(), 1u);
+  EXPECT_EQ(make_ring(1).edge_count(), 0u);
+  EXPECT_EQ(make_path(6).edge_count(), 5u);
+  EXPECT_EQ(make_star(6).edge_count(), 5u);
+  EXPECT_EQ(make_star(6).out_degree(0), 5u);
+  const Graph grid = make_grid(3, 4);
+  EXPECT_EQ(grid.vertex_count(), 12u);
+  EXPECT_EQ(grid.edge_count(), 3u * 3u + 2u * 4u);  // horizontal + vertical
+  EXPECT_TRUE(is_connected(grid));
+}
+
+TEST(TemporalDag, EdgesRespectTopologicalOrder) {
+  Rng rng(4);
+  const Graph g = make_temporal_dag(50, 300, rng);
+  EXPECT_TRUE(g.directed());
+  EXPECT_TRUE(g.has_timestamps());
+  for (VertexId u = 0; u < g.vertex_count(); ++u) {
+    for (const VertexId v : g.neighbors(u)) EXPECT_LT(u, v);
+  }
+}
+
+TEST(TemporalDag, TimestampsGrowAlongPaths) {
+  Rng rng(4);
+  const Graph g = make_temporal_dag(50, 300, rng);
+  // For consecutive arcs u->v, v->w: ts(v->w) >= ts(u->v) must be
+  // achievable since ts is anchored to the source index. Check the anchor:
+  for (VertexId u = 0; u < g.vertex_count(); ++u) {
+    for (const double ts : g.arc_timestamps(u)) {
+      EXPECT_GE(ts, static_cast<double>(u));
+      EXPECT_LE(ts, static_cast<double>(u) + 0.5);
+    }
+  }
+}
+
+// Property sweep: planted partitions of all strengths stay simple and
+// correctly sized.
+class PlantedAlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PlantedAlphaSweep, EdgeBudgetRespected) {
+  PlantedPartitionParams params;
+  params.groups = 5;
+  params.group_size = 20;
+  params.alpha = GetParam();
+  params.inter_edges = 25;
+  Rng rng(static_cast<std::uint64_t>(GetParam() * 100));
+  const auto planted = make_planted_partition(params, rng);
+  const auto per_group =
+      static_cast<std::size_t>(std::llround(GetParam() * (20.0 * 19.0 / 2.0)));
+  EXPECT_EQ(planted.graph.edge_count(), 5 * per_group + 25);
+  EXPECT_EQ(planted.graph.vertex_count(), 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, PlantedAlphaSweep,
+                         ::testing::Values(0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0));
+
+}  // namespace
+}  // namespace v2v::graph

@@ -1,0 +1,179 @@
+#include "v2v/graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace v2v::graph {
+namespace {
+
+TEST(GraphBuilder, EmptyGraph) {
+  GraphBuilder builder(false);
+  const Graph g = builder.build();
+  EXPECT_EQ(g.vertex_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_EQ(g.arc_count(), 0u);
+}
+
+TEST(GraphBuilder, ReserveVerticesCreatesIsolated) {
+  GraphBuilder builder(false);
+  builder.reserve_vertices(5);
+  const Graph g = builder.build();
+  EXPECT_EQ(g.vertex_count(), 5u);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(g.out_degree(v), 0u);
+}
+
+TEST(GraphBuilder, UndirectedEdgeIsTwoArcs) {
+  GraphBuilder builder(false);
+  builder.add_edge(0, 1);
+  const Graph g = builder.build();
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.arc_count(), 2u);
+  EXPECT_TRUE(g.has_arc(0, 1));
+  EXPECT_TRUE(g.has_arc(1, 0));
+}
+
+TEST(GraphBuilder, DirectedEdgeIsOneArc) {
+  GraphBuilder builder(true);
+  builder.add_edge(0, 1);
+  const Graph g = builder.build();
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.arc_count(), 1u);
+  EXPECT_TRUE(g.has_arc(0, 1));
+  EXPECT_FALSE(g.has_arc(1, 0));
+  EXPECT_TRUE(g.directed());
+}
+
+TEST(GraphBuilder, VertexCountGrowsWithIds) {
+  GraphBuilder builder(false);
+  builder.add_edge(2, 7);
+  const Graph g = builder.build();
+  EXPECT_EQ(g.vertex_count(), 8u);
+  EXPECT_EQ(g.out_degree(0), 0u);
+}
+
+TEST(GraphBuilder, ParallelEdgesKept) {
+  GraphBuilder builder(false);
+  builder.add_edge(0, 1);
+  builder.add_edge(0, 1);
+  const Graph g = builder.build();
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+}
+
+TEST(GraphBuilder, SelfLoopUndirectedCountsTwiceInDegree) {
+  GraphBuilder builder(false);
+  builder.add_edge(0, 0);
+  const Graph g = builder.build();
+  EXPECT_EQ(g.out_degree(0), 2u);  // both arc copies land on vertex 0
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(GraphBuilder, NegativeWeightThrows) {
+  GraphBuilder builder(false);
+  EXPECT_THROW(builder.add_edge(0, 1, -1.0), std::invalid_argument);
+  EXPECT_THROW(builder.set_vertex_weight(0, -2.0), std::invalid_argument);
+}
+
+TEST(Graph, WeightsAlignedWithNeighbors) {
+  GraphBuilder builder(true);
+  builder.add_edge(0, 1, 2.5);
+  builder.add_edge(0, 2, 0.5);
+  const Graph g = builder.build();
+  ASSERT_TRUE(g.has_edge_weights());
+  const auto nbrs = g.neighbors(0);
+  const auto wts = g.arc_weights(0);
+  ASSERT_EQ(nbrs.size(), 2u);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    if (nbrs[i] == 1) {
+      EXPECT_DOUBLE_EQ(wts[i], 2.5);
+    }
+    if (nbrs[i] == 2) {
+      EXPECT_DOUBLE_EQ(wts[i], 0.5);
+    }
+  }
+  EXPECT_DOUBLE_EQ(g.weighted_out_degree(0), 3.0);
+}
+
+TEST(Graph, UnweightedGraphHasNoWeightStorage) {
+  GraphBuilder builder(false);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  const Graph g = builder.build();
+  EXPECT_FALSE(g.has_edge_weights());
+  EXPECT_TRUE(g.arc_weights(0).empty());
+  EXPECT_DOUBLE_EQ(g.arc_weight_at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(g.weighted_out_degree(1), 2.0);
+}
+
+TEST(Graph, TimestampsStoredAndMirrored) {
+  GraphBuilder builder(false);
+  builder.add_edge(0, 1, 1.0, 5.0);
+  const Graph g = builder.build();
+  ASSERT_TRUE(g.has_timestamps());
+  EXPECT_DOUBLE_EQ(g.arc_timestamps(0)[0], 5.0);
+  EXPECT_DOUBLE_EQ(g.arc_timestamps(1)[0], 5.0);
+}
+
+TEST(Graph, VertexWeights) {
+  GraphBuilder builder(false);
+  builder.add_edge(0, 1);
+  builder.set_vertex_weight(1, 3.0);
+  const Graph g = builder.build();
+  ASSERT_TRUE(g.has_vertex_weights());
+  EXPECT_DOUBLE_EQ(g.vertex_weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(g.vertex_weight(1), 3.0);
+}
+
+TEST(Graph, TotalEdgeWeight) {
+  GraphBuilder undirected(false);
+  undirected.add_edge(0, 1, 2.0);
+  undirected.add_edge(1, 2, 3.0);
+  EXPECT_DOUBLE_EQ(undirected.build().total_edge_weight(), 5.0);
+
+  GraphBuilder directed(true);
+  directed.add_edge(0, 1, 2.0);
+  directed.add_edge(1, 0, 3.0);
+  EXPECT_DOUBLE_EQ(directed.build().total_edge_weight(), 5.0);
+}
+
+TEST(Graph, CsrOffsetsConsistent) {
+  GraphBuilder builder(false);
+  builder.add_edge(0, 1);
+  builder.add_edge(0, 2);
+  builder.add_edge(1, 2);
+  const Graph g = builder.build();
+  const auto offsets = g.offsets();
+  ASSERT_EQ(offsets.size(), g.vertex_count() + 1);
+  EXPECT_EQ(offsets[0], 0u);
+  EXPECT_EQ(offsets[g.vertex_count()], g.arc_count());
+  for (std::size_t i = 0; i + 1 < offsets.size(); ++i) {
+    EXPECT_LE(offsets[i], offsets[i + 1]);
+  }
+  // Sum of degrees == arc count.
+  std::size_t total = 0;
+  for (VertexId v = 0; v < g.vertex_count(); ++v) total += g.out_degree(v);
+  EXPECT_EQ(total, g.arc_count());
+}
+
+TEST(Graph, BuilderIsReusable) {
+  GraphBuilder builder(false);
+  builder.add_edge(0, 1);
+  const Graph g1 = builder.build();
+  const Graph g2 = builder.build();
+  EXPECT_EQ(g1.edge_count(), g2.edge_count());
+  EXPECT_EQ(g1.vertex_count(), g2.vertex_count());
+}
+
+TEST(Graph, DescribeMentionsProperties) {
+  GraphBuilder builder(true);
+  builder.add_edge(0, 1, 2.0, 3.0);
+  const std::string text = describe(builder.build());
+  EXPECT_NE(text.find("directed"), std::string::npos);
+  EXPECT_NE(text.find("edge-weighted"), std::string::npos);
+  EXPECT_NE(text.find("timestamped"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace v2v::graph

@@ -1,0 +1,66 @@
+#include "v2v/graph/labels_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace v2v::graph {
+namespace {
+
+TEST(LabelsIo, RoundTrip) {
+  const std::vector<std::uint32_t> labels{3, 1, 4, 1, 5};
+  std::stringstream buffer;
+  write_labels(labels, buffer);
+  const auto back = read_labels(buffer, 5);
+  EXPECT_EQ(back, labels);
+}
+
+TEST(LabelsIo, CommentsAndBlankLines) {
+  std::stringstream in("# header\n0 7\n\n1 9 # trailing\n");
+  const auto labels = read_labels(in, 2);
+  EXPECT_EQ(labels[0], 7u);
+  EXPECT_EQ(labels[1], 9u);
+}
+
+TEST(LabelsIo, OutOfOrderAssignment) {
+  std::stringstream in("2 20\n0 0\n1 10\n");
+  const auto labels = read_labels(in, 3);
+  EXPECT_EQ(labels[2], 20u);
+  EXPECT_EQ(labels[0], 0u);
+}
+
+TEST(LabelsIo, MissingVertexThrows) {
+  std::stringstream in("0 1\n");
+  EXPECT_THROW((void)read_labels(in, 2), std::runtime_error);
+}
+
+TEST(LabelsIo, DuplicateVertexThrows) {
+  std::stringstream in("0 1\n0 2\n1 1\n");
+  EXPECT_THROW((void)read_labels(in, 2), std::runtime_error);
+}
+
+TEST(LabelsIo, MalformedLinesThrow) {
+  {
+    std::stringstream in("0\n");
+    EXPECT_THROW((void)read_labels(in, 1), std::runtime_error);
+  }
+  {
+    std::stringstream in("0 x\n");
+    EXPECT_THROW((void)read_labels(in, 1), std::runtime_error);
+  }
+  {
+    std::stringstream in("5 1\n");
+    EXPECT_THROW((void)read_labels(in, 2), std::runtime_error);
+  }
+  {
+    std::stringstream in("-1 1\n");
+    EXPECT_THROW((void)read_labels(in, 2), std::runtime_error);
+  }
+}
+
+TEST(LabelsIo, MissingFileThrows) {
+  EXPECT_THROW((void)read_labels_file("/no/such/labels", 3), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace v2v::graph

@@ -1,0 +1,144 @@
+#include "v2v/graph/perturb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "v2v/graph/generators.hpp"
+
+namespace v2v::graph {
+namespace {
+
+TEST(RemoveRandomEdges, ExactCountRemoved) {
+  Rng gen(1), rng(2);
+  const Graph g = make_erdos_renyi_gnm(50, 200, gen);
+  const Graph pruned = remove_random_edges(g, 0.25, rng);
+  EXPECT_EQ(pruned.edge_count(), 150u);
+  EXPECT_EQ(pruned.vertex_count(), 50u);
+}
+
+TEST(RemoveRandomEdges, SubsetOfOriginal) {
+  Rng gen(3), rng(4);
+  const Graph g = make_erdos_renyi_gnm(30, 100, gen);
+  const Graph pruned = remove_random_edges(g, 0.5, rng);
+  for (VertexId u = 0; u < 30; ++u) {
+    for (const VertexId v : pruned.neighbors(u)) {
+      EXPECT_TRUE(g.has_arc(u, v));
+    }
+  }
+}
+
+TEST(RemoveRandomEdges, ExtremesFractions) {
+  Rng gen(5), rng(6);
+  const Graph g = make_erdos_renyi_gnm(20, 50, gen);
+  EXPECT_EQ(remove_random_edges(g, 0.0, rng).edge_count(), 50u);
+  EXPECT_EQ(remove_random_edges(g, 1.0, rng).edge_count(), 0u);
+  EXPECT_THROW((void)remove_random_edges(g, 1.5, rng), std::invalid_argument);
+  EXPECT_THROW((void)remove_random_edges(g, -0.1, rng), std::invalid_argument);
+}
+
+TEST(RemoveRandomEdges, PreservesWeightsAndTimestamps) {
+  GraphBuilder builder(false);
+  builder.add_edge(0, 1, 2.5, 7.0);
+  builder.add_edge(1, 2, 3.5, 8.0);
+  Rng rng(7);
+  const Graph pruned = remove_random_edges(builder.build(), 0.0, rng);
+  EXPECT_TRUE(pruned.has_edge_weights());
+  EXPECT_TRUE(pruned.has_timestamps());
+  EXPECT_DOUBLE_EQ(pruned.total_edge_weight(), 6.0);
+}
+
+TEST(AddRandomEdges, ExactCountAdded) {
+  Rng gen(8), rng(9);
+  const Graph g = make_erdos_renyi_gnm(50, 100, gen);
+  const Graph noisy = add_random_edges(g, 40, rng);
+  EXPECT_EQ(noisy.edge_count(), 140u);
+}
+
+TEST(AddRandomEdges, NoDuplicatesOrSelfLoops) {
+  Rng gen(10), rng(11);
+  const Graph g = make_erdos_renyi_gnm(20, 40, gen);
+  const Graph noisy = add_random_edges(g, 60, rng);
+  for (VertexId u = 0; u < 20; ++u) {
+    const auto nbrs = noisy.neighbors(u);
+    const std::set<VertexId> unique(nbrs.begin(), nbrs.end());
+    EXPECT_EQ(unique.size(), nbrs.size());
+    EXPECT_EQ(unique.count(u), 0u);
+  }
+}
+
+TEST(AddRandomEdges, DirectedGraphSupported) {
+  GraphBuilder builder(true);
+  builder.add_edge(0, 1);
+  builder.reserve_vertices(6);
+  Rng rng(12);
+  const Graph noisy = add_random_edges(builder.build(), 5, rng);
+  EXPECT_EQ(noisy.arc_count(), 6u);
+  EXPECT_TRUE(noisy.directed());
+}
+
+TEST(RewireRandomEdges, KeepsEdgeCount) {
+  Rng gen(13), rng(14);
+  const Graph g = make_erdos_renyi_gnm(40, 150, gen);
+  const Graph rewired = rewire_random_edges(g, 0.3, rng);
+  EXPECT_EQ(rewired.edge_count(), 150u);
+}
+
+TEST(RewireRandomEdges, ActuallyChangesEdges) {
+  Rng gen(15), rng(16);
+  const Graph g = make_erdos_renyi_gnm(40, 150, gen);
+  const Graph rewired = rewire_random_edges(g, 0.5, rng);
+  std::size_t differing = 0;
+  for (VertexId u = 0; u < 40; ++u) {
+    for (const VertexId v : rewired.neighbors(u)) {
+      differing += g.has_arc(u, v) ? 0 : 1;
+    }
+  }
+  EXPECT_GT(differing, 0u);
+}
+
+TEST(EdgeSplit, PartitionsEdges) {
+  Rng gen(17), rng(18);
+  const Graph g = make_erdos_renyi_gnm(60, 300, gen);
+  const auto split = split_edges_for_link_prediction(g, 0.2, rng);
+  EXPECT_EQ(split.test_positive.size(), 60u);
+  EXPECT_EQ(split.test_negative.size(), 60u);
+  EXPECT_EQ(split.train.edge_count(), 240u);
+  EXPECT_EQ(split.train.vertex_count(), 60u);
+}
+
+TEST(EdgeSplit, PositivesAreRealEdgesAbsentFromTrain) {
+  Rng gen(19), rng(20);
+  const Graph g = make_erdos_renyi_gnm(40, 200, gen);
+  const auto split = split_edges_for_link_prediction(g, 0.25, rng);
+  for (const auto& [u, v] : split.test_positive) {
+    EXPECT_TRUE(g.has_arc(u, v));
+    EXPECT_FALSE(split.train.has_arc(u, v));
+  }
+}
+
+TEST(EdgeSplit, NegativesAreNonEdges) {
+  Rng gen(21), rng(22);
+  const Graph g = make_erdos_renyi_gnm(40, 200, gen);
+  const auto split = split_edges_for_link_prediction(g, 0.25, rng);
+  for (const auto& [u, v] : split.test_negative) {
+    EXPECT_FALSE(g.has_arc(u, v));
+    EXPECT_NE(u, v);
+  }
+}
+
+TEST(EdgeSplit, InvalidArgumentsThrow) {
+  Rng gen(23), rng(24);
+  const Graph g = make_erdos_renyi_gnm(10, 20, gen);
+  EXPECT_THROW((void)split_edges_for_link_prediction(g, 0.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)split_edges_for_link_prediction(g, 1.0, rng),
+               std::invalid_argument);
+  GraphBuilder directed(true);
+  directed.add_edge(0, 1);
+  EXPECT_THROW((void)split_edges_for_link_prediction(directed.build(), 0.5, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace v2v::graph

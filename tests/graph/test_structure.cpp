@@ -1,0 +1,148 @@
+#include "v2v/graph/structure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "v2v/graph/generators.hpp"
+
+namespace v2v::graph {
+namespace {
+
+TEST(Triangles, CompleteGraphCount) {
+  // K5 has C(5,3) = 10 triangles; each vertex is in C(4,2) = 6.
+  const Graph g = make_complete(5);
+  EXPECT_EQ(triangle_count(g), 10u);
+  for (const auto t : triangles_per_vertex(g)) EXPECT_EQ(t, 6u);
+}
+
+TEST(Triangles, TreeHasNone) {
+  EXPECT_EQ(triangle_count(make_path(10)), 0u);
+  EXPECT_EQ(triangle_count(make_star(10)), 0u);
+}
+
+TEST(Triangles, SingleTriangleWithTail) {
+  GraphBuilder builder(false);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  builder.add_edge(0, 2);
+  builder.add_edge(2, 3);
+  const Graph g = builder.build();
+  EXPECT_EQ(triangle_count(g), 1u);
+  const auto per = triangles_per_vertex(g);
+  EXPECT_EQ(per[0], 1u);
+  EXPECT_EQ(per[3], 0u);
+}
+
+TEST(Triangles, ParallelEdgesAndSelfLoopsIgnored) {
+  GraphBuilder builder(false);
+  builder.add_edge(0, 1);
+  builder.add_edge(0, 1);  // parallel
+  builder.add_edge(1, 2);
+  builder.add_edge(0, 2);
+  builder.add_edge(2, 2);  // self loop
+  EXPECT_EQ(triangle_count(builder.build()), 1u);
+}
+
+TEST(Triangles, DirectedThrows) {
+  GraphBuilder builder(true);
+  builder.add_edge(0, 1);
+  EXPECT_THROW((void)triangle_count(builder.build()), std::invalid_argument);
+}
+
+TEST(Clustering, CompleteGraphIsOne) {
+  const Graph g = make_complete(6);
+  EXPECT_DOUBLE_EQ(average_clustering(g), 1.0);
+  EXPECT_DOUBLE_EQ(transitivity(g), 1.0);
+}
+
+TEST(Clustering, RingIsZero) {
+  const Graph g = make_ring(8);
+  EXPECT_DOUBLE_EQ(average_clustering(g), 0.0);
+  EXPECT_DOUBLE_EQ(transitivity(g), 0.0);
+}
+
+TEST(Clustering, KnownSmallGraph) {
+  // Triangle 0-1-2 plus pendant 3 on vertex 2:
+  // c(0)=c(1)=1, c(2)=1/3, c(3)=0.
+  GraphBuilder builder(false);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  builder.add_edge(0, 2);
+  builder.add_edge(2, 3);
+  const auto coeff = local_clustering(builder.build());
+  EXPECT_DOUBLE_EQ(coeff[0], 1.0);
+  EXPECT_DOUBLE_EQ(coeff[1], 1.0);
+  EXPECT_NEAR(coeff[2], 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(coeff[3], 0.0);
+}
+
+TEST(Clustering, QuasiCliquesBeatErdosRenyi) {
+  Rng rng(1);
+  PlantedPartitionParams params;
+  params.groups = 5;
+  params.group_size = 20;
+  params.alpha = 0.6;
+  params.inter_edges = 20;
+  const auto planted = make_planted_partition(params, rng);
+  const Graph er = make_erdos_renyi_gnm(100, planted.graph.edge_count(), rng);
+  EXPECT_GT(average_clustering(planted.graph), 2.0 * average_clustering(er));
+}
+
+TEST(CoreNumbers, CompleteGraph) {
+  const auto cores = core_numbers(make_complete(6));
+  for (const auto c : cores) EXPECT_EQ(c, 5u);
+  EXPECT_EQ(degeneracy(make_complete(6)), 5u);
+}
+
+TEST(CoreNumbers, TreeIsOneCore) {
+  const auto cores = core_numbers(make_path(10));
+  for (const auto c : cores) EXPECT_LE(c, 1u);
+  EXPECT_EQ(degeneracy(make_star(10)), 1u);
+}
+
+TEST(CoreNumbers, CliqueWithTail) {
+  // K4 on {0..3} plus path 3-4-5: clique vertices core 3, tail core 1.
+  GraphBuilder builder(false);
+  for (VertexId u = 0; u < 4; ++u) {
+    for (VertexId v = u + 1; v < 4; ++v) builder.add_edge(u, v);
+  }
+  builder.add_edge(3, 4);
+  builder.add_edge(4, 5);
+  const auto cores = core_numbers(builder.build());
+  for (VertexId v = 0; v < 4; ++v) EXPECT_EQ(cores[v], 3u);
+  EXPECT_EQ(cores[4], 1u);
+  EXPECT_EQ(cores[5], 1u);
+}
+
+TEST(CoreNumbers, CoreIsAtMostDegree) {
+  Rng rng(2);
+  const Graph g = make_barabasi_albert(120, 3, rng);
+  const auto cores = core_numbers(g);
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    EXPECT_LE(cores[v], g.out_degree(v));
+  }
+  // BA with attach=3 has degeneracy exactly 3.
+  EXPECT_EQ(degeneracy(g), 3u);
+}
+
+TEST(CoreNumbers, EmptyGraph) {
+  EXPECT_TRUE(core_numbers(Graph{}).empty());
+  EXPECT_EQ(degeneracy(Graph{}), 0u);
+}
+
+TEST(DegreeHistogram, SumsToVertexCount) {
+  Rng rng(3);
+  const Graph g = make_erdos_renyi_gnm(50, 120, rng);
+  const auto histogram = degree_histogram(g);
+  EXPECT_EQ(std::accumulate(histogram.begin(), histogram.end(), std::size_t{0}), 50u);
+}
+
+TEST(DegreeHistogram, StarShape) {
+  const auto histogram = degree_histogram(make_star(6));
+  EXPECT_EQ(histogram[1], 5u);
+  EXPECT_EQ(histogram[5], 1u);
+}
+
+}  // namespace
+}  // namespace v2v::graph

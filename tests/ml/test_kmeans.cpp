@@ -1,0 +1,159 @@
+#include "v2v/ml/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "v2v/common/rng.hpp"
+
+namespace v2v::ml {
+namespace {
+
+/// Three well-separated Gaussian blobs in 2-D.
+MatrixF make_blobs(std::size_t per_blob, std::uint64_t seed,
+                   std::vector<std::uint32_t>* truth = nullptr) {
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  MatrixF points(3 * per_blob, 2);
+  Rng rng(seed);
+  for (std::size_t b = 0; b < 3; ++b) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      const std::size_t row = b * per_blob + i;
+      points(row, 0) = static_cast<float>(centers[b][0] + rng.next_gaussian() * 0.5);
+      points(row, 1) = static_cast<float>(centers[b][1] + rng.next_gaussian() * 0.5);
+      if (truth != nullptr) truth->push_back(static_cast<std::uint32_t>(b));
+    }
+  }
+  return points;
+}
+
+KMeansConfig fast_config(std::size_t k) {
+  KMeansConfig config;
+  config.k = k;
+  config.restarts = 5;
+  config.seed = 3;
+  return config;
+}
+
+TEST(KMeans, RecoversSeparatedBlobs) {
+  std::vector<std::uint32_t> truth;
+  const MatrixF points = make_blobs(30, 1, &truth);
+  const auto result = kmeans(points, fast_config(3));
+  ASSERT_EQ(result.assignment.size(), 90u);
+  // All points of one blob share a cluster, and blobs get distinct clusters.
+  for (std::size_t b = 0; b < 3; ++b) {
+    const auto c = result.assignment[b * 30];
+    for (std::size_t i = 1; i < 30; ++i) {
+      EXPECT_EQ(result.assignment[b * 30 + i], c);
+    }
+  }
+  const std::set<std::uint32_t> distinct(result.assignment.begin(),
+                                         result.assignment.end());
+  EXPECT_EQ(distinct.size(), 3u);
+}
+
+TEST(KMeans, SseMatchesAssignment) {
+  const MatrixF points = make_blobs(20, 2);
+  const auto result = kmeans(points, fast_config(3));
+  EXPECT_NEAR(result.sse, kmeans_sse(points, result.assignment, result.centroids),
+              1e-6);
+}
+
+TEST(KMeans, KEqualsNGivesZeroSse) {
+  const MatrixF points = make_blobs(2, 3);  // 6 points
+  KMeansConfig config = fast_config(6);
+  config.restarts = 3;
+  const auto result = kmeans(points, config);
+  EXPECT_NEAR(result.sse, 0.0, 1e-9);
+  const std::set<std::uint32_t> distinct(result.assignment.begin(),
+                                         result.assignment.end());
+  EXPECT_EQ(distinct.size(), 6u);
+}
+
+TEST(KMeans, KOneCentroidIsMean) {
+  MatrixF points(4, 1);
+  points(0, 0) = 0;
+  points(1, 0) = 2;
+  points(2, 0) = 4;
+  points(3, 0) = 6;
+  const auto result = kmeans(points, fast_config(1));
+  EXPECT_NEAR(result.centroids(0, 0), 3.0, 1e-6);
+  EXPECT_NEAR(result.sse, 20.0, 1e-5);
+}
+
+TEST(KMeans, MoreRestartsNeverWorse) {
+  const MatrixF points = make_blobs(15, 4);
+  KMeansConfig one = fast_config(3);
+  one.restarts = 1;
+  one.seeding = KMeansSeeding::kUniform;
+  KMeansConfig many = one;
+  many.restarts = 20;
+  const auto few = kmeans(points, one);
+  const auto lots = kmeans(points, many);
+  EXPECT_LE(lots.sse, few.sse + 1e-9);
+}
+
+TEST(KMeans, DeterministicForSeed) {
+  const MatrixF points = make_blobs(20, 5);
+  const auto a = kmeans(points, fast_config(3));
+  const auto b = kmeans(points, fast_config(3));
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.sse, b.sse);
+}
+
+TEST(KMeans, ThreadedRestartsMatchQuality) {
+  const MatrixF points = make_blobs(20, 6);
+  KMeansConfig serial = fast_config(3);
+  serial.restarts = 8;
+  KMeansConfig threaded = serial;
+  threaded.threads = 4;
+  const auto a = kmeans(points, serial);
+  const auto b = kmeans(points, threaded);
+  // Same restarts with per-restart RNG streams: identical winner.
+  EXPECT_DOUBLE_EQ(a.sse, b.sse);
+}
+
+TEST(KMeans, UniformSeedingAlsoWorks) {
+  std::vector<std::uint32_t> truth;
+  const MatrixF points = make_blobs(25, 7, &truth);
+  KMeansConfig config = fast_config(3);
+  config.seeding = KMeansSeeding::kUniform;
+  config.restarts = 20;
+  const auto result = kmeans(points, config);
+  const std::set<std::uint32_t> distinct(result.assignment.begin(),
+                                         result.assignment.end());
+  EXPECT_EQ(distinct.size(), 3u);
+}
+
+TEST(KMeans, IdenticalPointsHandled) {
+  MatrixF points(5, 2, 1.0f);
+  const auto result = kmeans(points, fast_config(2));
+  EXPECT_NEAR(result.sse, 0.0, 1e-12);
+}
+
+TEST(KMeans, InvalidArgumentsThrow) {
+  const MatrixF points = make_blobs(5, 8);
+  EXPECT_THROW((void)kmeans(points, fast_config(0)), std::invalid_argument);
+  EXPECT_THROW((void)kmeans(points, fast_config(16)), std::invalid_argument);
+  KMeansConfig config = fast_config(2);
+  config.restarts = 0;
+  EXPECT_THROW((void)kmeans(points, config), std::invalid_argument);
+}
+
+// Property sweep over k: SSE is non-increasing in k (with enough restarts
+// on this easy data set).
+class KMeansKSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KMeansKSweep, SseDecreasesWithK) {
+  const MatrixF points = make_blobs(20, 9);
+  KMeansConfig config = fast_config(GetParam());
+  config.restarts = 10;
+  const auto with_k = kmeans(points, config);
+  config.k = GetParam() + 1;
+  const auto with_k1 = kmeans(points, config);
+  EXPECT_LE(with_k1.sse, with_k.sse + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KMeansKSweep, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace v2v::ml

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "v2v/common/rng.hpp"
+#include "v2v/ml/crossval.hpp"
+#include "v2v/ml/knn.hpp"
+
+namespace v2v::ml {
+namespace {
+
+TEST(Knn, OneNearestNeighborExactMatch) {
+  MatrixF points(3, 2);
+  points(0, 0) = 1;
+  points(1, 1) = 1;
+  points(2, 0) = -1;
+  const KnnClassifier knn(points, {10, 20, 30});
+  const std::vector<float> q1{0.9f, 0.1f};
+  EXPECT_EQ(knn.predict(q1, 1), 10u);
+  const std::vector<float> q2{0.1f, 0.9f};
+  EXPECT_EQ(knn.predict(q2, 1), 20u);
+}
+
+TEST(Knn, MajorityVoteWins) {
+  MatrixF points(5, 1);
+  points(0, 0) = 1.0f;
+  points(1, 0) = 1.1f;
+  points(2, 0) = 1.2f;
+  points(3, 0) = -1.0f;
+  points(4, 0) = -1.1f;
+  const KnnClassifier knn(points, {7, 7, 7, 9, 9}, DistanceMetric::kEuclidean);
+  const std::vector<float> q{0.5f};
+  EXPECT_EQ(knn.predict(q, 5), 7u);
+}
+
+TEST(Knn, TieBreaksTowardNearest) {
+  MatrixF points(4, 1);
+  points(0, 0) = 1.0f;   // label 1, nearest
+  points(1, 0) = 2.0f;   // label 2
+  points(2, 0) = 3.0f;   // label 1
+  points(3, 0) = 4.0f;   // label 2
+  const KnnClassifier knn(points, {1, 2, 1, 2}, DistanceMetric::kEuclidean);
+  const std::vector<float> q{0.0f};
+  EXPECT_EQ(knn.predict(q, 4), 1u);  // 2-2 vote; label 1 has the closest voter
+}
+
+TEST(Knn, KClampedToTrainSize) {
+  MatrixF points(2, 1);
+  points(0, 0) = 1;
+  points(1, 0) = 2;
+  const KnnClassifier knn(points, {5, 5}, DistanceMetric::kEuclidean);
+  EXPECT_EQ(knn.predict(std::vector<float>{1.5f}, 99), 5u);
+}
+
+TEST(Knn, CosineIgnoresMagnitude) {
+  MatrixF points(2, 2);
+  points(0, 0) = 100.0f;  // same direction as +x
+  points(1, 1) = 0.01f;   // same direction as +y
+  const KnnClassifier knn(points, {1, 2}, DistanceMetric::kCosine);
+  EXPECT_EQ(knn.predict(std::vector<float>{0.5f, 0.1f}, 1), 1u);
+  EXPECT_EQ(knn.predict(std::vector<float>{0.1f, 0.5f}, 1), 2u);
+}
+
+TEST(Knn, EuclideanUsesMagnitude) {
+  MatrixF points(2, 1);
+  points(0, 0) = 1.0f;
+  points(1, 0) = 10.0f;
+  const KnnClassifier knn(points, {1, 2}, DistanceMetric::kEuclidean);
+  EXPECT_EQ(knn.predict(std::vector<float>{8.0f}, 1), 2u);
+}
+
+TEST(Knn, SubsetConstructorSelectsRows) {
+  MatrixF points(4, 1);
+  for (std::size_t i = 0; i < 4; ++i) points(i, 0) = static_cast<float>(i);
+  const std::vector<std::uint32_t> labels{0, 1, 2, 3};
+  const std::vector<std::size_t> rows{1, 3};
+  const KnnClassifier knn(points, rows, labels, DistanceMetric::kEuclidean);
+  EXPECT_EQ(knn.train_size(), 2u);
+  EXPECT_EQ(knn.predict(std::vector<float>{0.9f}, 1), 1u);
+  EXPECT_EQ(knn.predict(std::vector<float>{3.1f}, 1), 3u);
+}
+
+TEST(Knn, PredictRowsBatches) {
+  MatrixF points(4, 1);
+  points(0, 0) = 0;
+  points(1, 0) = 1;
+  points(2, 0) = 10;
+  points(3, 0) = 11;
+  const std::vector<std::uint32_t> labels{0, 0, 1, 1};
+  const std::vector<std::size_t> train{0, 2};
+  const KnnClassifier knn(points, train, labels, DistanceMetric::kEuclidean);
+  const std::vector<std::size_t> test{1, 3};
+  const auto predicted = knn.predict_rows(points, test, 1);
+  ASSERT_EQ(predicted.size(), 2u);
+  EXPECT_EQ(predicted[0], 0u);
+  EXPECT_EQ(predicted[1], 1u);
+}
+
+TEST(Knn, InvalidConstructionThrows) {
+  MatrixF points(2, 1);
+  EXPECT_THROW(KnnClassifier(points, std::vector<std::uint32_t>{1}),
+               std::invalid_argument);
+  const MatrixF empty(0, 1);
+  EXPECT_THROW(KnnClassifier(empty, std::vector<std::uint32_t>{}),
+               std::invalid_argument);
+}
+
+TEST(Knn, ZeroKThrows) {
+  MatrixF points(2, 1);
+  const KnnClassifier knn(points, {0, 1});
+  EXPECT_THROW((void)knn.predict(std::vector<float>{0.0f}, 0), std::invalid_argument);
+}
+
+TEST(KFold, PartitionsEverything) {
+  Rng rng(1);
+  const auto folds = make_kfold(23, 5, rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::set<std::size_t> seen;
+  for (const auto& fold : folds) {
+    for (const auto i : fold.test) {
+      EXPECT_TRUE(seen.insert(i).second) << "index " << i << " in two test sets";
+    }
+  }
+  EXPECT_EQ(seen.size(), 23u);
+}
+
+TEST(KFold, SizesDifferByAtMostOne) {
+  Rng rng(2);
+  const auto folds = make_kfold(23, 5, rng);
+  std::size_t min_size = 1000, max_size = 0;
+  for (const auto& fold : folds) {
+    min_size = std::min(min_size, fold.test.size());
+    max_size = std::max(max_size, fold.test.size());
+  }
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+TEST(KFold, TrainIsComplement) {
+  Rng rng(3);
+  const auto folds = make_kfold(20, 4, rng);
+  for (const auto& fold : folds) {
+    EXPECT_EQ(fold.train.size() + fold.test.size(), 20u);
+    std::set<std::size_t> train(fold.train.begin(), fold.train.end());
+    for (const auto i : fold.test) EXPECT_EQ(train.count(i), 0u);
+  }
+}
+
+TEST(KFold, InvalidArgumentsThrow) {
+  Rng rng(4);
+  EXPECT_THROW((void)make_kfold(10, 1, rng), std::invalid_argument);
+  EXPECT_THROW((void)make_kfold(3, 5, rng), std::invalid_argument);
+}
+
+TEST(KFold, ShuffleDependsOnRngState) {
+  Rng rng1(5), rng2(6);
+  const auto a = make_kfold(30, 3, rng1);
+  const auto b = make_kfold(30, 3, rng2);
+  EXPECT_NE(a[0].test, b[0].test);
+}
+
+}  // namespace
+}  // namespace v2v::ml

@@ -1,0 +1,139 @@
+#include "v2v/ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace v2v::ml {
+namespace {
+
+const std::vector<std::uint32_t> kTruth{0, 0, 0, 1, 1, 1};
+
+TEST(PairwisePR, PerfectPartition) {
+  const auto pr = pairwise_precision_recall(kTruth, kTruth);
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+  EXPECT_DOUBLE_EQ(pr.f1(), 1.0);
+}
+
+TEST(PairwisePR, LabelPermutationInvariant) {
+  const std::vector<std::uint32_t> permuted{7, 7, 7, 3, 3, 3};
+  const auto pr = pairwise_precision_recall(kTruth, permuted);
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+}
+
+TEST(PairwisePR, AllSingletonsPerfectPrecisionZeroRecall) {
+  const std::vector<std::uint32_t> singletons{0, 1, 2, 3, 4, 5};
+  const auto pr = pairwise_precision_recall(kTruth, singletons);
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);  // vacuous: no predicted pair
+  EXPECT_DOUBLE_EQ(pr.recall, 0.0);
+  EXPECT_DOUBLE_EQ(pr.f1(), 0.0);
+}
+
+TEST(PairwisePR, OneBigClusterPerfectRecall) {
+  const std::vector<std::uint32_t> merged{0, 0, 0, 0, 0, 0};
+  const auto pr = pairwise_precision_recall(kTruth, merged);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+  // Precision = same-community pairs / all pairs = 6/15.
+  EXPECT_NEAR(pr.precision, 6.0 / 15.0, 1e-12);
+}
+
+TEST(PairwisePR, HandComputedSplit) {
+  // Prediction splits the second truth group: {0,0,0},{1,1},{2}.
+  const std::vector<std::uint32_t> predicted{0, 0, 0, 1, 1, 2};
+  const auto pr = pairwise_precision_recall(kTruth, predicted);
+  // Predicted-together pairs: C(3,2)+C(2,2 -> 1) = 3+1 = 4, all correct.
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  // Truth pairs: 6; captured: 4.
+  EXPECT_NEAR(pr.recall, 4.0 / 6.0, 1e-12);
+}
+
+TEST(PairwisePR, MixedClusterLowersPrecision) {
+  // One cluster mixes both truth groups: {0,0,1},{0,1,1} as prediction.
+  const std::vector<std::uint32_t> predicted{0, 0, 1, 0, 1, 1};
+  const auto pr = pairwise_precision_recall(kTruth, predicted);
+  // Each predicted cluster has 3 pairs, 1 correct -> precision 2/6.
+  EXPECT_NEAR(pr.precision, 2.0 / 6.0, 1e-12);
+  EXPECT_NEAR(pr.recall, 2.0 / 6.0, 1e-12);
+}
+
+TEST(PairwisePR, SizeMismatchThrows) {
+  const std::vector<std::uint32_t> short_labels{0, 1};
+  EXPECT_THROW((void)pairwise_precision_recall(kTruth, short_labels),
+               std::invalid_argument);
+}
+
+TEST(PairwisePR, EmptyInputsAreVacuouslyPerfect) {
+  const std::vector<std::uint32_t> empty;
+  const auto pr = pairwise_precision_recall(empty, empty);
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+}
+
+TEST(CountPairs, TotalsMatchCombinatorics) {
+  const auto counts = count_pairs(kTruth, kTruth);
+  EXPECT_EQ(counts.total_pairs, 15u);
+  EXPECT_EQ(counts.same_truth, 6u);
+  EXPECT_EQ(counts.same_predicted, 6u);
+  EXPECT_EQ(counts.same_both, 6u);
+}
+
+TEST(Ari, PerfectIsOne) {
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(kTruth, kTruth), 1.0);
+}
+
+TEST(Ari, IndependentPartitionNearZero) {
+  // A partition orthogonal to the truth.
+  const std::vector<std::uint32_t> orthogonal{0, 1, 0, 1, 0, 1};
+  const double ari = adjusted_rand_index(kTruth, orthogonal);
+  EXPECT_LT(std::abs(ari), 0.35);
+}
+
+TEST(Ari, WorseThanChanceIsNegative) {
+  const std::vector<std::uint32_t> truth{0, 0, 1, 1};
+  const std::vector<std::uint32_t> anti{0, 1, 0, 1};
+  EXPECT_LT(adjusted_rand_index(truth, anti), 0.0);
+}
+
+TEST(Nmi, PerfectIsOne) {
+  EXPECT_NEAR(normalized_mutual_information(kTruth, kTruth), 1.0, 1e-12);
+}
+
+TEST(Nmi, PermutationInvariant) {
+  const std::vector<std::uint32_t> permuted{5, 5, 5, 9, 9, 9};
+  EXPECT_NEAR(normalized_mutual_information(kTruth, permuted), 1.0, 1e-12);
+}
+
+TEST(Nmi, SingleClusterPredictionIsZero) {
+  const std::vector<std::uint32_t> merged{0, 0, 0, 0, 0, 0};
+  EXPECT_NEAR(normalized_mutual_information(kTruth, merged), 0.0, 1e-12);
+}
+
+TEST(Nmi, BoundedInUnitInterval) {
+  const std::vector<std::uint32_t> predicted{0, 1, 0, 1, 2, 2};
+  const double nmi = normalized_mutual_information(kTruth, predicted);
+  EXPECT_GE(nmi, 0.0);
+  EXPECT_LE(nmi, 1.0);
+}
+
+TEST(Purity, PerfectAndMixed) {
+  EXPECT_DOUBLE_EQ(purity(kTruth, kTruth), 1.0);
+  const std::vector<std::uint32_t> mixed{0, 0, 1, 1, 1, 0};
+  // Cluster 0 = {t0,t0,t1}: majority 2; cluster 1 = {t0,t1,t1}: majority 2.
+  EXPECT_NEAR(purity(kTruth, mixed), 4.0 / 6.0, 1e-12);
+}
+
+TEST(Accuracy, ExactFraction) {
+  const std::vector<std::uint32_t> predicted{0, 0, 1, 1, 1, 1};
+  EXPECT_NEAR(accuracy(kTruth, predicted), 5.0 / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(accuracy(kTruth, kTruth), 1.0);
+}
+
+TEST(Accuracy, EmptyIsPerfect) {
+  const std::vector<std::uint32_t> empty;
+  EXPECT_DOUBLE_EQ(accuracy(empty, empty), 1.0);
+}
+
+}  // namespace
+}  // namespace v2v::ml

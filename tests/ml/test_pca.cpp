@@ -1,0 +1,176 @@
+#include "v2v/ml/pca.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "v2v/common/rng.hpp"
+
+namespace v2v::ml {
+namespace {
+
+TEST(Jacobi, DiagonalMatrixIsItsOwnDecomposition) {
+  MatrixD m(3, 3, 0.0);
+  m(0, 0) = 1.0;
+  m(1, 1) = 5.0;
+  m(2, 2) = 3.0;
+  const auto eig = jacobi_eigen_symmetric(m);
+  ASSERT_EQ(eig.values.size(), 3u);
+  EXPECT_NEAR(eig.values[0], 5.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 3.0, 1e-10);
+  EXPECT_NEAR(eig.values[2], 1.0, 1e-10);
+}
+
+TEST(Jacobi, KnownTwoByTwo) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  MatrixD m(2, 2);
+  m(0, 0) = 2;
+  m(0, 1) = 1;
+  m(1, 0) = 1;
+  m(1, 1) = 2;
+  const auto eig = jacobi_eigen_symmetric(m);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-10);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(eig.vectors(0, 0)), 1.0 / std::sqrt(2.0), 1e-8);
+  EXPECT_NEAR(std::abs(eig.vectors(0, 1)), 1.0 / std::sqrt(2.0), 1e-8);
+}
+
+TEST(Jacobi, EigenvectorsAreOrthonormal) {
+  Rng rng(1);
+  MatrixD m(5, 5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = i; j < 5; ++j) {
+      m(i, j) = m(j, i) = rng.next_gaussian();
+    }
+  }
+  const auto eig = jacobi_eigen_symmetric(m);
+  for (std::size_t a = 0; a < 5; ++a) {
+    for (std::size_t b = 0; b < 5; ++b) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < 5; ++i) dot += eig.vectors(a, i) * eig.vectors(b, i);
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(Jacobi, ReconstructsMatrix) {
+  Rng rng(2);
+  const std::size_t d = 4;
+  MatrixD m(d, d);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i; j < d; ++j) m(i, j) = m(j, i) = rng.next_double(-1, 1);
+  }
+  const auto eig = jacobi_eigen_symmetric(m);
+  // A = sum_k lambda_k v_k v_k^T
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < d; ++k) {
+        sum += eig.values[k] * eig.vectors(k, i) * eig.vectors(k, j);
+      }
+      EXPECT_NEAR(sum, m(i, j), 1e-8);
+    }
+  }
+}
+
+TEST(Jacobi, RejectsNonSquare) {
+  EXPECT_THROW((void)jacobi_eigen_symmetric(MatrixD(2, 3)), std::invalid_argument);
+  EXPECT_THROW((void)jacobi_eigen_symmetric(MatrixD()), std::invalid_argument);
+}
+
+/// Points spread along the direction (1, 1) with small noise orthogonal.
+MatrixF anisotropic_cloud(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  MatrixF points(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double major = rng.next_gaussian() * 5.0;
+    const double minor = rng.next_gaussian() * 0.3;
+    points(i, 0) = static_cast<float>(major + minor + 10.0);
+    points(i, 1) = static_cast<float>(major - minor - 4.0);
+  }
+  return points;
+}
+
+TEST(Pca, FirstComponentAlignsWithVariance) {
+  const MatrixF points = anisotropic_cloud(500, 3);
+  const Pca pca(points);
+  const auto axis = pca.component(0);
+  // Major axis is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(axis[0]), 1.0 / std::sqrt(2.0), 0.05);
+  EXPECT_NEAR(std::abs(axis[1]), 1.0 / std::sqrt(2.0), 0.05);
+  EXPECT_GT(pca.eigenvalues()[0], 10.0 * pca.eigenvalues()[1]);
+}
+
+TEST(Pca, TransformIsCentered) {
+  const MatrixF points = anisotropic_cloud(300, 4);
+  const Pca pca(points);
+  const MatrixD projected = pca.transform(points, 2);
+  double mean0 = 0.0, mean1 = 0.0;
+  for (std::size_t i = 0; i < projected.rows(); ++i) {
+    mean0 += projected(i, 0);
+    mean1 += projected(i, 1);
+  }
+  EXPECT_NEAR(mean0 / 300.0, 0.0, 1e-4);
+  EXPECT_NEAR(mean1 / 300.0, 0.0, 1e-4);
+}
+
+TEST(Pca, ProjectionPreservesVariance) {
+  const MatrixF points = anisotropic_cloud(400, 5);
+  const Pca pca(points);
+  const MatrixD projected = pca.transform(points, 1);
+  double var = 0.0;
+  for (std::size_t i = 0; i < projected.rows(); ++i) {
+    var += projected(i, 0) * projected(i, 0);
+  }
+  var /= 399.0;
+  EXPECT_NEAR(var, pca.eigenvalues()[0], pca.eigenvalues()[0] * 0.02);
+}
+
+TEST(Pca, ExplainedVarianceSumsToOne) {
+  const MatrixF points = anisotropic_cloud(200, 6);
+  const Pca pca(points);
+  EXPECT_NEAR(pca.explained_variance(2), 1.0, 1e-9);
+  EXPECT_GT(pca.explained_variance(1), 0.9);
+  EXPECT_LE(pca.explained_variance(1), 1.0 + 1e-12);
+}
+
+TEST(Pca, ConstantDataHasZeroVariance) {
+  MatrixF points(10, 3, 2.5f);
+  const Pca pca(points);
+  for (const double v : pca.eigenvalues()) EXPECT_NEAR(v, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(pca.explained_variance(3), 0.0);
+}
+
+TEST(Pca, SinglePointWorks) {
+  MatrixF points(1, 2, 1.0f);
+  const Pca pca(points);
+  const MatrixD projected = pca.transform(points, 2);
+  EXPECT_NEAR(projected(0, 0), 0.0, 1e-12);
+}
+
+TEST(Pca, EmptyInputThrows) {
+  EXPECT_THROW(Pca{MatrixF(0, 3)}, std::invalid_argument);
+}
+
+TEST(Pca, TransformDimensionMismatchThrows) {
+  const MatrixF points(5, 2, 1.0f);
+  const Pca pca(points);
+  EXPECT_THROW((void)pca.transform(MatrixF(3, 4), 2), std::invalid_argument);
+}
+
+TEST(Pca, ComponentsClampedToDimension) {
+  const MatrixF points = anisotropic_cloud(50, 7);
+  const Pca pca(points);
+  const MatrixD projected = pca.transform(points, 10);
+  EXPECT_EQ(projected.cols(), 2u);
+}
+
+TEST(Pca, ComponentOutOfRangeThrows) {
+  const MatrixF points(5, 2, 1.0f);
+  const Pca pca(points);
+  EXPECT_THROW((void)pca.component(2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace v2v::ml

@@ -1,0 +1,107 @@
+#include "v2v/ml/silhouette.hpp"
+
+#include <gtest/gtest.h>
+
+#include "v2v/common/rng.hpp"
+
+namespace v2v::ml {
+namespace {
+
+MatrixF blobs(std::size_t count, std::size_t per_blob, double spread,
+              std::uint64_t seed, std::vector<std::uint32_t>* truth = nullptr) {
+  Rng rng(seed);
+  MatrixF points(count * per_blob, 2);
+  for (std::size_t b = 0; b < count; ++b) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      const std::size_t row = b * per_blob + i;
+      points(row, 0) = static_cast<float>(10.0 * static_cast<double>(b) +
+                                          rng.next_gaussian() * spread);
+      points(row, 1) = static_cast<float>(rng.next_gaussian() * spread);
+      if (truth != nullptr) truth->push_back(static_cast<std::uint32_t>(b));
+    }
+  }
+  return points;
+}
+
+TEST(Silhouette, TightBlobsScoreNearOne) {
+  std::vector<std::uint32_t> truth;
+  const MatrixF points = blobs(3, 20, 0.1, 1, &truth);
+  EXPECT_GT(silhouette_score(points, truth), 0.9);
+}
+
+TEST(Silhouette, WrongPartitionScoresLow) {
+  std::vector<std::uint32_t> truth;
+  const MatrixF points = blobs(2, 20, 0.1, 2, &truth);
+  // Interleaved assignment cuts across the real blobs.
+  std::vector<std::uint32_t> wrong(points.rows());
+  for (std::size_t i = 0; i < wrong.size(); ++i) wrong[i] = i % 2;
+  EXPECT_LT(silhouette_score(points, wrong),
+            silhouette_score(points, truth) - 0.5);
+}
+
+TEST(Silhouette, ScoresBoundedToUnitInterval) {
+  std::vector<std::uint32_t> truth;
+  const MatrixF points = blobs(3, 15, 2.0, 3, &truth);
+  for (const double s : silhouette_samples(points, truth)) {
+    EXPECT_GE(s, -1.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(Silhouette, SingletonClusterScoresZero) {
+  MatrixF points(3, 1);
+  points(0, 0) = 0;
+  points(1, 0) = 1;
+  points(2, 0) = 10;
+  const std::vector<std::uint32_t> assignment{0, 0, 1};
+  const auto samples = silhouette_samples(points, assignment);
+  EXPECT_DOUBLE_EQ(samples[2], 0.0);
+  EXPECT_GT(samples[0], 0.0);
+}
+
+TEST(Silhouette, SingleClusterIsZero) {
+  const MatrixF points = blobs(2, 10, 0.5, 4);
+  const std::vector<std::uint32_t> one(points.rows(), 0);
+  EXPECT_DOUBLE_EQ(silhouette_score(points, one), 0.0);
+}
+
+TEST(Silhouette, SizeMismatchThrows) {
+  const MatrixF points(4, 2);
+  const std::vector<std::uint32_t> assignment{0, 1};
+  EXPECT_THROW((void)silhouette_score(points, assignment), std::invalid_argument);
+}
+
+TEST(SelectK, FindsPlantedBlobCount) {
+  const MatrixF points = blobs(4, 15, 0.3, 5);
+  const auto selection = select_k_by_silhouette(points, 2, 8, 8, 9);
+  EXPECT_EQ(selection.best_k, 4u);
+  ASSERT_EQ(selection.scores.size(), 7u);
+  for (const auto& [k, score] : selection.scores) {
+    EXPECT_GE(score, -1.0);
+    EXPECT_LE(score, 1.0);
+  }
+}
+
+TEST(SelectK, CurveIsPeakedAtTruth) {
+  const MatrixF points = blobs(3, 20, 0.2, 6);
+  const auto selection = select_k_by_silhouette(points, 2, 6, 8, 10);
+  double at_truth = 0.0, elsewhere = -2.0;
+  for (const auto& [k, score] : selection.scores) {
+    if (k == 3) {
+      at_truth = score;
+    } else {
+      elsewhere = std::max(elsewhere, score);
+    }
+  }
+  EXPECT_GT(at_truth, elsewhere);
+}
+
+TEST(SelectK, InvalidRangesThrow) {
+  const MatrixF points = blobs(2, 5, 0.5, 7);
+  EXPECT_THROW((void)select_k_by_silhouette(points, 1, 3), std::invalid_argument);
+  EXPECT_THROW((void)select_k_by_silhouette(points, 4, 3), std::invalid_argument);
+  EXPECT_THROW((void)select_k_by_silhouette(points, 2, 100), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace v2v::ml

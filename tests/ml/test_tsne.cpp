@@ -1,0 +1,124 @@
+#include "v2v/ml/tsne.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "v2v/common/rng.hpp"
+
+namespace v2v::ml {
+namespace {
+
+/// Two tight, well-separated blobs in 10-D.
+MatrixF two_blobs(std::size_t per_blob, std::uint64_t seed) {
+  Rng rng(seed);
+  MatrixF points(2 * per_blob, 10);
+  for (std::size_t i = 0; i < 2 * per_blob; ++i) {
+    const double center = i < per_blob ? 0.0 : 20.0;
+    for (std::size_t d = 0; d < 10; ++d) {
+      points(i, d) = static_cast<float>(center + rng.next_gaussian() * 0.5);
+    }
+  }
+  return points;
+}
+
+TsneConfig fast_config() {
+  TsneConfig config;
+  config.perplexity = 10.0;
+  config.iterations = 250;
+  return config;
+}
+
+TEST(Tsne, OutputSizeMatchesInput) {
+  const MatrixF points = two_blobs(30, 1);
+  const auto result = tsne_2d(points, fast_config());
+  EXPECT_EQ(result.positions.size(), 60u);
+}
+
+TEST(Tsne, SeparatesTwoBlobs) {
+  const MatrixF points = two_blobs(30, 2);
+  const auto result = tsne_2d(points, fast_config());
+  // Mean within-blob distance must be well below cross-blob distance.
+  double within = 0.0, across = 0.0;
+  std::size_t within_n = 0, across_n = 0;
+  for (std::size_t a = 0; a < 60; ++a) {
+    for (std::size_t b = a + 1; b < 60; ++b) {
+      const double d = std::hypot(result.positions[a].x - result.positions[b].x,
+                                  result.positions[a].y - result.positions[b].y);
+      if ((a < 30) == (b < 30)) {
+        within += d;
+        ++within_n;
+      } else {
+        across += d;
+        ++across_n;
+      }
+    }
+  }
+  EXPECT_LT(within / static_cast<double>(within_n),
+            0.5 * across / static_cast<double>(across_n));
+}
+
+TEST(Tsne, KlDivergenceIsFiniteAndNonNegative) {
+  const MatrixF points = two_blobs(20, 3);
+  const auto result = tsne_2d(points, fast_config());
+  EXPECT_GE(result.kl_divergence, 0.0);
+  EXPECT_TRUE(std::isfinite(result.kl_divergence));
+}
+
+TEST(Tsne, MoreIterationsNotWorse) {
+  const MatrixF points = two_blobs(20, 4);
+  TsneConfig brief = fast_config();
+  brief.iterations = 120;
+  TsneConfig longer = fast_config();
+  longer.iterations = 400;
+  const auto a = tsne_2d(points, brief);
+  const auto b = tsne_2d(points, longer);
+  EXPECT_LE(b.kl_divergence, a.kl_divergence + 0.15);
+}
+
+TEST(Tsne, DeterministicForSeed) {
+  const MatrixF points = two_blobs(25, 5);
+  const auto a = tsne_2d(points, fast_config());
+  const auto b = tsne_2d(points, fast_config());
+  for (std::size_t i = 0; i < a.positions.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.positions[i].x, b.positions[i].x);
+    EXPECT_DOUBLE_EQ(a.positions[i].y, b.positions[i].y);
+  }
+}
+
+TEST(Tsne, OutputIsCentered) {
+  const MatrixF points = two_blobs(20, 6);
+  const auto result = tsne_2d(points, fast_config());
+  double mx = 0.0, my = 0.0;
+  for (const auto& p : result.positions) {
+    mx += p.x;
+    my += p.y;
+  }
+  EXPECT_NEAR(mx / 40.0, 0.0, 1e-6);
+  EXPECT_NEAR(my / 40.0, 0.0, 1e-6);
+}
+
+TEST(Tsne, InvalidInputsThrow) {
+  EXPECT_THROW((void)tsne_2d(MatrixF(0, 5)), std::invalid_argument);
+  EXPECT_THROW((void)tsne_2d(MatrixF(3, 5)), std::invalid_argument);
+  const MatrixF points = two_blobs(10, 7);  // 20 points
+  TsneConfig config;
+  config.perplexity = 10.0;  // 3 * 10 >= 20
+  EXPECT_THROW((void)tsne_2d(points, config), std::invalid_argument);
+}
+
+TEST(Tsne, IdenticalPointsDoNotCrash) {
+  MatrixF points(12, 4, 1.0f);
+  TsneConfig config;
+  config.perplexity = 3.0;
+  config.iterations = 50;
+  const auto result = tsne_2d(points, config);
+  EXPECT_EQ(result.positions.size(), 12u);
+  for (const auto& p : result.positions) {
+    EXPECT_TRUE(std::isfinite(p.x));
+    EXPECT_TRUE(std::isfinite(p.y));
+  }
+}
+
+}  // namespace
+}  // namespace v2v::ml

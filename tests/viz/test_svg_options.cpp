@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "v2v/graph/generators.hpp"
+#include "v2v/viz/svg.hpp"
+
+namespace v2v::viz {
+namespace {
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(SvgOptions, DrawEdgesFalseSuppressesEdges) {
+  const auto path = std::filesystem::temp_directory_path() / "v2v_noedges.svg";
+  const auto g = graph::make_ring(5);
+  const std::vector<Point2> pos{{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}};
+  SvgOptions options;
+  options.draw_edges = false;
+  write_graph_svg(path.string(), g, pos, {}, options);
+  const std::string svg = slurp(path);
+  EXPECT_EQ(svg.find("<line"), std::string::npos);
+  EXPECT_NE(svg.find("<circle"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(SvgOptions, CustomCanvasSizeRespected) {
+  const auto path = std::filesystem::temp_directory_path() / "v2v_canvas.svg";
+  SvgOptions options;
+  options.width = 333;
+  options.height = 222;
+  write_scatter_svg(path.string(), {{0, 0}, {1, 1}}, {}, options);
+  const std::string svg = slurp(path);
+  EXPECT_NE(svg.find("width=\"333\""), std::string::npos);
+  EXPECT_NE(svg.find("height=\"222\""), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(SvgOptions, EmptyPointSetStillValidSvg) {
+  const auto path = std::filesystem::temp_directory_path() / "v2v_empty.svg";
+  write_scatter_svg(path.string(), {}, {}, {});
+  const std::string svg = slurp(path);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace v2v::viz

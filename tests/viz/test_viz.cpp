@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "v2v/graph/generators.hpp"
+#include "v2v/viz/forceatlas2.hpp"
+#include "v2v/viz/svg.hpp"
+
+namespace v2v::viz {
+namespace {
+
+TEST(ForceAtlas2, OutputsOnePositionPerVertex) {
+  const auto g = graph::make_ring(20);
+  ForceAtlas2Config config;
+  config.iterations = 20;
+  const auto layout = layout_forceatlas2(g, config);
+  EXPECT_EQ(layout.positions.size(), 20u);
+}
+
+TEST(ForceAtlas2, EmptyGraphIsFine) {
+  const auto layout = layout_forceatlas2(graph::Graph{}, {});
+  EXPECT_TRUE(layout.positions.empty());
+}
+
+TEST(ForceAtlas2, DeterministicForSeed) {
+  const auto g = graph::make_grid(4, 5);
+  ForceAtlas2Config config;
+  config.iterations = 30;
+  const auto a = layout_forceatlas2(g, config);
+  const auto b = layout_forceatlas2(g, config);
+  for (std::size_t v = 0; v < a.positions.size(); ++v) {
+    EXPECT_DOUBLE_EQ(a.positions[v].x, b.positions[v].x);
+    EXPECT_DOUBLE_EQ(a.positions[v].y, b.positions[v].y);
+  }
+}
+
+TEST(ForceAtlas2, SeparatesPlantedCommunities) {
+  graph::PlantedPartitionParams params;
+  params.groups = 4;
+  params.group_size = 25;
+  params.alpha = 0.6;
+  params.inter_edges = 20;
+  Rng rng(1);
+  const auto planted = graph::make_planted_partition(params, rng);
+  ForceAtlas2Config config;
+  config.iterations = 120;
+  const auto layout = layout_forceatlas2(planted.graph, config);
+  // Between-centroid distance should exceed within-group spread.
+  EXPECT_GT(group_separation(layout.positions, planted.community), 1.5);
+}
+
+TEST(ForceAtlas2, ConnectedVerticesEndUpCloserThanRandomPairs) {
+  Rng rng(2);
+  graph::PlantedPartitionParams params;
+  params.groups = 2;
+  params.group_size = 30;
+  params.alpha = 0.8;
+  params.inter_edges = 5;
+  const auto planted = graph::make_planted_partition(params, rng);
+  ForceAtlas2Config config;
+  config.iterations = 100;
+  const auto layout = layout_forceatlas2(planted.graph, config);
+  double same = 0.0, cross = 0.0;
+  std::size_t same_n = 0, cross_n = 0;
+  for (std::size_t a = 0; a < 60; ++a) {
+    for (std::size_t b = a + 1; b < 60; ++b) {
+      const double d = std::hypot(layout.positions[a].x - layout.positions[b].x,
+                                  layout.positions[a].y - layout.positions[b].y);
+      if (planted.community[a] == planted.community[b]) {
+        same += d;
+        ++same_n;
+      } else {
+        cross += d;
+        ++cross_n;
+      }
+    }
+  }
+  EXPECT_LT(same / static_cast<double>(same_n), cross / static_cast<double>(cross_n));
+}
+
+TEST(ForceAtlas2, LinLogModeRuns) {
+  const auto g = graph::make_ring(15);
+  ForceAtlas2Config config;
+  config.iterations = 20;
+  config.linlog = true;
+  const auto layout = layout_forceatlas2(g, config);
+  EXPECT_EQ(layout.positions.size(), 15u);
+}
+
+TEST(GroupSeparation, DegenerateInputs) {
+  // One group: no between-centroid pairs -> 0.
+  const std::vector<Point2> pts{{0, 0}, {1, 1}};
+  const std::vector<std::uint32_t> one_group{0, 0};
+  EXPECT_DOUBLE_EQ(group_separation(pts, one_group), 0.0);
+  // Coincident points with two groups: spread 0 -> 0 by convention.
+  const std::vector<Point2> same{{1, 1}, {1, 1}};
+  const std::vector<std::uint32_t> two_groups{0, 1};
+  EXPECT_DOUBLE_EQ(group_separation(same, two_groups), 0.0);
+}
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(Svg, ScatterContainsPointsAndLegend) {
+  const auto path = std::filesystem::temp_directory_path() / "v2v_scatter.svg";
+  const std::vector<Point2> points{{0, 0}, {1, 0}, {0, 1}};
+  const std::vector<std::uint32_t> classes{0, 1, 1};
+  SvgOptions options;
+  options.title = "test plot";
+  options.class_names = {"alpha", "beta"};
+  write_scatter_svg(path.string(), points, classes, options);
+  const std::string svg = slurp(path);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("test plot"), std::string::npos);
+  EXPECT_NE(svg.find("alpha"), std::string::npos);
+  // 3 data circles + 2 legend circles.
+  std::size_t circles = 0;
+  for (std::size_t pos = svg.find("<circle"); pos != std::string::npos;
+       pos = svg.find("<circle", pos + 1)) {
+    ++circles;
+  }
+  EXPECT_EQ(circles, 5u);
+  std::filesystem::remove(path);
+}
+
+TEST(Svg, GraphDrawingEmitsEdges) {
+  const auto path = std::filesystem::temp_directory_path() / "v2v_graph.svg";
+  const auto g = graph::make_ring(4);
+  const std::vector<Point2> pos{{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  const std::vector<std::uint32_t> classes{0, 0, 1, 1};
+  write_graph_svg(path.string(), g, pos, classes, {});
+  const std::string svg = slurp(path);
+  std::size_t lines = 0;
+  for (std::size_t p = svg.find("<line"); p != std::string::npos;
+       p = svg.find("<line", p + 1)) {
+    ++lines;
+  }
+  EXPECT_EQ(lines, 4u);  // one per undirected edge
+  std::filesystem::remove(path);
+}
+
+TEST(Svg, MismatchedSizesThrow) {
+  const std::vector<Point2> points{{0, 0}};
+  const std::vector<std::uint32_t> classes{0, 1};
+  EXPECT_THROW(write_scatter_svg("/tmp/x.svg", points, classes, {}),
+               std::invalid_argument);
+  const auto g = graph::make_ring(4);
+  EXPECT_THROW(write_graph_svg("/tmp/x.svg", g, points, {}, {}),
+               std::invalid_argument);
+}
+
+TEST(Svg, PaletteNonEmptyAndCycles) {
+  EXPECT_GE(svg_palette().size(), 10u);
+  // Class beyond palette size must not crash.
+  const std::vector<Point2> points{{0, 0}};
+  const std::vector<std::uint32_t> classes{200};
+  const auto path = std::filesystem::temp_directory_path() / "v2v_cycle.svg";
+  write_scatter_svg(path.string(), points, classes, {});
+  std::filesystem::remove(path);
+}
+
+TEST(Svg, UnwritablePathThrows) {
+  const std::vector<Point2> points{{0, 0}};
+  EXPECT_THROW(write_scatter_svg("/nonexistent-dir/x.svg", points, {}, {}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace v2v::viz

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "v2v/walk/alias_table.hpp"
+#include "v2v/walk/corpus.hpp"
+
+namespace v2v::walk {
+namespace {
+
+TEST(AliasTable, UniformWeightsSampleUniformly) {
+  const std::vector<double> weights{1, 1, 1, 1};
+  const AliasTable table{std::span<const double>(weights)};
+  Rng rng(1);
+  std::vector<std::size_t> counts(4, 0);
+  constexpr std::size_t kDraws = 100000;
+  for (std::size_t i = 0; i < kDraws; ++i) ++counts[table.sample(rng)];
+  for (const auto c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kDraws / 4.0, kDraws * 0.02);
+  }
+}
+
+TEST(AliasTable, SkewedWeightsMatchProportions) {
+  const std::vector<double> weights{1, 2, 7};
+  const AliasTable table{std::span<const double>(weights)};
+  Rng rng(2);
+  std::vector<std::size_t> counts(3, 0);
+  constexpr std::size_t kDraws = 200000;
+  for (std::size_t i = 0; i < kDraws; ++i) ++counts[table.sample(rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kDraws), 0.2, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kDraws), 0.7, 0.01);
+}
+
+TEST(AliasTable, ZeroWeightNeverSampled) {
+  const std::vector<double> weights{0, 1, 0, 3};
+  const AliasTable table{std::span<const double>(weights)};
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const auto s = table.sample(rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(AliasTable, SingleEntryAlwaysZero) {
+  const std::vector<double> weights{42.0};
+  const AliasTable table{std::span<const double>(weights)};
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.sample(rng), 0u);
+}
+
+TEST(AliasTable, InvalidWeightsThrow) {
+  const std::vector<double> empty;
+  EXPECT_THROW(AliasTable{std::span<const double>(empty)}, std::invalid_argument);
+  const std::vector<double> zeros{0, 0};
+  EXPECT_THROW(AliasTable{std::span<const double>(zeros)}, std::invalid_argument);
+  const std::vector<double> negative{1, -1};
+  EXPECT_THROW(AliasTable{std::span<const double>(negative)}, std::invalid_argument);
+}
+
+TEST(AliasTable, DefaultIsEmpty) {
+  const AliasTable table;
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(Corpus, AddAndAccessWalks) {
+  Corpus corpus;
+  const std::vector<graph::VertexId> w1{1, 2, 3};
+  const std::vector<graph::VertexId> w2{4, 5};
+  corpus.add_walk(w1);
+  corpus.add_walk(w2);
+  EXPECT_EQ(corpus.walk_count(), 2u);
+  EXPECT_EQ(corpus.token_count(), 5u);
+  ASSERT_EQ(corpus.walk(0).size(), 3u);
+  EXPECT_EQ(corpus.walk(0)[2], 3u);
+  EXPECT_EQ(corpus.walk(1)[0], 4u);
+}
+
+TEST(Corpus, EmptyWalkAllowed) {
+  Corpus corpus;
+  corpus.add_walk({});
+  EXPECT_EQ(corpus.walk_count(), 1u);
+  EXPECT_EQ(corpus.walk(0).size(), 0u);
+}
+
+TEST(Corpus, AppendMergesShards) {
+  Corpus a, b;
+  a.add_walk(std::vector<graph::VertexId>{1, 2});
+  b.add_walk(std::vector<graph::VertexId>{3});
+  b.add_walk(std::vector<graph::VertexId>{4, 5, 6});
+  a.append(b);
+  EXPECT_EQ(a.walk_count(), 3u);
+  EXPECT_EQ(a.token_count(), 6u);
+  EXPECT_EQ(a.walk(1)[0], 3u);
+  EXPECT_EQ(a.walk(2)[2], 6u);
+}
+
+TEST(Corpus, VertexFrequencies) {
+  Corpus corpus;
+  corpus.add_walk(std::vector<graph::VertexId>{0, 1, 1, 2});
+  corpus.add_walk(std::vector<graph::VertexId>{2, 2, 9});
+  const auto freq = corpus.vertex_frequencies(3);  // id 9 out of vocab
+  ASSERT_EQ(freq.size(), 3u);
+  EXPECT_EQ(freq[0], 1u);
+  EXPECT_EQ(freq[1], 2u);
+  EXPECT_EQ(freq[2], 3u);
+}
+
+}  // namespace
+}  // namespace v2v::walk

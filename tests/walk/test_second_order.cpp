@@ -1,0 +1,160 @@
+#include "v2v/walk/second_order.hpp"
+
+#include <gtest/gtest.h>
+
+#include "v2v/graph/generators.hpp"
+
+namespace v2v::walk {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::VertexId;
+
+TEST(Node2Vec, WalkStaysOnEdges) {
+  const Graph g = graph::make_ring(12);
+  Node2VecConfig config;
+  config.walk_length = 40;
+  const Node2VecWalker walker(g, config);
+  Rng rng(1);
+  std::vector<VertexId> walk;
+  walker.walk_from(0, rng, walk);
+  EXPECT_EQ(walk.size(), 40u);
+  for (std::size_t i = 1; i < walk.size(); ++i) {
+    EXPECT_TRUE(g.has_arc(walk[i - 1], walk[i]));
+  }
+}
+
+TEST(Node2Vec, IsolatedVertexSingleton) {
+  GraphBuilder builder(false);
+  builder.add_edge(0, 1);
+  builder.reserve_vertices(3);
+  const Graph g = builder.build();
+  const Node2VecWalker walker(g, Node2VecConfig{});
+  Rng rng(2);
+  std::vector<VertexId> walk;
+  walker.walk_from(2, rng, walk);
+  EXPECT_EQ(walk.size(), 1u);
+}
+
+TEST(Node2Vec, HighPReducesBacktracking) {
+  // Star graph: from the center the walk must go to a leaf; from a leaf
+  // the only neighbor is the center, so every second step returns. On a
+  // richer graph, large p should lower the immediate-return rate.
+  Rng gen(3);
+  const Graph g = graph::make_erdos_renyi_gnm(60, 400, gen);
+  auto return_rate = [&](double p) {
+    Node2VecConfig config;
+    config.walk_length = 50;
+    config.p = p;
+    const Node2VecWalker walker(g, config);
+    Rng rng(4);
+    std::vector<VertexId> walk;
+    std::size_t returns = 0, steps = 0;
+    for (VertexId s = 0; s < 60; ++s) {
+      walker.walk_from(s, rng, walk);
+      for (std::size_t i = 2; i < walk.size(); ++i) {
+        returns += walk[i] == walk[i - 2] ? 1 : 0;
+        ++steps;
+      }
+    }
+    return static_cast<double>(returns) / static_cast<double>(steps);
+  };
+  EXPECT_LT(return_rate(10.0), return_rate(0.1));
+}
+
+TEST(Node2Vec, LowQExplores) {
+  // Two cliques joined by one edge. Small q (outward bias) should make
+  // walks cross into the other clique more often than large q.
+  GraphBuilder builder(false);
+  for (VertexId u = 0; u < 8; ++u) {
+    for (VertexId v = u + 1; v < 8; ++v) {
+      builder.add_edge(u, v);
+      builder.add_edge(u + 8, v + 8);
+    }
+  }
+  builder.add_edge(7, 8);
+  const Graph g = builder.build();
+  auto crossings = [&](double q) {
+    Node2VecConfig config;
+    config.walk_length = 60;
+    config.q = q;
+    const Node2VecWalker walker(g, config);
+    Rng rng(5);
+    std::vector<VertexId> walk;
+    std::size_t crossed = 0;
+    for (int trial = 0; trial < 60; ++trial) {
+      walker.walk_from(0, rng, walk);
+      for (std::size_t i = 1; i < walk.size(); ++i) {
+        crossed += (walk[i - 1] < 8) != (walk[i] < 8) ? 1 : 0;
+      }
+    }
+    return crossed;
+  };
+  EXPECT_GT(crossings(0.2), crossings(5.0));
+}
+
+TEST(Node2Vec, PQOneMatchesUniformStatistics) {
+  // With p = q = 1 the stationary visit distribution must match the
+  // degree-proportional distribution of the uniform walk.
+  Rng gen(6);
+  const Graph g = graph::make_barabasi_albert(40, 2, gen);
+  Node2VecConfig config;
+  config.walks_per_vertex = 40;
+  config.walk_length = 30;
+  const Corpus corpus = generate_corpus_node2vec(g, config, 7);
+  const auto freq = corpus.vertex_frequencies(40);
+  // Spot check: the highest-degree vertex should be visited much more
+  // often than the lowest-degree vertex.
+  VertexId hub = 0, leaf = 0;
+  for (VertexId v = 1; v < 40; ++v) {
+    if (g.out_degree(v) > g.out_degree(hub)) hub = v;
+    if (g.out_degree(v) < g.out_degree(leaf)) leaf = v;
+  }
+  EXPECT_GT(freq[hub], 2 * freq[leaf]);
+}
+
+TEST(Node2Vec, CorpusDeterministicAcrossThreads) {
+  const Graph g = graph::make_complete(10);
+  Node2VecConfig config;
+  config.walks_per_vertex = 3;
+  config.walk_length = 8;
+  config.threads = 1;
+  const Corpus serial = generate_corpus_node2vec(g, config, 9);
+  config.threads = 3;
+  const Corpus parallel = generate_corpus_node2vec(g, config, 9);
+  ASSERT_EQ(serial.walk_count(), parallel.walk_count());
+  for (std::size_t w = 0; w < serial.walk_count(); ++w) {
+    const auto a = serial.walk(w);
+    const auto b = parallel.walk(w);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+}
+
+TEST(Node2Vec, InvalidConfigThrows) {
+  const Graph g = graph::make_ring(5);
+  Node2VecConfig config;
+  config.p = 0.0;
+  EXPECT_THROW(Node2VecWalker(g, config), std::invalid_argument);
+  config.p = 1.0;
+  config.q = -1.0;
+  EXPECT_THROW(Node2VecWalker(g, config), std::invalid_argument);
+  config.q = 1.0;
+  config.walk_length = 0;
+  EXPECT_THROW(Node2VecWalker(g, config), std::invalid_argument);
+}
+
+TEST(Node2Vec, DirectedDeadEndTerminates) {
+  GraphBuilder builder(true);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  const Graph g = builder.build();
+  const Node2VecWalker walker(g, Node2VecConfig{});
+  Rng rng(10);
+  std::vector<VertexId> walk;
+  walker.walk_from(0, rng, walk);
+  EXPECT_EQ(walk.size(), 3u);
+}
+
+}  // namespace
+}  // namespace v2v::walk

@@ -1,0 +1,133 @@
+// Statistical properties of the walk engine: stationary distributions and
+// corpus-level invariants that the embedding quality relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "v2v/graph/generators.hpp"
+#include "v2v/walk/walker.hpp"
+
+namespace v2v::walk {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::VertexId;
+
+// On a connected undirected graph, the stationary distribution of the
+// uniform random walk is proportional to vertex degree. Long walks from
+// every vertex should approximate it.
+TEST(WalkStatistics, StationaryDistributionIsDegreeProportional) {
+  GraphBuilder builder(false);
+  // A lollipop: K5 on {0..4} plus path 4-5-6-7.
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) builder.add_edge(u, v);
+  }
+  builder.add_edge(4, 5);
+  builder.add_edge(5, 6);
+  builder.add_edge(6, 7);
+  const Graph g = builder.build();
+
+  WalkConfig config;
+  config.walks_per_vertex = 30;
+  config.walk_length = 400;
+  const Corpus corpus = generate_corpus(g, config, 17);
+  const auto freq = corpus.vertex_frequencies(g.vertex_count());
+
+  const double total_tokens = static_cast<double>(corpus.token_count());
+  const double total_degree = static_cast<double>(g.arc_count());
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    const double expected = static_cast<double>(g.out_degree(v)) / total_degree;
+    const double observed = static_cast<double>(freq[v]) / total_tokens;
+    EXPECT_NEAR(observed, expected, 0.25 * expected + 0.003) << "vertex " << v;
+  }
+}
+
+// Edge-weight-biased walks on a weighted graph have stationary
+// distribution proportional to weighted degree.
+TEST(WalkStatistics, WeightedStationaryDistribution) {
+  GraphBuilder builder(false);
+  builder.add_edge(0, 1, 9.0);
+  builder.add_edge(1, 2, 1.0);
+  builder.add_edge(2, 0, 1.0);
+  const Graph g = builder.build();
+  WalkConfig config;
+  config.walks_per_vertex = 60;
+  config.walk_length = 500;
+  config.bias = StepBias::kEdgeWeight;
+  const Corpus corpus = generate_corpus(g, config, 23);
+  const auto freq = corpus.vertex_frequencies(3);
+  // Weighted degrees: 10, 10, 2 -> stationary 10/22, 10/22, 2/22.
+  const double total = static_cast<double>(corpus.token_count());
+  EXPECT_NEAR(static_cast<double>(freq[0]) / total, 10.0 / 22.0, 0.05);
+  EXPECT_NEAR(static_cast<double>(freq[2]) / total, 2.0 / 22.0, 0.05);
+}
+
+// Walks on a bipartite-ish community graph should mostly stay inside
+// their starting community for short horizons.
+TEST(WalkStatistics, WalksStayLocalInStrongCommunities) {
+  graph::PlantedPartitionParams params;
+  params.groups = 4;
+  params.group_size = 25;
+  params.alpha = 0.8;
+  params.inter_edges = 10;
+  Rng rng(29);
+  const auto planted = graph::make_planted_partition(params, rng);
+  WalkConfig config;
+  config.walks_per_vertex = 10;
+  config.walk_length = 20;
+  const Corpus corpus = generate_corpus(planted.graph, config, 31);
+
+  std::size_t same = 0, total = 0;
+  for (std::size_t w = 0; w < corpus.walk_count(); ++w) {
+    const auto walk = corpus.walk(w);
+    const auto home = planted.community[walk[0]];
+    for (const auto v : walk) {
+      same += planted.community[v] == home ? 1 : 0;
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(same) / static_cast<double>(total), 0.8);
+}
+
+// The corpus token count equals walks x length on graphs with no dead
+// ends, and is strictly smaller when sinks exist.
+TEST(WalkStatistics, TokenBudgetAccounting) {
+  const Graph ring = graph::make_ring(16);
+  WalkConfig config;
+  config.walks_per_vertex = 4;
+  config.walk_length = 12;
+  const Corpus full = generate_corpus(ring, config, 37);
+  EXPECT_EQ(full.token_count(), 16u * 4u * 12u);
+
+  GraphBuilder builder(true);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);  // sink at 2
+  const Corpus truncated = generate_corpus(builder.build(), config, 37);
+  EXPECT_LT(truncated.token_count(), 3u * 4u * 12u);
+}
+
+// Visit counts concentrate: repeated corpora from different seeds agree
+// on relative vertex importance (rank correlation proxy: hub above leaf).
+TEST(WalkStatistics, SeedsAgreeOnVisitRanking) {
+  Rng gen(41);
+  const Graph g = graph::make_barabasi_albert(60, 2, gen);
+  VertexId hub = 0;
+  for (VertexId v = 1; v < 60; ++v) {
+    if (g.out_degree(v) > g.out_degree(hub)) hub = v;
+  }
+  WalkConfig config;
+  config.walks_per_vertex = 10;
+  config.walk_length = 30;
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const auto freq = generate_corpus(g, config, seed).vertex_frequencies(60);
+    std::uint64_t leaf_max = 0;
+    for (VertexId v = 0; v < 60; ++v) {
+      if (g.out_degree(v) <= 2) leaf_max = std::max(leaf_max, freq[v]);
+    }
+    EXPECT_GT(freq[hub], leaf_max) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace v2v::walk

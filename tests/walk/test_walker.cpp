@@ -1,0 +1,323 @@
+#include "v2v/walk/walker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "v2v/graph/generators.hpp"
+
+namespace v2v::walk {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::VertexId;
+
+TEST(Walker, WalkLengthHonoredOnConnectedGraph) {
+  const Graph g = graph::make_complete(10);
+  WalkConfig config;
+  config.walk_length = 25;
+  const Walker walker(g, config);
+  Rng rng(1);
+  std::vector<VertexId> walk;
+  walker.walk_from(3, rng, walk);
+  EXPECT_EQ(walk.size(), 25u);
+  EXPECT_EQ(walk[0], 3u);
+}
+
+TEST(Walker, StepsFollowEdges) {
+  const Graph g = graph::make_ring(8);
+  WalkConfig config;
+  config.walk_length = 50;
+  const Walker walker(g, config);
+  Rng rng(2);
+  std::vector<VertexId> walk;
+  walker.walk_from(0, rng, walk);
+  for (std::size_t i = 1; i < walk.size(); ++i) {
+    EXPECT_TRUE(g.has_arc(walk[i - 1], walk[i]))
+        << "illegal step " << walk[i - 1] << " -> " << walk[i];
+  }
+}
+
+TEST(Walker, IsolatedVertexYieldsSingletonWalk) {
+  GraphBuilder builder(false);
+  builder.reserve_vertices(3);
+  builder.add_edge(0, 1);
+  const Graph g = builder.build();
+  const Walker walker(g, WalkConfig{});
+  Rng rng(3);
+  std::vector<VertexId> walk;
+  walker.walk_from(2, rng, walk);
+  ASSERT_EQ(walk.size(), 1u);
+  EXPECT_EQ(walk[0], 2u);
+}
+
+TEST(Walker, DirectedDeadEndTerminatesWalk) {
+  GraphBuilder builder(true);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);  // 2 is a sink
+  const Graph g = builder.build();
+  WalkConfig config;
+  config.walk_length = 100;
+  const Walker walker(g, config);
+  Rng rng(4);
+  std::vector<VertexId> walk;
+  walker.walk_from(0, rng, walk);
+  ASSERT_EQ(walk.size(), 3u);
+  EXPECT_EQ(walk[2], 2u);
+}
+
+TEST(Walker, DirectedWalkRespectsDirection) {
+  GraphBuilder builder(true);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 0);
+  builder.add_edge(1, 2);
+  const Graph g = builder.build();
+  WalkConfig config;
+  config.walk_length = 30;
+  const Walker walker(g, config);
+  Rng rng(5);
+  std::vector<VertexId> walk;
+  for (int i = 0; i < 20; ++i) {
+    walker.walk_from(0, rng, walk);
+    for (std::size_t j = 1; j < walk.size(); ++j) {
+      EXPECT_TRUE(g.has_arc(walk[j - 1], walk[j]));
+    }
+  }
+}
+
+TEST(Walker, EdgeWeightBiasFollowsWeights) {
+  // Vertex 0 has two neighbors: 1 (weight 9) and 2 (weight 1).
+  GraphBuilder builder(false);
+  builder.add_edge(0, 1, 9.0);
+  builder.add_edge(0, 2, 1.0);
+  const Graph g = builder.build();
+  WalkConfig config;
+  config.walk_length = 2;
+  config.bias = StepBias::kEdgeWeight;
+  const Walker walker(g, config);
+  Rng rng(6);
+  std::size_t to_heavy = 0;
+  constexpr int kTrials = 20000;
+  std::vector<VertexId> walk;
+  for (int i = 0; i < kTrials; ++i) {
+    walker.walk_from(0, rng, walk);
+    ASSERT_EQ(walk.size(), 2u);
+    to_heavy += walk[1] == 1 ? 1 : 0;
+  }
+  EXPECT_NEAR(to_heavy / static_cast<double>(kTrials), 0.9, 0.02);
+}
+
+TEST(Walker, VertexWeightBiasFollowsTargetWeights) {
+  GraphBuilder builder(false);
+  builder.add_edge(0, 1);
+  builder.add_edge(0, 2);
+  builder.set_vertex_weight(1, 3.0);
+  builder.set_vertex_weight(2, 1.0);
+  const Graph g = builder.build();
+  WalkConfig config;
+  config.walk_length = 2;
+  config.bias = StepBias::kVertexWeight;
+  const Walker walker(g, config);
+  Rng rng(7);
+  std::size_t to_heavy = 0;
+  constexpr int kTrials = 20000;
+  std::vector<VertexId> walk;
+  for (int i = 0; i < kTrials; ++i) {
+    walker.walk_from(0, rng, walk);
+    to_heavy += walk[1] == 1 ? 1 : 0;
+  }
+  EXPECT_NEAR(to_heavy / static_cast<double>(kTrials), 0.75, 0.02);
+}
+
+TEST(Walker, AllZeroWeightNeighborsActAsDeadEnd) {
+  GraphBuilder builder(false);
+  builder.add_edge(0, 1, 1.0);
+  builder.set_vertex_weight(1, 0.0);
+  builder.set_vertex_weight(0, 0.0);
+  const Graph g = builder.build();
+  WalkConfig config;
+  config.walk_length = 10;
+  config.bias = StepBias::kVertexWeight;
+  const Walker walker(g, config);
+  Rng rng(8);
+  std::vector<VertexId> walk;
+  walker.walk_from(0, rng, walk);
+  EXPECT_EQ(walk.size(), 1u);
+}
+
+TEST(Walker, TemporalWalkTimestampsNonDecreasing) {
+  Rng gen_rng(9);
+  const Graph dag = graph::make_temporal_dag(60, 400, gen_rng);
+  WalkConfig config;
+  config.walk_length = 30;
+  config.temporal = true;
+  const Walker walker(dag, config);
+  Rng rng(10);
+  std::vector<VertexId> walk;
+  for (VertexId start = 0; start < 20; ++start) {
+    walker.walk_from(start, rng, walk);
+    double prev_ts = -1e300;
+    for (std::size_t i = 1; i < walk.size(); ++i) {
+      // Find the arc's timestamp (first matching arc suffices: all arcs
+      // u->v in the DAG generator are unique).
+      const auto nbrs = dag.neighbors(walk[i - 1]);
+      const auto tss = dag.arc_timestamps(walk[i - 1]);
+      double ts = -1;
+      for (std::size_t a = 0; a < nbrs.size(); ++a) {
+        if (nbrs[a] == walk[i]) ts = tss[a];
+      }
+      ASSERT_GE(ts, 0.0);
+      EXPECT_GE(ts, prev_ts);
+      prev_ts = ts;
+    }
+  }
+}
+
+TEST(Walker, TimeWindowBoundsGaps) {
+  // Chain 0->1->2 with timestamps 0 and 100: window 10 forbids the second
+  // hop, unconstrained temporal walk takes it.
+  GraphBuilder builder(true);
+  builder.add_edge(0, 1, 1.0, 0.0);
+  builder.add_edge(1, 2, 1.0, 100.0);
+  const Graph g = builder.build();
+
+  WalkConfig no_window;
+  no_window.walk_length = 10;
+  no_window.temporal = true;
+  Rng rng(11);
+  std::vector<VertexId> walk;
+  Walker(g, no_window).walk_from(0, rng, walk);
+  EXPECT_EQ(walk.size(), 3u);
+
+  WalkConfig windowed = no_window;
+  windowed.time_window = 10.0;
+  Walker(g, windowed).walk_from(0, rng, walk);
+  EXPECT_EQ(walk.size(), 2u);
+}
+
+TEST(Walker, TemporalBackwardEdgeUnreachable) {
+  // 1->2 is earlier than 0->1; after taking 0->1 (ts 5), 1->2 (ts 1) is
+  // inadmissible.
+  GraphBuilder builder(true);
+  builder.add_edge(0, 1, 1.0, 5.0);
+  builder.add_edge(1, 2, 1.0, 1.0);
+  const Graph g = builder.build();
+  WalkConfig config;
+  config.walk_length = 10;
+  config.temporal = true;
+  const Walker walker(g, config);
+  Rng rng(12);
+  std::vector<VertexId> walk;
+  walker.walk_from(0, rng, walk);
+  EXPECT_EQ(walk.size(), 2u);
+  walker.walk_from(1, rng, walk);  // fresh walk may start with the old edge
+  EXPECT_EQ(walk.size(), 2u);
+}
+
+TEST(Walker, TemporalRequiresTimestamps) {
+  const Graph g = graph::make_ring(5);
+  WalkConfig config;
+  config.temporal = true;
+  EXPECT_THROW(Walker(g, config), std::invalid_argument);
+}
+
+TEST(Walker, ZeroLengthConfigThrows) {
+  const Graph g = graph::make_ring(5);
+  WalkConfig config;
+  config.walk_length = 0;
+  EXPECT_THROW(Walker(g, config), std::invalid_argument);
+}
+
+TEST(GenerateCorpus, WalkCountAndStarts) {
+  const Graph g = graph::make_complete(12);
+  WalkConfig config;
+  config.walks_per_vertex = 7;
+  config.walk_length = 5;
+  const Corpus corpus = generate_corpus(g, config, 42);
+  EXPECT_EQ(corpus.walk_count(), 12u * 7u);
+  // Walks from vertex v occupy the contiguous block [v*7, (v+1)*7).
+  for (std::size_t v = 0; v < 12; ++v) {
+    for (std::size_t w = 0; w < 7; ++w) {
+      EXPECT_EQ(corpus.walk(v * 7 + w)[0], v);
+    }
+  }
+}
+
+TEST(GenerateCorpus, DeterministicAcrossThreadCounts) {
+  const Graph g = graph::make_complete(9);
+  WalkConfig config;
+  config.walks_per_vertex = 4;
+  config.walk_length = 6;
+  config.threads = 1;
+  const Corpus serial = generate_corpus(g, config, 7);
+  config.threads = 4;
+  const Corpus parallel = generate_corpus(g, config, 7);
+  ASSERT_EQ(serial.walk_count(), parallel.walk_count());
+  for (std::size_t w = 0; w < serial.walk_count(); ++w) {
+    const auto a = serial.walk(w);
+    const auto b = parallel.walk(w);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin())) << "walk " << w;
+  }
+}
+
+TEST(GenerateCorpus, DifferentSeedsDiffer) {
+  const Graph g = graph::make_complete(9);
+  WalkConfig config;
+  config.walks_per_vertex = 2;
+  config.walk_length = 10;
+  const Corpus a = generate_corpus(g, config, 1);
+  const Corpus b = generate_corpus(g, config, 2);
+  bool any_diff = false;
+  for (std::size_t w = 0; w < a.walk_count() && !any_diff; ++w) {
+    const auto wa = a.walk(w);
+    const auto wb = b.walk(w);
+    any_diff = !std::equal(wa.begin(), wa.end(), wb.begin(), wb.end());
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GenerateCorpus, EmptyGraphYieldsEmptyCorpus) {
+  const Corpus corpus = generate_corpus(Graph{}, WalkConfig{}, 1);
+  EXPECT_EQ(corpus.walk_count(), 0u);
+  EXPECT_EQ(corpus.token_count(), 0u);
+}
+
+TEST(GenerateCorpus, CoversWholeConnectedGraph) {
+  Rng gen_rng(13);
+  const Graph g = graph::make_erdos_renyi_gnm(40, 120, gen_rng);
+  WalkConfig config;
+  config.walks_per_vertex = 5;
+  config.walk_length = 20;
+  const Corpus corpus = generate_corpus(g, config, 3);
+  const auto freq = corpus.vertex_frequencies(40);
+  for (std::size_t v = 0; v < 40; ++v) {
+    EXPECT_GT(freq[v], 0u) << "vertex " << v << " never visited";
+  }
+}
+
+// Property sweep: mean walk length under tightening constraints can only
+// shrink (windowed temporal <= temporal <= directed).
+class WindowSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(WindowSweep, TighterWindowsShortenWalks) {
+  Rng gen_rng(14);
+  const Graph dag = graph::make_temporal_dag(80, 600, gen_rng);
+  WalkConfig base;
+  base.walks_per_vertex = 3;
+  base.walk_length = 25;
+  base.temporal = true;
+  const Corpus unbounded = generate_corpus(dag, base, 5);
+
+  WalkConfig windowed = base;
+  windowed.time_window = GetParam();
+  const Corpus bounded = generate_corpus(dag, windowed, 5);
+  EXPECT_LE(bounded.token_count(), unbounded.token_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, WindowSweep, ::testing::Values(0.5, 1.0, 2.0, 5.0));
+
+}  // namespace
+}  // namespace v2v::walk
