@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 
 #include "v2v/common/cli.hpp"
@@ -17,6 +18,8 @@
 #include "v2v/common/table.hpp"
 #include "v2v/core/v2v.hpp"
 #include "v2v/graph/generators.hpp"
+#include "v2v/obs/export.hpp"
+#include "v2v/obs/metrics.hpp"
 
 namespace v2v::bench {
 
@@ -61,9 +64,16 @@ inline graph::PlantedGraph make_paper_graph(const Scale& scale, double alpha,
   return graph::make_planted_partition(params, rng);
 }
 
+/// Process-wide metrics registry shared by every pipeline run of a bench
+/// binary; write_metrics_sidecar() exports it next to the CSV tables.
+inline obs::MetricsRegistry& metrics_registry() {
+  static obs::MetricsRegistry registry;
+  return registry;
+}
+
 /// The V2V configuration used across the paper experiments: CBOW, window 5,
 /// negative sampling, early stopping so training time tracks structure
-/// strength (Fig 7).
+/// strength (Fig 7). Every run is instrumented into metrics_registry().
 inline V2VConfig make_v2v_config(const Scale& scale, std::size_t dimensions,
                                  std::uint64_t seed = 42) {
   V2VConfig config;
@@ -75,13 +85,39 @@ inline V2VConfig make_v2v_config(const Scale& scale, std::size_t dimensions,
   config.train.min_epochs = 3;
   config.train.convergence_tol = 0.02;
   config.seed = seed;
+  config.metrics = &metrics_registry();
   return config;
 }
 
+/// Resolves --out-dir (default ./bench_out), creating it if needed, and
+/// announces the resolved absolute path once so runs always say where
+/// their artifacts went.
 inline std::filesystem::path output_dir(const CliArgs& args) {
   const std::filesystem::path dir = args.get("out-dir", "bench_out");
-  std::filesystem::create_directories(dir);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    throw std::runtime_error("cannot create out-dir " + dir.string() + ": " +
+                             ec.message());
+  }
+  static bool announced = false;
+  if (!announced) {
+    announced = true;
+    std::printf("out-dir: %s\n", std::filesystem::absolute(dir).string().c_str());
+  }
   return dir;
+}
+
+/// Writes the accumulated metrics of this process as
+/// <out-dir>/<experiment>.metrics.json (or to --metrics-out when given)
+/// and reports the path on stdout.
+inline void write_metrics_sidecar(const CliArgs& args, const std::string& experiment) {
+  std::string path = args.metrics_out();
+  if (path.empty()) {
+    path = (output_dir(args) / (experiment + ".metrics.json")).string();
+  }
+  obs::write_json_file(metrics_registry(), path);
+  std::printf("metrics sidecar: %s\n", path.c_str());
 }
 
 inline void print_header(const char* experiment, const char* paper_ref,

@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
     row.v2v_train = model.learn_seconds();
     ml::KMeansConfig kmeans;
     kmeans.restarts = scale.kmeans_restarts;
+    kmeans.metrics = &metrics_registry();
     const auto detected = detect_communities(model.embedding, scale.groups, kmeans);
     row.v2v_cluster = detected.cluster_seconds;
     row.v2v_pr = ml::pairwise_precision_recall(planted.community, detected.labels);
@@ -98,6 +99,7 @@ int main(int argc, char** argv) {
                  fmt(avg.gn_pr.recall), fmt(avg.gn_time, 4)});
   table.print(std::cout);
   table.write_csv((output_dir(args) / "table1.csv").string());
+  write_metrics_sidecar(args, "table1");
 
   const double gn_growth = rows.back().gn_time / std::max(rows.front().gn_time, 1e-9);
   const double cnm_growth = rows.back().cnm_time / std::max(rows.front().cnm_time, 1e-9);

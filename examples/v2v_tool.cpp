@@ -10,6 +10,10 @@
 //   v2v_tool layout <edges.txt> --output=graph.svg [--iterations=200]
 //   v2v_tool stats <edges.txt> [--directed]
 //
+// Every pipeline command accepts --metrics-out=<file>.json to write a
+// machine-readable metrics sidecar (stage timings, walks/sec, words/sec;
+// schema v2v.metrics.v1 — see README "Observability").
+//
 // Edge lists are "u v [weight [timestamp]]" lines, '#' comments. Label
 // files are "vertex label" lines with integer labels.
 #include <cstdio>
@@ -31,11 +35,21 @@
 #include "v2v/graph/io.hpp"
 #include "v2v/graph/labels_io.hpp"
 #include "v2v/graph/structure.hpp"
+#include "v2v/obs/export.hpp"
+#include "v2v/obs/metrics.hpp"
 #include "v2v/viz/svg.hpp"
 
 namespace {
 
 using namespace v2v;
+
+/// Writes the run's metrics sidecar when --metrics-out was given.
+void maybe_write_metrics(const CliArgs& args, const obs::MetricsRegistry& registry) {
+  const std::string path = args.metrics_out();
+  if (path.empty()) return;
+  obs::write_json_file(registry, path);
+  std::fprintf(stderr, "wrote metrics sidecar %s\n", path.c_str());
+}
 
 graph::Graph load_graph(const std::string& path, const CliArgs& args) {
   graph::EdgeListOptions options;
@@ -66,7 +80,9 @@ int cmd_embed(const CliArgs& args) {
   const graph::Graph g = load_graph(input, args);
   std::fprintf(stderr, "loaded %s\n", graph::describe(g).c_str());
 
-  const V2VConfig config = config_from_args(args);
+  obs::MetricsRegistry metrics;
+  V2VConfig config = config_from_args(args);
+  config.metrics = &metrics;
   if (args.has("save-config")) save_config_file(config, args.get("save-config", ""));
   const auto model = learn_embedding(g, config);
   std::fprintf(stderr, "trained %zu x %zu in %.2fs (%zu walks, %zu tokens)\n",
@@ -76,6 +92,7 @@ int cmd_embed(const CliArgs& args) {
   const std::string output = args.get("output", "vectors.txt");
   model.embedding.save_text_file(output);
   std::fprintf(stderr, "wrote %s\n", output.c_str());
+  maybe_write_metrics(args, metrics);
   return 0;
 }
 
@@ -85,15 +102,18 @@ int cmd_communities(const CliArgs& args) {
   const auto k = static_cast<std::size_t>(args.get_int("k", 10));
   const std::string method = args.get("method", "v2v");
 
+  obs::MetricsRegistry metrics;
   std::vector<std::uint32_t> labels;
   if (method == "v2v") {
-    const auto model = learn_embedding(g, config_from_args(args));
+    V2VConfig config = config_from_args(args);
+    config.metrics = &metrics;
+    const auto model = learn_embedding(g, config);
     if (args.get_bool("auto-k")) {
-      const auto result = detect_communities_auto(model.embedding, 2, k);
+      const auto result = detect_communities_auto(model.embedding, 2, k, {}, &metrics);
       std::fprintf(stderr, "auto-selected k = %zu (silhouette)\n", result.chosen_k);
       labels = result.detection.labels;
     } else {
-      labels = detect_communities(model.embedding, k).labels;
+      labels = detect_communities(model.embedding, k, {}, &metrics).labels;
     }
   } else if (method == "cnm") {
     labels = community::cluster_cnm(g).labels;
@@ -115,6 +135,7 @@ int cmd_communities(const CliArgs& args) {
   for (std::size_t v = 0; v < labels.size(); ++v) {
     std::printf("%zu\t%u\n", v, labels[v]);
   }
+  maybe_write_metrics(args, metrics);
   return 0;
 }
 
@@ -125,9 +146,16 @@ int cmd_predict(const CliArgs& args) {
   const auto k = static_cast<std::size_t>(args.get_int("k", 3));
   const auto folds = static_cast<std::size_t>(args.get_int("folds", 10));
   const auto repeats = static_cast<std::size_t>(args.get_int("repeats", 3));
-  const auto result = evaluate_label_prediction(embedding, labels, k, folds, repeats);
+  obs::MetricsRegistry metrics;
+  LabelPredictionResult result;
+  {
+    const obs::ScopedTimer span(metrics, "predict");
+    result = evaluate_label_prediction(embedding, labels, k, folds, repeats);
+  }
+  metrics.counter("predict.predictions").add(result.predictions);
   std::printf("k-NN accuracy (k=%zu, %zu-fold CV x %zu): %.4f +/- %.4f\n", k, folds,
               repeats, result.accuracy, result.stddev);
+  maybe_write_metrics(args, metrics);
   return 0;
 }
 

@@ -74,4 +74,10 @@ bool CliArgs::full_scale() const {
   return env != nullptr && std::string_view(env) == "1";
 }
 
+std::string CliArgs::metrics_out() const {
+  if (has("metrics-out")) return get("metrics-out", "");
+  const char* env = std::getenv("V2V_METRICS_OUT");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
 }  // namespace v2v

@@ -32,6 +32,12 @@ class CliArgs {
   /// True if --full was passed or V2V_FULL=1 is set: run paper-scale sizes.
   [[nodiscard]] bool full_scale() const;
 
+  /// Path given via --metrics-out <file>.json (or the V2V_METRICS_OUT
+  /// environment variable): where the run should write its JSON metrics
+  /// sidecar (schema v2v.metrics.v1, see README "Observability"). Empty
+  /// string when unset = metrics export disabled.
+  [[nodiscard]] std::string metrics_out() const;
+
  private:
   std::map<std::string, std::string> flags_;
   std::vector<std::string> positional_;

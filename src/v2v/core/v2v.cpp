@@ -7,6 +7,7 @@
 #include "v2v/ml/crossval.hpp"
 #include "v2v/ml/pca.hpp"
 #include "v2v/ml/silhouette.hpp"
+#include "v2v/obs/metrics.hpp"
 
 namespace v2v {
 
@@ -14,6 +15,9 @@ V2VModel learn_embedding(const graph::Graph& g, const V2VConfig& config) {
   V2VModel model;
   walk::WalkConfig walk_config = config.walk;
   embed::TrainConfig train_config = config.train;
+  if (walk_config.metrics == nullptr) walk_config.metrics = config.metrics;
+  if (train_config.metrics == nullptr) train_config.metrics = config.metrics;
+  const obs::ScopedTimer pipeline_span(config.metrics, "learn_embedding");
   std::uint64_t walk_seed = 0x9e3779b97f4a7c15ULL;
   if (config.seed != 0) {
     std::uint64_t sm = config.seed;
@@ -49,8 +53,10 @@ V2VModel learn_embedding(const graph::Graph& g, const V2VConfig& config) {
 
 CommunityDetectionResult detect_communities(const embed::Embedding& embedding,
                                             std::size_t k,
-                                            ml::KMeansConfig kmeans_config) {
+                                            ml::KMeansConfig kmeans_config,
+                                            obs::MetricsRegistry* metrics) {
   kmeans_config.k = k;
+  if (kmeans_config.metrics == nullptr) kmeans_config.metrics = metrics;
   WallTimer timer;
   auto clusters = ml::kmeans(embedding.matrix(), kmeans_config);
   CommunityDetectionResult result;
@@ -62,14 +68,16 @@ CommunityDetectionResult detect_communities(const embed::Embedding& embedding,
 
 AutoCommunityResult detect_communities_auto(const embed::Embedding& embedding,
                                             std::size_t k_min, std::size_t k_max,
-                                            ml::KMeansConfig kmeans_config) {
+                                            ml::KMeansConfig kmeans_config,
+                                            obs::MetricsRegistry* metrics) {
   k_max = std::min(k_max, embedding.vertex_count());
   const auto selection = ml::select_k_by_silhouette(
       embedding.matrix(), k_min, k_max, kmeans_config.restarts, kmeans_config.seed);
   AutoCommunityResult result;
   result.chosen_k = selection.best_k;
   result.silhouette_curve = selection.scores;
-  result.detection = detect_communities(embedding, selection.best_k, kmeans_config);
+  result.detection =
+      detect_communities(embedding, selection.best_k, kmeans_config, metrics);
   return result;
 }
 

@@ -24,10 +24,18 @@
 #include "v2v/viz/forceatlas2.hpp"
 #include "v2v/walk/walker.hpp"
 
+namespace v2v::obs {
+class MetricsRegistry;
+}  // namespace v2v::obs
+
 namespace v2v {
 
 struct V2VConfig {
+  /// Random-walk stage parameters (paper §II-A defaults: t = 1000 walks of
+  /// ℓ = 1000 vertices; the struct defaults are laptop-scale).
   walk::WalkConfig walk;
+  /// CBOW/SkipGram SGD parameters (paper §II-B defaults: CBOW, window
+  /// n = 5, negative sampling).
   embed::TrainConfig train;
   /// Master seed; when nonzero it derives the walk and train seeds so one
   /// knob controls full reproducibility.
@@ -37,15 +45,21 @@ struct V2VConfig {
   /// paper-scale walk budgets (t = l = 1000) whose corpus would not fit
   /// in memory. Fresh walks are drawn each epoch.
   bool streaming = false;
+  /// Optional observability sink. When set, learn_embedding propagates it
+  /// into the walk and train stages (unless those configs already carry
+  /// their own registry) and wraps the run in a "learn_embedding" stage
+  /// span; export with obs/export.hpp. Null (default) disables
+  /// instrumentation.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct V2VModel {
-  embed::Embedding embedding;
-  embed::TrainStats train_stats;
-  double walk_seconds = 0.0;
-  double train_seconds = 0.0;
-  std::size_t corpus_walks = 0;
-  std::size_t corpus_tokens = 0;
+  embed::Embedding embedding;            ///< one dims-vector per vertex
+  embed::TrainStats train_stats;         ///< per-epoch losses, example counts
+  double walk_seconds = 0.0;             ///< corpus generation wall time (s; 0 when streaming)
+  double train_seconds = 0.0;            ///< SGD wall time (s)
+  std::size_t corpus_walks = 0;          ///< walks generated (count)
+  std::size_t corpus_tokens = 0;         ///< corpus vertices incl. starts (count; 0 when streaming)
 
   /// Total learning time, the paper's "training time" column.
   [[nodiscard]] double learn_seconds() const noexcept {
@@ -61,33 +75,34 @@ struct V2VModel {
 // ---------------------------------------------------------------------------
 
 struct CommunityDetectionResult {
-  std::vector<std::uint32_t> labels;
-  double cluster_seconds = 0.0;  ///< the "Running time" column of Table I
-  double sse = 0.0;
+  std::vector<std::uint32_t> labels;  ///< cluster id per vertex, in [0, k)
+  double cluster_seconds = 0.0;  ///< k-means wall time (s): Table I's "Running time"
+  double sse = 0.0;              ///< within-cluster sum of squared distances
 };
 
 /// Paper §III: k-means over the embedding space. `kmeans_config.k` is
-/// overwritten by `k`.
+/// overwritten by `k`. When `metrics` is non-null it is propagated into
+/// the k-means stage (unless kmeans_config already carries a registry).
 [[nodiscard]] CommunityDetectionResult detect_communities(
     const embed::Embedding& embedding, std::size_t k,
-    ml::KMeansConfig kmeans_config = {});
+    ml::KMeansConfig kmeans_config = {}, obs::MetricsRegistry* metrics = nullptr);
 
 /// Like detect_communities but chooses k automatically by the silhouette
 /// curve over [k_min, k_max] (paper §VII asks for principled parameter
 /// selection). The chosen k is reported in the result.
 struct AutoCommunityResult {
-  CommunityDetectionResult detection;
-  std::size_t chosen_k = 0;
-  std::vector<std::pair<std::size_t, double>> silhouette_curve;
+  CommunityDetectionResult detection;  ///< clustering at the chosen k
+  std::size_t chosen_k = 0;            ///< k with the best mean silhouette
+  std::vector<std::pair<std::size_t, double>> silhouette_curve;  ///< (k, score) pairs
 };
 [[nodiscard]] AutoCommunityResult detect_communities_auto(
     const embed::Embedding& embedding, std::size_t k_min = 2, std::size_t k_max = 20,
-    ml::KMeansConfig kmeans_config = {});
+    ml::KMeansConfig kmeans_config = {}, obs::MetricsRegistry* metrics = nullptr);
 
 struct LabelPredictionResult {
-  double accuracy = 0.0;       ///< mean over folds and repeats
-  double stddev = 0.0;         ///< across repeats
-  std::size_t predictions = 0;
+  double accuracy = 0.0;       ///< mean accuracy in [0, 1] over folds and repeats
+  double stddev = 0.0;         ///< accuracy standard deviation across repeats
+  std::size_t predictions = 0; ///< total test predictions made (count)
 };
 
 /// Paper §V: k-NN label prediction evaluated with `folds`-fold cross

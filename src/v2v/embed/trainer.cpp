@@ -12,6 +12,7 @@
 #include "v2v/common/timer.hpp"
 #include "v2v/embed/huffman.hpp"
 #include "v2v/embed/sigmoid_table.hpp"
+#include "v2v/obs/metrics.hpp"
 #include "v2v/walk/alias_table.hpp"
 
 namespace v2v::embed {
@@ -247,14 +248,37 @@ TrainResult run_training(TrainerState& state,
   TrainResult result;
   double prev_loss = 0.0;
   const TrainConfig& config = state.config;
+  obs::MetricsRegistry* metrics = config.metrics;
+  const obs::ScopedTimer train_span(metrics, "train");
 
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const obs::ScopedTimer epoch_span(metrics, "epoch");
+    const std::uint64_t tokens_before =
+        state.tokens_processed.load(std::memory_order_relaxed);
     const EpochShard totals = run_epoch(epoch);
     result.stats.examples += totals.examples;
     const double mean_loss =
         totals.examples > 0 ? totals.loss / static_cast<double>(totals.examples) : 0.0;
     result.stats.epoch_loss.push_back(mean_loss);
     result.stats.epochs_run = epoch + 1;
+
+    if (metrics != nullptr) {
+      const double epoch_seconds = epoch_span.seconds();
+      const std::uint64_t epoch_tokens =
+          state.tokens_processed.load(std::memory_order_relaxed) - tokens_before;
+      metrics->counter("train.epochs").add(1);
+      metrics->counter("train.examples").add(totals.examples);
+      metrics->counter("train.tokens").add(epoch_tokens);
+      metrics->histogram("train.epoch_seconds", {0.0, 120.0, 240}).record(epoch_seconds);
+      metrics->series("train.epoch_loss").append(mean_loss);
+      metrics->series("train.lr").append(current_lr(state));
+      if (epoch_seconds > 0.0) {
+        const double words_per_sec =
+            static_cast<double>(epoch_tokens) / epoch_seconds;
+        metrics->series("train.words_per_sec").append(words_per_sec);
+        metrics->gauge("train.words_per_sec").set(words_per_sec);
+      }
+    }
 
     if (config.convergence_tol > 0.0 && epoch + 1 >= config.min_epochs && epoch > 0) {
       if (prev_loss - mean_loss < config.convergence_tol * prev_loss) {
@@ -266,6 +290,16 @@ TrainResult run_training(TrainerState& state,
   }
 
   result.stats.train_seconds = timer.seconds();
+  if (metrics != nullptr) {
+    metrics->gauge("train.lr.final").set(current_lr(state));
+    metrics->gauge("train.seconds").set(result.stats.train_seconds);
+    if (result.stats.train_seconds > 0.0) {
+      metrics->gauge("train.words_per_sec.mean")
+          .set(static_cast<double>(
+                   state.tokens_processed.load(std::memory_order_relaxed)) /
+               result.stats.train_seconds);
+    }
+  }
   result.embedding = Embedding(std::move(state.syn0));
   return result;
 }

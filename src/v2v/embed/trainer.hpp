@@ -23,36 +23,60 @@
 #include "v2v/walk/corpus.hpp"
 #include "v2v/walk/walker.hpp"
 
+namespace v2v::obs {
+class MetricsRegistry;
+}  // namespace v2v::obs
+
 namespace v2v::embed {
 
 enum class Architecture : std::uint8_t { kCbow, kSkipGram };
 enum class Objective : std::uint8_t { kNegativeSampling, kHierarchicalSoftmax };
 
 struct TrainConfig {
+  /// Embedding width d (dimensions; paper sweeps 20–1000, default 100).
   std::size_t dimensions = 100;
-  std::size_t window = 5;                 ///< paper default n = 5
+  /// Context window n: vertices considered on each side of the target
+  /// (count; paper default n = 5).
+  std::size_t window = 5;
+  /// CBOW (paper §II-B default) or SkipGram (DeepWalk baseline).
   Architecture architecture = Architecture::kCbow;
+  /// Negative sampling (word2vec default) or hierarchical softmax.
   Objective objective = Objective::kNegativeSampling;
-  std::size_t negative = 5;               ///< negative samples per target
-  std::size_t epochs = 5;                 ///< maximum passes over the corpus
+  /// Negative samples drawn per positive target (count; word2vec
+  /// default 5). Ignored under hierarchical softmax.
+  std::size_t negative = 5;
+  /// Maximum passes over the corpus (count; default 5).
+  std::size_t epochs = 5;
+  /// Passes guaranteed before early stopping may trigger (count).
   std::size_t min_epochs = 1;
-  /// Stop when (prev_loss - loss) < convergence_tol * prev_loss.
-  /// 0 disables early stopping.
+  /// Stop when (prev_loss - loss) < convergence_tol * prev_loss
+  /// (dimensionless relative improvement; 0 disables early stopping).
   double convergence_tol = 0.0;
-  double initial_lr = 0.05;               ///< word2vec CBOW default
-  double min_lr_fraction = 1e-4;          ///< floor as a fraction of initial_lr
-  /// Frequent-vertex subsampling threshold (word2vec "-sample"); 0 = off.
+  /// Starting SGD step size (dimensionless; word2vec CBOW default 0.05),
+  /// decayed linearly over the planned token budget.
+  double initial_lr = 0.05;
+  /// Learning-rate floor as a fraction of initial_lr (dimensionless).
+  double min_lr_fraction = 1e-4;
+  /// Frequent-vertex subsampling threshold (corpus frequency fraction,
+  /// word2vec "-sample"); 0 = keep every occurrence (default).
   double subsample = 0.0;
+  /// Hogwild worker threads (count; 1 = deterministic for a fixed seed).
   std::size_t threads = 1;
+  /// Seed for init, sampling, and shuffling (64-bit; default 1).
   std::uint64_t seed = 1;
+  /// Optional observability sink: training records words/sec per epoch,
+  /// the learning-rate and loss trajectories, epoch wall-time histograms,
+  /// and a "train" > "epoch" stage span tree into it. Null (default)
+  /// disables instrumentation.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct TrainStats {
-  std::size_t epochs_run = 0;
-  std::vector<double> epoch_loss;   ///< mean loss per training example
-  double train_seconds = 0.0;
-  std::uint64_t examples = 0;       ///< total (context, target) updates
-  bool converged_early = false;
+  std::size_t epochs_run = 0;       ///< passes actually executed (count)
+  std::vector<double> epoch_loss;   ///< mean loss per training example, one per epoch
+  double train_seconds = 0.0;       ///< SGD wall time, excludes corpus generation (s)
+  std::uint64_t examples = 0;       ///< total (context, target) updates (count)
+  bool converged_early = false;     ///< true if the loss-plateau rule stopped training
 };
 
 struct TrainResult {

@@ -8,6 +8,7 @@
 #include "v2v/common/rng.hpp"
 #include "v2v/common/thread_pool.hpp"
 #include "v2v/common/vec_math.hpp"
+#include "v2v/obs/metrics.hpp"
 
 namespace v2v::ml {
 namespace {
@@ -157,10 +158,24 @@ KMeansResult kmeans(const MatrixF& points, const KMeansConfig& config) {
   if (config.k > n) throw std::invalid_argument("kmeans: k > number of points");
   if (config.restarts == 0) throw std::invalid_argument("kmeans: restarts == 0");
 
+  const obs::ScopedTimer span(config.metrics, "kmeans");
   const Rng root(config.seed);
   const std::size_t threads = std::max<std::size_t>(1, config.threads);
   std::vector<LloydOutcome> best_per_thread(threads);
   std::vector<bool> has_result(threads, false);
+
+  // Iterations land in [1, max_iterations]; one bucket per iteration count
+  // makes the histogram exact. The SSE series is the across-restart
+  // trajectory (append order is nondeterministic when threads > 1).
+  obs::Histogram* iteration_hist = nullptr;
+  obs::Series* sse_series = nullptr;
+  if (config.metrics != nullptr) {
+    iteration_hist = &config.metrics->histogram(
+        "kmeans.iterations_per_restart",
+        {0.0, static_cast<double>(config.max_iterations) + 1.0,
+         config.max_iterations + 1});
+    sse_series = &config.metrics->series("kmeans.restart_sse");
+  }
 
   parallel_for_once(threads, config.restarts,
                     [&](std::size_t chunk, std::size_t begin, std::size_t end) {
@@ -170,6 +185,11 @@ KMeansResult kmeans(const MatrixF& points, const KMeansConfig& config) {
                                             ? seed_plus_plus(points, config.k, rng)
                                             : seed_uniform(points, config.k, rng);
                         LloydOutcome outcome = lloyd(points, std::move(seeds), config);
+                        if (iteration_hist != nullptr) {
+                          iteration_hist->record(
+                              static_cast<double>(outcome.iterations));
+                        }
+                        if (sse_series != nullptr) sse_series->append(outcome.sse);
                         if (!has_result[chunk] ||
                             outcome.sse < best_per_thread[chunk].sse) {
                           best_per_thread[chunk] = std::move(outcome);
@@ -191,6 +211,11 @@ KMeansResult kmeans(const MatrixF& points, const KMeansConfig& config) {
   result.sse = best_per_thread[winner].sse;
   result.iterations = best_per_thread[winner].iterations;
   result.restarts_run = config.restarts;
+  if (config.metrics != nullptr) {
+    config.metrics->counter("kmeans.restarts").add(config.restarts);
+    config.metrics->gauge("kmeans.best_sse").set(result.sse);
+    config.metrics->gauge("kmeans.seconds").set(span.seconds());
+  }
   return result;
 }
 

@@ -8,6 +8,10 @@
 
 #include "v2v/common/matrix.hpp"
 
+namespace v2v::obs {
+class MetricsRegistry;
+}  // namespace v2v::obs
+
 namespace v2v::ml {
 
 enum class KMeansSeeding : std::uint8_t { kPlusPlus, kUniform };
@@ -20,6 +24,10 @@ struct KMeansConfig {
   double tolerance = 1e-6;            ///< relative SSE improvement to keep iterating
   std::uint64_t seed = 1;
   std::size_t threads = 1;            ///< restarts are embarrassingly parallel
+  /// Optional observability sink: kmeans() records an iterations-per-
+  /// restart histogram, the per-restart SSE trajectory, and a "kmeans"
+  /// stage span into it. Null (default) disables instrumentation.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct KMeansResult {

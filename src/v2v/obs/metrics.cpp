@@ -1,0 +1,227 @@
+#include "v2v/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace v2v::obs {
+
+namespace {
+
+void atomic_min(std::atomic<double>& target, double value) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double value) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_add(std::atomic<double>& target, double delta) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(HistogramConfig config) : config_(config) {
+  if (config_.buckets == 0) throw std::invalid_argument("Histogram: buckets == 0");
+  if (!(config_.max > config_.min)) {
+    throw std::invalid_argument("Histogram: max must exceed min");
+  }
+  width_ = (config_.max - config_.min) / static_cast<double>(config_.buckets);
+  buckets_ = std::vector<std::atomic<std::uint64_t>>(config_.buckets);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+}
+
+void Histogram::record(double value) noexcept {
+  if (std::isnan(value)) return;
+  double offset = (value - config_.min) / width_;
+  std::size_t index = 0;
+  if (offset > 0.0) {
+    index = std::min(buckets_.size() - 1,
+                     static_cast<std::size_t>(offset));
+  }
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, value);
+  atomic_min(min_, value);
+  atomic_max(max_, value);
+}
+
+double Histogram::quantile(double q) const noexcept {
+  q = std::clamp(q, 0.0, 1.0);
+  std::uint64_t total = 0;
+  for (const auto& bucket : buckets_) total += bucket.load(std::memory_order_relaxed);
+  if (total == 0) return 0.0;
+
+  const double observed_min = min_.load(std::memory_order_relaxed);
+  const double observed_max = max_.load(std::memory_order_relaxed);
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    const auto in_bucket =
+        static_cast<double>(buckets_[b].load(std::memory_order_relaxed));
+    if (in_bucket <= 0.0) continue;
+    if (cumulative + in_bucket >= target) {
+      const double fraction = std::clamp((target - cumulative) / in_bucket, 0.0, 1.0);
+      const double lower = config_.min + static_cast<double>(b) * width_;
+      return std::clamp(lower + fraction * width_, observed_min, observed_max);
+    }
+    cumulative += in_bucket;
+  }
+  return observed_max;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.config = config_;
+  snap.buckets.reserve(buckets_.size());
+  for (const auto& bucket : buckets_) {
+    snap.buckets.push_back(bucket.load(std::memory_order_relaxed));
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  if (snap.count > 0) {
+    snap.min = min_.load(std::memory_order_relaxed);
+    snap.max = max_.load(std::memory_order_relaxed);
+    snap.mean = snap.sum / static_cast<double>(snap.count);
+    snap.p50 = quantile(0.50);
+    snap.p95 = quantile(0.95);
+    snap.p99 = quantile(0.99);
+  }
+  return snap;
+}
+
+void Series::append(double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  values_.push_back(value);
+}
+
+std::vector<double> Series::values() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return values_;
+}
+
+std::size_t Series::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return values_.size();
+}
+
+MetricsRegistry::MetricsRegistry() {
+  root_.name = "run";
+  span_stack_.push_back(&root_);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, HistogramConfig config) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_.emplace(std::string(name), std::make_unique<Histogram>(config))
+              .first->second;
+}
+
+Series& MetricsRegistry::series(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = series_.find(name);
+  if (it != series_.end()) return *it->second;
+  return *series_.emplace(std::string(name), std::make_unique<Series>()).first->second;
+}
+
+MetricsRegistry::StageNode* MetricsRegistry::open_span(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  StageNode* parent = span_stack_.back();
+  for (const auto& child : parent->children) {
+    if (child->name == name) {
+      span_stack_.push_back(child.get());
+      return child.get();
+    }
+  }
+  auto node = std::make_unique<StageNode>();
+  node->name = std::string(name);
+  StageNode* raw = node.get();
+  parent->children.push_back(std::move(node));
+  span_stack_.push_back(raw);
+  return raw;
+}
+
+void MetricsRegistry::close_span(StageNode* node, double seconds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  node->seconds += seconds;
+  node->calls += 1;
+  // Defensive against non-LIFO misuse: pop through the closing node but
+  // never past the root.
+  while (span_stack_.size() > 1) {
+    StageNode* top = span_stack_.back();
+    span_stack_.pop_back();
+    if (top == node) break;
+  }
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) snap.counters[name] = counter->value();
+  for (const auto& [name, gauge] : gauges_) snap.gauges[name] = gauge->value();
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms[name] = histogram->snapshot();
+  }
+  for (const auto& [name, series] : series_) snap.series[name] = series->values();
+  snap.stages = snapshot_stage(root_);
+  return snap;
+}
+
+StageSnapshot MetricsRegistry::snapshot_stage(const StageNode& node) {
+  StageSnapshot snap;
+  snap.name = node.name;
+  snap.seconds = node.seconds;
+  snap.calls = node.calls;
+  snap.children.reserve(node.children.size());
+  for (const auto& child : node.children) {
+    snap.children.push_back(snapshot_stage(*child));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  series_.clear();
+  root_.children.clear();
+  root_.seconds = 0.0;
+  root_.calls = 0;
+  span_stack_.assign(1, &root_);
+}
+
+MetricsRegistry& default_registry() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace v2v::obs

@@ -1,0 +1,234 @@
+// Dependency-free observability for the V2V pipeline (DESIGN.md; ROADMAP
+// "runs as fast as the hardware allows" needs numbers first).
+//
+// A MetricsRegistry holds four kinds of named instruments:
+//   - Counter   : monotonically increasing uint64 (walks, tokens, examples)
+//   - Gauge     : last-written double (walks/sec, best SSE, final lr)
+//   - Histogram : fixed-bucket distribution with p50/p95/p99 readout
+//                 (epoch wall time, k-means iterations per restart)
+//   - Series    : append-only double trajectory (lr per epoch, SSE per
+//                 restart) for exact per-step curves
+// plus a tree of stage spans built by RAII ScopedTimer objects.
+//
+// Thread-safety: instrument lookup/creation and span open/close take a
+// registry mutex; Counter/Gauge/Histogram updates on an already-obtained
+// reference are lock-free atomics, so hot loops pay one atomic op per
+// update. Series::append takes a per-registry mutex (use it for per-epoch
+// or per-restart cadence, not per-step). Stage spans are meant for
+// orchestration-level stages: open/close must be LIFO per registry (the
+// usual single orchestration thread guarantees this).
+//
+// Everything here depends only on the standard library and
+// common/timer.hpp; exporters live in obs/export.hpp.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "v2v/common/timer.hpp"
+
+namespace v2v::obs {
+
+/// Monotonic event count. add() is lock-free and safe from any thread.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written double. set()/add() are lock-free and safe from any thread.
+class Gauge {
+ public:
+  void set(double value) noexcept { value_.store(value, std::memory_order_relaxed); }
+  void add(double delta) noexcept {
+    double expected = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(expected, expected + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Bucket layout of a Histogram: `buckets` equal-width bins over
+/// [min, max); out-of-range samples clamp into the first/last bin (the
+/// exact observed min/max are tracked separately).
+struct HistogramConfig {
+  double min = 0.0;
+  double max = 1.0;
+  std::size_t buckets = 64;
+};
+
+/// Point-in-time copy of a Histogram, with quantiles precomputed.
+struct HistogramSnapshot {
+  HistogramConfig config;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;   ///< exact observed minimum (0 when count == 0)
+  double max = 0.0;   ///< exact observed maximum (0 when count == 0)
+  double mean = 0.0;
+  double p50 = 0.0;   ///< bucket-interpolated; error <= one bucket width
+  double p95 = 0.0;
+  double p99 = 0.0;
+  std::vector<std::uint64_t> buckets;
+};
+
+/// Fixed-bucket histogram. record() is lock-free and safe from any thread;
+/// quantile()/snapshot() read the live atomics (a racing reader sees some
+/// consistent-enough prefix, fine for monitoring).
+class Histogram {
+ public:
+  explicit Histogram(HistogramConfig config);
+
+  void record(double value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+  /// Quantile q in [0, 1] by linear interpolation inside the owning
+  /// bucket, clamped to the exact observed [min, max]. Worst-case error is
+  /// one bucket width. Returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+ private:
+  HistogramConfig config_;
+  double width_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Append-only trajectory (one double per epoch/restart/round). Guarded by
+/// the owning registry's mutex; cheap at orchestration cadence.
+class Series {
+ public:
+  void append(double value);
+  [[nodiscard]] std::vector<double> values() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> values_;
+};
+
+/// One node of the stage-span tree: cumulative wall seconds and completed
+/// call count for a named stage, with nested child stages.
+struct StageSnapshot {
+  std::string name;
+  double seconds = 0.0;
+  std::uint64_t calls = 0;
+  std::vector<StageSnapshot> children;
+};
+
+class ScopedTimer;
+
+/// Thread-safe home of all named instruments plus the stage tree. Names
+/// are dotted paths by convention ("walk.walks_per_sec"). Instrument
+/// references stay valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create by name. The HistogramConfig only applies on first
+  /// creation; later calls with a different config return the existing
+  /// instrument unchanged.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, HistogramConfig config = {});
+  Series& series(std::string_view name);
+
+  struct Snapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+    std::map<std::string, std::vector<double>> series;
+    StageSnapshot stages;  ///< root node named "run"
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Drops every instrument and the stage tree. Not safe concurrently
+  /// with updates through previously obtained references.
+  void reset();
+
+ private:
+  friend class ScopedTimer;
+
+  struct StageNode {
+    std::string name;
+    double seconds = 0.0;
+    std::uint64_t calls = 0;
+    std::vector<std::unique_ptr<StageNode>> children;
+  };
+
+  StageNode* open_span(std::string_view name);
+  void close_span(StageNode* node, double seconds);
+  static StageSnapshot snapshot_stage(const StageNode& node);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<Series>, std::less<>> series_;
+  StageNode root_;
+  std::vector<StageNode*> span_stack_;  ///< open spans, root at the bottom
+};
+
+/// RAII stage span: attaches a child under the registry's innermost open
+/// span on construction and records its wall time on destruction. A null
+/// registry makes every operation a no-op, so call sites can pass an
+/// optional registry pointer unconditionally.
+class ScopedTimer {
+ public:
+  ScopedTimer(MetricsRegistry* registry, std::string_view name)
+      : registry_(registry),
+        node_(registry ? registry->open_span(name) : nullptr) {}
+  ScopedTimer(MetricsRegistry& registry, std::string_view name)
+      : ScopedTimer(&registry, name) {}
+  ~ScopedTimer() {
+    if (registry_ != nullptr) registry_->close_span(node_, timer_.seconds());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Elapsed seconds of this span so far.
+  [[nodiscard]] double seconds() const noexcept { return timer_.seconds(); }
+
+ private:
+  MetricsRegistry* registry_;
+  MetricsRegistry::StageNode* node_;
+  WallTimer timer_;
+};
+
+/// Process-wide registry for call sites without an explicit one (bench
+/// harnesses). Library code takes an explicit registry pointer instead.
+MetricsRegistry& default_registry();
+
+}  // namespace v2v::obs

@@ -1,10 +1,49 @@
 #include "v2v/walk/walker.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "v2v/common/thread_pool.hpp"
+#include "v2v/common/timer.hpp"
+#include "v2v/obs/metrics.hpp"
 
 namespace v2v::walk {
+namespace {
+
+/// Publishes corpus-generation telemetry: totals, throughput, and how
+/// evenly the token workload spread across the worker shards.
+void record_corpus_metrics(obs::MetricsRegistry& metrics,
+                           const std::vector<Corpus>& shards, double seconds,
+                           std::size_t max_tokens_possible) {
+  std::size_t walks = 0, tokens = 0, max_shard = 0;
+  auto& shard_hist = metrics.histogram(
+      "walk.shard_tokens",
+      {0.0, std::max<double>(1.0, static_cast<double>(max_tokens_possible)), 64});
+  for (const auto& shard : shards) {
+    walks += shard.walk_count();
+    tokens += shard.token_count();
+    max_shard = std::max(max_shard, shard.token_count());
+    shard_hist.record(static_cast<double>(shard.token_count()));
+  }
+  // Steps = transitions taken; each walk contributes (length - 1).
+  const std::size_t steps = tokens - walks;
+  metrics.counter("walk.walks").add(walks);
+  metrics.counter("walk.tokens").add(tokens);
+  metrics.counter("walk.steps").add(steps);
+  metrics.gauge("walk.seconds").set(seconds);
+  if (seconds > 0.0) {
+    metrics.gauge("walk.walks_per_sec").set(static_cast<double>(walks) / seconds);
+    metrics.gauge("walk.steps_per_sec").set(static_cast<double>(steps) / seconds);
+  }
+  if (tokens > 0 && !shards.empty()) {
+    const double mean_shard =
+        static_cast<double>(tokens) / static_cast<double>(shards.size());
+    metrics.gauge("walk.shard_imbalance")
+        .set(static_cast<double>(max_shard) / mean_shard);
+  }
+}
+
+}  // namespace
 
 Walker::Walker(const graph::Graph& g, const WalkConfig& config)
     : graph_(g), config_(config) {
@@ -112,6 +151,7 @@ void Walker::walk_from(graph::VertexId start, Rng& rng,
 
 Corpus generate_corpus(const graph::Graph& g, const WalkConfig& config,
                        std::uint64_t seed) {
+  const obs::ScopedTimer span(config.metrics, "walk");
   const Walker walker(g, config);
   const std::size_t n = g.vertex_count();
   const std::size_t threads = std::max<std::size_t>(1, config.threads);
@@ -133,6 +173,11 @@ Corpus generate_corpus(const graph::Graph& g, const WalkConfig& config,
       }
     }
   });
+
+  if (config.metrics != nullptr) {
+    record_corpus_metrics(*config.metrics, shards, span.seconds(),
+                          n * config.walks_per_vertex * config.walk_length);
+  }
 
   if (threads == 1) return std::move(shards[0]);
   Corpus merged;

@@ -22,17 +22,35 @@
 #include "v2v/walk/alias_table.hpp"
 #include "v2v/walk/corpus.hpp"
 
+namespace v2v::obs {
+class MetricsRegistry;
+}  // namespace v2v::obs
+
 namespace v2v::walk {
 
 enum class StepBias : std::uint8_t { kUniform, kEdgeWeight, kVertexWeight };
 
 struct WalkConfig {
-  std::size_t walks_per_vertex = 10;  ///< paper default t = 1000
-  std::size_t walk_length = 80;       ///< vertices per walk; paper ℓ = 1000
+  /// Walks started per vertex (count; paper t = 1000, default 10).
+  std::size_t walks_per_vertex = 10;
+  /// Maximum vertices per walk, including the start (count; paper
+  /// ℓ = 1000, default 80 — dead ends cut walks short).
+  std::size_t walk_length = 80;
+  /// Per-step transition bias (paper §II-A; default: uniform over
+  /// out-neighbors).
   StepBias bias = StepBias::kUniform;
-  bool temporal = false;      ///< enforce non-decreasing arc timestamps
-  double time_window = 0.0;   ///< max gap between consecutive timestamps; <=0 = off
-  std::size_t threads = 1;    ///< worker threads for corpus generation
+  /// Enforce non-decreasing arc timestamps along a walk (paper §II-A
+  /// temporal constraint; off by default).
+  bool temporal = false;
+  /// Max timestamp gap between consecutive arcs, same unit as the graph's
+  /// timestamps; <= 0 disables the window (default).
+  double time_window = 0.0;
+  /// Worker threads for corpus generation (count; default 1 = serial).
+  std::size_t threads = 1;
+  /// Optional observability sink: generate_corpus records walk/step
+  /// throughput counters, per-shard balance, and a "walk" stage span into
+  /// it. Null (default) disables instrumentation.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Runs walks from all start vertices and returns the merged corpus.

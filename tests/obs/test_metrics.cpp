@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "v2v/obs/metrics.hpp"
+
+namespace v2v::obs {
+namespace {
+
+TEST(ObsCounter, StartsAtZeroAndAdds) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(ObsCounter, IncrementsFromEightConcurrentThreads) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry] {
+      // Lookup inside the thread exercises concurrent find-or-create too.
+      Counter& counter = registry.counter("concurrent.hits");
+      for (int i = 0; i < kIncrements; ++i) counter.add();
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(registry.counter("concurrent.hits").value(),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(ObsGauge, SetAndAdd) {
+  Gauge gauge;
+  gauge.set(1.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 1.5);
+  gauge.add(0.25);
+  EXPECT_DOUBLE_EQ(gauge.value(), 1.75);
+}
+
+TEST(ObsHistogram, QuantilesMatchKnownUniformDistribution) {
+  // 10000 evenly spaced samples over [0, 10000) with aligned buckets:
+  // every bucket holds exactly 100 samples, so interpolated quantiles are
+  // exact up to one bucket width (100).
+  Histogram hist({0.0, 10000.0, 100});
+  for (int i = 0; i < 10000; ++i) hist.record(static_cast<double>(i));
+  EXPECT_EQ(hist.count(), 10000u);
+  EXPECT_NEAR(hist.quantile(0.50), 5000.0, 100.0);
+  EXPECT_NEAR(hist.quantile(0.95), 9500.0, 100.0);
+  EXPECT_NEAR(hist.quantile(0.99), 9900.0, 100.0);
+  EXPECT_NEAR(hist.quantile(0.0), 0.0, 100.0);
+  EXPECT_NEAR(hist.quantile(1.0), 9999.0, 100.0);
+
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_DOUBLE_EQ(snap.min, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max, 9999.0);
+  EXPECT_NEAR(snap.mean, 4999.5, 1e-6);
+  EXPECT_NEAR(snap.p50, 5000.0, 100.0);
+  EXPECT_NEAR(snap.p95, 9500.0, 100.0);
+  EXPECT_NEAR(snap.p99, 9900.0, 100.0);
+  for (const auto bucket : snap.buckets) EXPECT_EQ(bucket, 100u);
+}
+
+TEST(ObsHistogram, QuantilesOfSkewedDistribution) {
+  // 99 fast samples and 1 slow outlier: p50 stays in the fast bucket,
+  // p99+ must land at the outlier despite the huge gap.
+  Histogram hist({0.0, 1000.0, 100});
+  for (int i = 0; i < 99; ++i) hist.record(5.0);
+  hist.record(995.0);
+  EXPECT_LT(hist.quantile(0.50), 15.0);
+  EXPECT_GT(hist.quantile(0.995), 900.0);
+}
+
+TEST(ObsHistogram, OutOfRangeSamplesClampButKeepExactExtremes) {
+  Histogram hist({0.0, 10.0, 10});
+  hist.record(-5.0);
+  hist.record(1e9);
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_DOUBLE_EQ(snap.min, -5.0);
+  EXPECT_DOUBLE_EQ(snap.max, 1e9);
+  EXPECT_EQ(snap.buckets.front(), 1u);
+  EXPECT_EQ(snap.buckets.back(), 1u);
+  // Quantiles are clamped into the exact observed range.
+  EXPECT_GE(hist.quantile(0.5), -5.0);
+  EXPECT_LE(hist.quantile(0.5), 1e9);
+}
+
+TEST(ObsHistogram, EmptyHistogramReportsZeros) {
+  Histogram hist({0.0, 1.0, 4});
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_DOUBLE_EQ(hist.quantile(0.5), 0.0);
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_DOUBLE_EQ(snap.p99, 0.0);
+  EXPECT_DOUBLE_EQ(snap.min, 0.0);
+}
+
+TEST(ObsHistogram, RejectsDegenerateConfigs) {
+  EXPECT_THROW(Histogram({0.0, 1.0, 0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0, 8}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0, 8}), std::invalid_argument);
+}
+
+TEST(ObsHistogram, ConcurrentRecordsCountEverySample) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.histogram("concurrent.latency", {0.0, 1.0, 32});
+  constexpr int kThreads = 8;
+  constexpr int kRecords = 5000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&hist, t] {
+      for (int i = 0; i < kRecords; ++i) {
+        hist.record(static_cast<double>((t * kRecords + i) % 100) / 100.0);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(hist.count(), static_cast<std::uint64_t>(kThreads) * kRecords);
+}
+
+TEST(ObsSeries, AppendsInOrder) {
+  MetricsRegistry registry;
+  Series& series = registry.series("loss");
+  series.append(3.0);
+  series.append(2.0);
+  series.append(1.0);
+  EXPECT_EQ(series.size(), 3u);
+  EXPECT_EQ(series.values(), (std::vector<double>{3.0, 2.0, 1.0}));
+}
+
+TEST(ObsRegistry, SameNameReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x");
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  // A histogram created once keeps its first config.
+  Histogram& h1 = registry.histogram("h", {0.0, 10.0, 5});
+  Histogram& h2 = registry.histogram("h", {0.0, 99.0, 50});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h1.snapshot().buckets.size(), 5u);
+}
+
+TEST(ObsRegistry, SnapshotCollectsEveryKind) {
+  MetricsRegistry registry;
+  registry.counter("c").add(7);
+  registry.gauge("g").set(2.5);
+  registry.histogram("h", {0.0, 1.0, 2}).record(0.25);
+  registry.series("s").append(9.0);
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("c"), 7u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("g"), 2.5);
+  EXPECT_EQ(snap.histograms.at("h").count, 1u);
+  EXPECT_EQ(snap.series.at("s"), (std::vector<double>{9.0}));
+  EXPECT_EQ(snap.stages.name, "run");
+}
+
+TEST(ObsRegistry, ResetDropsEverything) {
+  MetricsRegistry registry;
+  registry.counter("c").add(1);
+  { const ScopedTimer span(registry, "stage"); }
+  registry.reset();
+  const auto snap = registry.snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.stages.children.empty());
+  // The registry stays usable after reset.
+  registry.counter("c2").add(2);
+  EXPECT_EQ(registry.snapshot().counters.at("c2"), 2u);
+}
+
+TEST(ObsScopedTimer, NestedSpansFormTree) {
+  MetricsRegistry registry;
+  {
+    const ScopedTimer outer(registry, "outer");
+    for (int i = 0; i < 2; ++i) {
+      const ScopedTimer inner(registry, "inner");
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.stages.children.size(), 1u);
+  const StageSnapshot& outer = snap.stages.children[0];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.calls, 1u);
+  ASSERT_EQ(outer.children.size(), 1u);
+  const StageSnapshot& inner = outer.children[0];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(inner.calls, 2u);  // repeated spans accumulate into one node
+  EXPECT_GE(inner.seconds, 0.003);
+  EXPECT_GE(outer.seconds, inner.seconds);
+}
+
+TEST(ObsScopedTimer, SiblingSpansStaySiblings) {
+  MetricsRegistry registry;
+  {
+    const ScopedTimer run(registry, "pipeline");
+    { const ScopedTimer walk(registry, "walk"); }
+    { const ScopedTimer train(registry, "train"); }
+  }
+  { const ScopedTimer kmeans(registry, "kmeans"); }
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.stages.children.size(), 2u);
+  EXPECT_EQ(snap.stages.children[0].name, "pipeline");
+  ASSERT_EQ(snap.stages.children[0].children.size(), 2u);
+  EXPECT_EQ(snap.stages.children[0].children[0].name, "walk");
+  EXPECT_EQ(snap.stages.children[0].children[1].name, "train");
+  EXPECT_EQ(snap.stages.children[1].name, "kmeans");
+}
+
+TEST(ObsScopedTimer, NullRegistryIsNoOp) {
+  MetricsRegistry* registry = nullptr;
+  const ScopedTimer span(registry, "nothing");
+  EXPECT_GE(span.seconds(), 0.0);
+}
+
+TEST(ObsScopedTimer, ReportsElapsedSeconds) {
+  MetricsRegistry registry;
+  const ScopedTimer span(registry, "stage");
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(span.seconds(), 0.004);
+}
+
+TEST(ObsDefaultRegistry, IsASingleton) {
+  EXPECT_EQ(&default_registry(), &default_registry());
+}
+
+}  // namespace
+}  // namespace v2v::obs
