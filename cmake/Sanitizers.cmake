@@ -1,0 +1,48 @@
+# One-flag sanitizer and checked-build configuration, applied globally so
+# every target (library modules, tests, benches, examples) gets identical
+# instrumentation. Replaces the hand-rolled CMAKE_CXX_FLAGS in CI.
+#
+#   -DV2V_SANITIZE=address    ASan + UBSan (the usual pairing)
+#   -DV2V_SANITIZE=thread     TSan
+#   -DV2V_SANITIZE=undefined  UBSan alone
+#   -DV2V_SANITIZE=OFF        (default) no instrumentation
+#
+#   -DV2V_CHECKED=ON          force the V2V_CHECK/V2V_DCHECK/V2V_BOUNDS
+#                             contract macros on regardless of build type
+#                             (Debug builds enable V2V_CHECK automatically;
+#                             see src/v2v/common/check.hpp)
+#
+# Must be included before any add_library/add_executable so the options
+# reach every target.
+
+set(V2V_SANITIZE "OFF" CACHE STRING
+    "Sanitizer configuration: OFF | address (ASan+UBSan) | thread | undefined")
+set_property(CACHE V2V_SANITIZE PROPERTY STRINGS OFF address thread undefined)
+option(V2V_CHECKED "Enable V2V contract checks in any build type" OFF)
+
+if(V2V_SANITIZE STREQUAL "address")
+  set(_v2v_san_flags -fsanitize=address,undefined -fno-sanitize-recover=all
+      -fno-omit-frame-pointer -g)
+elseif(V2V_SANITIZE STREQUAL "thread")
+  set(_v2v_san_flags -fsanitize=thread -fno-omit-frame-pointer -g)
+elseif(V2V_SANITIZE STREQUAL "undefined")
+  set(_v2v_san_flags -fsanitize=undefined -fno-sanitize-recover=all
+      -fno-omit-frame-pointer -g)
+elseif(NOT V2V_SANITIZE STREQUAL "OFF")
+  message(FATAL_ERROR "Unknown V2V_SANITIZE value '${V2V_SANITIZE}' "
+          "(expected OFF, address, thread, or undefined)")
+endif()
+
+if(DEFINED _v2v_san_flags)
+  message(STATUS "V2V: sanitizers enabled (${V2V_SANITIZE})")
+  add_compile_options(${_v2v_san_flags})
+  add_link_options(${_v2v_san_flags})
+  # Sanitized binaries exist to find bugs: turn the contract macros on too
+  # (RelWithDebInfo defines NDEBUG, which would otherwise compile them out).
+  set(V2V_CHECKED ON)
+endif()
+
+if(V2V_CHECKED)
+  message(STATUS "V2V: contract checks forced on (V2V_ENABLE_CHECKS)")
+  add_compile_definitions(V2V_ENABLE_CHECKS V2V_ENABLE_DCHECKS)
+endif()

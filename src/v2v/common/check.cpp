@@ -1,0 +1,25 @@
+#include "v2v/common/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace v2v::detail {
+
+[[noreturn]] void check_failed(const char* file, int line, const char* kind,
+                               const char* expr, const char* message) noexcept {
+  std::fprintf(stderr, "%s:%d: %s failed: %s (%s)\n", file, line, kind, expr,
+               message);
+  std::fflush(stderr);
+  std::abort();
+}
+
+[[noreturn]] void bounds_failed(const char* file, int line, const char* expr,
+                                std::size_t index, std::size_t size) noexcept {
+  std::fprintf(stderr,
+               "%s:%d: V2V_BOUNDS failed: %s (index %zu, size %zu)\n", file,
+               line, expr, index, size);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace v2v::detail

@@ -1,0 +1,82 @@
+// Contract macros for the library's hot data structures and API boundaries.
+//
+// Three tiers, all compiled out of optimized Release builds (zero cost —
+// the condition is not even evaluated) and fatal with file:line plus a
+// message in checked builds:
+//
+//   V2V_CHECK(cond, msg)     precondition / invariant; on in any checked
+//                            build (Debug, or -DV2V_ENABLE_CHECKS which the
+//                            sanitizer presets set).
+//   V2V_DCHECK(cond, msg)    potentially hot-loop check; on only in Debug
+//                            proper or with -DV2V_ENABLE_DCHECKS.
+//   V2V_BOUNDS(index, size)  index-in-range check that reports both values.
+//
+// A failed check prints "<file>:<line>: V2V_CHECK failed: <expr> (<msg>)"
+// to stderr and calls std::abort(), so gtest death tests can match on the
+// message and sanitizer runs get a clean stack. Checks are for programming
+// errors (caller bugs); errors in *user input* (files, CLI) keep throwing.
+//
+// Build knobs (see cmake/Sanitizers.cmake and CMakePresets.json):
+//   V2V_ENABLE_CHECKS   force V2V_CHECK/V2V_BOUNDS on regardless of NDEBUG
+//   V2V_ENABLE_DCHECKS  additionally force V2V_DCHECK on
+//   V2V_DISABLE_CHECKS  force everything off (overrides the above)
+#pragma once
+
+#include <cstddef>
+
+namespace v2v::detail {
+
+/// Prints the failure and aborts. Out of line so the macro expansion stays
+/// a single compare + cold call.
+[[noreturn]] void check_failed(const char* file, int line, const char* kind,
+                               const char* expr, const char* message) noexcept;
+
+/// Bounds-specific failure reporting the offending index and size.
+[[noreturn]] void bounds_failed(const char* file, int line, const char* expr,
+                                std::size_t index, std::size_t size) noexcept;
+
+}  // namespace v2v::detail
+
+#if defined(V2V_DISABLE_CHECKS)
+#define V2V_CHECKS_ENABLED 0
+#define V2V_DCHECKS_ENABLED 0
+#else
+#if defined(V2V_ENABLE_CHECKS) || !defined(NDEBUG)
+#define V2V_CHECKS_ENABLED 1
+#else
+#define V2V_CHECKS_ENABLED 0
+#endif
+#if defined(V2V_ENABLE_DCHECKS) || !defined(NDEBUG)
+#define V2V_DCHECKS_ENABLED 1
+#else
+#define V2V_DCHECKS_ENABLED 0
+#endif
+#endif
+
+#if V2V_CHECKS_ENABLED
+#define V2V_CHECK(cond, msg)                                            \
+  ((cond) ? (void)0                                                     \
+          : ::v2v::detail::check_failed(__FILE__, __LINE__, "V2V_CHECK", \
+                                        #cond, msg))
+#define V2V_BOUNDS(index, size)                                            \
+  ((static_cast<std::size_t>(index) < static_cast<std::size_t>(size))      \
+       ? (void)0                                                           \
+       : ::v2v::detail::bounds_failed(__FILE__, __LINE__, #index " < " #size, \
+                                      static_cast<std::size_t>(index),     \
+                                      static_cast<std::size_t>(size)))
+#else
+// sizeof keeps the operands semantically checked and silences
+// "unused variable" warnings without evaluating anything at runtime.
+#define V2V_CHECK(cond, msg) ((void)sizeof((cond) ? 1 : 0))
+#define V2V_BOUNDS(index, size) \
+  ((void)sizeof((static_cast<std::size_t>(index) < static_cast<std::size_t>(size)) ? 1 : 0))
+#endif
+
+#if V2V_DCHECKS_ENABLED
+#define V2V_DCHECK(cond, msg)                                            \
+  ((cond) ? (void)0                                                      \
+          : ::v2v::detail::check_failed(__FILE__, __LINE__, "V2V_DCHECK", \
+                                        #cond, msg))
+#else
+#define V2V_DCHECK(cond, msg) ((void)sizeof((cond) ? 1 : 0))
+#endif

@@ -3,10 +3,11 @@
 // contiguous storage, span-style row access, no expression templates.
 #pragma once
 
-#include <cassert>
 #include <cstddef>
 #include <span>
 #include <vector>
+
+#include "v2v/common/check.hpp"
 
 namespace v2v {
 
@@ -22,20 +23,22 @@ class Matrix {
   [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
 
   [[nodiscard]] std::span<T> row(std::size_t r) noexcept {
-    assert(r < rows_);
+    V2V_BOUNDS(r, rows_);
     return {data_.data() + r * cols_, cols_};
   }
   [[nodiscard]] std::span<const T> row(std::size_t r) const noexcept {
-    assert(r < rows_);
+    V2V_BOUNDS(r, rows_);
     return {data_.data() + r * cols_, cols_};
   }
 
   [[nodiscard]] T& operator()(std::size_t r, std::size_t c) noexcept {
-    assert(r < rows_ && c < cols_);
+    V2V_BOUNDS(r, rows_);
+    V2V_BOUNDS(c, cols_);
     return data_[r * cols_ + c];
   }
   [[nodiscard]] const T& operator()(std::size_t r, std::size_t c) const noexcept {
-    assert(r < rows_ && c < cols_);
+    V2V_BOUNDS(r, rows_);
+    V2V_BOUNDS(c, cols_);
     return data_[r * cols_ + c];
   }
 

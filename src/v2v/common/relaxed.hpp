@@ -1,0 +1,51 @@
+// Relaxed-atomic access helpers for Hogwild-style shared state.
+//
+// The CBOW/SkipGram trainer updates the embedding matrices from many
+// threads without locks (Recht et al.'s Hogwild scheme): lost updates are
+// tolerated by the algorithm, but the plain loads/stores are still data
+// races under the C++ memory model and ThreadSanitizer rightly reports
+// them. These helpers make every shared float access a relaxed atomic
+// operation in TSan builds — which is both standard-conformant and
+// race-free as far as TSan is concerned — while compiling to the exact
+// same plain load/store in every other build so the SGD inner loop keeps
+// auto-vectorizing and Release performance is untouched.
+#pragma once
+
+#if defined(__SANITIZE_THREAD__)
+#define V2V_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define V2V_TSAN_ENABLED 1
+#endif
+#endif
+#ifndef V2V_TSAN_ENABLED
+#define V2V_TSAN_ENABLED 0
+#endif
+
+#if V2V_TSAN_ENABLED
+#include <atomic>
+#endif
+
+namespace v2v {
+
+template <typename T>
+[[nodiscard]] inline T relaxed_load(const T* p) noexcept {
+#if V2V_TSAN_ENABLED
+  // atomic_ref requires a mutable lvalue even for loads (until C++26);
+  // the const_cast is safe because load() never writes.
+  return std::atomic_ref<T>(*const_cast<T*>(p)).load(std::memory_order_relaxed);
+#else
+  return *p;
+#endif
+}
+
+template <typename T>
+inline void relaxed_store(T* p, T value) noexcept {
+#if V2V_TSAN_ENABLED
+  std::atomic_ref<T>(*p).store(value, std::memory_order_relaxed);
+#else
+  *p = value;
+#endif
+}
+
+}  // namespace v2v

@@ -4,16 +4,17 @@
 // surprises, fused loops).
 #pragma once
 
-#include <cassert>
 #include <cmath>
 #include <cstddef>
 #include <span>
+
+#include "v2v/common/check.hpp"
 
 namespace v2v {
 
 template <typename T>
 [[nodiscard]] inline double dot(std::span<const T> a, std::span<const T> b) noexcept {
-  assert(a.size() == b.size());
+  V2V_DCHECK(a.size() == b.size(), "dot: length mismatch");
   double sum = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) sum += static_cast<double>(a[i]) * b[i];
   return sum;
@@ -32,7 +33,7 @@ template <typename T>
 template <typename T>
 [[nodiscard]] inline double squared_distance(std::span<const T> a,
                                              std::span<const T> b) noexcept {
-  assert(a.size() == b.size());
+  V2V_DCHECK(a.size() == b.size(), "squared_distance: length mismatch");
   double sum = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
     const double d = static_cast<double>(a[i]) - b[i];
@@ -55,7 +56,7 @@ template <typename T>
 /// y += alpha * x
 template <typename T>
 inline void axpy(double alpha, std::span<const T> x, std::span<T> y) noexcept {
-  assert(x.size() == y.size());
+  V2V_DCHECK(x.size() == y.size(), "axpy: length mismatch");
   for (std::size_t i = 0; i < x.size(); ++i) {
     y[i] += static_cast<T>(alpha * x[i]);
   }

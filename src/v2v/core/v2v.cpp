@@ -1,7 +1,9 @@
 #include "v2v/core/v2v.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
+#include "v2v/common/check.hpp"
 #include "v2v/common/rng.hpp"
 #include "v2v/common/timer.hpp"
 #include "v2v/ml/crossval.hpp"
@@ -12,6 +14,11 @@
 namespace v2v {
 
 V2VModel learn_embedding(const graph::Graph& g, const V2VConfig& config) {
+  if (g.vertex_count() == 0) {
+    throw std::invalid_argument("learn_embedding: empty graph");
+  }
+  V2V_CHECK(config.walk.walk_length >= 1, "learn_embedding: walk_length < 1");
+  V2V_CHECK(config.train.dimensions >= 1, "learn_embedding: dimensions < 1");
   V2VModel model;
   walk::WalkConfig walk_config = config.walk;
   embed::TrainConfig train_config = config.train;
@@ -55,6 +62,9 @@ CommunityDetectionResult detect_communities(const embed::Embedding& embedding,
                                             std::size_t k,
                                             ml::KMeansConfig kmeans_config,
                                             obs::MetricsRegistry* metrics) {
+  V2V_CHECK(k >= 1, "detect_communities: k < 1");
+  V2V_CHECK(k <= embedding.vertex_count(),
+            "detect_communities: k exceeds vertex count");
   kmeans_config.k = k;
   if (kmeans_config.metrics == nullptr) kmeans_config.metrics = metrics;
   WallTimer timer;
@@ -70,6 +80,8 @@ AutoCommunityResult detect_communities_auto(const embed::Embedding& embedding,
                                             std::size_t k_min, std::size_t k_max,
                                             ml::KMeansConfig kmeans_config,
                                             obs::MetricsRegistry* metrics) {
+  V2V_CHECK(k_min >= 2, "detect_communities_auto: k_min < 2");
+  V2V_CHECK(k_min <= k_max, "detect_communities_auto: k_min > k_max");
   k_max = std::min(k_max, embedding.vertex_count());
   const auto selection = ml::select_k_by_silhouette(
       embedding.matrix(), k_min, k_max, kmeans_config.restarts, kmeans_config.seed);
@@ -87,6 +99,13 @@ LabelPredictionResult evaluate_label_prediction(const embed::Embedding& embeddin
                                                 std::size_t repeats,
                                                 ml::DistanceMetric metric,
                                                 std::uint64_t seed) {
+  if (labels.size() != embedding.vertex_count()) {
+    throw std::invalid_argument(
+        "evaluate_label_prediction: labels size != vertex count");
+  }
+  V2V_CHECK(neighbors >= 1, "evaluate_label_prediction: neighbors < 1");
+  V2V_CHECK(folds >= 2, "evaluate_label_prediction: folds < 2");
+  V2V_CHECK(repeats >= 1, "evaluate_label_prediction: repeats < 1");
   LabelPredictionResult result;
   Rng rng(seed);
   std::vector<double> repeat_accuracy;
@@ -121,6 +140,7 @@ LabelPredictionResult evaluate_label_prediction(const embed::Embedding& embeddin
 }
 
 std::vector<viz::Point2> project_pca_2d(const embed::Embedding& embedding) {
+  V2V_CHECK(embedding.vertex_count() > 0, "project_pca_2d: empty embedding");
   const ml::Pca pca(embedding.matrix());
   const MatrixD projected = pca.transform(embedding.matrix(), 2);
   std::vector<viz::Point2> points(projected.rows());

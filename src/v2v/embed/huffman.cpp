@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "v2v/common/check.hpp"
+
 namespace v2v::embed {
 
 HuffmanTree::HuffmanTree(std::span<const std::uint64_t> frequencies) {
@@ -70,6 +72,8 @@ HuffmanTree::HuffmanTree(std::span<const std::uint64_t> frequencies) {
 }
 
 double HuffmanTree::mean_code_length(std::span<const std::uint64_t> frequencies) const {
+  V2V_CHECK(frequencies.size() == codes_.size(),
+            "mean_code_length: frequency vector size != vocab size");
   double weighted = 0.0;
   double total = 0.0;
   for (std::size_t s = 0; s < codes_.size(); ++s) {

@@ -9,6 +9,8 @@
 #include <span>
 #include <vector>
 
+#include "v2v/common/check.hpp"
+
 namespace v2v::embed {
 
 struct HuffmanCode {
@@ -30,6 +32,7 @@ class HuffmanTree {
   [[nodiscard]] std::size_t inner_count() const noexcept { return inner_count_; }
 
   [[nodiscard]] const HuffmanCode& code(std::size_t symbol) const noexcept {
+    V2V_BOUNDS(symbol, codes_.size());
     return codes_[symbol];
   }
 

@@ -19,8 +19,14 @@ class SigmoidTable {
   }
 
   [[nodiscard]] float operator()(float x) const noexcept {
-    if (x >= kMaxExp) return 1.0f;
-    if (x <= -kMaxExp) return 0.0f;
+    // Single in-range test on the hot path. The cold branch also catches
+    // NaN, which would otherwise flow into the float->size_t cast below —
+    // undefined behavior (flagged by UBSan's float-cast-overflow).
+    if (!(std::fabs(x) < kMaxExp)) {
+      if (x >= kMaxExp) return 1.0f;
+      if (x <= -kMaxExp) return 0.0f;
+      return 0.5f;  // NaN: return sigma's midpoint rather than trap
+    }
     const auto idx =
         static_cast<std::size_t>((x + kMaxExp) * (kSize / (2.0f * kMaxExp)));
     return values_[idx < kSize ? idx : kSize - 1];

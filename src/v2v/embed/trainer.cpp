@@ -7,6 +7,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "v2v/common/relaxed.hpp"
 #include "v2v/common/rng.hpp"
 #include "v2v/common/thread_pool.hpp"
 #include "v2v/common/timer.hpp"
@@ -40,9 +41,13 @@ struct EpochShard {
   std::uint64_t examples = 0;
 };
 
+// Hogwild note: `input` and `row` may be rows of the shared syn0/syn1
+// matrices concurrently touched by other workers; all accesses go through
+// relaxed_load/relaxed_store (plain load/store except under TSan, see
+// common/relaxed.hpp).
 float dotf(const float* a, const float* b, std::size_t d) {
   float sum = 0.0f;
-  for (std::size_t i = 0; i < d; ++i) sum += a[i] * b[i];
+  for (std::size_t i = 0; i < d; ++i) sum += relaxed_load(a + i) * relaxed_load(b + i);
   return sum;
 }
 
@@ -55,8 +60,8 @@ double pair_update(const float* input, float* row, float* input_grad, std::size_
   const float sig = sigmoid_table()(f);
   const float g = (label - sig) * lr;
   for (std::size_t i = 0; i < d; ++i) {
-    input_grad[i] += g * row[i];
-    row[i] += g * input[i];
+    input_grad[i] += g * relaxed_load(row + i);
+    relaxed_store(row + i, relaxed_load(row + i) + g * relaxed_load(input + i));
   }
   const double p = label > 0.5f ? sig : 1.0f - sig;
   return -std::log(std::max(static_cast<double>(p), kLossEps));
@@ -135,7 +140,7 @@ class SentenceTrainer {
         for (std::size_t c = lo; c < hi; ++c) {
           if (c == pos) continue;
           const auto row = state_.syn0.row(sentence_[c]);
-          for (std::size_t i = 0; i < d; ++i) neu1_[i] += row[i];
+          for (std::size_t i = 0; i < d; ++i) neu1_[i] += relaxed_load(row.data() + i);
           ++context_count;
         }
         if (context_count == 0) continue;
@@ -146,7 +151,10 @@ class SentenceTrainer {
         for (std::size_t c = lo; c < hi; ++c) {
           if (c == pos) continue;
           auto row = state_.syn0.row(sentence_[c]);
-          for (std::size_t i = 0; i < d; ++i) row[i] += grad_[i];
+          float* p = row.data();
+          for (std::size_t i = 0; i < d; ++i) {
+            relaxed_store(p + i, relaxed_load(p + i) + grad_[i]);
+          }
         }
       } else {
         for (std::size_t c = lo; c < hi; ++c) {
@@ -154,7 +162,10 @@ class SentenceTrainer {
           auto row = state_.syn0.row(sentence_[c]);
           shard_.loss += train_target(state_, row.data(), grad_.data(), target, lr_, rng_);
           ++shard_.examples;
-          for (std::size_t i = 0; i < d; ++i) row[i] += grad_[i];
+          float* p = row.data();
+          for (std::size_t i = 0; i < d; ++i) {
+            relaxed_store(p + i, relaxed_load(p + i) + grad_[i]);
+          }
         }
       }
     }

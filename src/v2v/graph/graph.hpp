@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "v2v/common/check.hpp"
+
 namespace v2v::graph {
 
 using VertexId = std::uint32_t;
@@ -47,33 +49,39 @@ class Graph {
   [[nodiscard]] bool has_vertex_weights() const noexcept { return !vertex_weights_.empty(); }
 
   [[nodiscard]] std::size_t out_degree(VertexId v) const noexcept {
+    V2V_BOUNDS(v, vertex_count());
     return offsets_[v + 1] - offsets_[v];
   }
 
   /// Neighbor targets of v, in insertion order.
   [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const noexcept {
+    V2V_BOUNDS(v, vertex_count());
     return {targets_.data() + offsets_[v], out_degree(v)};
   }
 
   /// Per-arc weights aligned with neighbors(v); empty span if unweighted.
   [[nodiscard]] std::span<const double> arc_weights(VertexId v) const noexcept {
+    V2V_BOUNDS(v, vertex_count());
     if (weights_.empty()) return {};
     return {weights_.data() + offsets_[v], out_degree(v)};
   }
 
   /// Per-arc timestamps aligned with neighbors(v); empty span if untimed.
   [[nodiscard]] std::span<const double> arc_timestamps(VertexId v) const noexcept {
+    V2V_BOUNDS(v, vertex_count());
     if (timestamps_.empty()) return {};
     return {timestamps_.data() + offsets_[v], out_degree(v)};
   }
 
   /// Weight of vertex v (1.0 when the graph carries no vertex weights).
   [[nodiscard]] double vertex_weight(VertexId v) const noexcept {
+    V2V_BOUNDS(v, vertex_count());
     return vertex_weights_.empty() ? 1.0 : vertex_weights_[v];
   }
 
   /// Weight of the arc at `offset` within v's adjacency (1.0 if unweighted).
   [[nodiscard]] double arc_weight_at(VertexId v, std::size_t offset) const noexcept {
+    V2V_DCHECK(offset < out_degree(v), "arc_weight_at: offset past adjacency");
     return weights_.empty() ? 1.0 : weights_[offsets_[v] + offset];
   }
 

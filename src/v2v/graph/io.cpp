@@ -1,6 +1,7 @@
 #include "v2v/graph/io.hpp"
 
 #include <fstream>
+#include <limits>
 #include <stdexcept>
 
 #include "v2v/common/string_util.hpp"
@@ -30,6 +31,10 @@ Graph read_edge_list(std::istream& in, const EdgeListOptions& options) {
     const auto u = parse_int(fields[0]);
     const auto v = parse_int(fields[1]);
     if (!u || !v || *u < 0 || *v < 0) fail(line_no, "bad vertex id");
+    // Ids past the 32-bit VertexId range used to truncate silently on the
+    // static_cast below, aliasing unrelated vertices.
+    constexpr auto kMaxId = static_cast<std::int64_t>(std::numeric_limits<VertexId>::max());
+    if (*u > kMaxId || *v > kMaxId) fail(line_no, "vertex id out of range");
 
     double weight = 1.0;
     double timestamp = kNoTimestamp;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
 
+#include "v2v/common/check.hpp"
 #include "v2v/common/rng.hpp"
 #include "v2v/common/thread_pool.hpp"
 #include "v2v/common/vec_math.hpp"
@@ -162,7 +164,10 @@ KMeansResult kmeans(const MatrixF& points, const KMeansConfig& config) {
   const Rng root(config.seed);
   const std::size_t threads = std::max<std::size_t>(1, config.threads);
   std::vector<LloydOutcome> best_per_thread(threads);
-  std::vector<bool> has_result(threads, false);
+  // One byte per worker, NOT std::vector<bool>: the bit-packed
+  // specialization would make concurrent writes to distinct chunks race on
+  // the shared underlying word (a real data race, caught by TSan).
+  std::vector<std::uint8_t> has_result(threads, 0);
 
   // Iterations land in [1, max_iterations]; one bucket per iteration count
   // makes the histogram exact. The SSE series is the across-restart
@@ -190,21 +195,23 @@ KMeansResult kmeans(const MatrixF& points, const KMeansConfig& config) {
                               static_cast<double>(outcome.iterations));
                         }
                         if (sse_series != nullptr) sse_series->append(outcome.sse);
-                        if (!has_result[chunk] ||
+                        if (has_result[chunk] == 0 ||
                             outcome.sse < best_per_thread[chunk].sse) {
                           best_per_thread[chunk] = std::move(outcome);
-                          has_result[chunk] = true;
+                          has_result[chunk] = 1;
                         }
                       }
                     });
 
   std::size_t winner = 0;
   for (std::size_t t = 1; t < threads; ++t) {
-    if (!has_result[t]) continue;
-    if (!has_result[winner] || best_per_thread[t].sse < best_per_thread[winner].sse) {
+    if (has_result[t] == 0) continue;
+    if (has_result[winner] == 0 ||
+        best_per_thread[t].sse < best_per_thread[winner].sse) {
       winner = t;
     }
   }
+  V2V_CHECK(has_result[winner] != 0, "kmeans: no restart produced a result");
   KMeansResult result;
   result.assignment = std::move(best_per_thread[winner].assignment);
   result.centroids = std::move(best_per_thread[winner].centroids);
@@ -221,8 +228,11 @@ KMeansResult kmeans(const MatrixF& points, const KMeansConfig& config) {
 
 double kmeans_sse(const MatrixF& points, const std::vector<std::uint32_t>& assignment,
                   const MatrixD& centroids) {
+  V2V_CHECK(assignment.size() == points.rows(),
+            "kmeans_sse: assignment size != point count");
   double sse = 0.0;
   for (std::size_t p = 0; p < points.rows(); ++p) {
+    V2V_BOUNDS(assignment[p], centroids.rows());
     sse += point_centroid_sqdist(points.row(p), centroids.row(assignment[p]));
   }
   return sse;

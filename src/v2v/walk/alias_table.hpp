@@ -7,6 +7,7 @@
 #include <span>
 #include <vector>
 
+#include "v2v/common/check.hpp"
 #include "v2v/common/rng.hpp"
 
 namespace v2v::walk {
@@ -22,7 +23,10 @@ class AliasTable {
   [[nodiscard]] bool empty() const noexcept { return probability_.empty(); }
 
   /// Samples an index with probability weight[i] / sum(weights). O(1).
+  /// Precondition: the table is non-empty (default construction yields an
+  /// empty table that must not be sampled).
   [[nodiscard]] std::size_t sample(Rng& rng) const noexcept {
+    V2V_CHECK(!probability_.empty(), "sample from empty AliasTable");
     const std::size_t slot = rng.next_below(probability_.size());
     return rng.next_double() < probability_[slot] ? slot : alias_[slot];
   }

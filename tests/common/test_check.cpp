@@ -1,0 +1,77 @@
+// Contract-macro behavior: no-ops on satisfied conditions in every build,
+// fatal with a file:line diagnostic in checked builds. The death tests are
+// the acceptance gate for the checked presets: an out-of-bounds matrix
+// access and an invalid alias-table sample must trap.
+#include "v2v/common/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include "v2v/common/matrix.hpp"
+#include "v2v/common/rng.hpp"
+#include "v2v/walk/alias_table.hpp"
+
+namespace v2v {
+namespace {
+
+TEST(Check, SatisfiedConditionsAreNoops) {
+  V2V_CHECK(1 + 1 == 2, "arithmetic holds");
+  V2V_DCHECK(true, "still true");
+  V2V_BOUNDS(0, 1);
+  V2V_BOUNDS(41, 42);
+  SUCCEED();
+}
+
+TEST(Check, EnabledStateMatchesBuildConfiguration) {
+#if defined(V2V_ENABLE_CHECKS) || !defined(NDEBUG)
+  EXPECT_EQ(V2V_CHECKS_ENABLED, 1);
+#else
+  EXPECT_EQ(V2V_CHECKS_ENABLED, 0);
+#endif
+}
+
+#if V2V_CHECKS_ENABLED
+
+TEST(CheckDeathTest, FailedCheckAbortsWithMessage) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(V2V_CHECK(false, "expected failure"),
+               "V2V_CHECK failed: false \\(expected failure\\)");
+}
+
+TEST(CheckDeathTest, FailedBoundsReportsIndexAndSize) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::size_t index = 7;
+  const std::size_t size = 3;
+  EXPECT_DEATH(V2V_BOUNDS(index, size), "V2V_BOUNDS failed.*index 7, size 3");
+}
+
+TEST(CheckDeathTest, MatrixRowOutOfBoundsTraps) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  MatrixF m(3, 4, 0.0f);
+  EXPECT_DEATH((void)m.row(3), "V2V_BOUNDS failed.*index 3, size 3");
+}
+
+TEST(CheckDeathTest, MatrixElementOutOfBoundsTraps) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  MatrixF m(2, 2, 0.0f);
+  EXPECT_DEATH((void)m(0, 5), "V2V_BOUNDS failed.*index 5, size 2");
+}
+
+TEST(CheckDeathTest, EmptyAliasTableSampleTraps) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  walk::AliasTable table;  // default-constructed: empty, must not be sampled
+  Rng rng(1);
+  EXPECT_DEATH((void)table.sample(rng), "sample from empty AliasTable");
+}
+
+#else
+
+TEST(CheckDeathTest, SkippedInUncheckedBuilds) {
+  GTEST_SKIP() << "contract checks compiled out (Release without "
+                  "V2V_ENABLE_CHECKS); death tests run in the checked/"
+                  "sanitizer presets";
+}
+
+#endif  // V2V_CHECKS_ENABLED
+
+}  // namespace
+}  // namespace v2v

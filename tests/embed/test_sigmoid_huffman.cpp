@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "v2v/embed/huffman.hpp"
 #include "v2v/embed/sigmoid_table.hpp"
@@ -123,6 +124,42 @@ TEST(Huffman, LargeUniformVocabBalancedDepths) {
   for (std::size_t s = 0; s < freq.size(); ++s) {
     EXPECT_EQ(tree.code(s).code.size(), 8u);  // perfectly balanced
   }
+}
+
+// --- UBSan regression tests -------------------------------------------------
+
+TEST(SigmoidTable, NanInputReturnsMidpointInsteadOfUb) {
+  // A NaN dot product used to fall through both saturation branches into a
+  // float->size_t cast: undefined behavior (UBSan float-cast-overflow).
+  const SigmoidTable& table = sigmoid_table();
+  EXPECT_FLOAT_EQ(table(std::numeric_limits<float>::quiet_NaN()), 0.5f);
+  EXPECT_FLOAT_EQ(table(std::numeric_limits<float>::signaling_NaN()), 0.5f);
+}
+
+TEST(SigmoidTable, InfinityAndHugeInputsSaturate) {
+  const SigmoidTable& table = sigmoid_table();
+  EXPECT_FLOAT_EQ(table(std::numeric_limits<float>::infinity()), 1.0f);
+  EXPECT_FLOAT_EQ(table(-std::numeric_limits<float>::infinity()), 0.0f);
+  EXPECT_FLOAT_EQ(table(std::numeric_limits<float>::max()), 1.0f);
+  EXPECT_FLOAT_EQ(table(std::numeric_limits<float>::lowest()), 0.0f);
+}
+
+TEST(SigmoidTable, BoundaryJustInsideRangeIndexesSafely) {
+  const SigmoidTable& table = sigmoid_table();
+  const float just_below = std::nextafter(SigmoidTable::kMaxExp, 0.0f);
+  const float just_above = std::nextafter(-SigmoidTable::kMaxExp, 0.0f);
+  EXPECT_GT(table(just_below), 0.99f);
+  EXPECT_LT(table(just_above), 0.01f);
+}
+
+TEST(Huffman, MeanCodeLengthOnHugeFrequenciesStaysFinite) {
+  // Sums near the uint64 range must not overflow the double accumulation.
+  std::vector<std::uint64_t> freq{1ULL << 62, 1ULL << 62, 1, 1};
+  const HuffmanTree tree{std::span<const std::uint64_t>(freq)};
+  const double mean = tree.mean_code_length(std::span<const std::uint64_t>(freq));
+  EXPECT_TRUE(std::isfinite(mean));
+  EXPECT_GE(mean, 1.0);
+  EXPECT_LE(mean, 3.0);
 }
 
 }  // namespace

@@ -1,0 +1,112 @@
+// Concurrency stress for the Hogwild trainer: many workers updating the
+// shared syn0/syn1 matrices lock-free, over both objectives and both
+// architectures, plus the streaming driver. Runs under ThreadSanitizer in
+// CI — the trainer's shared float accesses are relaxed atomics in TSan
+// builds (common/relaxed.hpp), so any report here is a real bug.
+#include "v2v/embed/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+
+#include "v2v/graph/generators.hpp"
+#include "v2v/walk/walker.hpp"
+
+namespace v2v::embed {
+namespace {
+
+walk::Corpus small_corpus(const graph::Graph& g) {
+  walk::WalkConfig config;
+  config.walks_per_vertex = 8;
+  config.walk_length = 15;
+  config.threads = 4;
+  return walk::generate_corpus(g, config, 3);
+}
+
+void expect_finite(const Embedding& embedding) {
+  for (std::size_t v = 0; v < embedding.vertex_count(); ++v) {
+    for (const float x : embedding.vector(v)) {
+      ASSERT_TRUE(std::isfinite(x)) << "vertex " << v;
+    }
+  }
+}
+
+TEST(TrainerStress, HogwildCbowNegativeSampling) {
+  const auto g = graph::make_ring(60);
+  const auto corpus = small_corpus(g);
+  TrainConfig config;
+  config.dimensions = 16;
+  config.window = 3;
+  config.epochs = 3;
+  config.threads = 8;
+  const auto result = train_embedding(corpus, g.vertex_count(), config);
+  EXPECT_EQ(result.embedding.vertex_count(), g.vertex_count());
+  EXPECT_GT(result.stats.examples, 0u);
+  expect_finite(result.embedding);
+}
+
+TEST(TrainerStress, HogwildSkipGramHierarchicalSoftmax) {
+  const auto g = graph::make_ring(60);
+  const auto corpus = small_corpus(g);
+  TrainConfig config;
+  config.dimensions = 16;
+  config.window = 3;
+  config.epochs = 2;
+  config.threads = 8;
+  config.architecture = Architecture::kSkipGram;
+  config.objective = Objective::kHierarchicalSoftmax;
+  const auto result = train_embedding(corpus, g.vertex_count(), config);
+  EXPECT_GT(result.stats.examples, 0u);
+  expect_finite(result.embedding);
+}
+
+TEST(TrainerStress, HogwildWithSubsampling) {
+  // Subsampling exercises the keep_probability read path per token.
+  Rng rng(5);
+  const auto g = graph::make_barabasi_albert(80, 2, rng);
+  const auto corpus = small_corpus(g);
+  TrainConfig config;
+  config.dimensions = 12;
+  config.window = 4;
+  config.epochs = 2;
+  config.threads = 8;
+  config.subsample = 1e-3;
+  const auto result = train_embedding(corpus, g.vertex_count(), config);
+  expect_finite(result.embedding);
+}
+
+TEST(TrainerStress, StreamingTrainerManyThreads) {
+  const auto g = graph::make_ring(50);
+  walk::WalkConfig walk_config;
+  walk_config.walks_per_vertex = 4;
+  walk_config.walk_length = 12;
+  TrainConfig config;
+  config.dimensions = 16;
+  config.window = 3;
+  config.epochs = 2;
+  config.threads = 8;
+  const auto result = train_embedding_streaming(g, walk_config, config);
+  EXPECT_EQ(result.embedding.vertex_count(), g.vertex_count());
+  EXPECT_GT(result.stats.examples, 0u);
+  expect_finite(result.embedding);
+}
+
+TEST(TrainerStress, LossStaysFiniteAcrossEpochsUnderContention) {
+  const auto g = graph::make_ring(40);
+  const auto corpus = small_corpus(g);
+  TrainConfig config;
+  config.dimensions = 8;
+  config.window = 2;
+  config.epochs = 5;
+  config.threads = 8;
+  const auto result = train_embedding(corpus, g.vertex_count(), config);
+  ASSERT_EQ(result.stats.epoch_loss.size(), result.stats.epochs_run);
+  for (const double loss : result.stats.epoch_loss) {
+    EXPECT_TRUE(std::isfinite(loss));
+    EXPECT_GE(loss, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace v2v::embed

@@ -1,0 +1,48 @@
+// Regression tests for edge-list parsing hardening: vertex ids past the
+// 32-bit VertexId range used to truncate silently through static_cast,
+// aliasing unrelated vertices (found while auditing graph/io.cpp for the
+// sanitizer CI lane).
+#include "v2v/graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace v2v::graph {
+namespace {
+
+TEST(EdgeListHardening, VertexIdPastUint32RangeFails) {
+  // 4294967296 == 2^32 would truncate to vertex 0.
+  std::istringstream in("0 4294967296\n");
+  EXPECT_THROW((void)read_edge_list(in, {}), std::runtime_error);
+}
+
+TEST(EdgeListHardening, LargeInRangeIdsStillParse) {
+  // Sparse but in-range ids must keep working (the builder grows to
+  // max id + 1 vertices).
+  std::istringstream in("0 100000\n");
+  const auto g = read_edge_list(in, {});
+  EXPECT_EQ(g.vertex_count(), 100001u);
+  EXPECT_TRUE(g.has_arc(0u, 100000u));
+}
+
+TEST(EdgeListHardening, ErrorMessageNamesTheLine) {
+  std::istringstream in("0 1\n2 99999999999\n");
+  try {
+    (void)read_edge_list(in, {});
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(EdgeListHardening, NegativeIdStillRejected) {
+  std::istringstream in("-1 2\n");
+  EXPECT_THROW((void)read_edge_list(in, {}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace v2v::graph

@@ -1,0 +1,103 @@
+// Edge cases of the alias-method sampler: degenerate sizes, zero weights,
+// all-equal weights, and the checked-build trap on sampling an empty
+// table. Complements the distribution tests in test_alias_corpus.cpp.
+#include "v2v/walk/alias_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <stdexcept>
+#include <vector>
+
+#include "v2v/common/rng.hpp"
+
+namespace v2v::walk {
+namespace {
+
+TEST(AliasTableEdge, EmptyWeightsThrow) {
+  const std::vector<double> weights;
+  EXPECT_THROW(AliasTable{std::span<const double>(weights)},
+               std::invalid_argument);
+}
+
+TEST(AliasTableEdge, AllZeroWeightsThrow) {
+  const std::vector<double> weights{0.0, 0.0, 0.0};
+  EXPECT_THROW(AliasTable{std::span<const double>(weights)},
+               std::invalid_argument);
+}
+
+TEST(AliasTableEdge, NegativeWeightThrows) {
+  const std::vector<double> weights{1.0, -0.5, 2.0};
+  EXPECT_THROW(AliasTable{std::span<const double>(weights)},
+               std::invalid_argument);
+}
+
+TEST(AliasTableEdge, SingleEntryAlwaysSampled) {
+  const std::vector<double> weights{3.25};
+  const AliasTable table{std::span<const double>(weights)};
+  ASSERT_EQ(table.size(), 1u);
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(table.sample(rng), 0u);
+}
+
+TEST(AliasTableEdge, ZeroWeightEntriesNeverSampled) {
+  // Zeros interleaved with positives, including at both ends.
+  const std::vector<double> weights{0.0, 2.0, 0.0, 0.0, 1.0, 0.0};
+  const AliasTable table{std::span<const double>(weights)};
+  Rng rng(11);
+  std::array<int, 6> counts{};
+  for (int i = 0; i < 30000; ++i) ++counts[table.sample(rng)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_EQ(counts[3], 0);
+  EXPECT_EQ(counts[5], 0);
+  // 2:1 ratio within ~5 sigma.
+  EXPECT_GT(counts[1], counts[4]);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / 30000.0, 2.0 / 3.0, 0.02);
+}
+
+TEST(AliasTableEdge, AllEqualWeightsSampleUniformly) {
+  constexpr std::size_t kN = 16;
+  const std::vector<double> weights(kN, 0.125);
+  const AliasTable table{std::span<const double>(weights)};
+  Rng rng(13);
+  std::array<int, kN> counts{};
+  constexpr int kDraws = 160000;
+  for (int i = 0; i < kDraws; ++i) ++counts[table.sample(rng)];
+  for (std::size_t i = 0; i < kN; ++i) {
+    // Expected kDraws/kN = 10000; allow ~5 sigma (sigma ~ 97).
+    EXPECT_NEAR(counts[i], kDraws / static_cast<int>(kN), 500)
+        << "slot " << i;
+  }
+}
+
+TEST(AliasTableEdge, TinyWeightsDoNotLoseMass) {
+  // Scaled probabilities straddle 1.0 by many orders of magnitude; every
+  // index must still be reachable.
+  const std::vector<double> weights{1e-12, 1.0, 1e-12, 1.0};
+  const AliasTable table{std::span<const double>(weights)};
+  Rng rng(17);
+  std::array<int, 4> counts{};
+  for (int i = 0; i < 50000; ++i) ++counts[table.sample(rng)];
+  EXPECT_GT(counts[1], 0);
+  EXPECT_GT(counts[3], 0);
+  // The 1e-12 slots have expected count ~0; they must at least not dominate.
+  EXPECT_LT(counts[0] + counts[2], 10);
+}
+
+#if V2V_CHECKS_ENABLED
+TEST(AliasTableEdgeDeathTest, DefaultConstructedTableTrapsOnSample) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const AliasTable table;
+  ASSERT_TRUE(table.empty());
+  Rng rng(1);
+  EXPECT_DEATH((void)table.sample(rng), "sample from empty AliasTable");
+}
+#else
+TEST(AliasTableEdgeDeathTest, SkippedInUncheckedBuilds) {
+  GTEST_SKIP() << "checked builds trap empty-table sampling; compiled out here";
+}
+#endif
+
+}  // namespace
+}  // namespace v2v::walk

@@ -1,0 +1,109 @@
+// Concurrency stress for parallel corpus generation: the Walker and its
+// per-vertex alias tables are shared read-only across worker threads while
+// each shard writes its own Corpus. Runs under ThreadSanitizer in CI.
+#include "v2v/walk/walker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "v2v/graph/generators.hpp"
+#include "v2v/graph/graph.hpp"
+
+namespace v2v::walk {
+namespace {
+
+graph::Graph ring_with_chords(std::size_t n) {
+  graph::GraphBuilder builder(false);
+  for (std::size_t v = 0; v < n; ++v) {
+    builder.add_edge(static_cast<graph::VertexId>(v),
+                     static_cast<graph::VertexId>((v + 1) % n),
+                     1.0 + static_cast<double>(v % 3));
+    builder.add_edge(static_cast<graph::VertexId>(v),
+                     static_cast<graph::VertexId>((v + 7) % n),
+                     0.5 + static_cast<double>(v % 5));
+  }
+  return builder.build();
+}
+
+TEST(WalkerStress, ParallelCorpusMatchesSerial) {
+  const auto g = ring_with_chords(64);
+  WalkConfig serial;
+  serial.walks_per_vertex = 6;
+  serial.walk_length = 20;
+  serial.threads = 1;
+  WalkConfig parallel = serial;
+  parallel.threads = 8;
+
+  const Corpus a = generate_corpus(g, serial, 99);
+  const Corpus b = generate_corpus(g, parallel, 99);
+  ASSERT_EQ(a.walk_count(), b.walk_count());
+  ASSERT_EQ(a.token_count(), b.token_count());
+  for (std::size_t w = 0; w < a.walk_count(); ++w) {
+    const auto wa = a.walk(w);
+    const auto wb = b.walk(w);
+    ASSERT_EQ(wa.size(), wb.size()) << "walk " << w;
+    for (std::size_t i = 0; i < wa.size(); ++i) {
+      ASSERT_EQ(wa[i], wb[i]) << "walk " << w << " position " << i;
+    }
+  }
+}
+
+TEST(WalkerStress, SharedAliasTablesUnderContention) {
+  const auto g = ring_with_chords(48);
+  WalkConfig config;
+  config.walks_per_vertex = 8;
+  config.walk_length = 30;
+  config.bias = StepBias::kEdgeWeight;  // alias tables shared across threads
+  config.threads = 8;
+  const Corpus corpus = generate_corpus(g, config, 7);
+  EXPECT_EQ(corpus.walk_count(), g.vertex_count() * config.walks_per_vertex);
+  // Every step must follow an actual arc.
+  for (std::size_t w = 0; w < corpus.walk_count(); ++w) {
+    const auto walk = corpus.walk(w);
+    for (std::size_t i = 0; i + 1 < walk.size(); ++i) {
+      ASSERT_TRUE(g.has_arc(walk[i], walk[i + 1]))
+          << "walk " << w << " uses non-edge " << walk[i] << "->" << walk[i + 1];
+    }
+  }
+}
+
+TEST(WalkerStress, TemporalWalksUseThreadLocalScratch) {
+  // Temporal stepping keeps a thread_local candidate buffer; hammer it
+  // from many threads at once.
+  graph::GraphBuilder builder(true);
+  constexpr std::size_t kN = 40;
+  for (std::size_t v = 0; v < kN; ++v) {
+    for (std::size_t step = 1; step <= 3; ++step) {
+      builder.add_edge(static_cast<graph::VertexId>(v),
+                       static_cast<graph::VertexId>((v + step) % kN), 1.0,
+                       static_cast<double>(v + step));
+    }
+  }
+  const auto g = builder.build();
+  WalkConfig config;
+  config.walks_per_vertex = 10;
+  config.walk_length = 12;
+  config.temporal = true;
+  config.threads = 8;
+  const Corpus corpus = generate_corpus(g, config, 5);
+  EXPECT_EQ(corpus.walk_count(), kN * config.walks_per_vertex);
+  for (std::size_t w = 0; w < corpus.walk_count(); ++w) {
+    EXPECT_GE(corpus.walk(w).size(), 1u);
+  }
+}
+
+TEST(WalkerStress, ManyThreadsOnGeneratedGraph) {
+  Rng rng(123);
+  const auto g = graph::make_barabasi_albert(300, 3, rng);
+  WalkConfig config;
+  config.walks_per_vertex = 4;
+  config.walk_length = 25;
+  config.threads = 16;  // more threads than typical cores: oversubscribe
+  const Corpus corpus = generate_corpus(g, config, 31);
+  EXPECT_EQ(corpus.walk_count(), g.vertex_count() * config.walks_per_vertex);
+  EXPECT_GT(corpus.token_count(), corpus.walk_count());
+}
+
+}  // namespace
+}  // namespace v2v::walk

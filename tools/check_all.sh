@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Runs the full static-analysis battery locally: clang-tidy (over a fresh
+# compile_commands.json), the custom repo lint, and an advisory
+# clang-format check. Exits non-zero if tidy or lint find anything.
+#
+#   tools/check_all.sh              # analyze src/
+#   TIDY_JOBS=4 tools/check_all.sh  # limit tidy parallelism
+#
+# Tools that are not installed are skipped with a warning so the script is
+# usable on minimal containers; CI installs everything and therefore runs
+# every stage.
+set -u -o pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$ROOT/build-tidy}"
+TIDY_JOBS="${TIDY_JOBS:-$(nproc)}"
+status=0
+
+echo "== configure (compile_commands.json) =="
+cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON -DV2V_BUILD_BENCH=OFF \
+  -DV2V_BUILD_EXAMPLES=OFF > /dev/null || exit 1
+
+echo "== clang-tidy =="
+if command -v clang-tidy > /dev/null 2>&1; then
+  mapfile -t sources < <(find "$ROOT/src" -name '*.cpp' | sort)
+  if command -v run-clang-tidy > /dev/null 2>&1; then
+    run-clang-tidy -p "$BUILD_DIR" -j "$TIDY_JOBS" -quiet \
+      "${sources[@]}" || status=1
+  else
+    for src in "${sources[@]}"; do
+      clang-tidy -p "$BUILD_DIR" --quiet "$src" || status=1
+    done
+  fi
+else
+  echo "warning: clang-tidy not installed, skipping" >&2
+fi
+
+echo "== custom lint (tools/lint.py) =="
+python3 "$ROOT/tools/lint.py" || status=1
+
+echo "== clang-format (advisory) =="
+if command -v clang-format > /dev/null 2>&1 && [ -f "$ROOT/.clang-format" ]; then
+  # Advisory: reports drift without failing the build (the codebase predates
+  # the config; flip to `status=1` once a full reformat lands).
+  find "$ROOT/src" "$ROOT/tests" -name '*.[ch]pp' \
+    -exec clang-format --dry-run {} + 2>&1 | head -40 || true
+else
+  echo "warning: clang-format not installed or no .clang-format, skipping" >&2
+fi
+
+if [ "$status" -ne 0 ]; then
+  echo "check_all: FAILED" >&2
+else
+  echo "check_all: OK"
+fi
+exit "$status"

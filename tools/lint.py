@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Custom repo lint for rules clang-tidy cannot express.
+
+Enforced on src/ (and partially on tests/ and bench/, see each rule):
+
+  R1  no C rand()/srand(): all randomness goes through v2v::Rng
+  R2  no <random> engine construction (std::mt19937, std::random_device,
+      ...): unseeded or platform-seeded RNGs break the one-seed
+      reproducibility contract
+  R3  no naked `new` / `delete`: containers or unique_ptr own everything
+  R4  no std::endl: it flushes, which is catastrophic inside hot loops;
+      use '\\n'
+  R5  include hygiene: headers start with #pragma once; a .cpp includes its
+      own header first (catches headers that do not compile standalone);
+      never include <bits/...>
+  R6  every src/v2v/<module>/<name>.cpp has its header referenced by some
+      test in tests/ (no untested translation units land silently)
+
+Usage: tools/lint.py [--root REPO_ROOT]
+Exit code 0 = clean, 1 = findings (printed one per line as
+path:line: rule: message).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Translation units intentionally exempt from R6 (e.g. pulled in indirectly
+# and covered through higher-level suites). Keep this list short and
+# justified.
+TEST_REF_ALLOWLIST: set[str] = set()
+
+ENGINE_RE = re.compile(
+    r"std::(mt19937(_64)?|minstd_rand0?|default_random_engine|random_device|"
+    r"ranlux\w+|knuth_b)\b")
+C_RAND_RE = re.compile(r"(?<![\w:.])s?rand\s*\(")
+NAKED_NEW_RE = re.compile(r"(?<![\w_])new\s+[A-Za-z_:(]")
+NAKED_DELETE_RE = re.compile(r"(?<![\w_])delete(\[\])?\s+[A-Za-z_(*]")
+ENDL_RE = re.compile(r"std::endl\b")
+BITS_INCLUDE_RE = re.compile(r'#\s*include\s*<bits/')
+INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments, string and char literals, preserving newlines so
+    line numbers survive."""
+    out = []
+    i, n = 0, len(text)
+    mode = None  # None | '//' | '/*' | '"' | "'"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode is None:
+            if c == "/" and nxt == "/":
+                mode = "//"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                mode = "/*"
+                out.append("  ")
+                i += 2
+                continue
+            if c in ('"', "'"):
+                mode = c
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif mode == "//":
+            if c == "\n":
+                mode = None
+                out.append(c)
+            else:
+                out.append(" ")
+        elif mode == "/*":
+            if c == "*" and nxt == "/":
+                mode = None
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        else:  # inside a string/char literal
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == mode:
+                mode = None
+            out.append(c if c in (mode, "\n") else " ")
+        i += 1
+    return "".join(out)
+
+
+class Linter:
+    def __init__(self, root: pathlib.Path):
+        self.root = root
+        self.findings: list[str] = []
+
+    def report(self, path: pathlib.Path, line: int, rule: str, msg: str) -> None:
+        rel = path.relative_to(self.root)
+        self.findings.append(f"{rel}:{line}: {rule}: {msg}")
+
+    def lint_content_rules(self, path: pathlib.Path) -> None:
+        raw = path.read_text(encoding="utf-8")
+        code = strip_comments_and_strings(raw)
+        for line_no, line in enumerate(code.splitlines(), start=1):
+            if C_RAND_RE.search(line):
+                self.report(path, line_no, "R1",
+                            "C rand()/srand() banned; use v2v::Rng")
+            if ENGINE_RE.search(line):
+                self.report(path, line_no, "R2",
+                            "<random> engines banned; use v2v::Rng (one-seed "
+                            "reproducibility)")
+            if NAKED_NEW_RE.search(line):
+                self.report(path, line_no, "R3",
+                            "naked new banned; use containers or make_unique")
+            if NAKED_DELETE_RE.search(line):
+                self.report(path, line_no, "R3",
+                            "naked delete banned; use owning types")
+            if ENDL_RE.search(line):
+                self.report(path, line_no, "R4",
+                            "std::endl banned (flushes); use '\\n'")
+            if BITS_INCLUDE_RE.search(line):
+                self.report(path, line_no, "R5",
+                            "<bits/...> is a libstdc++ internal; include the "
+                            "standard header")
+
+    def lint_include_hygiene(self, path: pathlib.Path) -> None:
+        raw = path.read_text(encoding="utf-8")
+        if path.suffix == ".hpp":
+            head = raw.splitlines()[:40]
+            if not any(line.strip() == "#pragma once" for line in head):
+                self.report(path, 1, "R5", "header missing #pragma once")
+            return
+        # .cpp: first include must be the matching header, when one exists.
+        own_header = path.with_suffix(".hpp")
+        if not own_header.exists():
+            return
+        expected = own_header.relative_to(self.root / "src").as_posix()
+        code = strip_comments_and_strings(raw)
+        for line_no, line in enumerate(code.splitlines(), start=1):
+            m = INCLUDE_RE.search(line)
+            if not m:
+                continue
+            if m.group(1) != expected:
+                self.report(path, line_no, "R5",
+                            f'first include must be own header "{expected}"')
+            return
+
+    def lint_test_references(self, src_dir: pathlib.Path,
+                             tests_dir: pathlib.Path) -> None:
+        test_blob = "\n".join(
+            p.read_text(encoding="utf-8") for p in sorted(tests_dir.rglob("*.cpp")))
+        for cpp in sorted(src_dir.rglob("*.cpp")):
+            rel = cpp.relative_to(self.root).as_posix()
+            if rel in TEST_REF_ALLOWLIST:
+                continue
+            header = cpp.with_suffix(".hpp")
+            if not header.exists():
+                continue  # main-style TU; nothing to reference
+            include_path = header.relative_to(self.root / "src").as_posix()
+            if f'"{include_path}"' not in test_blob:
+                self.report(cpp, 1, "R6",
+                            f"no test includes \"{include_path}\"; add coverage "
+                            "or allowlist it in tools/lint.py")
+
+    def run(self) -> int:
+        src = self.root / "src"
+        tests = self.root / "tests"
+        bench = self.root / "bench"
+        for path in sorted(src.rglob("*.[ch]pp")):
+            self.lint_content_rules(path)
+            self.lint_include_hygiene(path)
+        # Tests and benches get the behavioral rules (R1-R4) but not the
+        # structural ones.
+        for tree in (tests, bench):
+            if not tree.is_dir():
+                continue
+            for path in sorted(tree.rglob("*.[ch]pp")):
+                self.lint_content_rules(path)
+        if tests.is_dir():
+            self.lint_test_references(src, tests)
+        for finding in self.findings:
+            print(finding)
+        if self.findings:
+            print(f"lint: {len(self.findings)} finding(s)", file=sys.stderr)
+            return 1
+        return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of tools/)")
+    args = parser.parse_args()
+    root = (pathlib.Path(args.root).resolve() if args.root
+            else pathlib.Path(__file__).resolve().parent.parent)
+    return Linter(root).run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
