@@ -1,10 +1,26 @@
 // Ablation micro-benchmarks for the embedding trainer (DESIGN.md §5):
 // CBOW vs SkipGram, negative sampling vs hierarchical softmax, and
 // dimension scaling. Reported as tokens/second of SGD throughput.
+//
+// Besides the interactive google-benchmark suite, main() records a
+// calibrated headline run (dims=128, negative sampling, 8 threads) into
+// $V2V_BENCH_OUT/BENCH_micro_train.json (schema v2v.metrics.v1) so
+// successive runs — and ISA variants via V2V_FORCE_SCALAR — can be diffed
+// with the obs tooling. Pass --benchmark_filter with no match to skip the
+// suite and only refresh the baseline.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "v2v/common/kernels.hpp"
 #include "v2v/embed/trainer.hpp"
 #include "v2v/graph/generators.hpp"
+#include "v2v/obs/export.hpp"
+#include "v2v/obs/metrics.hpp"
 #include "v2v/walk/walker.hpp"
 
 namespace {
@@ -109,6 +125,54 @@ void BM_TrainStreaming(benchmark::State& state) {
 }
 BENCHMARK(BM_TrainStreaming)->Arg(10)->Arg(100);
 
+/// Directory for JSON baselines: $V2V_BENCH_OUT, default "bench_out".
+std::filesystem::path bench_out_dir() {
+  const char* env = std::getenv("V2V_BENCH_OUT");
+  return (env != nullptr && *env != '\0') ? std::filesystem::path(env)
+                                          : std::filesystem::path("bench_out");
+}
+
+/// The headline measurement from the kernel-layer work: best-of-5
+/// words/second for dims=128, negative sampling, 8 worker threads.
+void write_throughput_baseline() {
+  std::size_t vocab = 0;
+  const auto& corpus = shared_corpus(&vocab);
+  auto config = base_config(128);
+  config.epochs = 5;
+  config.threads = 8;
+  const double words =
+      static_cast<double>(config.epochs * corpus.token_count());
+
+  (void)embed::train_embedding(corpus, vocab, config);  // warmup
+  double best_words_per_sec = 0.0;
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto result = embed::train_embedding(corpus, vocab, config);
+    best_words_per_sec =
+        std::max(best_words_per_sec, words / result.stats.train_seconds);
+  }
+
+  obs::MetricsRegistry baseline;
+  baseline.gauge("train.words_per_sec").set(best_words_per_sec);
+  baseline.gauge("train.threads").set(static_cast<double>(config.threads));
+  baseline.gauge("train.dims").set(static_cast<double>(config.dimensions));
+  baseline.gauge("train.epochs").set(static_cast<double>(config.epochs));
+  baseline.counter(std::string("isa.") + kernels::active_isa_name()).add(1);
+
+  const auto dir = bench_out_dir();
+  std::filesystem::create_directories(dir);
+  const auto path = (dir / "BENCH_micro_train.json").string();
+  obs::write_json_file(baseline, path);
+  std::printf("baseline: %.0f words/sec (isa=%s) -> %s\n", best_words_per_sec,
+              kernels::active_isa_name(), path.c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_throughput_baseline();
+  return 0;
+}

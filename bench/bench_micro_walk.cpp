@@ -1,10 +1,22 @@
 // Ablation micro-benchmarks for the walk engine (DESIGN.md §5):
 // alias-method vs linear-CDF weighted sampling, uniform vs biased walk
 // throughput, temporal-walk overhead, and corpus generation.
+//
+// main() additionally records a calibrated corpus-generation run into
+// $V2V_BENCH_OUT/BENCH_micro_walk.json (schema v2v.metrics.v1) so walk
+// throughput can be diffed across runs alongside the trainer baseline.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "v2v/common/kernels.hpp"
 #include "v2v/common/rng.hpp"
 #include "v2v/graph/generators.hpp"
+#include "v2v/obs/export.hpp"
+#include "v2v/obs/metrics.hpp"
 #include "v2v/walk/alias_table.hpp"
 #include "v2v/walk/walker.hpp"
 
@@ -132,6 +144,61 @@ void BM_CorpusGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_CorpusGeneration)->Arg(2)->Arg(10);
 
+/// Directory for JSON baselines: $V2V_BENCH_OUT, default "bench_out".
+std::filesystem::path bench_out_dir() {
+  const char* env = std::getenv("V2V_BENCH_OUT");
+  return (env != nullptr && *env != '\0') ? std::filesystem::path(env)
+                                          : std::filesystem::path("bench_out");
+}
+
+/// Calibrated corpus-generation baseline: best-of-5 steps/second for
+/// 10 walks x 40 steps from each of the 500 bench-graph vertices on the
+/// dynamic work queue with 8 worker threads.
+void write_throughput_baseline() {
+  const auto planted = bench_graph();
+  walk::WalkConfig config;
+  config.walks_per_vertex = 10;
+  config.walk_length = 40;
+  config.threads = 8;
+
+  (void)walk::generate_corpus(planted.graph, config, 9);  // warmup
+  double best_steps_per_sec = 0.0;
+  double best_walks_per_sec = 0.0;
+  for (int rep = 0; rep < 5; ++rep) {
+    obs::MetricsRegistry run;
+    config.metrics = &run;
+    (void)walk::generate_corpus(planted.graph, config, 9);
+    config.metrics = nullptr;
+    if (run.gauge("walk.steps_per_sec").value() > best_steps_per_sec) {
+      best_steps_per_sec = run.gauge("walk.steps_per_sec").value();
+      best_walks_per_sec = run.gauge("walk.walks_per_sec").value();
+    }
+  }
+
+  obs::MetricsRegistry baseline;
+  baseline.gauge("walk.steps_per_sec").set(best_steps_per_sec);
+  baseline.gauge("walk.walks_per_sec").set(best_walks_per_sec);
+  baseline.gauge("walk.threads").set(static_cast<double>(config.threads));
+  baseline.gauge("walk.walks_per_vertex")
+      .set(static_cast<double>(config.walks_per_vertex));
+  baseline.gauge("walk.walk_length").set(static_cast<double>(config.walk_length));
+  baseline.counter(std::string("isa.") + kernels::active_isa_name()).add(1);
+
+  const auto dir = bench_out_dir();
+  std::filesystem::create_directories(dir);
+  const auto path = (dir / "BENCH_micro_walk.json").string();
+  obs::write_json_file(baseline, path);
+  std::printf("baseline: %.0f steps/sec (isa=%s) -> %s\n", best_steps_per_sec,
+              kernels::active_isa_name(), path.c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_throughput_baseline();
+  return 0;
+}

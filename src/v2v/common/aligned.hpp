@@ -1,0 +1,66 @@
+// Cache-line-aligned storage for the SIMD kernel layer (common/kernels.hpp).
+//
+// MatrixF rows hold embedding vectors that the Hogwild SGD inner loops
+// stream through vector kernels. Aligning the allocation to 64 bytes and
+// padding the row stride to a 64-byte multiple (see common/matrix.hpp)
+// guarantees that
+//   - every row starts on a cache-line boundary, so a row never straddles
+//     an extra line (fewer lines touched per update, and concurrent
+//     Hogwild writers to adjacent rows never false-share a line), and
+//   - vector loads on row data are alignment-clean on every ISA.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace v2v {
+
+/// One x86/ARM cache line; also the widest vector register we target
+/// (AVX-512 would be 64 bytes exactly).
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Minimal C++17-style allocator returning `Alignment`-aligned blocks.
+/// Propagates on copy like std::allocator (stateless).
+template <typename T, std::size_t Alignment = kCacheLineBytes>
+class AlignedAllocator {
+  static_assert(Alignment >= alignof(T), "Alignment must satisfy the type");
+  static_assert((Alignment & (Alignment - 1)) == 0, "Alignment must be a power of two");
+
+ public:
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  explicit AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    // operator new rounds the size itself; pass it unchanged so ASan's
+    // redzone accounting matches the matching operator delete below.
+    void* p = ::operator new(n * sizeof(T), std::align_val_t{Alignment});
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    if (p == nullptr) return;
+    ::operator delete(p, n * sizeof(T), std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// std::vector whose data() is 64-byte aligned; used for matrix backing
+/// storage and per-thread SGD scratch buffers (neu1/grad).
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace v2v

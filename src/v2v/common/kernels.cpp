@@ -1,0 +1,515 @@
+// Runtime-dispatched SIMD variants of the kernel layer.
+//
+// Each ISA variant lives in this single TU behind
+// __attribute__((target(...))), so the file compiles with the project's
+// baseline flags and only the marked functions use wider instructions;
+// nothing above SSE2 executes unless __builtin_cpu_supports says the CPU
+// has it. Loads/stores use the unaligned intrinsic forms — cost-free on
+// the 64-byte-aligned rows MatrixF hands us, and safe for callers passing
+// arbitrary scratch buffers.
+//
+// This TU is only built when V2V_TSAN_ENABLED is 0 as far as dispatch is
+// concerned: under TSan the header inlines every kernel to the relaxed
+// scalar reference and the functions here are never referenced (the
+// introspection helpers below still are).
+
+#include "v2v/common/kernels.hpp"
+
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define V2V_KERNELS_X86 1
+#include <immintrin.h>
+#else
+#define V2V_KERNELS_X86 0
+#endif
+
+#if defined(__aarch64__)
+#define V2V_KERNELS_NEON 1
+#include <arm_neon.h>
+#else
+#define V2V_KERNELS_NEON 0
+#endif
+
+namespace v2v::kernels {
+
+const char* isa_name(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kSse2:
+      return "sse2";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+bool force_scalar_requested() noexcept {
+  const char* env = std::getenv("V2V_FORCE_SCALAR");
+  if (env == nullptr) return false;
+  return env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+}
+
+namespace {
+
+KernelSet scalar_set() noexcept {
+  return KernelSet{&scalar::dot,    &scalar::axpy,      &scalar::scale,
+                   &scalar::add,    &scalar::fill,      &scalar::ddot,
+                   &scalar::sqdist, &scalar::sqdist_fd, &scalar::add_fd,
+                   &scalar::scale_d};
+}
+
+#if V2V_KERNELS_X86
+
+// The fixed-form intrinsic macros (extract/shuffle) expand to C-style
+// casts inside our TU; silence the cast lints for the variant bodies only.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wold-style-cast"
+
+// ---------------------------------------------------------------- SSE2 --
+
+__attribute__((target("sse2"))) float sse2_dot(const float* a, const float* b,
+                                               std::size_t n) {
+  __m128 acc = _mm_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm_add_ps(acc, _mm_mul_ps(_mm_loadu_ps(a + i), _mm_loadu_ps(b + i)));
+  }
+  // Horizontal sum of the 4 lanes.
+  __m128 shuf = _mm_shuffle_ps(acc, acc, _MM_SHUFFLE(2, 3, 0, 1));
+  __m128 sums = _mm_add_ps(acc, shuf);
+  shuf = _mm_movehl_ps(shuf, sums);
+  sums = _mm_add_ss(sums, shuf);
+  float sum = _mm_cvtss_f32(sums);
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+__attribute__((target("sse2"))) void sse2_axpy(float alpha, const float* x, float* y,
+                                               std::size_t n) {
+  const __m128 va = _mm_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 vy = _mm_loadu_ps(y + i);
+    _mm_storeu_ps(y + i, _mm_add_ps(vy, _mm_mul_ps(va, _mm_loadu_ps(x + i))));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+__attribute__((target("sse2"))) void sse2_scale(float* x, float alpha, std::size_t n) {
+  const __m128 va = _mm_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm_storeu_ps(x + i, _mm_mul_ps(_mm_loadu_ps(x + i), va));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+__attribute__((target("sse2"))) void sse2_add(const float* x, float* y, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm_storeu_ps(y + i, _mm_add_ps(_mm_loadu_ps(y + i), _mm_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) y[i] += x[i];
+}
+
+__attribute__((target("sse2"))) void sse2_fill(float* x, float value, std::size_t n) {
+  const __m128 vv = _mm_set1_ps(value);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) _mm_storeu_ps(x + i, vv);
+  for (; i < n; ++i) x[i] = value;
+}
+
+__attribute__((target("sse2"))) double sse2_ddot(const float* a, const float* b,
+                                                 std::size_t n) {
+  __m128d acc = _mm_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 fa = _mm_loadu_ps(a + i);
+    const __m128 fb = _mm_loadu_ps(b + i);
+    const __m128d lo = _mm_mul_pd(_mm_cvtps_pd(fa), _mm_cvtps_pd(fb));
+    const __m128d hi = _mm_mul_pd(_mm_cvtps_pd(_mm_movehl_ps(fa, fa)),
+                                  _mm_cvtps_pd(_mm_movehl_ps(fb, fb)));
+    acc = _mm_add_pd(acc, _mm_add_pd(lo, hi));
+  }
+  double sum = _mm_cvtsd_f64(_mm_add_pd(acc, _mm_unpackhi_pd(acc, acc)));
+  for (; i < n; ++i) {
+    sum += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return sum;
+}
+
+__attribute__((target("sse2"))) double sse2_sqdist(const float* a, const float* b,
+                                                   std::size_t n) {
+  __m128d acc = _mm_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 fa = _mm_loadu_ps(a + i);
+    const __m128 fb = _mm_loadu_ps(b + i);
+    const __m128d dlo = _mm_sub_pd(_mm_cvtps_pd(fa), _mm_cvtps_pd(fb));
+    const __m128d dhi = _mm_sub_pd(_mm_cvtps_pd(_mm_movehl_ps(fa, fa)),
+                                   _mm_cvtps_pd(_mm_movehl_ps(fb, fb)));
+    acc = _mm_add_pd(acc, _mm_add_pd(_mm_mul_pd(dlo, dlo), _mm_mul_pd(dhi, dhi)));
+  }
+  double sum = _mm_cvtsd_f64(_mm_add_pd(acc, _mm_unpackhi_pd(acc, acc)));
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    sum += d * d;
+  }
+  return sum;
+}
+
+__attribute__((target("sse2"))) double sse2_sqdist_fd(const float* a, const double* b,
+                                                      std::size_t n) {
+  __m128d acc = _mm_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d da =
+        _mm_cvtps_pd(_mm_castsi128_ps(_mm_loadl_epi64(
+            reinterpret_cast<const __m128i*>(a + i))));
+    const __m128d d = _mm_sub_pd(da, _mm_loadu_pd(b + i));
+    acc = _mm_add_pd(acc, _mm_mul_pd(d, d));
+  }
+  double sum = _mm_cvtsd_f64(_mm_add_pd(acc, _mm_unpackhi_pd(acc, acc)));
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+__attribute__((target("sse2"))) void sse2_add_fd(const float* x, double* y,
+                                                 std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d dx =
+        _mm_cvtps_pd(_mm_castsi128_ps(_mm_loadl_epi64(
+            reinterpret_cast<const __m128i*>(x + i))));
+    _mm_storeu_pd(y + i, _mm_add_pd(_mm_loadu_pd(y + i), dx));
+  }
+  for (; i < n; ++i) y[i] += static_cast<double>(x[i]);
+}
+
+__attribute__((target("sse2"))) void sse2_scale_d(double* x, double alpha,
+                                                  std::size_t n) {
+  const __m128d va = _mm_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    _mm_storeu_pd(x + i, _mm_mul_pd(_mm_loadu_pd(x + i), va));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+KernelSet sse2_set() noexcept {
+  return KernelSet{&sse2_dot,    &sse2_axpy,      &sse2_scale,  &sse2_add,
+                   &sse2_fill,   &sse2_ddot,      &sse2_sqdist, &sse2_sqdist_fd,
+                   &sse2_add_fd, &sse2_scale_d};
+}
+
+// ------------------------------------------------------------ AVX2/FMA --
+
+__attribute__((target("avx2,fma"))) float avx2_dot(const float* a, const float* b,
+                                                   std::size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i), acc);
+  }
+  __m128 lo = _mm256_castps256_ps128(acc);
+  __m128 hi = _mm256_extractf128_ps(acc, 1);
+  lo = _mm_add_ps(lo, hi);
+  __m128 shuf = _mm_shuffle_ps(lo, lo, _MM_SHUFFLE(2, 3, 0, 1));
+  __m128 sums = _mm_add_ps(lo, shuf);
+  shuf = _mm_movehl_ps(shuf, sums);
+  sums = _mm_add_ss(sums, shuf);
+  float sum = _mm_cvtss_f32(sums);
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+__attribute__((target("avx2,fma"))) void avx2_axpy(float alpha, const float* x,
+                                                   float* y, std::size_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i,
+                     _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+__attribute__((target("avx2,fma"))) void avx2_scale(float* x, float alpha,
+                                                    std::size_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_mul_ps(_mm256_loadu_ps(x + i), va));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+__attribute__((target("avx2,fma"))) void avx2_add(const float* x, float* y,
+                                                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_add_ps(_mm256_loadu_ps(y + i), _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) y[i] += x[i];
+}
+
+__attribute__((target("avx2,fma"))) void avx2_fill(float* x, float value,
+                                                   std::size_t n) {
+  const __m256 vv = _mm256_set1_ps(value);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) _mm256_storeu_ps(x + i, vv);
+  for (; i < n; ++i) x[i] = value;
+}
+
+__attribute__((target("avx2,fma"))) double avx2_ddot(const float* a, const float* b,
+                                                     std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d da = _mm256_cvtps_pd(_mm_loadu_ps(a + i));
+    const __m256d db = _mm256_cvtps_pd(_mm_loadu_ps(b + i));
+    acc = _mm256_fmadd_pd(da, db, acc);
+  }
+  __m128d lo = _mm256_castpd256_pd128(acc);
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);
+  lo = _mm_add_pd(lo, hi);
+  double sum = _mm_cvtsd_f64(_mm_add_pd(lo, _mm_unpackhi_pd(lo, lo)));
+  for (; i < n; ++i) {
+    sum += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return sum;
+}
+
+__attribute__((target("avx2,fma"))) double avx2_sqdist(const float* a, const float* b,
+                                                       std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d = _mm256_sub_pd(_mm256_cvtps_pd(_mm_loadu_ps(a + i)),
+                                    _mm256_cvtps_pd(_mm_loadu_ps(b + i)));
+    acc = _mm256_fmadd_pd(d, d, acc);
+  }
+  __m128d lo = _mm256_castpd256_pd128(acc);
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);
+  lo = _mm_add_pd(lo, hi);
+  double sum = _mm_cvtsd_f64(_mm_add_pd(lo, _mm_unpackhi_pd(lo, lo)));
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    sum += d * d;
+  }
+  return sum;
+}
+
+__attribute__((target("avx2,fma"))) double avx2_sqdist_fd(const float* a,
+                                                          const double* b,
+                                                          std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d =
+        _mm256_sub_pd(_mm256_cvtps_pd(_mm_loadu_ps(a + i)), _mm256_loadu_pd(b + i));
+    acc = _mm256_fmadd_pd(d, d, acc);
+  }
+  __m128d lo = _mm256_castpd256_pd128(acc);
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);
+  lo = _mm_add_pd(lo, hi);
+  double sum = _mm_cvtsd_f64(_mm_add_pd(lo, _mm_unpackhi_pd(lo, lo)));
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+__attribute__((target("avx2,fma"))) void avx2_add_fd(const float* x, double* y,
+                                                     std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d dx = _mm256_cvtps_pd(_mm_loadu_ps(x + i));
+    _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), dx));
+  }
+  for (; i < n; ++i) y[i] += static_cast<double>(x[i]);
+}
+
+__attribute__((target("avx2,fma"))) void avx2_scale_d(double* x, double alpha,
+                                                      std::size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(x + i, _mm256_mul_pd(_mm256_loadu_pd(x + i), va));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+KernelSet avx2_set() noexcept {
+  return KernelSet{&avx2_dot,    &avx2_axpy,      &avx2_scale,  &avx2_add,
+                   &avx2_fill,   &avx2_ddot,      &avx2_sqdist, &avx2_sqdist_fd,
+                   &avx2_add_fd, &avx2_scale_d};
+}
+
+#pragma GCC diagnostic pop
+
+[[nodiscard]] bool cpu_has_avx2_fma() noexcept {
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+
+#endif  // V2V_KERNELS_X86
+
+#if V2V_KERNELS_NEON
+
+// aarch64 baseline: NEON is always available, no target attribute or CPU
+// probe needed. The double-accumulating ops stay scalar — they are off the
+// SGD hot path and a scalar fallback keeps the variant small.
+
+float neon_dot(const float* a, const float* b, std::size_t n) {
+  float32x4_t acc = vdupq_n_f32(0.0f);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) acc = vfmaq_f32(acc, vld1q_f32(a + i), vld1q_f32(b + i));
+  float sum = vaddvq_f32(acc);
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+void neon_axpy(float alpha, const float* x, float* y, std::size_t n) {
+  const float32x4_t va = vdupq_n_f32(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(y + i, vfmaq_f32(vld1q_f32(y + i), va, vld1q_f32(x + i)));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void neon_scale(float* x, float alpha, std::size_t n) {
+  const float32x4_t va = vdupq_n_f32(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) vst1q_f32(x + i, vmulq_f32(vld1q_f32(x + i), va));
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+void neon_add(const float* x, float* y, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(y + i, vaddq_f32(vld1q_f32(y + i), vld1q_f32(x + i)));
+  }
+  for (; i < n; ++i) y[i] += x[i];
+}
+
+void neon_fill(float* x, float value, std::size_t n) {
+  const float32x4_t vv = vdupq_n_f32(value);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) vst1q_f32(x + i, vv);
+  for (; i < n; ++i) x[i] = value;
+}
+
+KernelSet neon_set() noexcept {
+  return KernelSet{&neon_dot,      &neon_axpy,      &neon_scale,
+                   &neon_add,      &neon_fill,      &scalar::ddot,
+                   &scalar::sqdist, &scalar::sqdist_fd, &scalar::add_fd,
+                   &scalar::scale_d};
+}
+
+#endif  // V2V_KERNELS_NEON
+
+#if !V2V_TSAN_ENABLED
+
+struct Resolved {
+  Isa isa;
+  KernelSet set;
+};
+
+Resolved resolve_kernels() noexcept {
+  const bool force = force_scalar_requested();
+#if V2V_KERNELS_X86
+  if (!force) {
+    if (cpu_has_avx2_fma()) return Resolved{Isa::kAvx2, avx2_set()};
+    return Resolved{Isa::kSse2, sse2_set()};
+  }
+#elif V2V_KERNELS_NEON
+  if (!force) return Resolved{Isa::kNeon, neon_set()};
+#endif
+  (void)force;
+  return Resolved{Isa::kScalar, scalar_set()};
+}
+
+const Resolved& active() noexcept {
+  static const Resolved resolved = resolve_kernels();
+  return resolved;
+}
+
+#endif  // !V2V_TSAN_ENABLED
+
+}  // namespace
+
+Isa detect_isa(bool force_scalar) noexcept {
+  if (force_scalar) return Isa::kScalar;
+#if V2V_KERNELS_X86
+  return cpu_has_avx2_fma() ? Isa::kAvx2 : Isa::kSse2;
+#elif V2V_KERNELS_NEON
+  return Isa::kNeon;
+#else
+  return Isa::kScalar;
+#endif
+}
+
+std::vector<std::pair<Isa, KernelSet>> compiled_variants() {
+  std::vector<std::pair<Isa, KernelSet>> variants;
+  variants.emplace_back(Isa::kScalar, scalar_set());
+#if V2V_KERNELS_X86
+  variants.emplace_back(Isa::kSse2, sse2_set());
+  if (cpu_has_avx2_fma()) variants.emplace_back(Isa::kAvx2, avx2_set());
+#elif V2V_KERNELS_NEON
+  variants.emplace_back(Isa::kNeon, neon_set());
+#endif
+  return variants;
+}
+
+#if V2V_TSAN_ENABLED
+
+Isa active_isa() noexcept { return Isa::kScalar; }
+
+#else
+
+Isa active_isa() noexcept { return active().isa; }
+
+float dot(const float* a, const float* b, std::size_t n) noexcept {
+  return active().set.dot(a, b, n);
+}
+void axpy(float alpha, const float* x, float* y, std::size_t n) noexcept {
+  active().set.axpy(alpha, x, y, n);
+}
+void scale(float* x, float alpha, std::size_t n) noexcept {
+  active().set.scale(x, alpha, n);
+}
+void add(const float* x, float* y, std::size_t n) noexcept { active().set.add(x, y, n); }
+void fill(float* x, float value, std::size_t n) noexcept {
+  active().set.fill(x, value, n);
+}
+double ddot(const float* a, const float* b, std::size_t n) noexcept {
+  return active().set.ddot(a, b, n);
+}
+double sqdist(const float* a, const float* b, std::size_t n) noexcept {
+  return active().set.sqdist(a, b, n);
+}
+double sqdist_fd(const float* a, const double* b, std::size_t n) noexcept {
+  return active().set.sqdist_fd(a, b, n);
+}
+void add_fd(const float* x, double* y, std::size_t n) noexcept {
+  active().set.add_fd(x, y, n);
+}
+void scale_d(double* x, double alpha, std::size_t n) noexcept {
+  active().set.scale_d(x, alpha, n);
+}
+
+#endif  // V2V_TSAN_ENABLED
+
+const char* active_isa_name() noexcept { return isa_name(active_isa()); }
+
+}  // namespace v2v::kernels

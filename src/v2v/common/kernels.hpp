@@ -1,0 +1,220 @@
+// SIMD kernel layer for the embedding/ML hot loops.
+//
+// Every elementwise row operation of the SGD trainer (dot, axpy, scale,
+// add, fill) and the distance loops of k-means / k-NN / t-SNE
+// (sqdist, ddot, sqdist_fd, add_fd, scale_d) go through this header. The
+// free functions dispatch once per process to the widest compiled variant
+// the CPU supports:
+//
+//   ISA      | guard                      | width
+//   ---------+----------------------------+---------------------------
+//   AVX2/FMA | __builtin_cpu_supports     | 8 floats / 4 doubles
+//   SSE2     | x86 baseline               | 4 floats / 2 doubles
+//   NEON     | aarch64 baseline           | 4 floats (double ops scalar)
+//   scalar   | always                     | 1
+//
+// Setting the environment variable V2V_FORCE_SCALAR=1 pins dispatch to the
+// scalar reference (the CI "generic" lane runs the whole suite this way).
+//
+// Loads/stores use the unaligned intrinsic forms, which cost nothing extra
+// on aligned addresses on every AVX2-era core; MatrixF pads its row stride
+// to 64 bytes (common/aligned.hpp) so row traffic is cache-line-clean and
+// Hogwild writers on adjacent rows never share a line.
+//
+// ThreadSanitizer interplay: the Hogwild trainer intentionally races on
+// embedding rows, which is only standard-conformant through the relaxed
+// atomic accessors of common/relaxed.hpp. Under V2V_SANITIZE=thread this
+// header therefore compiles every kernel to the inline scalar reference,
+// whose element accesses all go through relaxed_load/relaxed_store — no
+// SIMD, no dispatch, bit-identical to the pre-kernel TSan story. In every
+// other build the relaxed accessors are plain loads/stores, so the scalar
+// reference is also the portable fallback variant.
+//
+// Accumulation order differs between variants (lane-wise partial sums),
+// so float results may differ by a few ulps across ISAs; the parity suite
+// (tests/common/test_kernels.cpp) bounds the drift on every compiled
+// variant. For a fixed build and machine every path is deterministic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "v2v/common/relaxed.hpp"
+
+namespace v2v::kernels {
+
+/// Instruction sets a kernel variant may be compiled for.
+enum class Isa : std::uint8_t { kScalar, kSse2, kAvx2, kNeon };
+
+[[nodiscard]] const char* isa_name(Isa isa) noexcept;
+
+/// One compiled variant as a bundle of function pointers; what the
+/// dispatcher selects from and what the parity tests iterate over.
+struct KernelSet {
+  float (*dot)(const float*, const float*, std::size_t);
+  void (*axpy)(float, const float*, float*, std::size_t);
+  void (*scale)(float*, float, std::size_t);
+  void (*add)(const float*, float*, std::size_t);
+  void (*fill)(float*, float, std::size_t);
+  double (*ddot)(const float*, const float*, std::size_t);
+  double (*sqdist)(const float*, const float*, std::size_t);
+  double (*sqdist_fd)(const float*, const double*, std::size_t);
+  void (*add_fd)(const float*, double*, std::size_t);
+  void (*scale_d)(double*, double, std::size_t);
+};
+
+/// Scalar reference implementations. Element accesses go through the
+/// TSan-gated relaxed accessors: under ThreadSanitizer they are relaxed
+/// atomics (Hogwild rows race by design), in every other build they are
+/// plain loads/stores and these loops auto-vectorize.
+namespace scalar {
+
+[[nodiscard]] inline float dot(const float* a, const float* b, std::size_t n) noexcept {
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) sum += relaxed_load(a + i) * relaxed_load(b + i);
+  return sum;
+}
+
+/// y += alpha * x
+inline void axpy(float alpha, const float* x, float* y, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    relaxed_store(y + i, relaxed_load(y + i) + alpha * relaxed_load(x + i));
+  }
+}
+
+inline void scale(float* x, float alpha, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) relaxed_store(x + i, relaxed_load(x + i) * alpha);
+}
+
+/// y += x
+inline void add(const float* x, float* y, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    relaxed_store(y + i, relaxed_load(y + i) + relaxed_load(x + i));
+  }
+}
+
+inline void fill(float* x, float value, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) relaxed_store(x + i, value);
+}
+
+/// Double-accumulated dot over float rows (cosine distances).
+[[nodiscard]] inline double ddot(const float* a, const float* b, std::size_t n) noexcept {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += static_cast<double>(relaxed_load(a + i)) *
+           static_cast<double>(relaxed_load(b + i));
+  }
+  return sum;
+}
+
+/// Double-accumulated squared Euclidean distance between float rows.
+[[nodiscard]] inline double sqdist(const float* a, const float* b, std::size_t n) noexcept {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(relaxed_load(a + i)) -
+                     static_cast<double>(relaxed_load(b + i));
+    sum += d * d;
+  }
+  return sum;
+}
+
+/// Squared distance between a float row and a double row (k-means
+/// point-to-centroid).
+[[nodiscard]] inline double sqdist_fd(const float* a, const double* b,
+                                      std::size_t n) noexcept {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(relaxed_load(a + i)) - relaxed_load(b + i);
+    sum += d * d;
+  }
+  return sum;
+}
+
+/// y += x with float source and double destination (centroid accumulation).
+inline void add_fd(const float* x, double* y, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    relaxed_store(y + i, relaxed_load(y + i) + static_cast<double>(relaxed_load(x + i)));
+  }
+}
+
+inline void scale_d(double* x, double alpha, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) relaxed_store(x + i, relaxed_load(x + i) * alpha);
+}
+
+}  // namespace scalar
+
+#if V2V_TSAN_ENABLED
+
+// ThreadSanitizer build: every kernel IS the relaxed scalar reference, so
+// Hogwild row traffic stays standard-conformant and TSan-clean. No
+// dispatch, no SIMD.
+[[nodiscard]] inline float dot(const float* a, const float* b, std::size_t n) noexcept {
+  return scalar::dot(a, b, n);
+}
+inline void axpy(float alpha, const float* x, float* y, std::size_t n) noexcept {
+  scalar::axpy(alpha, x, y, n);
+}
+inline void scale(float* x, float alpha, std::size_t n) noexcept {
+  scalar::scale(x, alpha, n);
+}
+inline void add(const float* x, float* y, std::size_t n) noexcept { scalar::add(x, y, n); }
+inline void fill(float* x, float value, std::size_t n) noexcept {
+  scalar::fill(x, value, n);
+}
+[[nodiscard]] inline double ddot(const float* a, const float* b, std::size_t n) noexcept {
+  return scalar::ddot(a, b, n);
+}
+[[nodiscard]] inline double sqdist(const float* a, const float* b,
+                                   std::size_t n) noexcept {
+  return scalar::sqdist(a, b, n);
+}
+[[nodiscard]] inline double sqdist_fd(const float* a, const double* b,
+                                      std::size_t n) noexcept {
+  return scalar::sqdist_fd(a, b, n);
+}
+inline void add_fd(const float* x, double* y, std::size_t n) noexcept {
+  scalar::add_fd(x, y, n);
+}
+inline void scale_d(double* x, double alpha, std::size_t n) noexcept {
+  scalar::scale_d(x, alpha, n);
+}
+
+#else
+
+// Dispatched entry points: resolved once per process (CPU detection +
+// V2V_FORCE_SCALAR) and then a single indirect call per row operation.
+[[nodiscard]] float dot(const float* a, const float* b, std::size_t n) noexcept;
+void axpy(float alpha, const float* x, float* y, std::size_t n) noexcept;
+void scale(float* x, float alpha, std::size_t n) noexcept;
+void add(const float* x, float* y, std::size_t n) noexcept;
+void fill(float* x, float value, std::size_t n) noexcept;
+[[nodiscard]] double ddot(const float* a, const float* b, std::size_t n) noexcept;
+[[nodiscard]] double sqdist(const float* a, const float* b, std::size_t n) noexcept;
+[[nodiscard]] double sqdist_fd(const float* a, const double* b, std::size_t n) noexcept;
+void add_fd(const float* x, double* y, std::size_t n) noexcept;
+void scale_d(double* x, double alpha, std::size_t n) noexcept;
+
+#endif  // V2V_TSAN_ENABLED
+
+/// The ISA the free functions above resolved to (kScalar under TSan or
+/// V2V_FORCE_SCALAR=1). Stable after the first call.
+[[nodiscard]] Isa active_isa() noexcept;
+[[nodiscard]] const char* active_isa_name() noexcept;
+
+/// Every variant compiled into this binary that the current CPU can
+/// execute, scalar first. The parity suite checks each against the scalar
+/// reference.
+[[nodiscard]] std::vector<std::pair<Isa, KernelSet>> compiled_variants();
+
+/// What `Isa` the dispatcher would pick given a force-scalar request;
+/// pure function of (flag, CPU), exposed for tests.
+[[nodiscard]] Isa detect_isa(bool force_scalar) noexcept;
+
+/// True when the V2V_FORCE_SCALAR environment variable is set to anything
+/// other than "" or "0". Read fresh on every call; dispatch samples it
+/// once at first use.
+[[nodiscard]] bool force_scalar_requested() noexcept;
+
+}  // namespace v2v::kernels

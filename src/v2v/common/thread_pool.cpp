@@ -1,6 +1,7 @@
 #include "v2v/common/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 namespace v2v {
 
@@ -92,6 +93,50 @@ void parallel_for_once(
     const std::size_t end = begin + len;
     pool.emplace_back([&fn, c, begin, end] { fn(c, begin, end); });
     begin = end;
+  }
+  for (auto& t : pool) t.join();
+}
+
+std::size_t default_grain(std::size_t count, std::size_t threads) noexcept {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  return std::max<std::size_t>(1, count / (threads * 16));
+}
+
+std::size_t chunk_count(std::size_t count, std::size_t grain) noexcept {
+  if (count == 0) return 0;
+  if (grain == 0) grain = 1;
+  return (count + grain - 1) / grain;
+}
+
+void parallel_for_dynamic(
+    std::size_t threads, std::size_t count, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t, std::size_t)>& fn) {
+  if (count == 0) return;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  if (grain == 0) grain = default_grain(count, threads);
+  const std::size_t chunks = chunk_count(count, grain);
+  const std::size_t workers = std::min(threads, chunks);
+  if (workers <= 1) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      fn(0, c, c * grain, std::min(count, (c + 1) * grain));
+    }
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&fn, &next, w, chunks, grain, count] {
+      for (;;) {
+        const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+        if (c >= chunks) return;
+        fn(w, c, c * grain, std::min(count, (c + 1) * grain));
+      }
+    });
   }
   for (auto& t : pool) t.join();
 }

@@ -1,9 +1,12 @@
-// Minimal work-sharing thread pool with a blocking parallel_for, used for
-// corpus generation and Hogwild SGD. The pool is deliberately simple: the
-// workloads in this library are large, uniform loops, so static block
-// partitioning with one task per worker is both fastest and deterministic
-// in its work assignment (results may still differ across thread counts
-// where algorithms are racy by design, e.g. Hogwild).
+// Minimal work-sharing thread pool with a blocking parallel_for, plus a
+// chunked atomic-counter dynamic loop (`parallel_for_dynamic`) used by
+// corpus generation and Hogwild SGD. Static block partitioning
+// (`parallel_for_once`) serializes a whole block behind its slowest items;
+// the dynamic loop splits [0, count) into fixed grain-sized chunks that
+// idle workers claim from a shared atomic counter, so heavy-degree
+// vertices no longer stall an epoch. Chunk boundaries depend only on
+// (count, grain) — never on scheduling — so callers that store results
+// per chunk index stay deterministic across thread counts.
 #pragma once
 
 #include <condition_variable>
@@ -55,5 +58,26 @@ class ThreadPool {
 /// For hot loops, reuse a ThreadPool instead.
 void parallel_for_once(std::size_t threads, std::size_t count,
                        const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+/// Heuristic chunk size for parallel_for_dynamic: aim for ~16 chunks per
+/// worker (cheap enough to rebalance, coarse enough to amortize the
+/// counter), never below 1. `threads == 0` means hardware concurrency.
+[[nodiscard]] std::size_t default_grain(std::size_t count, std::size_t threads) noexcept;
+
+/// Number of chunks a dynamic loop over `count` items produces with
+/// `grain` items per chunk (the final chunk may be short).
+[[nodiscard]] std::size_t chunk_count(std::size_t count, std::size_t grain) noexcept;
+
+/// Chunked atomic-counter work queue. Splits [0, count) into fixed chunks
+/// — chunk c covers [c*grain, min((c+1)*grain, count)) — and lets up to
+/// `threads` workers claim chunks from a shared counter. Calls
+/// fn(worker, chunk, begin, end); chunk indices are a pure function of
+/// (count, grain), so per-chunk result storage is deterministic no matter
+/// how chunks land on workers. grain == 0 selects default_grain();
+/// threads == 0 means hardware concurrency. With one worker, chunks run
+/// in increasing order on the calling thread.
+void parallel_for_dynamic(
+    std::size_t threads, std::size_t count, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t, std::size_t)>& fn);
 
 }  // namespace v2v

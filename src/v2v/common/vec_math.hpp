@@ -1,7 +1,9 @@
-// Span-based vector kernels shared by the embedding trainer, k-means, k-NN
-// and PCA. These are the innermost loops of the library; they are written
-// so the compiler auto-vectorizes them (contiguous spans, no aliasing
-// surprises, fused loops).
+// Span-based vector math shared by the embedding code, k-means, k-NN and
+// PCA. The generic templates below are written so the compiler
+// auto-vectorizes them; the float-span overloads at the bottom route
+// through the runtime-dispatched SIMD kernel layer (common/kernels.hpp),
+// so every caller passing embedding rows gets the widest ISA the CPU
+// supports without changing call sites.
 #pragma once
 
 #include <cmath>
@@ -9,8 +11,27 @@
 #include <span>
 
 #include "v2v/common/check.hpp"
+#include "v2v/common/kernels.hpp"
 
 namespace v2v {
+
+// Float-span overloads dispatched through the SIMD kernel layer. They are
+// declared before the generic templates so that template internals (norm,
+// cosine_distance) also resolve to them for T = float: embedding-row math
+// (k-NN, t-SNE, silhouette, cosine similarity) runs vectorized while the
+// templates keep serving other types.
+
+[[nodiscard]] inline double dot(std::span<const float> a,
+                                std::span<const float> b) noexcept {
+  V2V_DCHECK(a.size() == b.size(), "dot: length mismatch");
+  return kernels::ddot(a.data(), b.data(), a.size());
+}
+
+[[nodiscard]] inline double squared_distance(std::span<const float> a,
+                                             std::span<const float> b) noexcept {
+  V2V_DCHECK(a.size() == b.size(), "squared_distance: length mismatch");
+  return kernels::sqdist(a.data(), b.data(), a.size());
+}
 
 template <typename T>
 [[nodiscard]] inline double dot(std::span<const T> a, std::span<const T> b) noexcept {

@@ -40,6 +40,7 @@ void save_config(const V2VConfig& config, std::ostream& out) {
   out << "walk.temporal = " << (config.walk.temporal ? 1 : 0) << '\n';
   out << "walk.time_window = " << config.walk.time_window << '\n';
   out << "walk.threads = " << config.walk.threads << '\n';
+  out << "walk.grain = " << config.walk.grain << '\n';
   out << "train.dimensions = " << config.train.dimensions << '\n';
   out << "train.window = " << config.train.window << '\n';
   out << "train.architecture = "
@@ -59,6 +60,7 @@ void save_config(const V2VConfig& config, std::ostream& out) {
   out << "train.min_lr_fraction = " << config.train.min_lr_fraction << '\n';
   out << "train.subsample = " << config.train.subsample << '\n';
   out << "train.threads = " << config.train.threads << '\n';
+  out << "train.grain = " << config.train.grain << '\n';
 }
 
 void save_config_file(const V2VConfig& config, const std::string& path) {
@@ -101,6 +103,7 @@ V2VConfig load_config(std::istream& in) {
       {"walk.time_window",
        [&](std::string_view v) { as_double(v, config.walk.time_window); }},
       {"walk.threads", [&](std::string_view v) { as_size(v, config.walk.threads); }},
+      {"walk.grain", [&](std::string_view v) { as_size(v, config.walk.grain); }},
       {"train.dimensions",
        [&](std::string_view v) { as_size(v, config.train.dimensions); }},
       {"train.window", [&](std::string_view v) { as_size(v, config.train.window); }},
@@ -139,6 +142,7 @@ V2VConfig load_config(std::istream& in) {
        [&](std::string_view v) { as_double(v, config.train.subsample); }},
       {"train.threads",
        [&](std::string_view v) { as_size(v, config.train.threads); }},
+      {"train.grain", [&](std::string_view v) { as_size(v, config.train.grain); }},
   };
 
   std::string line;

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "v2v/common/kernels.hpp"
 #include "v2v/common/vec_math.hpp"
 
 namespace v2v::embed {
@@ -38,9 +39,9 @@ std::vector<std::uint32_t> Embedding::analogy(std::size_t a, std::size_t b,
   const auto va = vector(a);
   const auto vb = vector(b);
   const auto vc = vector(c);
-  for (std::size_t i = 0; i < dimensions(); ++i) {
-    query[i] = vb[i] - va[i] + vc[i];
-  }
+  std::copy(vb.begin(), vb.end(), query.begin());
+  kernels::axpy(-1.0f, va.data(), query.data(), query.size());
+  kernels::axpy(1.0f, vc.data(), query.data(), query.size());
   std::vector<std::pair<double, std::uint32_t>> scored;
   scored.reserve(vertex_count());
   for (std::size_t u = 0; u < vertex_count(); ++u) {
@@ -114,8 +115,13 @@ void Embedding::save_binary_file(const std::string& path) const {
   const std::uint64_t n = vertex_count(), d = dimensions();
   out.write(reinterpret_cast<const char*>(&n), sizeof(n));
   out.write(reinterpret_cast<const char*>(&d), sizeof(d));
-  out.write(reinterpret_cast<const char*>(vectors_.data()),
-            static_cast<std::streamsize>(n * d * sizeof(float)));
+  // The on-disk payload is dense n*d floats; in-memory rows are
+  // stride-padded, so write row by row.
+  for (std::size_t v = 0; v < vertex_count(); ++v) {
+    const auto r = vector(v);
+    out.write(reinterpret_cast<const char*>(r.data()),
+              static_cast<std::streamsize>(d * sizeof(float)));
+  }
 }
 
 Embedding Embedding::load_binary_file(const std::string& path) {
@@ -131,8 +137,11 @@ Embedding Embedding::load_binary_file(const std::string& path) {
   in.read(reinterpret_cast<char*>(&d), sizeof(d));
   if (!in) throw std::runtime_error("Embedding: truncated header in " + path);
   Embedding out(n, d);
-  in.read(reinterpret_cast<char*>(out.vectors_.data()),
-          static_cast<std::streamsize>(n * d * sizeof(float)));
+  for (std::uint64_t v = 0; v < n; ++v) {
+    const auto r = out.vectors_.row(v);
+    in.read(reinterpret_cast<char*>(r.data()),
+            static_cast<std::streamsize>(d * sizeof(float)));
+  }
   if (!in) throw std::runtime_error("Embedding: truncated data in " + path);
   return out;
 }

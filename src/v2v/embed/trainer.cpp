@@ -7,7 +7,10 @@
 #include <memory>
 #include <stdexcept>
 
-#include "v2v/common/relaxed.hpp"
+#include <string>
+
+#include "v2v/common/aligned.hpp"
+#include "v2v/common/kernels.hpp"
 #include "v2v/common/rng.hpp"
 #include "v2v/common/thread_pool.hpp"
 #include "v2v/common/timer.hpp"
@@ -31,6 +34,8 @@ struct TrainerState {
   std::vector<double> keep_probability;  // subsampling; empty = keep all
   std::atomic<std::uint64_t> tokens_processed{0};
   std::uint64_t planned_tokens = 0;
+  std::size_t grain = 0;   // resolved work-queue chunk size (for metrics)
+  std::size_t chunks = 0;  // chunks per epoch (for metrics)
 
   explicit TrainerState(const TrainConfig& cfg) : config(cfg) {}
 };
@@ -42,27 +47,23 @@ struct EpochShard {
 };
 
 // Hogwild note: `input` and `row` may be rows of the shared syn0/syn1
-// matrices concurrently touched by other workers; all accesses go through
-// relaxed_load/relaxed_store (plain load/store except under TSan, see
-// common/relaxed.hpp).
-float dotf(const float* a, const float* b, std::size_t d) {
-  float sum = 0.0f;
-  for (std::size_t i = 0; i < d; ++i) sum += relaxed_load(a + i) * relaxed_load(b + i);
-  return sum;
-}
+// matrices concurrently touched by other workers; the kernels tolerate
+// that (SIMD on the fast paths, relaxed_load/relaxed_store scalar under
+// TSan, see common/kernels.hpp).
 
 /// One positive/negative pair update against output row `row`:
 /// grad = (label - sigma(f)) * lr; accumulates into `input_grad` and
 /// updates the output row in place. Returns the pair's loss contribution.
+/// Precondition: `input` never aliases `row` (CBOW passes the private neu1
+/// buffer; SkipGram passes a syn0 row while `row` is a syn1 row), so the
+/// two axpy passes equal the classic interleaved element loop.
 double pair_update(const float* input, float* row, float* input_grad, std::size_t d,
                    float label, float lr) {
-  const float f = dotf(input, row, d);
+  const float f = kernels::dot(input, row, d);
   const float sig = sigmoid_table()(f);
   const float g = (label - sig) * lr;
-  for (std::size_t i = 0; i < d; ++i) {
-    input_grad[i] += g * relaxed_load(row + i);
-    relaxed_store(row + i, relaxed_load(row + i) + g * relaxed_load(input + i));
-  }
+  kernels::axpy(g, row, input_grad, d);
+  kernels::axpy(g, input, row, d);
   const double p = label > 0.5f ? sig : 1.0f - sig;
   return -std::log(std::max(static_cast<double>(p), kLossEps));
 }
@@ -72,7 +73,7 @@ double pair_update(const float* input, float* row, float* input_grad, std::size_
 double train_target(TrainerState& state, const float* input, float* input_grad,
                     std::uint32_t target, float lr, Rng& rng) {
   const std::size_t d = state.config.dimensions;
-  std::fill(input_grad, input_grad + d, 0.0f);
+  kernels::fill(input_grad, 0.0f, d);
   double loss = 0.0;
   if (state.config.objective == Objective::kNegativeSampling) {
     loss += pair_update(input, state.syn1.row(target).data(), input_grad, d, 1.0f, lr);
@@ -135,26 +136,20 @@ class SentenceTrainer {
       const std::size_t hi = std::min(sentence_.size(), pos + (window - reduced) + 1);
 
       if (cbow) {
-        std::fill(neu1_.begin(), neu1_.end(), 0.0f);
+        kernels::fill(neu1_.data(), 0.0f, d);
         std::size_t context_count = 0;
         for (std::size_t c = lo; c < hi; ++c) {
           if (c == pos) continue;
-          const auto row = state_.syn0.row(sentence_[c]);
-          for (std::size_t i = 0; i < d; ++i) neu1_[i] += relaxed_load(row.data() + i);
+          kernels::add(state_.syn0.row(sentence_[c]).data(), neu1_.data(), d);
           ++context_count;
         }
         if (context_count == 0) continue;
-        const float inv = 1.0f / static_cast<float>(context_count);
-        for (auto& x : neu1_) x *= inv;
+        kernels::scale(neu1_.data(), 1.0f / static_cast<float>(context_count), d);
         shard_.loss += train_target(state_, neu1_.data(), grad_.data(), target, lr_, rng_);
         ++shard_.examples;
         for (std::size_t c = lo; c < hi; ++c) {
           if (c == pos) continue;
-          auto row = state_.syn0.row(sentence_[c]);
-          float* p = row.data();
-          for (std::size_t i = 0; i < d; ++i) {
-            relaxed_store(p + i, relaxed_load(p + i) + grad_[i]);
-          }
+          kernels::add(grad_.data(), state_.syn0.row(sentence_[c]).data(), d);
         }
       } else {
         for (std::size_t c = lo; c < hi; ++c) {
@@ -162,10 +157,7 @@ class SentenceTrainer {
           auto row = state_.syn0.row(sentence_[c]);
           shard_.loss += train_target(state_, row.data(), grad_.data(), target, lr_, rng_);
           ++shard_.examples;
-          float* p = row.data();
-          for (std::size_t i = 0; i < d; ++i) {
-            relaxed_store(p + i, relaxed_load(p + i) + grad_[i]);
-          }
+          kernels::add(grad_.data(), row.data(), d);
         }
       }
     }
@@ -190,7 +182,7 @@ class SentenceTrainer {
  private:
   TrainerState& state_;
   Rng rng_;
-  std::vector<float> neu1_, grad_;
+  AlignedVector<float> neu1_, grad_;  // 64-byte aligned SGD scratch
   std::vector<std::uint32_t> sentence_;
   EpochShard shard_;
   float lr_;
@@ -206,11 +198,11 @@ void validate_config(const TrainConfig& config) {
 void initialize_vectors(TrainerState& state, std::size_t vocab_size) {
   Rng init_rng(state.config.seed);
   state.syn0 = MatrixF(vocab_size, state.config.dimensions);
+  const float inv_dims = 1.0f / static_cast<float>(state.config.dimensions);
   for (std::size_t v = 0; v < vocab_size; ++v) {
     auto row = state.syn0.row(v);
-    for (auto& x : row) {
-      x = (init_rng.next_float() - 0.5f) / static_cast<float>(state.config.dimensions);
-    }
+    for (auto& x : row) x = init_rng.next_float() - 0.5f;
+    kernels::scale(row.data(), inv_dims, row.size());
   }
 }
 
@@ -261,6 +253,12 @@ TrainResult run_training(TrainerState& state,
   const TrainConfig& config = state.config;
   obs::MetricsRegistry* metrics = config.metrics;
   const obs::ScopedTimer train_span(metrics, "train");
+
+  if (metrics != nullptr) {
+    metrics->gauge("train.grain").set(static_cast<double>(state.grain));
+    metrics->gauge("train.chunks").set(static_cast<double>(state.chunks));
+    metrics->counter(std::string("train.isa.") + kernels::active_isa_name()).add(1);
+  }
 
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
     const obs::ScopedTimer epoch_span(metrics, "epoch");
@@ -336,19 +334,27 @@ TrainResult train_embedding(const walk::Corpus& corpus, std::size_t vocab_size,
                          corpus.token_count());
 
   const std::size_t threads = std::max<std::size_t>(1, config.threads);
+  const std::size_t grain =
+      config.grain != 0 ? config.grain : default_grain(corpus.walk_count(), threads);
+  const std::size_t chunks = chunk_count(corpus.walk_count(), grain);
+  state.grain = grain;
+  state.chunks = chunks;
   const Rng root(config.seed ^ 0xd1b54a32d192ed03ULL);
 
+  // Chunk-indexed RNG streams and shard slots: results depend only on
+  // (seed, grain), not on which worker claims which chunk.
   return run_training(state, [&](std::size_t epoch) {
-    std::vector<EpochShard> shards(threads);
-    parallel_for_once(threads, corpus.walk_count(),
-                      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-                        SentenceTrainer trainer(state,
-                                                root.fork(epoch * threads + chunk));
-                        for (std::size_t w = begin; w < end; ++w) {
-                          trainer.train_sentence(corpus.walk(w));
-                        }
-                        shards[chunk] = trainer.finish();
-                      });
+    std::vector<EpochShard> shards(chunks);
+    parallel_for_dynamic(
+        threads, corpus.walk_count(), grain,
+        [&](std::size_t /*worker*/, std::size_t chunk, std::size_t begin,
+            std::size_t end) {
+          SentenceTrainer trainer(state, root.fork(epoch * chunks + chunk));
+          for (std::size_t w = begin; w < end; ++w) {
+            trainer.train_sentence(corpus.walk(w));
+          }
+          shards[chunk] = trainer.finish();
+        });
     EpochShard totals;
     for (const auto& shard : shards) {
       totals.loss += shard.loss;
@@ -387,14 +393,21 @@ TrainResult train_embedding_streaming(const graph::Graph& g,
 
   const walk::Walker walker(g, walk_config);
   const std::size_t threads = std::max<std::size_t>(1, config.threads);
+  const std::size_t grain =
+      config.grain != 0 ? config.grain : default_grain(vocab_size, threads);
+  const std::size_t chunks = chunk_count(vocab_size, grain);
+  state.grain = grain;
+  state.chunks = chunks;
   const Rng root(config.seed ^ 0xd1b54a32d192ed03ULL);
   const Rng walk_root(config.seed ^ 0x94d049bb133111ebULL);
 
   return run_training(state, [&](std::size_t epoch) {
-    std::vector<EpochShard> shards(threads);
-    parallel_for_once(
-        threads, vocab_size, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-          SentenceTrainer trainer(state, root.fork(epoch * threads + chunk));
+    std::vector<EpochShard> shards(chunks);
+    parallel_for_dynamic(
+        threads, vocab_size, grain,
+        [&](std::size_t /*worker*/, std::size_t chunk, std::size_t begin,
+            std::size_t end) {
+          SentenceTrainer trainer(state, root.fork(epoch * chunks + chunk));
           std::vector<graph::VertexId> buffer;
           buffer.reserve(walk_config.walk_length);
           for (std::size_t v = begin; v < end; ++v) {

@@ -62,6 +62,12 @@ struct TrainConfig {
   double subsample = 0.0;
   /// Hogwild worker threads (count; 1 = deterministic for a fixed seed).
   std::size_t threads = 1;
+  /// Sentences (walks) per dynamic work-queue chunk; 0 (default) picks
+  /// default_grain(walk_count, threads). Chunk boundaries — and hence the
+  /// per-chunk RNG streams — depend only on this value, so results for a
+  /// fixed (seed, grain) are reproducible regardless of scheduling (exact
+  /// with 1 thread; Hogwild-racy above).
+  std::size_t grain = 0;
   /// Seed for init, sampling, and shuffling (64-bit; default 1).
   std::uint64_t seed = 1;
   /// Optional observability sink: training records words/sec per epoch,

@@ -4,24 +4,20 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <stdexcept>
 
 #include "v2v/common/check.hpp"
+#include "v2v/common/kernels.hpp"
 #include "v2v/common/rng.hpp"
 #include "v2v/common/thread_pool.hpp"
-#include "v2v/common/vec_math.hpp"
 #include "v2v/obs/metrics.hpp"
 
 namespace v2v::ml {
 namespace {
 
 double point_centroid_sqdist(std::span<const float> p, std::span<const double> c) {
-  double sum = 0.0;
-  for (std::size_t i = 0; i < p.size(); ++i) {
-    const double d = static_cast<double>(p[i]) - c[i];
-    sum += d * d;
-  }
-  return sum;
+  return kernels::sqdist_fd(p.data(), c.data(), p.size());
 }
 
 MatrixD seed_uniform(const MatrixF& points, std::size_t k, Rng& rng) {
@@ -118,9 +114,7 @@ LloydOutcome lloyd(const MatrixF& points, MatrixD centroids,
     centroids.fill(0.0);
     std::fill(counts.begin(), counts.end(), 0);
     for (std::size_t p = 0; p < n; ++p) {
-      const auto row = points.row(p);
-      auto c = centroids.row(out.assignment[p]);
-      for (std::size_t i = 0; i < d; ++i) c[i] += row[i];
+      kernels::add_fd(points.row(p).data(), centroids.row(out.assignment[p]).data(), d);
       ++counts[out.assignment[p]];
     }
     for (std::size_t c = 0; c < k; ++c) {
@@ -139,9 +133,7 @@ LloydOutcome lloyd(const MatrixF& points, MatrixD centroids,
         for (std::size_t i = 0; i < d; ++i) centroids(c, i) = points(far, i);
         continue;
       }
-      auto row = centroids.row(c);
-      const double inv = 1.0 / static_cast<double>(counts[c]);
-      for (std::size_t i = 0; i < d; ++i) row[i] *= inv;
+      kernels::scale_d(centroids.row(c).data(), 1.0 / static_cast<double>(counts[c]), d);
     }
 
     out.sse = sse;

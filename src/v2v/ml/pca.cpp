@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "v2v/common/kernels.hpp"
+
 namespace v2v::ml {
 
 EigenDecomposition jacobi_eigen_symmetric(MatrixD a, std::size_t max_sweeps,
@@ -81,10 +83,9 @@ Pca::Pca(const MatrixF& points) {
 
   mean_.assign(d, 0.0);
   for (std::size_t r = 0; r < n; ++r) {
-    const auto row = points.row(r);
-    for (std::size_t c = 0; c < d; ++c) mean_[c] += row[c];
+    kernels::add_fd(points.row(r).data(), mean_.data(), d);
   }
-  for (auto& m : mean_) m /= static_cast<double>(n);
+  kernels::scale_d(mean_.data(), 1.0 / static_cast<double>(n), d);
 
   MatrixD cov(d, d, 0.0);
   for (std::size_t r = 0; r < n; ++r) {

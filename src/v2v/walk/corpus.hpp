@@ -28,6 +28,11 @@ class Corpus {
   /// Appends all walks of `other` (used to merge per-thread shards).
   void append(const Corpus& other);
 
+  /// Move-append: as above, but steals `other`'s token storage (taking it
+  /// wholesale when this corpus is still empty) and leaves `other` empty.
+  /// Shard merging uses this so peak memory is one corpus, not two.
+  void append(Corpus&& other);
+
   [[nodiscard]] std::size_t walk_count() const noexcept { return offsets_.size() - 1; }
   [[nodiscard]] std::size_t token_count() const noexcept { return tokens_.size(); }
 

@@ -73,25 +73,33 @@ Corpus generate_corpus_node2vec(const graph::Graph& g, const Node2VecConfig& con
   const Node2VecWalker walker(g, config);
   const std::size_t n = g.vertex_count();
   const std::size_t threads = std::max<std::size_t>(1, config.threads);
+  const std::size_t grain =
+      config.grain != 0 ? config.grain : default_grain(n, threads);
+  const std::size_t chunks = chunk_count(n, grain);
 
-  std::vector<Corpus> shards(threads);
+  // Same dynamic-queue shape as generate_corpus: per-chunk shards, merged
+  // in chunk order, so the corpus ordering is independent of scheduling.
+  std::vector<Corpus> shards(chunks);
   const Rng root(seed);
-  parallel_for_once(threads, n, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-    Corpus& shard = shards[chunk];
-    std::vector<graph::VertexId> buffer;
-    buffer.reserve(config.walk_length);
-    for (std::size_t v = begin; v < end; ++v) {
-      Rng rng = root.fork(v);
-      for (std::size_t w = 0; w < config.walks_per_vertex; ++w) {
-        walker.walk_from(static_cast<graph::VertexId>(v), rng, buffer);
-        shard.add_walk(buffer);
-      }
-    }
-  });
+  parallel_for_dynamic(
+      threads, n, grain,
+      [&](std::size_t /*worker*/, std::size_t chunk, std::size_t begin,
+          std::size_t end) {
+        Corpus& shard = shards[chunk];
+        std::vector<graph::VertexId> buffer;
+        buffer.reserve(config.walk_length);
+        for (std::size_t v = begin; v < end; ++v) {
+          Rng rng = root.fork(v);
+          for (std::size_t w = 0; w < config.walks_per_vertex; ++w) {
+            walker.walk_from(static_cast<graph::VertexId>(v), rng, buffer);
+            shard.add_walk(buffer);
+          }
+        }
+      });
 
-  if (threads == 1) return std::move(shards[0]);
+  if (chunks == 1) return std::move(shards[0]);
   Corpus merged;
-  for (const auto& shard : shards) merged.append(shard);
+  for (auto& shard : shards) merged.append(std::move(shard));
   return merged;
 }
 

@@ -10,20 +10,21 @@
 namespace v2v::walk {
 namespace {
 
-/// Publishes corpus-generation telemetry: totals, throughput, and how
-/// evenly the token workload spread across the worker shards.
-void record_corpus_metrics(obs::MetricsRegistry& metrics,
-                           const std::vector<Corpus>& shards, double seconds,
-                           std::size_t max_tokens_possible) {
-  std::size_t walks = 0, tokens = 0, max_shard = 0;
+/// Publishes corpus-generation telemetry: totals, throughput, scheduling
+/// parameters, and how evenly the token workload landed on the workers
+/// (`worker_tokens` = tokens produced by each dynamic-queue worker).
+void record_corpus_metrics(obs::MetricsRegistry& metrics, std::size_t walks,
+                           std::size_t tokens,
+                           const std::vector<std::size_t>& worker_tokens,
+                           double seconds, std::size_t max_tokens_possible,
+                           std::size_t grain, std::size_t chunks) {
+  std::size_t max_shard = 0;
   auto& shard_hist = metrics.histogram(
       "walk.shard_tokens",
       {0.0, std::max<double>(1.0, static_cast<double>(max_tokens_possible)), 64});
-  for (const auto& shard : shards) {
-    walks += shard.walk_count();
-    tokens += shard.token_count();
-    max_shard = std::max(max_shard, shard.token_count());
-    shard_hist.record(static_cast<double>(shard.token_count()));
+  for (const std::size_t shard_tokens : worker_tokens) {
+    max_shard = std::max(max_shard, shard_tokens);
+    shard_hist.record(static_cast<double>(shard_tokens));
   }
   // Steps = transitions taken; each walk contributes (length - 1).
   const std::size_t steps = tokens - walks;
@@ -31,13 +32,15 @@ void record_corpus_metrics(obs::MetricsRegistry& metrics,
   metrics.counter("walk.tokens").add(tokens);
   metrics.counter("walk.steps").add(steps);
   metrics.gauge("walk.seconds").set(seconds);
+  metrics.gauge("walk.grain").set(static_cast<double>(grain));
+  metrics.gauge("walk.chunks").set(static_cast<double>(chunks));
   if (seconds > 0.0) {
     metrics.gauge("walk.walks_per_sec").set(static_cast<double>(walks) / seconds);
     metrics.gauge("walk.steps_per_sec").set(static_cast<double>(steps) / seconds);
   }
-  if (tokens > 0 && !shards.empty()) {
+  if (tokens > 0 && !worker_tokens.empty()) {
     const double mean_shard =
-        static_cast<double>(tokens) / static_cast<double>(shards.size());
+        static_cast<double>(tokens) / static_cast<double>(worker_tokens.size());
     metrics.gauge("walk.shard_imbalance")
         .set(static_cast<double>(max_shard) / mean_shard);
   }
@@ -155,39 +158,55 @@ Corpus generate_corpus(const graph::Graph& g, const WalkConfig& config,
   const Walker walker(g, config);
   const std::size_t n = g.vertex_count();
   const std::size_t threads = std::max<std::size_t>(1, config.threads);
+  const std::size_t grain =
+      config.grain != 0 ? config.grain : default_grain(n, threads);
+  const std::size_t chunks = chunk_count(n, grain);
 
-  std::vector<Corpus> shards(threads);
+  // One shard per chunk, merged in chunk order below: the corpus ordering
+  // is a pure function of (graph, config, seed, grain) — dynamic
+  // scheduling only decides which worker fills which shard, never where a
+  // shard lands in the output.
+  std::vector<Corpus> shards(chunks);
+  std::vector<std::size_t> worker_tokens(std::min(threads, std::max<std::size_t>(1, chunks)), 0);
   const Rng root(seed);
-  parallel_for_once(threads, n, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-    Corpus& shard = shards[chunk];
-    shard.reserve((end - begin) * config.walks_per_vertex,
-                  (end - begin) * config.walks_per_vertex * config.walk_length);
-    std::vector<graph::VertexId> buffer;
-    buffer.reserve(config.walk_length);
-    for (std::size_t v = begin; v < end; ++v) {
-      // Per-vertex stream: deterministic regardless of the thread count.
-      Rng rng = root.fork(v);
-      for (std::size_t w = 0; w < config.walks_per_vertex; ++w) {
-        walker.walk_from(static_cast<graph::VertexId>(v), rng, buffer);
-        shard.add_walk(buffer);
-      }
-    }
-  });
+  parallel_for_dynamic(
+      threads, n, grain,
+      [&](std::size_t worker, std::size_t chunk, std::size_t begin, std::size_t end) {
+        Corpus& shard = shards[chunk];
+        shard.reserve((end - begin) * config.walks_per_vertex,
+                      (end - begin) * config.walks_per_vertex * config.walk_length);
+        std::vector<graph::VertexId> buffer;
+        buffer.reserve(config.walk_length);
+        for (std::size_t v = begin; v < end; ++v) {
+          // Per-vertex stream: deterministic regardless of scheduling.
+          Rng rng = root.fork(v);
+          for (std::size_t w = 0; w < config.walks_per_vertex; ++w) {
+            walker.walk_from(static_cast<graph::VertexId>(v), rng, buffer);
+            shard.add_walk(buffer);
+          }
+        }
+        worker_tokens[worker] += shard.token_count();
+      });
 
-  if (config.metrics != nullptr) {
-    record_corpus_metrics(*config.metrics, shards, span.seconds(),
-                          n * config.walks_per_vertex * config.walk_length);
-  }
-
-  if (threads == 1) return std::move(shards[0]);
-  Corpus merged;
   std::size_t walks = 0, tokens = 0;
   for (const auto& shard : shards) {
     walks += shard.walk_count();
     tokens += shard.token_count();
   }
-  merged.reserve(walks, tokens);
-  for (const auto& shard : shards) merged.append(shard);
+
+  if (config.metrics != nullptr) {
+    record_corpus_metrics(*config.metrics, walks, tokens, worker_tokens,
+                          span.seconds(),
+                          n * config.walks_per_vertex * config.walk_length, grain,
+                          chunks);
+  }
+
+  if (chunks == 1) return std::move(shards[0]);
+  // Move-merge in chunk order: shard 0's storage is stolen wholesale and
+  // each later shard is freed right after it is drained, so peak memory is
+  // roughly one corpus, not two (the old copy-merge held everything twice).
+  Corpus merged;
+  for (auto& shard : shards) merged.append(std::move(shard));
   return merged;
 }
 

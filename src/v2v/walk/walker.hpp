@@ -47,6 +47,11 @@ struct WalkConfig {
   double time_window = 0.0;
   /// Worker threads for corpus generation (count; default 1 = serial).
   std::size_t threads = 1;
+  /// Start vertices per work-queue chunk for dynamic scheduling; 0 (the
+  /// default) picks default_grain(vertex_count, threads). Chunk boundaries
+  /// — and therefore the corpus ordering — depend only on this value, not
+  /// on the thread count.
+  std::size_t grain = 0;
   /// Optional observability sink: generate_corpus records walk/step
   /// throughput counters, per-shard balance, and a "walk" stage span into
   /// it. Null (default) disables instrumentation.

@@ -1,0 +1,204 @@
+// Parity suite for the SIMD kernel layer: every variant compiled into this
+// binary (and runnable on this CPU) must agree with the scalar reference
+// on awkward dimensions — below one vector register (1, 7), exactly one
+// register (8), and remainder-heavy sizes (100, 128, 129) — with negative
+// and denormal inputs mixed in. Float reductions may legitimately differ
+// across ISAs by reassociation, so comparisons are tolerance-checked
+// relative to the magnitude of the terms, not bit-exact.
+#include "v2v/common/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "v2v/common/aligned.hpp"
+#include "v2v/common/rng.hpp"
+
+namespace v2v::kernels {
+namespace {
+
+constexpr std::size_t kDims[] = {1, 7, 8, 100, 128, 129};
+
+/// Deterministic awkward input: mixed signs, wide magnitude range, and a
+/// sprinkling of float denormals.
+AlignedVector<float> make_input(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  AlignedVector<float> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    float x = (rng.next_float() - 0.5f) * 4.0f;
+    if (i % 7 == 3) x = -x;
+    if (i % 11 == 5) x = std::numeric_limits<float>::denorm_min() * (1.0f + x * x);
+    out[i] = x;
+  }
+  return out;
+}
+
+AlignedVector<double> make_input_d(std::size_t n, std::uint64_t seed) {
+  const auto f = make_input(n, seed);
+  return {f.begin(), f.end()};
+}
+
+/// Relative-ish tolerance: scaled by the magnitude of the involved terms
+/// so dims {1..129} and denormal-heavy inputs are all covered.
+double tol_for(double magnitude, std::size_t n) {
+  return 1e-5 * (magnitude + 1.0) * static_cast<double>(n + 1);
+}
+
+class KernelParity : public ::testing::Test {
+ protected:
+  static std::vector<std::pair<Isa, KernelSet>> variants() {
+    auto all = compiled_variants();
+    EXPECT_FALSE(all.empty());
+    EXPECT_EQ(all.front().first, Isa::kScalar);
+    return all;
+  }
+};
+
+TEST_F(KernelParity, DotMatchesScalar) {
+  for (const std::size_t n : kDims) {
+    const auto a = make_input(n, 11 + n);
+    const auto b = make_input(n, 29 + n);
+    const double ref = static_cast<double>(scalar::dot(a.data(), b.data(), n));
+    for (const auto& [isa, set] : variants()) {
+      const double got = static_cast<double>(set.dot(a.data(), b.data(), n));
+      EXPECT_NEAR(got, ref, tol_for(std::fabs(ref), n))
+          << isa_name(isa) << " dims=" << n;
+    }
+  }
+}
+
+TEST_F(KernelParity, AxpyMatchesScalar) {
+  for (const std::size_t n : kDims) {
+    const auto x = make_input(n, 5 + n);
+    const auto y0 = make_input(n, 17 + n);
+    const float alpha = -0.37f;
+    AlignedVector<float> ref(y0);
+    scalar::axpy(alpha, x.data(), ref.data(), n);
+    for (const auto& [isa, set] : variants()) {
+      AlignedVector<float> y(y0);
+      set.axpy(alpha, x.data(), y.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(y[i], ref[i], tol_for(std::fabs(ref[i]), 1))
+            << isa_name(isa) << " dims=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST_F(KernelParity, ScaleAddFillMatchScalar) {
+  for (const std::size_t n : kDims) {
+    const auto x = make_input(n, 3 + n);
+    const auto y0 = make_input(n, 41 + n);
+    for (const auto& [isa, set] : variants()) {
+      AlignedVector<float> s(y0);
+      AlignedVector<float> sref(y0);
+      set.scale(s.data(), -1.75f, n);
+      scalar::scale(sref.data(), -1.75f, n);
+      AlignedVector<float> a(y0);
+      AlignedVector<float> aref(y0);
+      set.add(x.data(), a.data(), n);
+      scalar::add(x.data(), aref.data(), n);
+      AlignedVector<float> f(n, 1.0f);
+      set.fill(f.data(), 0.25f, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(s[i], sref[i]) << isa_name(isa) << " scale dims=" << n;
+        EXPECT_NEAR(a[i], aref[i], tol_for(std::fabs(aref[i]), 1))
+            << isa_name(isa) << " add dims=" << n;
+        EXPECT_EQ(f[i], 0.25f) << isa_name(isa) << " fill dims=" << n;
+      }
+    }
+  }
+}
+
+TEST_F(KernelParity, DoubleReductionsMatchScalar) {
+  for (const std::size_t n : kDims) {
+    const auto a = make_input(n, 7 + n);
+    const auto b = make_input(n, 13 + n);
+    const auto bd = make_input_d(n, 13 + n);
+    const double ddot_ref = scalar::ddot(a.data(), b.data(), n);
+    const double sq_ref = scalar::sqdist(a.data(), b.data(), n);
+    const double sqfd_ref = scalar::sqdist_fd(a.data(), bd.data(), n);
+    for (const auto& [isa, set] : variants()) {
+      EXPECT_NEAR(set.ddot(a.data(), b.data(), n), ddot_ref,
+                  tol_for(std::fabs(ddot_ref), n))
+          << isa_name(isa) << " dims=" << n;
+      EXPECT_NEAR(set.sqdist(a.data(), b.data(), n), sq_ref, tol_for(sq_ref, n))
+          << isa_name(isa) << " dims=" << n;
+      EXPECT_NEAR(set.sqdist_fd(a.data(), bd.data(), n), sqfd_ref, tol_for(sqfd_ref, n))
+          << isa_name(isa) << " dims=" << n;
+    }
+  }
+}
+
+TEST_F(KernelParity, DoubleElementwiseMatchScalar) {
+  for (const std::size_t n : kDims) {
+    const auto x = make_input(n, 19 + n);
+    const auto y0 = make_input_d(n, 23 + n);
+    for (const auto& [isa, set] : variants()) {
+      AlignedVector<double> y(y0);
+      AlignedVector<double> yref(y0);
+      set.add_fd(x.data(), y.data(), n);
+      scalar::add_fd(x.data(), yref.data(), n);
+      AlignedVector<double> z(y0);
+      AlignedVector<double> zref(y0);
+      set.scale_d(z.data(), 0.125, n);
+      scalar::scale_d(zref.data(), 0.125, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(y[i], yref[i], tol_for(std::fabs(yref[i]), 1))
+            << isa_name(isa) << " add_fd dims=" << n;
+        EXPECT_EQ(z[i], zref[i]) << isa_name(isa) << " scale_d dims=" << n;
+      }
+    }
+  }
+}
+
+TEST(KernelDispatch, ActiveIsaIsCompiledAndNamed) {
+  const Isa isa = active_isa();
+  const std::string name = active_isa_name();
+  EXPECT_FALSE(name.empty());
+  EXPECT_STRNE(isa_name(isa), "unknown");
+  bool found = false;
+  for (const auto& [v, set] : compiled_variants()) {
+    (void)set;
+    if (v == isa) found = true;
+  }
+#if V2V_TSAN_ENABLED
+  // Under TSan the kernels are pinned to the scalar reference.
+  EXPECT_EQ(isa, Isa::kScalar);
+#endif
+  if (!force_scalar_requested()) {
+    EXPECT_TRUE(found) << "active ISA not among compiled variants";
+  }
+}
+
+TEST(KernelDispatch, ForceScalarDetection) {
+  EXPECT_EQ(detect_isa(true), Isa::kScalar);
+  // Honors the environment: under V2V_FORCE_SCALAR=1 (the CI generic
+  // lane) the dispatcher must land on scalar.
+  if (force_scalar_requested()) {
+    EXPECT_EQ(active_isa(), Isa::kScalar);
+  }
+}
+
+TEST(KernelDispatch, PublicEntryPointsMatchActiveVariant) {
+  const std::size_t n = 129;
+  const auto a = make_input(n, 101);
+  const auto b = make_input(n, 103);
+  // The free functions must agree with whichever variant dispatch picked.
+  const double ref = static_cast<double>(dot(a.data(), b.data(), n));
+  bool matched = false;
+  for (const auto& [isa, set] : compiled_variants()) {
+    if (isa == active_isa()) {
+      EXPECT_EQ(static_cast<double>(set.dot(a.data(), b.data(), n)), ref);
+      matched = true;
+    }
+  }
+  EXPECT_TRUE(matched || force_scalar_requested());
+}
+
+}  // namespace
+}  // namespace v2v::kernels

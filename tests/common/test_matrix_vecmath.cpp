@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 
 #include "v2v/common/matrix.hpp"
 #include "v2v/common/vec_math.hpp"
@@ -28,7 +29,34 @@ TEST(Matrix, RowSpansAreContiguousViews) {
   EXPECT_FLOAT_EQ(r0[2], 3);
   r0[1] = 9;  // writes through
   EXPECT_FLOAT_EQ(m(0, 1), 9);
-  EXPECT_EQ(m.row(1).data(), m.data() + 3);
+  EXPECT_EQ(m.row(1).data(), m.data() + m.stride());
+}
+
+TEST(Matrix, RowsAreCacheLineAligned) {
+  // Stride pads 3 floats up to one 64-byte line (16 floats); every row
+  // start must land on a line boundary.
+  MatrixF m(4, 3, 1.0f);
+  EXPECT_EQ(m.stride(), kCacheLineBytes / sizeof(float));
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.row(r).data()) % kCacheLineBytes, 0u)
+        << "row " << r;
+  }
+  // A full-line row count keeps the stride tight.
+  MatrixF exact(2, 16);
+  EXPECT_EQ(exact.stride(), 16u);
+  MatrixD d(2, 5);
+  EXPECT_EQ(d.stride(), kCacheLineBytes / sizeof(double));
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d.row(1).data()) % kCacheLineBytes, 0u);
+}
+
+TEST(Matrix, EqualityIgnoresPadding) {
+  MatrixF a(2, 3, 1.0f), b(2, 3, 1.0f);
+  // Scribble into a's padding region; logical payloads still match.
+  ASSERT_GT(a.stride(), a.cols());
+  a.data()[a.cols()] = 42.0f;
+  EXPECT_TRUE(a == b);
+  b(1, 2) = 7.0f;
+  EXPECT_FALSE(a == b);
 }
 
 TEST(Matrix, EqualityAndDefault) {

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 namespace v2v {
@@ -98,6 +100,72 @@ TEST(ParallelForOnce, SumMatchesSerial) {
   });
   const long total = std::accumulate(partial.begin(), partial.end(), 0L);
   EXPECT_EQ(total, 10000L * 9999L / 2L);
+}
+
+TEST(ParallelForDynamic, CoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(500);
+  parallel_for_dynamic(4, 500, 7,
+                       [&](std::size_t, std::size_t, std::size_t begin, std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+                       });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForDynamic, ChunkIndexDeterminesRange) {
+  // Chunk boundaries must be a pure function of (count, grain), whatever
+  // worker picks the chunk up.
+  const std::size_t count = 103, grain = 10;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges(chunk_count(count, grain));
+  parallel_for_dynamic(
+      3, count, grain,
+      [&](std::size_t, std::size_t chunk, std::size_t begin, std::size_t end) {
+        ranges[chunk] = {begin, end};
+      });
+  ASSERT_EQ(ranges.size(), 11u);
+  for (std::size_t c = 0; c < ranges.size(); ++c) {
+    EXPECT_EQ(ranges[c].first, c * grain);
+    EXPECT_EQ(ranges[c].second, std::min(count, (c + 1) * grain));
+  }
+}
+
+TEST(ParallelForDynamic, SingleWorkerRunsChunksInOrder) {
+  std::vector<std::size_t> order;
+  parallel_for_dynamic(1, 25, 4,
+                       [&](std::size_t worker, std::size_t chunk, std::size_t,
+                           std::size_t) {
+                         EXPECT_EQ(worker, 0u);
+                         order.push_back(chunk);
+                       });
+  ASSERT_EQ(order.size(), 7u);
+  for (std::size_t c = 0; c < order.size(); ++c) EXPECT_EQ(order[c], c);
+}
+
+TEST(ParallelForDynamic, ZeroCountIsNoop) {
+  bool called = false;
+  parallel_for_dynamic(2, 0, 5,
+                       [&](std::size_t, std::size_t, std::size_t, std::size_t) {
+                         called = true;
+                       });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForDynamic, ZeroGrainPicksDefault) {
+  std::atomic<std::size_t> covered{0};
+  parallel_for_dynamic(2, 1000, 0,
+                       [&](std::size_t, std::size_t, std::size_t begin, std::size_t end) {
+                         covered.fetch_add(end - begin);
+                       });
+  EXPECT_EQ(covered.load(), 1000u);
+}
+
+TEST(ParallelForDynamic, GrainHelpers) {
+  EXPECT_EQ(default_grain(0, 4), 1u);
+  EXPECT_EQ(default_grain(6400, 4), 100u);
+  EXPECT_GE(default_grain(10, 0), 1u);
+  EXPECT_EQ(chunk_count(0, 5), 0u);
+  EXPECT_EQ(chunk_count(10, 5), 2u);
+  EXPECT_EQ(chunk_count(11, 5), 3u);
+  EXPECT_EQ(chunk_count(7, 0), 7u);  // grain 0 treated as 1
 }
 
 }  // namespace

@@ -17,6 +17,7 @@ TEST(ConfigIo, RoundTripNonDefaultValues) {
   config.walk.temporal = true;
   config.walk.time_window = 2.5;
   config.walk.threads = 3;
+  config.walk.grain = 25;
   config.train.dimensions = 123;
   config.train.window = 7;
   config.train.architecture = embed::Architecture::kSkipGram;
@@ -28,6 +29,7 @@ TEST(ConfigIo, RoundTripNonDefaultValues) {
   config.train.initial_lr = 0.0125;
   config.train.subsample = 1e-4;
   config.train.threads = 2;
+  config.train.grain = 50;
 
   std::stringstream buffer;
   save_config(config, buffer);
@@ -41,6 +43,7 @@ TEST(ConfigIo, RoundTripNonDefaultValues) {
   EXPECT_TRUE(loaded.walk.temporal);
   EXPECT_DOUBLE_EQ(loaded.walk.time_window, 2.5);
   EXPECT_EQ(loaded.walk.threads, 3u);
+  EXPECT_EQ(loaded.walk.grain, 25u);
   EXPECT_EQ(loaded.train.dimensions, 123u);
   EXPECT_EQ(loaded.train.window, 7u);
   EXPECT_EQ(loaded.train.architecture, embed::Architecture::kSkipGram);
@@ -52,6 +55,7 @@ TEST(ConfigIo, RoundTripNonDefaultValues) {
   EXPECT_DOUBLE_EQ(loaded.train.initial_lr, 0.0125);
   EXPECT_DOUBLE_EQ(loaded.train.subsample, 1e-4);
   EXPECT_EQ(loaded.train.threads, 2u);
+  EXPECT_EQ(loaded.train.grain, 50u);
 }
 
 TEST(ConfigIo, MissingKeysKeepDefaults) {

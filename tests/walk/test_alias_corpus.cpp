@@ -96,6 +96,37 @@ TEST(Corpus, AppendMergesShards) {
   EXPECT_EQ(a.walk(2)[2], 6u);
 }
 
+TEST(Corpus, MoveAppendDrainsSource) {
+  Corpus a, b;
+  a.add_walk(std::vector<graph::VertexId>{1, 2});
+  b.add_walk(std::vector<graph::VertexId>{3});
+  b.add_walk(std::vector<graph::VertexId>{4, 5, 6});
+  a.append(std::move(b));
+  EXPECT_EQ(a.walk_count(), 3u);
+  EXPECT_EQ(a.token_count(), 6u);
+  EXPECT_EQ(a.walk(1)[0], 3u);
+  EXPECT_EQ(a.walk(2)[2], 6u);
+  // The source must be fully drained — its storage released, not copied —
+  // and still usable as an empty corpus.
+  EXPECT_EQ(b.walk_count(), 0u);
+  EXPECT_EQ(b.token_count(), 0u);
+  b.add_walk(std::vector<graph::VertexId>{7});
+  EXPECT_EQ(b.walk_count(), 1u);
+  EXPECT_EQ(b.walk(0)[0], 7u);
+}
+
+TEST(Corpus, MoveAppendIntoEmptyStealsWholesale) {
+  Corpus a, b;
+  b.add_walk(std::vector<graph::VertexId>{1, 2, 3});
+  const auto* storage_before = b.tokens().data();
+  a.append(std::move(b));
+  // Appending into an empty corpus must adopt the source's buffer rather
+  // than copying it.
+  EXPECT_EQ(a.tokens().data(), storage_before);
+  EXPECT_EQ(a.walk_count(), 1u);
+  EXPECT_EQ(b.token_count(), 0u);
+}
+
 TEST(Corpus, VertexFrequencies) {
   Corpus corpus;
   corpus.add_walk(std::vector<graph::VertexId>{0, 1, 1, 2});

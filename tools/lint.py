@@ -15,6 +15,10 @@ Enforced on src/ (and partially on tests/ and bench/, see each rule):
       never include <bits/...>
   R6  every src/v2v/<module>/<name>.cpp has its header referenced by some
       test in tests/ (no untested translation units land silently)
+  R7  no hand-rolled elementwise loops over embedding rows in
+      src/v2v/embed/ and src/v2v/ml/: row arithmetic goes through the
+      dispatched SIMD layer in common/kernels.hpp so every call site gets
+      the ISA variants, the TSan-safe path, and the parity tests for free
 
 Usage: tools/lint.py [--root REPO_ROOT]
 Exit code 0 = clean, 1 = findings (printed one per line as
@@ -33,6 +37,21 @@ import sys
 # justified.
 TEST_REF_ALLOWLIST: set[str] = set()
 
+# Files exempt from R7. Keep this list short and justified.
+ELEMENTWISE_ALLOWLIST: set[str] = {
+    # The kernel layer itself: the scalar reference and the per-ISA SIMD
+    # variants are exactly where elementwise loops are supposed to live.
+    "src/v2v/common/kernels.hpp",
+    "src/v2v/common/kernels.cpp",
+    # t-SNE's gradient integrator updates gains/velocity/embedding in one
+    # fused pass over 2-D double state; the float row kernels do not apply.
+    "src/v2v/ml/tsne.cpp",
+}
+
+# Directories whose row arithmetic must go through common/kernels.hpp (R7),
+# plus the kernel layer itself so the allowlist stays honest.
+ELEMENTWISE_SCOPES = ("src/v2v/embed/", "src/v2v/ml/", "src/v2v/common/kernels")
+
 ENGINE_RE = re.compile(
     r"std::(mt19937(_64)?|minstd_rand0?|default_random_engine|random_device|"
     r"ranlux\w+|knuth_b)\b")
@@ -42,6 +61,13 @@ NAKED_DELETE_RE = re.compile(r"(?<![\w_])delete(\[\])?\s+[A-Za-z_(*]")
 ENDL_RE = re.compile(r"std::endl\b")
 BITS_INCLUDE_RE = re.compile(r'#\s*include\s*<bits/')
 INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
+# R7: an indexed compound update (y[i] += ...x[i]...) or an indexed
+# assignment that re-reads the same element with arithmetic on the right
+# (y[i] = y[i] * s + ...). Both are the shape of a hand-unrolled axpy /
+# scale / add over a row.
+COMPOUND_UPDATE_RE = re.compile(r"\[\s*(\w+)\s*\]\s*[+\-*/]=\s*(?P<rhs>[^;]*)")
+INDEXED_ASSIGN_RE = re.compile(
+    r"(?P<arr>\w[\w.]*)\s*\[\s*(?P<idx>\w+)\s*\]\s*=(?!=)(?P<rhs>[^;]*)")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -129,6 +155,33 @@ class Linter:
                             "<bits/...> is a libstdc++ internal; include the "
                             "standard header")
 
+    def lint_elementwise(self, path: pathlib.Path) -> None:
+        rel = path.relative_to(self.root).as_posix()
+        if not rel.startswith(ELEMENTWISE_SCOPES):
+            return
+        if rel in ELEMENTWISE_ALLOWLIST:
+            return
+        code = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+        for line_no, line in enumerate(code.splitlines(), start=1):
+            flagged = False
+            m = COMPOUND_UPDATE_RE.search(line)
+            if m and re.search(r"\[\s*%s\s*\]" % re.escape(m.group(1)),
+                               m.group("rhs")):
+                flagged = True
+            if not flagged:
+                m = INDEXED_ASSIGN_RE.search(line)
+                if m:
+                    same_elem = r"%s\s*\[\s*%s\s*\]" % (
+                        re.escape(m.group("arr")), re.escape(m.group("idx")))
+                    rhs = m.group("rhs")
+                    if re.search(same_elem, rhs) and re.search(r"[+\-*/]", rhs):
+                        flagged = True
+            if flagged:
+                self.report(path, line_no, "R7",
+                            "hand-rolled elementwise row update; use "
+                            "v2v/common/kernels.hpp (or allowlist in "
+                            "tools/lint.py)")
+
     def lint_include_hygiene(self, path: pathlib.Path) -> None:
         raw = path.read_text(encoding="utf-8")
         if path.suffix == ".hpp":
@@ -175,6 +228,7 @@ class Linter:
         for path in sorted(src.rglob("*.[ch]pp")):
             self.lint_content_rules(path)
             self.lint_include_hygiene(path)
+            self.lint_elementwise(path)
         # Tests and benches get the behavioral rules (R1-R4) but not the
         # structural ones.
         for tree in (tests, bench):
