@@ -8,8 +8,8 @@
 #include "v2v/community/girvan_newman.hpp"
 #include "v2v/community/louvain.hpp"
 #include "v2v/graph/generators.hpp"
+#include "v2v/index/knn.hpp"
 #include "v2v/ml/kmeans.hpp"
-#include "v2v/ml/knn.hpp"
 #include "v2v/ml/pca.hpp"
 
 namespace {
@@ -55,7 +55,7 @@ void BM_KnnPredict(benchmark::State& state) {
   const MatrixF points = blob_points(1000, static_cast<std::size_t>(state.range(0)), 2);
   std::vector<std::uint32_t> labels(1000);
   for (std::size_t i = 0; i < 1000; ++i) labels[i] = static_cast<std::uint32_t>(i % 10);
-  const ml::KnnClassifier knn(points, labels);
+  const index::KnnClassifier knn(points, labels);
   Rng rng(3);
   for (auto _ : state) {
     const auto row = points.row(rng.next_below(1000));

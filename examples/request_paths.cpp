@@ -15,6 +15,7 @@
 #include "v2v/common/rng.hpp"
 #include "v2v/core/v2v.hpp"
 #include "v2v/embed/trainer.hpp"
+#include "v2v/index/embedding_queries.hpp"
 #include "v2v/walk/corpus.hpp"
 
 namespace {
@@ -101,7 +102,7 @@ int main(int argc, char** argv) {
   const std::size_t db0 = topo.clients + topo.frontends + topo.services;
   std::size_t db_neighbors = 0, checked = 0;
   for (std::size_t db = db0; db < topo.total(); ++db) {
-    for (const auto nn : result.embedding.nearest(db, 3)) {
+    for (const auto nn : v2v::index::nearest(result.embedding, db, 3)) {
       db_neighbors += topo.tier(nn) == 3 ? 1 : 0;
       ++checked;
     }

@@ -1,0 +1,186 @@
+// v2v_query_tool: the serving-side companion to v2v_tool, operating on
+// binary embedding snapshots (see docs/ARCHITECTURE.md "Embedding store").
+//
+//   v2v_query_tool convert <vectors.txt> <out.v2vsnap>
+//   v2v_query_tool export  <in.v2vsnap> <vectors.txt>
+//   v2v_query_tool info    <in.v2vsnap>
+//   v2v_query_tool serve   <in.v2vsnap> [--index=flat|ivf] [--metric=cosine|l2]
+//                          [--k=10] [--nlist=0] [--nprobe=8] [--threads=1]
+//                          [--queries=file] [--no-mmap]
+//
+// `serve` memory-maps the snapshot (zero-copy; --no-mmap forces the
+// buffered fallback), builds the requested index, then answers one query
+// per input line ("id x1 x2 ... xd" or just "x1 ... xd") from --queries or
+// stdin, printing "id distance" pairs per line. --metrics-out=<file>.json
+// writes the serving metrics sidecar (query counts, latency histogram,
+// ivf build stats; schema v2v.metrics.v1).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "v2v/common/cli.hpp"
+#include "v2v/index/flat_index.hpp"
+#include "v2v/index/ivf_index.hpp"
+#include "v2v/index/query_engine.hpp"
+#include "v2v/obs/export.hpp"
+#include "v2v/obs/metrics.hpp"
+#include "v2v/store/snapshot.hpp"
+
+namespace {
+
+using namespace v2v;
+
+void maybe_write_metrics(const CliArgs& args, const obs::MetricsRegistry& registry) {
+  const std::string path = args.metrics_out();
+  if (path.empty()) return;
+  obs::write_json_file(registry, path);
+  std::fprintf(stderr, "wrote metrics sidecar %s\n", path.c_str());
+}
+
+int cmd_convert(const CliArgs& args) {
+  store::convert_text_to_snapshot(args.positional()[1], args.positional()[2]);
+  const auto h = store::EmbeddingStore::read_header(args.positional()[2]);
+  std::printf("wrote %s: %llu rows x %llu dims\n", args.positional()[2].c_str(),
+              static_cast<unsigned long long>(h.rows),
+              static_cast<unsigned long long>(h.dims));
+  return 0;
+}
+
+int cmd_export(const CliArgs& args) {
+  store::convert_snapshot_to_text(args.positional()[1], args.positional()[2]);
+  std::printf("wrote %s\n", args.positional()[2].c_str());
+  return 0;
+}
+
+int cmd_info(const CliArgs& args) {
+  const auto& path = args.positional()[1];
+  const auto h = store::EmbeddingStore::read_header(path);
+  std::printf("snapshot      %s\n", path.c_str());
+  std::printf("version       %u\n", h.version);
+  std::printf("rows          %llu\n", static_cast<unsigned long long>(h.rows));
+  std::printf("dims          %llu\n", static_cast<unsigned long long>(h.dims));
+  std::printf("row_stride    %llu floats\n",
+              static_cast<unsigned long long>(h.row_stride));
+  std::printf("data_offset   %llu\n", static_cast<unsigned long long>(h.data_offset));
+  std::printf("data_bytes    %llu\n", static_cast<unsigned long long>(h.data_bytes));
+  std::printf("data_checksum %016llx\n",
+              static_cast<unsigned long long>(h.data_checksum));
+  return 0;
+}
+
+/// Parses "x1 ... xd" or "id x1 ... xd" (one extra leading token) into a
+/// d-dimensional query; returns false on malformed input.
+bool parse_query(const std::string& line, std::size_t dims,
+                 std::vector<float>& query) {
+  std::istringstream in(line);
+  std::vector<float> values;
+  float x = 0.0f;
+  while (in >> x) values.push_back(x);
+  if (values.size() == dims + 1) values.erase(values.begin());
+  if (values.size() != dims) return false;
+  query = std::move(values);
+  return true;
+}
+
+int cmd_serve(const CliArgs& args) {
+  const auto& path = args.positional()[1];
+  obs::MetricsRegistry metrics;
+
+  const auto mode = args.get_bool("no-mmap")
+                        ? store::MappedEmbedding::MapMode::kBuffered
+                        : store::MappedEmbedding::MapMode::kAuto;
+  const auto mapped = store::MappedEmbedding::open(path, mode);
+  std::fprintf(stderr, "serving %s: %zu rows x %zu dims (%s)\n", path.c_str(),
+               mapped.rows(), mapped.dimensions(),
+               mapped.zero_copy() ? "zero-copy mmap" : "buffered");
+
+  const std::string metric_name = args.get("metric", "cosine");
+  const auto metric = metric_name == "l2" || metric_name == "euclidean"
+                          ? index::DistanceMetric::kEuclidean
+                          : index::DistanceMetric::kCosine;
+  const auto threads = static_cast<std::size_t>(args.get_int("threads", 1));
+  const auto k = static_cast<std::size_t>(args.get_int("k", 10));
+
+  std::unique_ptr<index::VectorIndex> idx;
+  if (args.get("index", "flat") == "ivf") {
+    index::IvfConfig config;
+    config.nlist = static_cast<std::size_t>(args.get_int("nlist", 0));
+    config.nprobe = static_cast<std::size_t>(args.get_int("nprobe", 8));
+    config.threads = threads;
+    config.metrics = &metrics;
+    idx = std::make_unique<index::IvfIndex>(mapped.view(), metric, config);
+  } else {
+    idx = std::make_unique<index::FlatIndex>(mapped.view(), metric);
+  }
+  const index::QueryEngine engine(*idx, {.threads = threads, .metrics = &metrics});
+  engine.warmup();
+
+  std::ifstream query_file;
+  const std::string query_path = args.get("queries", "");
+  if (!query_path.empty()) {
+    query_file.open(query_path);
+    if (!query_file) {
+      std::fprintf(stderr, "error: cannot open %s\n", query_path.c_str());
+      return 1;
+    }
+  }
+  std::istream& in = query_path.empty() ? std::cin : query_file;
+
+  std::string line;
+  std::vector<float> query;
+  std::vector<index::Neighbor> out;
+  std::size_t answered = 0, malformed = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (!parse_query(line, mapped.dimensions(), query)) {
+      std::fprintf(stderr, "skipping malformed query line: %s\n", line.c_str());
+      ++malformed;
+      continue;
+    }
+    engine.query_into(query, k, out);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      std::printf("%s%u:%.6g", i == 0 ? "" : " ", out[i].id, out[i].distance);
+    }
+    std::printf("\n");
+    ++answered;
+  }
+  std::fprintf(stderr, "answered %zu queries (%zu malformed)\n", answered,
+               malformed);
+  maybe_write_metrics(args, metrics);
+  return malformed == 0 ? 0 : 1;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  v2v_query_tool convert <vectors.txt> <out.v2vsnap>\n"
+               "  v2v_query_tool export  <in.v2vsnap> <vectors.txt>\n"
+               "  v2v_query_tool info    <in.v2vsnap>\n"
+               "  v2v_query_tool serve   <in.v2vsnap> [--index=flat|ivf]\n"
+               "      [--metric=cosine|l2] [--k=10] [--nlist=0] [--nprobe=8]\n"
+               "      [--threads=1] [--queries=file] [--no-mmap]\n"
+               "      [--metrics-out=metrics.json]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  try {
+    const auto& pos = args.positional();
+    const std::string command = pos.empty() ? "" : pos[0];
+    if (command == "convert" && pos.size() >= 3) return cmd_convert(args);
+    if (command == "export" && pos.size() >= 3) return cmd_export(args);
+    if (command == "info" && pos.size() >= 2) return cmd_info(args);
+    if (command == "serve" && pos.size() >= 2) return cmd_serve(args);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

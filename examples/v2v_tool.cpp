@@ -35,6 +35,7 @@
 #include "v2v/graph/io.hpp"
 #include "v2v/graph/labels_io.hpp"
 #include "v2v/graph/structure.hpp"
+#include "v2v/index/embedding_queries.hpp"
 #include "v2v/obs/export.hpp"
 #include "v2v/obs/metrics.hpp"
 #include "v2v/viz/svg.hpp"
@@ -168,7 +169,7 @@ int cmd_nearest(const CliArgs& args) {
     return 2;
   }
   const auto k = static_cast<std::size_t>(args.get_int("k", 5));
-  for (const auto u : embedding.nearest(static_cast<std::size_t>(*vertex), k)) {
+  for (const auto u : index::nearest(embedding, static_cast<std::size_t>(*vertex), k)) {
     std::printf("%u\t%.4f\n", u,
                 embedding.cosine_similarity(static_cast<std::size_t>(*vertex), u));
   }

@@ -2,9 +2,12 @@
 
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
 #include "v2v/common/rng.hpp"
+#include "v2v/index/flat_index.hpp"
 #include "v2v/ml/silhouette.hpp"
+#include "v2v/store/embedding_view.hpp"
 
 namespace v2v {
 
@@ -60,13 +63,23 @@ double neighborhood_purity(const embed::Embedding& embedding,
     throw std::invalid_argument("neighborhood_purity: labels size mismatch");
   }
   if (n < 2 || k == 0) return 0.0;
+  // One FlatIndex for all n queries (the old per-vertex Embedding::nearest
+  // rescanned the matrix per call); over-fetch by one and drop the vertex
+  // itself from its own neighborhood.
+  const index::FlatIndex flat(store::EmbeddingView::of(embedding),
+                              index::DistanceMetric::kCosine);
+  std::vector<index::Neighbor> scratch;
   double purity_sum = 0.0;
   for (std::size_t v = 0; v < n; ++v) {
-    const auto neighbors = embedding.nearest(v, k);
-    if (neighbors.empty()) continue;
-    std::size_t matching = 0;
-    for (const auto u : neighbors) matching += labels[u] == labels[v] ? 1 : 0;
-    purity_sum += static_cast<double>(matching) / static_cast<double>(neighbors.size());
+    flat.search_into(embedding.vector(v), k + 1, scratch);
+    std::size_t matching = 0, neighbors = 0;
+    for (const index::Neighbor& u : scratch) {
+      if (u.id == v || neighbors == k) continue;
+      matching += labels[u.id] == labels[v] ? 1 : 0;
+      ++neighbors;
+    }
+    if (neighbors == 0) continue;
+    purity_sum += static_cast<double>(matching) / static_cast<double>(neighbors);
   }
   return purity_sum / static_cast<double>(n);
 }

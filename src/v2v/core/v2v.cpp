@@ -97,7 +97,7 @@ LabelPredictionResult evaluate_label_prediction(const embed::Embedding& embeddin
                                                 const std::vector<std::uint32_t>& labels,
                                                 std::size_t neighbors, std::size_t folds,
                                                 std::size_t repeats,
-                                                ml::DistanceMetric metric,
+                                                index::DistanceMetric metric,
                                                 std::uint64_t seed) {
   if (labels.size() != embedding.vertex_count()) {
     throw std::invalid_argument(
@@ -115,7 +115,8 @@ LabelPredictionResult evaluate_label_prediction(const embed::Embedding& embeddin
     const auto split = ml::make_kfold(labels.size(), folds, rng);
     std::size_t correct = 0, total = 0;
     for (const auto& fold : split) {
-      const ml::KnnClassifier classifier(embedding.matrix(), fold.train, labels, metric);
+      const index::KnnClassifier classifier(embedding.matrix(), fold.train, labels,
+                                            metric);
       for (const std::size_t test_row : fold.test) {
         const auto predicted =
             classifier.predict(embedding.vector(test_row), neighbors);

@@ -18,8 +18,8 @@
 #include "v2v/embed/embedding.hpp"
 #include "v2v/embed/trainer.hpp"
 #include "v2v/graph/graph.hpp"
+#include "v2v/index/knn.hpp"
 #include "v2v/ml/kmeans.hpp"
-#include "v2v/ml/knn.hpp"
 #include "v2v/ml/metrics.hpp"
 #include "v2v/viz/forceatlas2.hpp"
 #include "v2v/walk/walker.hpp"
@@ -107,10 +107,14 @@ struct LabelPredictionResult {
 
 /// Paper §V: k-NN label prediction evaluated with `folds`-fold cross
 /// validation repeated `repeats` times (paper: 10-fold, 10 repeats).
+/// Prediction runs on the index layer's QueryEngine in exact FlatIndex
+/// mode, so the numbers match the pre-index brute-force implementation
+/// bit for bit.
 [[nodiscard]] LabelPredictionResult evaluate_label_prediction(
     const embed::Embedding& embedding, const std::vector<std::uint32_t>& labels,
     std::size_t neighbors, std::size_t folds = 10, std::size_t repeats = 10,
-    ml::DistanceMetric metric = ml::DistanceMetric::kCosine, std::uint64_t seed = 1);
+    index::DistanceMetric metric = index::DistanceMetric::kCosine,
+    std::uint64_t seed = 1);
 
 /// Paper §IV: PCA projection of the embedding to `components` dimensions,
 /// returned as 2-D points when components == 2 (use ml::Pca directly for

@@ -3,62 +3,16 @@
 #include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
-#include "v2v/common/kernels.hpp"
 #include "v2v/common/vec_math.hpp"
 
 namespace v2v::embed {
 
 double Embedding::cosine_similarity(std::size_t a, std::size_t b) const {
   return 1.0 - cosine_distance(vector(a), vector(b));
-}
-
-std::vector<std::uint32_t> Embedding::nearest(std::size_t v, std::size_t k) const {
-  std::vector<std::pair<double, std::uint32_t>> scored;
-  scored.reserve(vertex_count() - 1);
-  for (std::size_t u = 0; u < vertex_count(); ++u) {
-    if (u == v) continue;
-    scored.emplace_back(cosine_similarity(v, u), static_cast<std::uint32_t>(u));
-  }
-  k = std::min(k, scored.size());
-  std::partial_sort(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(k),
-                    scored.end(), [](const auto& x, const auto& y) {
-                      return x.first > y.first ||
-                             (x.first == y.first && x.second < y.second);
-                    });
-  std::vector<std::uint32_t> out(k);
-  for (std::size_t i = 0; i < k; ++i) out[i] = scored[i].second;
-  return out;
-}
-
-std::vector<std::uint32_t> Embedding::analogy(std::size_t a, std::size_t b,
-                                              std::size_t c, std::size_t k) const {
-  std::vector<float> query(dimensions());
-  const auto va = vector(a);
-  const auto vb = vector(b);
-  const auto vc = vector(c);
-  std::copy(vb.begin(), vb.end(), query.begin());
-  kernels::axpy(-1.0f, va.data(), query.data(), query.size());
-  kernels::axpy(1.0f, vc.data(), query.data(), query.size());
-  std::vector<std::pair<double, std::uint32_t>> scored;
-  scored.reserve(vertex_count());
-  for (std::size_t u = 0; u < vertex_count(); ++u) {
-    if (u == a || u == b || u == c) continue;
-    scored.emplace_back(
-        1.0 - cosine_distance(std::span<const float>(query), vector(u)),
-        static_cast<std::uint32_t>(u));
-  }
-  k = std::min(k, scored.size());
-  std::partial_sort(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(k),
-                    scored.end(), [](const auto& x, const auto& y) {
-                      return x.first > y.first ||
-                             (x.first == y.first && x.second < y.second);
-                    });
-  std::vector<std::uint32_t> out(k);
-  for (std::size_t i = 0; i < k; ++i) out[i] = scored[i].second;
-  return out;
 }
 
 Embedding Embedding::normalized() const {
@@ -70,12 +24,18 @@ Embedding Embedding::normalized() const {
 }
 
 void Embedding::save_text(std::ostream& out) const {
+  // max_digits10 digits reproduce every float exactly on read-back, so
+  // save -> load -> save is idempotent (the old default 6 digits lost the
+  // low bits of most mantissas).
+  const auto old_precision =
+      out.precision(std::numeric_limits<float>::max_digits10);
   out << vertex_count() << ' ' << dimensions() << '\n';
   for (std::size_t v = 0; v < vertex_count(); ++v) {
     out << v;
     for (const float x : vector(v)) out << ' ' << x;
     out << '\n';
   }
+  out.precision(old_precision);
 }
 
 void Embedding::save_text_file(const std::string& path) const {

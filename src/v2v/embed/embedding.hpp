@@ -32,20 +32,15 @@ class Embedding {
   /// Cosine similarity between two vertex vectors (0 for zero vectors).
   [[nodiscard]] double cosine_similarity(std::size_t a, std::size_t b) const;
 
-  /// Indices of the `k` nearest vertices to `v` by cosine similarity,
-  /// excluding `v` itself, most similar first.
-  [[nodiscard]] std::vector<std::uint32_t> nearest(std::size_t v, std::size_t k) const;
-
-  /// word2vec-style analogy query "a is to b as c is to ?": the k vertices
-  /// whose vectors are closest (cosine) to vec(b) - vec(a) + vec(c),
-  /// excluding a, b and c themselves.
-  [[nodiscard]] std::vector<std::uint32_t> analogy(std::size_t a, std::size_t b,
-                                                   std::size_t c, std::size_t k) const;
+  // Similarity search (nearest / analogy queries) lives in the index
+  // layer: see v2v/index/embedding_queries.hpp and v2v/index/flat_index.hpp.
 
   /// Returns a copy with every row L2-normalized.
   [[nodiscard]] Embedding normalized() const;
 
   /// word2vec text format: header "n d", then one "id x1 ... xd" per row.
+  /// Floats are written with max_digits10 significant digits, so
+  /// save -> load -> save round-trips bitwise.
   void save_text(std::ostream& out) const;
   void save_text_file(const std::string& path) const;
   [[nodiscard]] static Embedding load_text(std::istream& in);

@@ -1,0 +1,54 @@
+#include "v2v/index/embedding_queries.hpp"
+
+#include <algorithm>
+
+#include "v2v/common/kernels.hpp"
+#include "v2v/index/flat_index.hpp"
+#include "v2v/store/embedding_view.hpp"
+
+namespace v2v::index {
+
+std::vector<std::uint32_t> nearest(const VectorIndex& idx,
+                                   std::span<const float> query, std::size_t k,
+                                   std::span<const std::uint32_t> exclude) {
+  // Over-fetch by the exclusion count so k survivors remain even when all
+  // excluded ids rank at the top.
+  const auto found = idx.search(query, k + exclude.size());
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  for (const Neighbor& n : found) {
+    if (std::find(exclude.begin(), exclude.end(), n.id) != exclude.end()) continue;
+    out.push_back(n.id);
+    if (out.size() == k) break;
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> nearest(const embed::Embedding& embedding,
+                                   std::size_t v, std::size_t k) {
+  const FlatIndex flat(store::EmbeddingView::of(embedding),
+                       DistanceMetric::kCosine);
+  const std::uint32_t self[] = {static_cast<std::uint32_t>(v)};
+  return nearest(flat, embedding.vector(v), k, self);
+}
+
+std::vector<std::uint32_t> analogy(const embed::Embedding& embedding,
+                                   std::size_t a, std::size_t b, std::size_t c,
+                                   std::size_t k) {
+  std::vector<float> query(embedding.dimensions());
+  const auto va = embedding.vector(a);
+  const auto vb = embedding.vector(b);
+  const auto vc = embedding.vector(c);
+  std::copy(vb.begin(), vb.end(), query.begin());
+  kernels::axpy(-1.0f, va.data(), query.data(), query.size());
+  kernels::axpy(1.0f, vc.data(), query.data(), query.size());
+
+  const FlatIndex flat(store::EmbeddingView::of(embedding),
+                       DistanceMetric::kCosine);
+  const std::uint32_t abc[] = {static_cast<std::uint32_t>(a),
+                               static_cast<std::uint32_t>(b),
+                               static_cast<std::uint32_t>(c)};
+  return nearest(flat, query, k, abc);
+}
+
+}  // namespace v2v::index

@@ -1,0 +1,35 @@
+// word2vec-style similarity queries over a trained embedding (paper §IV),
+// served through the index layer. These free functions replace the old
+// Embedding::nearest / Embedding::analogy methods: the embed module stores
+// vectors, the index module searches them. The convenience overloads
+// build a transient FlatIndex per call (same O(n) cost as the old brute
+// scan, same results); callers with query traffic should build a
+// FlatIndex / IvfIndex once and use `nearest` with an explicit index.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "v2v/embed/embedding.hpp"
+#include "v2v/index/vector_index.hpp"
+
+namespace v2v::index {
+
+/// Ids of the k vectors nearest to `query` under `idx`'s metric, excluding
+/// any id listed in `exclude`, nearest first.
+[[nodiscard]] std::vector<std::uint32_t> nearest(
+    const VectorIndex& idx, std::span<const float> query, std::size_t k,
+    std::span<const std::uint32_t> exclude = {});
+
+/// The k vertices most cosine-similar to vertex `v`, excluding `v` itself.
+[[nodiscard]] std::vector<std::uint32_t> nearest(const embed::Embedding& embedding,
+                                                 std::size_t v, std::size_t k);
+
+/// word2vec analogy "a is to b as c is to ?": the k vertices whose vectors
+/// are closest (cosine) to vec(b) - vec(a) + vec(c), excluding a, b and c.
+[[nodiscard]] std::vector<std::uint32_t> analogy(const embed::Embedding& embedding,
+                                                 std::size_t a, std::size_t b,
+                                                 std::size_t c, std::size_t k);
+
+}  // namespace v2v::index

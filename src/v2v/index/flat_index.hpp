@@ -1,0 +1,48 @@
+// Exact brute-force nearest-neighbor search over an EmbeddingView: the
+// correctness oracle of the index layer and the engine behind the paper's
+// k-NN experiments. Per-row distances run on the dispatched SIMD kernels;
+// row norms for the cosine metric are precomputed once at build time so a
+// query costs one ddot per row.
+//
+// Exactness contract: distances are computed with the same arithmetic as
+// common/vec_math.hpp (cosine_distance incl. its zero-vector convention,
+// kernels::sqdist for Euclidean) and ties break by (distance, id)
+// ascending — bit-identical to the pre-index brute-force KnnClassifier,
+// which is what keeps the fig9/fig10 crossval numbers exactly reproducible.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "v2v/index/vector_index.hpp"
+#include "v2v/store/embedding_view.hpp"
+
+namespace v2v::index {
+
+class FlatIndex final : public VectorIndex {
+ public:
+  /// The view's backing storage must outlive the index.
+  explicit FlatIndex(store::EmbeddingView data,
+                     DistanceMetric metric = DistanceMetric::kCosine);
+
+  [[nodiscard]] std::size_t size() const noexcept override { return data_.rows(); }
+  [[nodiscard]] std::size_t dimensions() const noexcept override {
+    return data_.dimensions();
+  }
+  [[nodiscard]] DistanceMetric metric() const noexcept override { return metric_; }
+
+  void search_into(std::span<const float> query, std::size_t k,
+                   std::vector<Neighbor>& out) const override;
+
+  double warm_rows(std::size_t begin, std::size_t end) const override;
+
+  [[nodiscard]] const store::EmbeddingView& data() const noexcept { return data_; }
+
+ private:
+  store::EmbeddingView data_;
+  DistanceMetric metric_;
+  std::vector<double> norms_;  ///< per-row L2 norms (cosine metric only)
+};
+
+}  // namespace v2v::index

@@ -1,0 +1,99 @@
+// Inverted-file (IVF) approximate nearest-neighbor index.
+//
+// Build: a coarse quantizer — k-means over a sample of the rows, reusing
+// ml/kmeans — partitions the vectors into `nlist` posting lists; every row
+// is assigned to its nearest centroid (parallel over rows) and the rows
+// are repacked into one contiguous codes matrix grouped by list, so a
+// probe streams cache-line-aligned memory instead of chasing ids.
+//
+// Query: find the `nprobe` nearest centroids (by squared distance in the
+// same normalized space the quantizer was trained in), scan only their
+// lists, return the top-k by (distance, id). nprobe is the recall/QPS
+// knob: nprobe == nlist degenerates to an exact scan (recall 1.0 modulo
+// distance-formula rounding), nprobe == 1 scans ~1/nlist of the data.
+//
+// Cosine metric: rows and queries are L2-normalized once (build/query
+// time), so cosine distance reduces to 1 - dot and the quantizer's
+// Euclidean geometry matches the metric (||a - b||² = 2·(1 - cos) on the
+// unit sphere). Zero vectors stay zero and keep distance 1 to everything,
+// consistent with vec_math. Distances from an IVF probe are therefore not
+// bit-identical to FlatIndex's (different formula, same ordering up to
+// rounding) — exactness lives in FlatIndex, IVF trades it for speed.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "v2v/common/matrix.hpp"
+#include "v2v/index/vector_index.hpp"
+#include "v2v/store/embedding_view.hpp"
+
+namespace v2v::obs {
+class MetricsRegistry;
+}  // namespace v2v::obs
+
+namespace v2v::index {
+
+struct IvfConfig {
+  /// Posting lists (coarse centroids); 0 picks ~sqrt(rows).
+  std::size_t nlist = 0;
+  /// Lists scanned per query; clamped to nlist. The recall/QPS knob.
+  std::size_t nprobe = 8;
+  /// Rows sampled for quantizer training (deterministic under `seed`);
+  /// 0 or >= rows trains on everything.
+  std::size_t train_sample = 20000;
+  /// Lloyd iterations / restarts for the quantizer: a coarse quantizer
+  /// does not need the paper's 100x100 budget.
+  std::size_t kmeans_iterations = 15;
+  std::size_t kmeans_restarts = 1;
+  std::uint64_t seed = 1;
+  /// Worker threads for the build (assignment pass + k-means restarts).
+  std::size_t threads = 1;
+  /// Optional observability sink: records ivf.nlist / ivf.build_seconds
+  /// gauges, an ivf.list_size histogram, and an "ivf_build" stage span.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+class IvfIndex final : public VectorIndex {
+ public:
+  /// Builds the index over `data` (backing storage must outlive it).
+  /// Throws std::invalid_argument when `data` is empty.
+  IvfIndex(store::EmbeddingView data, DistanceMetric metric, IvfConfig config = {});
+
+  [[nodiscard]] std::size_t size() const noexcept override { return rows_; }
+  [[nodiscard]] std::size_t dimensions() const noexcept override { return dims_; }
+  [[nodiscard]] DistanceMetric metric() const noexcept override { return metric_; }
+
+  void search_into(std::span<const float> query, std::size_t k,
+                   std::vector<Neighbor>& out) const override;
+
+  double warm_rows(std::size_t begin, std::size_t end) const override;
+
+  [[nodiscard]] std::size_t nlist() const noexcept { return list_offsets_.size() - 1; }
+  [[nodiscard]] std::size_t list_size(std::size_t list) const noexcept {
+    return list_offsets_[list + 1] - list_offsets_[list];
+  }
+  /// Runtime-tunable; safe to change between (not during) queries from the
+  /// controlling thread — concurrent readers just see old or new value.
+  void set_nprobe(std::size_t nprobe) noexcept {
+    nprobe_.store(nprobe, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t nprobe() const noexcept {
+    return nprobe_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t dims_ = 0;
+  DistanceMetric metric_;
+  std::atomic<std::size_t> nprobe_;
+  MatrixF centroids_;                       ///< nlist x dims quantizer
+  MatrixF codes_;                           ///< rows x dims, grouped by list
+  std::vector<std::uint32_t> ids_;          ///< codes_ row -> original id
+  std::vector<std::size_t> list_offsets_;   ///< nlist + 1 prefix offsets
+};
+
+}  // namespace v2v::index

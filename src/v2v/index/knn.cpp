@@ -1,0 +1,85 @@
+#include "v2v/index/knn.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+namespace v2v::index {
+namespace {
+
+MatrixF copy_rows(const MatrixF& points, std::span<const std::size_t> rows) {
+  MatrixF out(rows.size(), points.cols());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto src = points.row(rows[i]);
+    const auto dst = out.row(i);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> gather_labels(std::span<const std::size_t> rows,
+                                         std::span<const std::uint32_t> labels) {
+  std::vector<std::uint32_t> out;
+  out.reserve(rows.size());
+  for (const std::size_t r : rows) out.push_back(labels[r]);
+  return out;
+}
+
+}  // namespace
+
+KnnClassifier::KnnClassifier(const MatrixF& points, std::vector<std::uint32_t> labels,
+                             DistanceMetric metric, std::size_t threads)
+    : points_(points), labels_(std::move(labels)),
+      flat_(store::EmbeddingView::of(points_), metric),
+      engine_(flat_, {.threads = threads, .metrics = nullptr}) {
+  if (points_.rows() != labels_.size()) {
+    throw std::invalid_argument("knn: points/labels size mismatch");
+  }
+  if (points_.rows() == 0) throw std::invalid_argument("knn: empty training set");
+}
+
+KnnClassifier::KnnClassifier(const MatrixF& points, std::span<const std::size_t> rows,
+                             std::span<const std::uint32_t> labels,
+                             DistanceMetric metric, std::size_t threads)
+    : points_(copy_rows(points, rows)), labels_(gather_labels(rows, labels)),
+      flat_(store::EmbeddingView::of(points_), metric),
+      engine_(flat_, {.threads = threads, .metrics = nullptr}) {
+  if (rows.empty()) throw std::invalid_argument("knn: empty training set");
+}
+
+std::uint32_t KnnClassifier::vote(const std::vector<Neighbor>& neighbors) const {
+  // Majority vote; ties resolve to the tied label with the nearest voter,
+  // which is also the first encountered since voters are distance-sorted.
+  std::unordered_map<std::uint32_t, std::size_t> votes;
+  std::uint32_t best_label = labels_[neighbors[0].id];
+  std::size_t best_votes = 0;
+  for (const Neighbor& n : neighbors) {
+    const std::uint32_t label = labels_[n.id];
+    const std::size_t v = ++votes[label];
+    if (v > best_votes) {
+      best_votes = v;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+std::uint32_t KnnClassifier::predict(std::span<const float> query, std::size_t k) const {
+  if (k == 0) throw std::invalid_argument("knn: k == 0");
+  thread_local std::vector<Neighbor> neighbors;
+  engine_.query_into(query, k, neighbors);
+  return vote(neighbors);
+}
+
+std::vector<std::uint32_t> KnnClassifier::predict_rows(
+    const MatrixF& points, std::span<const std::size_t> rows, std::size_t k) const {
+  if (k == 0) throw std::invalid_argument("knn: k == 0");
+  const auto results = engine_.query_rows(points, rows, k);
+  std::vector<std::uint32_t> out;
+  out.reserve(results.size());
+  for (const auto& neighbors : results) out.push_back(vote(neighbors));
+  return out;
+}
+
+}  // namespace v2v::index

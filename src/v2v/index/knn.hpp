@@ -1,6 +1,9 @@
 // k-nearest-neighbor classification (paper §V): majority vote among the k
 // closest training vectors under cosine (default) or Euclidean distance.
-// Brute-force search — exact, and fast enough at the paper's scales.
+// Lives in the index layer since PR 4: neighbor search runs through a
+// FlatIndex + QueryEngine (exact — bit-identical distances and tie-breaks
+// to the old brute-force scan, so crossval accuracy numbers are
+// unchanged), and batch prediction can fan out over the engine's pool.
 #pragma once
 
 #include <cstdint>
@@ -8,21 +11,29 @@
 #include <vector>
 
 #include "v2v/common/matrix.hpp"
+#include "v2v/index/flat_index.hpp"
+#include "v2v/index/query_engine.hpp"
 
-namespace v2v::ml {
-
-enum class DistanceMetric : std::uint8_t { kCosine, kEuclidean };
+namespace v2v::index {
 
 class KnnClassifier {
  public:
-  /// Stores (a copy of) the training rows and their labels.
+  /// Stores (a copy of) the training rows and their labels. `threads`
+  /// sizes the engine's batch pool (1 = inline).
   KnnClassifier(const MatrixF& points, std::vector<std::uint32_t> labels,
-                DistanceMetric metric = DistanceMetric::kCosine);
+                DistanceMetric metric = DistanceMetric::kCosine,
+                std::size_t threads = 1);
 
   /// Fit from selected rows of a larger matrix (used by cross-validation).
   KnnClassifier(const MatrixF& points, std::span<const std::size_t> rows,
                 std::span<const std::uint32_t> labels,
-                DistanceMetric metric = DistanceMetric::kCosine);
+                DistanceMetric metric = DistanceMetric::kCosine,
+                std::size_t threads = 1);
+
+  /// The engine holds a reference to the flat index which views points_;
+  /// moving would dangle them, so the classifier is pinned.
+  KnnClassifier(const KnnClassifier&) = delete;
+  KnnClassifier& operator=(const KnnClassifier&) = delete;
 
   /// Majority vote among the k nearest training points. Vote ties break
   /// toward the label whose voter is nearest (word2vec k=1 behaviour when
@@ -34,11 +45,15 @@ class KnnClassifier {
                                                         std::size_t k) const;
 
   [[nodiscard]] std::size_t train_size() const noexcept { return labels_.size(); }
+  [[nodiscard]] const QueryEngine& engine() const noexcept { return engine_; }
 
  private:
+  [[nodiscard]] std::uint32_t vote(const std::vector<Neighbor>& neighbors) const;
+
   MatrixF points_;
   std::vector<std::uint32_t> labels_;
-  DistanceMetric metric_;
+  FlatIndex flat_;
+  QueryEngine engine_;
 };
 
-}  // namespace v2v::ml
+}  // namespace v2v::index

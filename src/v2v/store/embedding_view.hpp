@@ -1,0 +1,52 @@
+// Non-owning, read-only view of an embedding matrix: `rows` vectors of
+// `dims` floats whose row starts are `stride` floats apart. This is the
+// currency between the storage layer and the index layer — a FlatIndex or
+// IvfIndex built over a view serves an in-memory embed::Embedding, a plain
+// MatrixF, and a zero-copy MappedEmbedding snapshot identically. The
+// backing storage must outlive every view onto it.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "v2v/common/check.hpp"
+#include "v2v/common/matrix.hpp"
+#include "v2v/embed/embedding.hpp"
+
+namespace v2v::store {
+
+class EmbeddingView {
+ public:
+  EmbeddingView() = default;
+  EmbeddingView(const float* data, std::size_t rows, std::size_t dims,
+                std::size_t stride) noexcept
+      : data_(data), rows_(rows), dims_(dims), stride_(stride) {
+    V2V_CHECK(stride_ >= dims_, "EmbeddingView: stride < dims");
+  }
+
+  [[nodiscard]] static EmbeddingView of(const MatrixF& m) noexcept {
+    return {m.data(), m.rows(), m.cols(), m.stride()};
+  }
+  [[nodiscard]] static EmbeddingView of(const embed::Embedding& e) noexcept {
+    return of(e.matrix());
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t dimensions() const noexcept { return dims_; }
+  [[nodiscard]] std::size_t stride() const noexcept { return stride_; }
+  [[nodiscard]] bool empty() const noexcept { return rows_ == 0; }
+  [[nodiscard]] const float* data() const noexcept { return data_; }
+
+  [[nodiscard]] std::span<const float> row(std::size_t r) const noexcept {
+    V2V_BOUNDS(r, rows_);
+    return {data_ + r * stride_, dims_};
+  }
+
+ private:
+  const float* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t dims_ = 0;
+  std::size_t stride_ = 0;
+};
+
+}  // namespace v2v::store

@@ -1,0 +1,339 @@
+#include "v2v/store/snapshot.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "v2v/common/matrix.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define V2V_STORE_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define V2V_STORE_HAS_MMAP 0
+#endif
+
+namespace v2v::store {
+namespace {
+
+constexpr char kMagic[8] = {'V', '2', 'V', 'S', 'N', 'A', 'P', '1'};
+constexpr std::size_t kHeaderBytes = 72;   // fixed fields + header checksum
+constexpr std::size_t kDataOffset = 128;   // what this writer emits; 64-aligned
+
+constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x00000100000001b3ULL;
+
+std::uint64_t fnv1a64_accumulate(std::uint64_t state, const void* data,
+                                 std::size_t bytes) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    state ^= p[i];
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+template <typename T>
+void put(unsigned char* buf, std::size_t offset, T value) noexcept {
+  std::memcpy(buf + offset, &value, sizeof(T));
+}
+
+template <typename T>
+[[nodiscard]] T get(const unsigned char* buf, std::size_t offset) noexcept {
+  T value;
+  std::memcpy(&value, buf + offset, sizeof(T));
+  return value;
+}
+
+[[noreturn]] void fail(SnapshotErrorCode code, const std::string& path,
+                       const std::string& detail) {
+  throw SnapshotError(code, "snapshot: " + path + ": " + detail + " [" +
+                                snapshot_error_name(code) + "]");
+}
+
+struct RawHeader {
+  SnapshotHeader decoded;
+  unsigned char bytes[kHeaderBytes];
+};
+
+/// Serializes `h` (checksum over the first 64 bytes goes last).
+void encode_header(const SnapshotHeader& h, unsigned char* buf) noexcept {
+  std::memcpy(buf, kMagic, sizeof(kMagic));
+  put<std::uint32_t>(buf, 8, h.version);
+  put<std::uint16_t>(buf, 12, h.dtype);
+  put<std::uint16_t>(buf, 14, kEndianTag);
+  put<std::uint64_t>(buf, 16, h.rows);
+  put<std::uint64_t>(buf, 24, h.dims);
+  put<std::uint64_t>(buf, 32, h.row_stride);
+  put<std::uint64_t>(buf, 40, h.data_offset);
+  put<std::uint64_t>(buf, 48, h.data_bytes);
+  put<std::uint64_t>(buf, 56, h.data_checksum);
+  put<std::uint64_t>(buf, 64, fnv1a64(buf, 64));
+}
+
+/// Reads and validates the fixed header; also checks the total file size
+/// against what the header promises. The stream is left positioned at
+/// byte kHeaderBytes.
+SnapshotHeader read_header_stream(std::istream& in, const std::string& path) {
+  in.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+
+  unsigned char buf[kHeaderBytes];
+  in.read(reinterpret_cast<char*>(buf), kHeaderBytes);
+  if (!in || static_cast<std::size_t>(in.gcount()) != kHeaderBytes) {
+    fail(SnapshotErrorCode::kTruncatedHeader, path,
+         "file shorter than the fixed header");
+  }
+  if (std::memcmp(buf, kMagic, sizeof(kMagic)) != 0) {
+    fail(SnapshotErrorCode::kBadMagic, path, "not a V2V snapshot");
+  }
+  if (get<std::uint64_t>(buf, 64) != fnv1a64(buf, 64)) {
+    fail(SnapshotErrorCode::kHeaderChecksumMismatch, path,
+         "header checksum mismatch");
+  }
+
+  SnapshotHeader h;
+  h.version = get<std::uint32_t>(buf, 8);
+  h.dtype = get<std::uint16_t>(buf, 12);
+  const auto endian = get<std::uint16_t>(buf, 14);
+  h.rows = get<std::uint64_t>(buf, 16);
+  h.dims = get<std::uint64_t>(buf, 24);
+  h.row_stride = get<std::uint64_t>(buf, 32);
+  h.data_offset = get<std::uint64_t>(buf, 40);
+  h.data_bytes = get<std::uint64_t>(buf, 48);
+  h.data_checksum = get<std::uint64_t>(buf, 56);
+
+  if (h.version != kSnapshotVersion) {
+    fail(SnapshotErrorCode::kBadVersion, path,
+         "unsupported version " + std::to_string(h.version));
+  }
+  if (h.dtype != kDtypeFloat32) {
+    fail(SnapshotErrorCode::kBadDtype, path,
+         "unsupported dtype " + std::to_string(h.dtype));
+  }
+  if (endian != kEndianTag) {
+    fail(SnapshotErrorCode::kBadEndianness, path,
+         "byte order does not match this host");
+  }
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  if (h.row_stride < h.dims || h.data_offset < kHeaderBytes ||
+      h.row_stride > kMax / sizeof(float) ||
+      (h.row_stride != 0 && h.rows > kMax / (h.row_stride * sizeof(float))) ||
+      h.data_bytes != h.rows * h.row_stride * sizeof(float) ||
+      h.data_offset > kMax - h.data_bytes) {
+    fail(SnapshotErrorCode::kBadHeader, path, "inconsistent header fields");
+  }
+  if (file_size < h.data_offset + h.data_bytes) {
+    fail(SnapshotErrorCode::kTruncatedData, path,
+         "file shorter than header promises");
+  }
+  return h;
+}
+
+[[nodiscard]] bool mmap_disabled_by_env() noexcept {
+  const char* env = std::getenv("V2V_STORE_NO_MMAP");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const void* data, std::size_t bytes) noexcept {
+  return fnv1a64_accumulate(kFnvOffsetBasis, data, bytes);
+}
+
+const char* snapshot_error_name(SnapshotErrorCode code) noexcept {
+  switch (code) {
+    case SnapshotErrorCode::kOpenFailed: return "open_failed";
+    case SnapshotErrorCode::kTruncatedHeader: return "truncated_header";
+    case SnapshotErrorCode::kBadMagic: return "bad_magic";
+    case SnapshotErrorCode::kHeaderChecksumMismatch: return "header_checksum_mismatch";
+    case SnapshotErrorCode::kBadVersion: return "bad_version";
+    case SnapshotErrorCode::kBadDtype: return "bad_dtype";
+    case SnapshotErrorCode::kBadEndianness: return "bad_endianness";
+    case SnapshotErrorCode::kBadHeader: return "bad_header";
+    case SnapshotErrorCode::kTruncatedData: return "truncated_data";
+    case SnapshotErrorCode::kDataChecksumMismatch: return "data_checksum_mismatch";
+  }
+  return "unknown";
+}
+
+void EmbeddingStore::save(const embed::Embedding& embedding,
+                          const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) fail(SnapshotErrorCode::kOpenFailed, path, "cannot open for writing");
+
+  SnapshotHeader h;
+  h.rows = embedding.vertex_count();
+  h.dims = embedding.dimensions();
+  h.row_stride = MatrixF::padded_stride(h.dims);
+  h.data_offset = kDataOffset;
+  h.data_bytes = h.rows * h.row_stride * sizeof(float);
+
+  // Reserve the header region, stream the rows while folding the data
+  // checksum, then come back and write the real header.
+  const std::vector<char> zeros(kDataOffset, 0);
+  out.write(zeros.data(), static_cast<std::streamsize>(zeros.size()));
+
+  std::vector<float> rowbuf(h.row_stride, 0.0f);
+  std::uint64_t checksum = kFnvOffsetBasis;
+  for (std::size_t v = 0; v < h.rows; ++v) {
+    const auto r = embedding.vector(v);
+    std::copy(r.begin(), r.end(), rowbuf.begin());
+    const std::size_t bytes = h.row_stride * sizeof(float);
+    checksum = fnv1a64_accumulate(checksum, rowbuf.data(), bytes);
+    out.write(reinterpret_cast<const char*>(rowbuf.data()),
+              static_cast<std::streamsize>(bytes));
+  }
+  h.data_checksum = checksum;
+
+  unsigned char header[kHeaderBytes];
+  encode_header(h, header);
+  out.seekp(0);
+  out.write(reinterpret_cast<const char*>(header), kHeaderBytes);
+  out.flush();
+  if (!out) fail(SnapshotErrorCode::kOpenFailed, path, "write failed");
+}
+
+SnapshotHeader EmbeddingStore::read_header(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(SnapshotErrorCode::kOpenFailed, path, "cannot open");
+  return read_header_stream(in, path);
+}
+
+embed::Embedding EmbeddingStore::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(SnapshotErrorCode::kOpenFailed, path, "cannot open");
+  const SnapshotHeader h = read_header_stream(in, path);
+
+  embed::Embedding out(h.rows, h.dims);
+  in.seekg(static_cast<std::streamoff>(h.data_offset));
+  std::vector<float> rowbuf(h.row_stride);
+  std::uint64_t checksum = kFnvOffsetBasis;
+  for (std::size_t v = 0; v < h.rows; ++v) {
+    const std::size_t bytes = h.row_stride * sizeof(float);
+    in.read(reinterpret_cast<char*>(rowbuf.data()),
+            static_cast<std::streamsize>(bytes));
+    if (!in) fail(SnapshotErrorCode::kTruncatedData, path, "short row read");
+    checksum = fnv1a64_accumulate(checksum, rowbuf.data(), bytes);
+    const auto dst = out.vector(v);
+    std::copy(rowbuf.begin(), rowbuf.begin() + static_cast<std::ptrdiff_t>(h.dims),
+              dst.begin());
+  }
+  if (checksum != h.data_checksum) {
+    fail(SnapshotErrorCode::kDataChecksumMismatch, path,
+         "data checksum mismatch");
+  }
+  return out;
+}
+
+MappedEmbedding MappedEmbedding::open(const std::string& path, MapMode mode) {
+  SnapshotHeader h = EmbeddingStore::read_header(path);
+
+  MappedEmbedding out;
+  out.header_ = h;
+  const std::size_t total_bytes =
+      static_cast<std::size_t>(h.data_offset + h.data_bytes);
+
+#if V2V_STORE_HAS_MMAP
+  if (mode == MapMode::kAuto && !mmap_disabled_by_env() && h.data_bytes > 0) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      void* base = ::mmap(nullptr, total_bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+      ::close(fd);  // the mapping keeps its own reference
+      if (base != MAP_FAILED) {
+        out.map_base_ = base;
+        out.map_bytes_ = total_bytes;
+        const auto* data = reinterpret_cast<const float*>(
+            static_cast<const unsigned char*>(base) + h.data_offset);
+        out.view_ = EmbeddingView(data, h.rows, h.dims, h.row_stride);
+        // Validate in place; this faults every page exactly once, which
+        // doubles as index warm-up for the common open-then-build flow.
+        const std::uint64_t checksum = fnv1a64(data, h.data_bytes);
+        if (checksum != h.data_checksum) {
+          fail(SnapshotErrorCode::kDataChecksumMismatch, path,
+               "data checksum mismatch");
+        }
+        return out;
+      }
+      // mmap refused (e.g. exotic filesystem): fall through to the
+      // buffered path rather than failing a readable file.
+    }
+  }
+#else
+  (void)mmap_disabled_by_env;
+#endif
+  (void)mode;
+  (void)total_bytes;
+
+  // Buffered fallback: identical observable behaviour, rows owned.
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(SnapshotErrorCode::kOpenFailed, path, "cannot open");
+  in.seekg(static_cast<std::streamoff>(h.data_offset));
+  out.buffer_.resize(static_cast<std::size_t>(h.rows * h.row_stride));
+  if (!out.buffer_.empty()) {
+    in.read(reinterpret_cast<char*>(out.buffer_.data()),
+            static_cast<std::streamsize>(h.data_bytes));
+    if (!in) fail(SnapshotErrorCode::kTruncatedData, path, "short data read");
+  }
+  const std::uint64_t checksum = fnv1a64(out.buffer_.data(), h.data_bytes);
+  if (checksum != h.data_checksum) {
+    fail(SnapshotErrorCode::kDataChecksumMismatch, path,
+         "data checksum mismatch");
+  }
+  out.view_ = EmbeddingView(out.buffer_.data(), h.rows, h.dims, h.row_stride);
+  return out;
+}
+
+MappedEmbedding::MappedEmbedding(MappedEmbedding&& other) noexcept
+    : header_(other.header_),
+      view_(other.view_),
+      map_base_(std::exchange(other.map_base_, nullptr)),
+      map_bytes_(std::exchange(other.map_bytes_, 0)),
+      buffer_(std::move(other.buffer_)) {
+  other.view_ = EmbeddingView();
+}
+
+MappedEmbedding& MappedEmbedding::operator=(MappedEmbedding&& other) noexcept {
+  if (this != &other) {
+    reset();
+    header_ = other.header_;
+    view_ = other.view_;
+    map_base_ = std::exchange(other.map_base_, nullptr);
+    map_bytes_ = std::exchange(other.map_bytes_, 0);
+    buffer_ = std::move(other.buffer_);
+    other.view_ = EmbeddingView();
+  }
+  return *this;
+}
+
+MappedEmbedding::~MappedEmbedding() { reset(); }
+
+void MappedEmbedding::reset() noexcept {
+#if V2V_STORE_HAS_MMAP
+  if (map_base_ != nullptr) ::munmap(map_base_, map_bytes_);
+#endif
+  map_base_ = nullptr;
+  map_bytes_ = 0;
+  buffer_.clear();
+  view_ = EmbeddingView();
+}
+
+void convert_text_to_snapshot(const std::string& text_path,
+                              const std::string& snapshot_path) {
+  EmbeddingStore::save(embed::Embedding::load_text_file(text_path), snapshot_path);
+}
+
+void convert_snapshot_to_text(const std::string& snapshot_path,
+                              const std::string& text_path) {
+  EmbeddingStore::load(snapshot_path).save_text_file(text_path);
+}
+
+}  // namespace v2v::store

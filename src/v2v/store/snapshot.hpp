@@ -1,0 +1,161 @@
+// Versioned binary embedding snapshots: the at-rest format of the serving
+// layer (ROADMAP: heavy query traffic needs cheap vector access; reloading
+// the text format per run does not scale).
+//
+// On-disk layout (all integers little-endian; see docs/ARCHITECTURE.md):
+//
+//   offset 0   magic      "V2VSNAP1"                      8 bytes
+//          8   version    u32 (currently 1)
+//         12   dtype      u16 (1 = float32)
+//         14   endian     u16 (0x0102, detects byte-swapped files)
+//         16   rows       u64
+//         24   dims       u64
+//         32   row_stride u64  floats per row on disk (>= dims; matches
+//                              MatrixF::padded_stride so rows stay
+//                              64-byte aligned when mmapped)
+//         40   data_offset u64 (64-byte aligned; currently 128)
+//         48   data_bytes  u64 (= rows * row_stride * 4)
+//         56   data_checksum   u64  FNV-1a 64 over the row region
+//         64   header_checksum u64  FNV-1a 64 over bytes [0, 64)
+//         ...  zero padding up to data_offset
+//   data_offset  row region: rows * row_stride floats, the tail of each
+//                row past dims zero-filled
+//
+// Both checksums are verified on load; every malformed input fails with a
+// typed SnapshotError (never UB), so corrupt files are diagnosable and the
+// corruption test matrix can assert exact error codes. The format is
+// versioned: readers reject versions they do not understand, and any
+// layout change must bump kSnapshotVersion.
+//
+// Loading is either by copy (`EmbeddingStore::load`) or zero-copy
+// (`MappedEmbedding`): the mapped path hands out rows pointing straight
+// into the page cache — no row memcpy — and falls back to a buffered read
+// on platforms without mmap (or when V2V_STORE_NO_MMAP=1 is set, which is
+// how the fallback is tested everywhere).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "v2v/common/aligned.hpp"
+#include "v2v/embed/embedding.hpp"
+#include "v2v/store/embedding_view.hpp"
+
+namespace v2v::store {
+
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::uint16_t kDtypeFloat32 = 1;
+inline constexpr std::uint16_t kEndianTag = 0x0102;
+
+/// FNV-1a 64-bit over a byte range. Exposed so tests can forge valid
+/// checksums when building corruption cases.
+[[nodiscard]] std::uint64_t fnv1a64(const void* data, std::size_t bytes) noexcept;
+
+enum class SnapshotErrorCode : std::uint8_t {
+  kOpenFailed,              ///< file missing or unreadable/unwritable
+  kTruncatedHeader,         ///< shorter than the fixed header
+  kBadMagic,                ///< not a snapshot file
+  kHeaderChecksumMismatch,  ///< header bytes corrupted
+  kBadVersion,              ///< written by an unknown format revision
+  kBadDtype,                ///< element type this build cannot serve
+  kBadEndianness,           ///< byte-swapped producer
+  kBadHeader,               ///< internally inconsistent header fields
+  kTruncatedData,           ///< file shorter than header promises
+  kDataChecksumMismatch,    ///< row region corrupted
+};
+
+[[nodiscard]] const char* snapshot_error_name(SnapshotErrorCode code) noexcept;
+
+/// Every failure of the snapshot layer throws this; `code()` makes the
+/// failure mode machine-checkable (corruption matrix tests, CLI exit
+/// messages).
+class SnapshotError : public std::runtime_error {
+ public:
+  SnapshotError(SnapshotErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  [[nodiscard]] SnapshotErrorCode code() const noexcept { return code_; }
+
+ private:
+  SnapshotErrorCode code_;
+};
+
+/// Decoded fixed header of a snapshot file.
+struct SnapshotHeader {
+  std::uint32_t version = kSnapshotVersion;
+  std::uint16_t dtype = kDtypeFloat32;
+  std::uint64_t rows = 0;
+  std::uint64_t dims = 0;
+  std::uint64_t row_stride = 0;
+  std::uint64_t data_offset = 0;
+  std::uint64_t data_bytes = 0;
+  std::uint64_t data_checksum = 0;
+};
+
+class EmbeddingStore {
+ public:
+  /// Writes `embedding` as a snapshot at `path` (atomically overwriting is
+  /// the caller's concern; this truncates in place).
+  static void save(const embed::Embedding& embedding, const std::string& path);
+
+  /// Validates and reads the whole snapshot into an owning Embedding.
+  [[nodiscard]] static embed::Embedding load(const std::string& path);
+
+  /// Validates and decodes just the fixed header (cheap metadata probe).
+  [[nodiscard]] static SnapshotHeader read_header(const std::string& path);
+};
+
+/// A snapshot opened for serving. On POSIX the row region is mmapped
+/// read-only and `row()` / `view()` point straight into the mapping —
+/// zero-copy, pages fault in on first touch. Elsewhere (or under
+/// V2V_STORE_NO_MMAP=1, or MapMode::kBuffered) the rows are read into an
+/// owning 64-byte-aligned buffer with identical observable behaviour.
+/// Move-only; the destructor unmaps.
+class MappedEmbedding {
+ public:
+  enum class MapMode : std::uint8_t {
+    kAuto,      ///< mmap when the platform has it, else buffered
+    kBuffered,  ///< force the owning-buffer path
+  };
+
+  /// Opens and fully validates `path` (header + data checksums).
+  [[nodiscard]] static MappedEmbedding open(const std::string& path,
+                                            MapMode mode = MapMode::kAuto);
+
+  MappedEmbedding(MappedEmbedding&& other) noexcept;
+  MappedEmbedding& operator=(MappedEmbedding&& other) noexcept;
+  MappedEmbedding(const MappedEmbedding&) = delete;
+  MappedEmbedding& operator=(const MappedEmbedding&) = delete;
+  ~MappedEmbedding();
+
+  [[nodiscard]] std::size_t rows() const noexcept { return header_.rows; }
+  [[nodiscard]] std::size_t dimensions() const noexcept { return header_.dims; }
+  [[nodiscard]] const SnapshotHeader& header() const noexcept { return header_; }
+  /// True when rows are served from the mapping (no copy was made).
+  [[nodiscard]] bool zero_copy() const noexcept { return map_base_ != nullptr; }
+
+  [[nodiscard]] std::span<const float> row(std::size_t r) const noexcept {
+    return view_.row(r);
+  }
+  /// View valid for this object's lifetime; feed it to FlatIndex/IvfIndex.
+  [[nodiscard]] EmbeddingView view() const noexcept { return view_; }
+
+ private:
+  MappedEmbedding() = default;
+  void reset() noexcept;
+
+  SnapshotHeader header_;
+  EmbeddingView view_;
+  void* map_base_ = nullptr;  ///< non-null iff mmap-backed
+  std::size_t map_bytes_ = 0;
+  AlignedVector<float> buffer_;  ///< fallback storage
+};
+
+/// Converters between the word2vec text format and the snapshot format.
+void convert_text_to_snapshot(const std::string& text_path,
+                              const std::string& snapshot_path);
+void convert_snapshot_to_text(const std::string& snapshot_path,
+                              const std::string& text_path);
+
+}  // namespace v2v::store

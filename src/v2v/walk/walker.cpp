@@ -60,25 +60,38 @@ Walker::Walker(const graph::Graph& g, const WalkConfig& config)
 
   // Static biased steps use per-vertex alias tables; temporal walks cannot
   // (the admissible arc set changes per step), they fall back to a linear
-  // weighted scan in step().
+  // weighted scan in step(). Construction is embarrassingly parallel over
+  // vertices — each table only reads the graph and writes its own slot —
+  // and each table is a pure function of its vertex's arc weights, so the
+  // result is byte-identical for any thread count.
   if (!constrained_ && config_.bias != StepBias::kUniform) {
     use_alias_ = true;
     alias_.resize(g.vertex_count());
-    std::vector<double> weights;
-    for (graph::VertexId v = 0; v < g.vertex_count(); ++v) {
-      const auto nbrs = g.neighbors(v);
-      if (nbrs.empty()) continue;
-      weights.clear();
-      weights.reserve(nbrs.size());
-      for (std::size_t i = 0; i < nbrs.size(); ++i) {
-        weights.push_back(config_.bias == StepBias::kEdgeWeight
-                              ? g.arc_weight_at(v, i)
-                              : g.vertex_weight(nbrs[i]));
-      }
-      double total = 0.0;
-      for (const double w : weights) total += w;
-      if (total > 0.0) alias_[v] = AliasTable(weights);
-      // All-zero weights leave an empty table: treated as a dead end.
+    const WallTimer alias_timer;
+    const std::size_t threads = std::max<std::size_t>(1, config_.threads);
+    parallel_for_dynamic(
+        threads, g.vertex_count(), config_.grain,
+        [&](std::size_t, std::size_t, std::size_t begin, std::size_t end) {
+          std::vector<double> weights;  // per-worker scratch
+          for (std::size_t v = begin; v < end; ++v) {
+            const auto nbrs = g.neighbors(static_cast<graph::VertexId>(v));
+            if (nbrs.empty()) continue;
+            weights.clear();
+            weights.reserve(nbrs.size());
+            for (std::size_t i = 0; i < nbrs.size(); ++i) {
+              weights.push_back(
+                  config_.bias == StepBias::kEdgeWeight
+                      ? g.arc_weight_at(static_cast<graph::VertexId>(v), i)
+                      : g.vertex_weight(nbrs[i]));
+            }
+            double total = 0.0;
+            for (const double w : weights) total += w;
+            if (total > 0.0) alias_[v] = AliasTable(weights);
+            // All-zero weights leave an empty table: treated as a dead end.
+          }
+        });
+    if (config_.metrics != nullptr) {
+      config_.metrics->gauge("walk.alias_build_seconds").set(alias_timer.seconds());
     }
   }
 }

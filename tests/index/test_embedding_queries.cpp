@@ -1,0 +1,77 @@
+// Similarity-query free functions (the old Embedding::nearest / ::analogy,
+// now served through the index layer).
+#include "v2v/index/embedding_queries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "v2v/index/flat_index.hpp"
+#include "v2v/store/embedding_view.hpp"
+
+namespace v2v::index {
+namespace {
+
+embed::Embedding small_embedding() {
+  embed::Embedding e(3, 2);
+  e.vector(0)[0] = 1.0f;
+  e.vector(0)[1] = 0.0f;
+  e.vector(1)[0] = 0.0f;
+  e.vector(1)[1] = 1.0f;
+  e.vector(2)[0] = 1.0f;
+  e.vector(2)[1] = 1.0f;
+  return e;
+}
+
+TEST(EmbeddingQueries, NearestExcludesSelfAndOrders) {
+  const embed::Embedding e = small_embedding();
+  const auto nn = nearest(e, 0, 2);
+  ASSERT_EQ(nn.size(), 2u);
+  EXPECT_EQ(nn[0], 2u);  // most similar to (1,0) is (1,1)
+  EXPECT_EQ(nn[1], 1u);
+}
+
+TEST(EmbeddingQueries, NearestClampsK) {
+  const embed::Embedding e = small_embedding();
+  EXPECT_EQ(nearest(e, 0, 100).size(), 2u);
+  EXPECT_TRUE(nearest(e, 0, 0).empty());
+}
+
+TEST(EmbeddingQueries, NearestOverExplicitIndexFiltersExcluded) {
+  const embed::Embedding e = small_embedding();
+  const FlatIndex flat(store::EmbeddingView::of(e), DistanceMetric::kCosine);
+  const std::vector<std::uint32_t> exclude{2};
+  const auto nn = nearest(flat, e.vector(0), 2, exclude);
+  ASSERT_EQ(nn.size(), 2u);
+  EXPECT_EQ(nn[0], 0u);  // self is NOT excluded on the raw-index overload
+  EXPECT_EQ(nn[1], 1u);
+}
+
+TEST(EmbeddingQueries, AnalogyRecoversParallelogram) {
+  // Vectors arranged so that 0 -> 1 equals 2 -> 3 exactly.
+  embed::Embedding e(5, 2);
+  e.vector(0)[0] = 1.0f;              // a  = (1, 0)
+  e.vector(1)[0] = 1.0f;              // b  = (1, 1)
+  e.vector(1)[1] = 1.0f;
+  e.vector(2)[0] = 3.0f;              // c  = (3, 0)
+  e.vector(3)[0] = 3.0f;              // d  = (3, 1)  <- the answer
+  e.vector(3)[1] = 1.0f;
+  e.vector(4)[0] = -1.0f;             // distractor
+  const auto result = analogy(e, 0, 1, 2, 1);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], 3u);
+}
+
+TEST(EmbeddingQueries, AnalogyExcludesInputs) {
+  const embed::Embedding e = small_embedding();
+  const auto result = analogy(e, 0, 1, 2, 5);
+  for (const auto v : result) {
+    EXPECT_NE(v, 0u);
+    EXPECT_NE(v, 1u);
+    EXPECT_NE(v, 2u);
+  }
+  EXPECT_TRUE(result.empty());  // only 3 vertices, all excluded
+}
+
+}  // namespace
+}  // namespace v2v::index

@@ -8,9 +8,9 @@
 
 #include "v2v/common/rng.hpp"
 #include "v2v/common/vec_math.hpp"
-#include "v2v/ml/knn.hpp"
+#include "v2v/index/knn.hpp"
 
-namespace v2v::ml {
+namespace v2v::index {
 namespace {
 
 struct OracleCase {
@@ -84,4 +84,4 @@ INSTANTIATE_TEST_SUITE_P(
                       OracleCase{7, DistanceMetric::kEuclidean, 15}));
 
 }  // namespace
-}  // namespace v2v::ml
+}  // namespace v2v::index

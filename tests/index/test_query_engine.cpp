@@ -1,0 +1,136 @@
+// QueryEngine: batch/single equivalence across the pool, serving metrics,
+// recall observation, and a warm-up-vs-queries concurrency stress for the
+// TSan lane.
+#include "v2v/index/query_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "v2v/common/rng.hpp"
+#include "v2v/index/flat_index.hpp"
+#include "v2v/index/ivf_index.hpp"
+#include "v2v/obs/metrics.hpp"
+
+namespace v2v::index {
+namespace {
+
+MatrixF random_points(std::size_t n, std::size_t d, std::uint64_t seed) {
+  MatrixF points(n, d);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < d; ++c) {
+      points(i, c) = static_cast<float>(rng.next_gaussian());
+    }
+  }
+  return points;
+}
+
+TEST(QueryEngine, BatchMatchesSingleQueriesAcrossPool) {
+  const MatrixF points = random_points(120, 8, 1);
+  const FlatIndex flat(store::EmbeddingView::of(points));
+  const QueryEngine inline_engine(flat, {.threads = 1, .metrics = nullptr});
+  const QueryEngine pooled_engine(flat, {.threads = 4, .metrics = nullptr});
+  EXPECT_EQ(pooled_engine.threads(), 4u);
+
+  const MatrixF queries = random_points(37, 8, 2);
+  const auto batched = pooled_engine.query_batch(queries, 5);
+  ASSERT_EQ(batched.size(), 37u);
+  for (std::size_t q = 0; q < queries.rows(); ++q) {
+    const auto single = inline_engine.query(queries.row(q), 5);
+    ASSERT_EQ(batched[q].size(), single.size());
+    for (std::size_t i = 0; i < single.size(); ++i) {
+      EXPECT_EQ(batched[q][i].id, single[i].id);
+      EXPECT_DOUBLE_EQ(batched[q][i].distance, single[i].distance);
+    }
+  }
+}
+
+TEST(QueryEngine, QueryRowsSelectsRows) {
+  const MatrixF points = random_points(30, 4, 3);
+  const FlatIndex flat(store::EmbeddingView::of(points));
+  const QueryEngine engine(flat, {.threads = 2, .metrics = nullptr});
+  const std::vector<std::size_t> rows{3, 17, 28};
+  const auto out = engine.query_rows(points, rows, 1);
+  ASSERT_EQ(out.size(), 3u);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    ASSERT_EQ(out[i].size(), 1u);
+    // Each point's own row is its exact nearest neighbor.
+    EXPECT_EQ(out[i][0].id, static_cast<std::uint32_t>(rows[i]));
+  }
+}
+
+TEST(QueryEngine, RecordsServingMetrics) {
+  obs::MetricsRegistry metrics;
+  const MatrixF points = random_points(50, 6, 4);
+  const FlatIndex flat(store::EmbeddingView::of(points));
+  const QueryEngine engine(flat, {.threads = 1, .metrics = &metrics});
+  (void)engine.query(points.row(0), 3);
+  (void)engine.query_batch(random_points(10, 6, 5), 3);
+  engine.warmup();
+  const auto snap = metrics.snapshot();
+  EXPECT_EQ(snap.counters.at("query.queries"), 11u);
+  EXPECT_EQ(snap.histograms.at("query.latency_us").count, 11u);
+  EXPECT_GE(snap.gauges.at("query.warmup_seconds"), 0.0);
+}
+
+TEST(QueryEngine, ObserveRecallComputesMeanOverlap) {
+  obs::MetricsRegistry metrics;
+  const MatrixF points = random_points(20, 4, 6);
+  const FlatIndex flat(store::EmbeddingView::of(points));
+  const QueryEngine engine(flat, {.threads = 1, .metrics = &metrics});
+  const std::vector<std::vector<Neighbor>> truth{
+      {{0, 0.0}, {1, 0.1}}, {{2, 0.0}, {3, 0.1}}};
+  const std::vector<std::vector<Neighbor>> results{
+      {{0, 0.0}, {1, 0.1}},   // 2/2
+      {{2, 0.0}, {9, 0.5}}};  // 1/2
+  EXPECT_DOUBLE_EQ(engine.observe_recall(truth, results), 0.75);
+  EXPECT_DOUBLE_EQ(metrics.snapshot().gauges.at("query.recall_at_k"), 0.75);
+}
+
+TEST(QueryEngine, PerfectRecallAgainstSelf) {
+  const MatrixF points = random_points(40, 5, 7);
+  const FlatIndex flat(store::EmbeddingView::of(points));
+  const QueryEngine engine(flat, {.threads = 1, .metrics = nullptr});
+  const auto results = engine.query_batch(points, 5);
+  EXPECT_DOUBLE_EQ(engine.observe_recall(results, results), 1.0);
+}
+
+// TSan-lane stress: queries racing index warm-up. warm_rows only reads the
+// codes and the engine only appends to per-thread outputs, so the lane
+// must come up clean.
+TEST(QueryEngineStress, ConcurrentQueriesDuringWarmup) {
+  const MatrixF points = random_points(600, 16, 8);
+  const auto view = store::EmbeddingView::of(points);
+  IvfConfig config;
+  config.nlist = 12;
+  config.nprobe = 4;
+  const IvfIndex ivf(view, DistanceMetric::kEuclidean, config);
+  obs::MetricsRegistry metrics;
+  const QueryEngine engine(ivf, {.threads = 2, .metrics = &metrics});
+
+  std::thread warmer([&] {
+    for (int i = 0; i < 4; ++i) engine.warmup();
+  });
+  std::vector<std::thread> queriers;
+  std::atomic<std::size_t> answered{0};
+  for (int t = 0; t < 3; ++t) {
+    queriers.emplace_back([&, t] {
+      std::vector<Neighbor> out;
+      for (int q = 0; q < 60; ++q) {
+        engine.query_into(points.row((static_cast<std::size_t>(t) * 61 + q) % 600),
+                          5, out);
+        answered += out.size();
+      }
+    });
+  }
+  warmer.join();
+  for (auto& th : queriers) th.join();
+  EXPECT_EQ(answered.load(), 3u * 60u * 5u);
+  EXPECT_EQ(metrics.snapshot().counters.at("query.queries"), 180u);
+}
+
+}  // namespace
+}  // namespace v2v::index

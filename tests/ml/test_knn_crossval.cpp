@@ -1,3 +1,5 @@
+// k-fold partitioning tests. The KnnClassifier itself moved to the index
+// layer in PR 4 (tests/index/test_knn.cpp); crossval stays in ml.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -5,112 +7,9 @@
 
 #include "v2v/common/rng.hpp"
 #include "v2v/ml/crossval.hpp"
-#include "v2v/ml/knn.hpp"
 
 namespace v2v::ml {
 namespace {
-
-TEST(Knn, OneNearestNeighborExactMatch) {
-  MatrixF points(3, 2);
-  points(0, 0) = 1;
-  points(1, 1) = 1;
-  points(2, 0) = -1;
-  const KnnClassifier knn(points, {10, 20, 30});
-  const std::vector<float> q1{0.9f, 0.1f};
-  EXPECT_EQ(knn.predict(q1, 1), 10u);
-  const std::vector<float> q2{0.1f, 0.9f};
-  EXPECT_EQ(knn.predict(q2, 1), 20u);
-}
-
-TEST(Knn, MajorityVoteWins) {
-  MatrixF points(5, 1);
-  points(0, 0) = 1.0f;
-  points(1, 0) = 1.1f;
-  points(2, 0) = 1.2f;
-  points(3, 0) = -1.0f;
-  points(4, 0) = -1.1f;
-  const KnnClassifier knn(points, {7, 7, 7, 9, 9}, DistanceMetric::kEuclidean);
-  const std::vector<float> q{0.5f};
-  EXPECT_EQ(knn.predict(q, 5), 7u);
-}
-
-TEST(Knn, TieBreaksTowardNearest) {
-  MatrixF points(4, 1);
-  points(0, 0) = 1.0f;   // label 1, nearest
-  points(1, 0) = 2.0f;   // label 2
-  points(2, 0) = 3.0f;   // label 1
-  points(3, 0) = 4.0f;   // label 2
-  const KnnClassifier knn(points, {1, 2, 1, 2}, DistanceMetric::kEuclidean);
-  const std::vector<float> q{0.0f};
-  EXPECT_EQ(knn.predict(q, 4), 1u);  // 2-2 vote; label 1 has the closest voter
-}
-
-TEST(Knn, KClampedToTrainSize) {
-  MatrixF points(2, 1);
-  points(0, 0) = 1;
-  points(1, 0) = 2;
-  const KnnClassifier knn(points, {5, 5}, DistanceMetric::kEuclidean);
-  EXPECT_EQ(knn.predict(std::vector<float>{1.5f}, 99), 5u);
-}
-
-TEST(Knn, CosineIgnoresMagnitude) {
-  MatrixF points(2, 2);
-  points(0, 0) = 100.0f;  // same direction as +x
-  points(1, 1) = 0.01f;   // same direction as +y
-  const KnnClassifier knn(points, {1, 2}, DistanceMetric::kCosine);
-  EXPECT_EQ(knn.predict(std::vector<float>{0.5f, 0.1f}, 1), 1u);
-  EXPECT_EQ(knn.predict(std::vector<float>{0.1f, 0.5f}, 1), 2u);
-}
-
-TEST(Knn, EuclideanUsesMagnitude) {
-  MatrixF points(2, 1);
-  points(0, 0) = 1.0f;
-  points(1, 0) = 10.0f;
-  const KnnClassifier knn(points, {1, 2}, DistanceMetric::kEuclidean);
-  EXPECT_EQ(knn.predict(std::vector<float>{8.0f}, 1), 2u);
-}
-
-TEST(Knn, SubsetConstructorSelectsRows) {
-  MatrixF points(4, 1);
-  for (std::size_t i = 0; i < 4; ++i) points(i, 0) = static_cast<float>(i);
-  const std::vector<std::uint32_t> labels{0, 1, 2, 3};
-  const std::vector<std::size_t> rows{1, 3};
-  const KnnClassifier knn(points, rows, labels, DistanceMetric::kEuclidean);
-  EXPECT_EQ(knn.train_size(), 2u);
-  EXPECT_EQ(knn.predict(std::vector<float>{0.9f}, 1), 1u);
-  EXPECT_EQ(knn.predict(std::vector<float>{3.1f}, 1), 3u);
-}
-
-TEST(Knn, PredictRowsBatches) {
-  MatrixF points(4, 1);
-  points(0, 0) = 0;
-  points(1, 0) = 1;
-  points(2, 0) = 10;
-  points(3, 0) = 11;
-  const std::vector<std::uint32_t> labels{0, 0, 1, 1};
-  const std::vector<std::size_t> train{0, 2};
-  const KnnClassifier knn(points, train, labels, DistanceMetric::kEuclidean);
-  const std::vector<std::size_t> test{1, 3};
-  const auto predicted = knn.predict_rows(points, test, 1);
-  ASSERT_EQ(predicted.size(), 2u);
-  EXPECT_EQ(predicted[0], 0u);
-  EXPECT_EQ(predicted[1], 1u);
-}
-
-TEST(Knn, InvalidConstructionThrows) {
-  MatrixF points(2, 1);
-  EXPECT_THROW(KnnClassifier(points, std::vector<std::uint32_t>{1}),
-               std::invalid_argument);
-  const MatrixF empty(0, 1);
-  EXPECT_THROW(KnnClassifier(empty, std::vector<std::uint32_t>{}),
-               std::invalid_argument);
-}
-
-TEST(Knn, ZeroKThrows) {
-  MatrixF points(2, 1);
-  const KnnClassifier knn(points, {0, 1});
-  EXPECT_THROW((void)knn.predict(std::vector<float>{0.0f}, 0), std::invalid_argument);
-}
 
 TEST(KFold, PartitionsEverything) {
   Rng rng(1);

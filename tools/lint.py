@@ -16,9 +16,15 @@ Enforced on src/ (and partially on tests/ and bench/, see each rule):
   R6  every src/v2v/<module>/<name>.cpp has its header referenced by some
       test in tests/ (no untested translation units land silently)
   R7  no hand-rolled elementwise loops over embedding rows in
-      src/v2v/embed/ and src/v2v/ml/: row arithmetic goes through the
-      dispatched SIMD layer in common/kernels.hpp so every call site gets
-      the ISA variants, the TSan-safe path, and the parity tests for free
+      src/v2v/embed/, src/v2v/ml/, src/v2v/store/ and src/v2v/index/: row
+      arithmetic goes through the dispatched SIMD layer in
+      common/kernels.hpp so every call site gets the ISA variants, the
+      TSan-safe path, and the parity tests for free
+  R8  no brute-force similarity scans over an Embedding outside
+      src/v2v/index/: a loop bounded by vertex_count() whose body computes
+      per-row distances duplicates FlatIndex. Route the query through
+      v2v/index (FlatIndex / QueryEngine / embedding_queries) so it picks
+      up precomputed norms, serving metrics, and ANN acceleration
 
 Usage: tools/lint.py [--root REPO_ROOT]
 Exit code 0 = clean, 1 = findings (printed one per line as
@@ -50,7 +56,17 @@ ELEMENTWISE_ALLOWLIST: set[str] = {
 
 # Directories whose row arithmetic must go through common/kernels.hpp (R7),
 # plus the kernel layer itself so the allowlist stays honest.
-ELEMENTWISE_SCOPES = ("src/v2v/embed/", "src/v2v/ml/", "src/v2v/common/kernels")
+ELEMENTWISE_SCOPES = ("src/v2v/embed/", "src/v2v/ml/", "src/v2v/store/",
+                      "src/v2v/index/", "src/v2v/common/kernels")
+
+# Files exempt from R8 (embedding-scan ban). Keep short and justified.
+EMBEDDING_SCAN_ALLOWLIST: set[str] = {
+    # The trainer IS the producer: its epoch loop walks every row by design.
+    "src/v2v/embed/trainer.cpp",
+    # The storage layer streams every row to/from disk; that is a copy, not
+    # a similarity scan, but its loops share the same shape.
+    "src/v2v/store/snapshot.cpp",
+}
 
 ENGINE_RE = re.compile(
     r"std::(mt19937(_64)?|minstd_rand0?|default_random_engine|random_device|"
@@ -68,6 +84,12 @@ INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
 COMPOUND_UPDATE_RE = re.compile(r"\[\s*(\w+)\s*\]\s*[+\-*/]=\s*(?P<rhs>[^;]*)")
 INDEXED_ASSIGN_RE = re.compile(
     r"(?P<arr>\w[\w.]*)\s*\[\s*(?P<idx>\w+)\s*\]\s*=(?!=)(?P<rhs>[^;]*)")
+# R8: a for-loop bounded by vertex_count() whose body computes per-row
+# distances is a brute-force nearest-neighbor scan.
+VERTEX_LOOP_RE = re.compile(r"\bfor\s*\(.*vertex_count\s*\(\s*\)")
+DISTANCE_CALL_RE = re.compile(
+    r"\b(cosine_distance|squared_distance|cosine_similarity)\s*\(|"
+    r"\bkernels::(ddot|sqdist)\s*\(")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -182,6 +204,37 @@ class Linter:
                             "v2v/common/kernels.hpp (or allowlist in "
                             "tools/lint.py)")
 
+    def lint_embedding_scans(self, path: pathlib.Path) -> None:
+        rel = path.relative_to(self.root).as_posix()
+        if rel.startswith("src/v2v/index/") or rel in EMBEDDING_SCAN_ALLOWLIST:
+            return
+        code = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+        lines = code.splitlines()
+        in_loop = False
+        depth = 0
+        loop_line = 0
+        for line_no, line in enumerate(lines, start=1):
+            if not in_loop:
+                if VERTEX_LOOP_RE.search(line):
+                    in_loop = True
+                    depth = 0
+                    loop_line = line_no
+                else:
+                    continue
+            # Track the loop's brace extent; a one-line loop body still gets
+            # scanned before the depth hits zero below.
+            if DISTANCE_CALL_RE.search(line):
+                self.report(path, line_no, "R8",
+                            "per-row distance inside a vertex_count() loop "
+                            f"(opened at line {loop_line}) is a brute-force "
+                            "embedding scan; use v2v/index (FlatIndex / "
+                            "QueryEngine) or allowlist in tools/lint.py")
+                in_loop = False
+                continue
+            depth += line.count("{") - line.count("}")
+            if depth <= 0 and line_no > loop_line:
+                in_loop = False
+
     def lint_include_hygiene(self, path: pathlib.Path) -> None:
         raw = path.read_text(encoding="utf-8")
         if path.suffix == ".hpp":
@@ -229,6 +282,7 @@ class Linter:
             self.lint_content_rules(path)
             self.lint_include_hygiene(path)
             self.lint_elementwise(path)
+            self.lint_embedding_scans(path)
         # Tests and benches get the behavioral rules (R1-R4) but not the
         # structural ones.
         for tree in (tests, bench):
