@@ -158,17 +158,44 @@ void write_query_baseline() {
   const double flat_qps = measure_qps(flat_engine, queries, kTopK, 3);
   const auto truth = flat_engine.query_batch(queries, kTopK);
 
+  obs::MetricsRegistry build_metrics;
   index::IvfConfig config;
   config.nlist = 0;  // ~sqrt(n)
   config.threads = kThreads;
+  config.metrics = &build_metrics;
+  const WallTimer build_timer;
   index::IvfIndex ivf(view, index::DistanceMetric::kEuclidean, config);
+  const double build_seconds = build_timer.seconds();
   const index::QueryEngine ivf_engine(ivf, {.threads = kThreads, .metrics = nullptr});
+
+  // Same build with the k-means oracle engine: quantifies what the pruned
+  // engine buys at build time (the answer is bit-compatible, so recall is
+  // untouched by construction). Wall time is recorded for information;
+  // the CI gate compares quantizer distance evaluations, which are exact
+  // and immune to runner noise.
+  obs::MetricsRegistry naive_build_metrics;
+  index::IvfConfig naive_config = config;
+  naive_config.kmeans_assign = ml::KMeansAssign::kNaive;
+  naive_config.metrics = &naive_build_metrics;
+  const WallTimer naive_build_timer;
+  const index::IvfIndex ivf_naive(view, index::DistanceMetric::kEuclidean,
+                                  naive_config);
+  const double naive_build_seconds = naive_build_timer.seconds();
+  const double eval_ratio =
+      static_cast<double>(naive_build_metrics.counter("kmeans.dist_evals").value()) /
+      static_cast<double>(
+          std::max<std::uint64_t>(1, build_metrics.counter("kmeans.dist_evals").value()));
 
   obs::MetricsRegistry baseline;
   baseline.gauge("query.rows").set(static_cast<double>(n));
   baseline.gauge("query.dims").set(static_cast<double>(kDims));
   baseline.gauge("query.threads").set(static_cast<double>(kThreads));
   baseline.gauge("query.ivf_nlist").set(static_cast<double>(ivf.nlist()));
+  baseline.gauge("query.ivf_build_seconds").set(build_seconds);
+  baseline.gauge("query.ivf_build_naive_seconds").set(naive_build_seconds);
+  baseline.gauge("query.ivf_build_speedup")
+      .set(build_seconds > 0.0 ? naive_build_seconds / build_seconds : 0.0);
+  baseline.gauge("query.ivf_build_dist_eval_ratio").set(eval_ratio);
   baseline.gauge("query.flat_qps").set(flat_qps);
   baseline.counter(std::string("isa.") + kernels::active_isa_name()).add(1);
 
@@ -206,6 +233,12 @@ void write_query_baseline() {
       "(recall@10=%.3f, speedup %.1fx, isa=%s) -> %s\n",
       flat_qps, headline_qps, headline_nprobe, headline_recall, speedup,
       kernels::active_isa_name(), path.c_str());
+  std::printf(
+      "build: %.2fs default (%zu lists), %.2fs naive k-means "
+      "(%.1fx wall, %.1fx dist evals)\n",
+      build_seconds, ivf_naive.nlist(), naive_build_seconds,
+      build_seconds > 0.0 ? naive_build_seconds / build_seconds : 0.0,
+      eval_ratio);
 }
 
 [[nodiscard]] bool baseline_only() {

@@ -110,7 +110,10 @@ int cmd_serve(const CliArgs& args) {
     index::IvfConfig config;
     config.nlist = static_cast<std::size_t>(args.get_int("nlist", 0));
     config.nprobe = static_cast<std::size_t>(args.get_int("nprobe", 8));
-    config.threads = threads;
+    // --build-threads overrides --threads for the one-off build (e.g. use
+    // all cores to build, few to serve).
+    config.threads = static_cast<std::size_t>(
+        args.get_int("build-threads", static_cast<std::int64_t>(threads)));
     config.metrics = &metrics;
     idx = std::make_unique<index::IvfIndex>(mapped.view(), metric, config);
   } else {
@@ -162,7 +165,7 @@ void usage() {
                "  v2v_query_tool info    <in.v2vsnap>\n"
                "  v2v_query_tool serve   <in.v2vsnap> [--index=flat|ivf]\n"
                "      [--metric=cosine|l2] [--k=10] [--nlist=0] [--nprobe=8]\n"
-               "      [--threads=1] [--queries=file] [--no-mmap]\n"
+               "      [--threads=1] [--build-threads=N] [--queries=file] [--no-mmap]\n"
                "      [--metrics-out=metrics.json]\n");
 }
 

@@ -4,7 +4,8 @@
 //
 //   v2v_tool embed <edges.txt> --output=vectors.txt [--dims=50] [--directed]
 //            [--config=saved.cfg] [--save-config=out.cfg]
-//   v2v_tool communities <edges.txt> [--k=10] [--auto-k] [--method=v2v|cnm|gn|louvain|lp]
+//   v2v_tool communities <edges.txt> [--k=10] [--auto-k] [--threads=N]
+//            [--method=v2v|cnm|gn|louvain|lp]
 //   v2v_tool predict <vectors.txt> <labels.txt> [--k=3] [--folds=10]
 //   v2v_tool nearest <vectors.txt> <vertex> [--k=5]
 //   v2v_tool layout <edges.txt> --output=graph.svg [--iterations=200]
@@ -73,6 +74,14 @@ V2VConfig config_from_args(const CliArgs& args) {
   config.seed = static_cast<std::uint64_t>(args.get_int(
       "seed", static_cast<std::int64_t>(config.seed)));
   if (args.get_bool("temporal")) config.walk.temporal = true;
+  // --threads feeds every stage that doesn't already have an explicit
+  // count from a config file (walk/train/kmeans all default to 1).
+  if (args.has("threads")) {
+    const auto threads = static_cast<std::size_t>(args.get_int("threads", 1));
+    if (config.walk.threads <= 1) config.walk.threads = threads;
+    if (config.train.threads <= 1) config.train.threads = threads;
+    if (config.kmeans.threads <= 1) config.kmeans.threads = threads;
+  }
   return config;
 }
 
@@ -110,11 +119,12 @@ int cmd_communities(const CliArgs& args) {
     config.metrics = &metrics;
     const auto model = learn_embedding(g, config);
     if (args.get_bool("auto-k")) {
-      const auto result = detect_communities_auto(model.embedding, 2, k, {}, &metrics);
+      const auto result =
+          detect_communities_auto(model.embedding, 2, k, config.kmeans, &metrics);
       std::fprintf(stderr, "auto-selected k = %zu (silhouette)\n", result.chosen_k);
       labels = result.detection.labels;
     } else {
-      labels = detect_communities(model.embedding, k, {}, &metrics).labels;
+      labels = detect_communities(model.embedding, k, config.kmeans, &metrics).labels;
     }
   } else if (method == "cnm") {
     labels = community::cluster_cnm(g).labels;

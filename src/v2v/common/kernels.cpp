@@ -59,7 +59,8 @@ KernelSet scalar_set() noexcept {
   return KernelSet{&scalar::dot,    &scalar::axpy,      &scalar::scale,
                    &scalar::add,    &scalar::fill,      &scalar::ddot,
                    &scalar::sqdist, &scalar::sqdist_fd, &scalar::add_fd,
-                   &scalar::scale_d};
+                   &scalar::scale_d, &scalar::dot_fd,   &scalar::dot_dd,
+                   &scalar::sqdist_dd};
 }
 
 #if V2V_KERNELS_X86
@@ -203,10 +204,55 @@ __attribute__((target("sse2"))) void sse2_scale_d(double* x, double alpha,
   for (; i < n; ++i) x[i] *= alpha;
 }
 
+__attribute__((target("sse2"))) double sse2_dot_fd(const float* a, const double* b,
+                                                   std::size_t n) {
+  __m128d acc = _mm_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d da =
+        _mm_cvtps_pd(_mm_castsi128_ps(_mm_loadl_epi64(
+            reinterpret_cast<const __m128i*>(a + i))));
+    acc = _mm_add_pd(acc, _mm_mul_pd(da, _mm_loadu_pd(b + i)));
+  }
+  double sum = _mm_cvtsd_f64(_mm_add_pd(acc, _mm_unpackhi_pd(acc, acc)));
+  for (; i < n; ++i) sum += static_cast<double>(a[i]) * b[i];
+  return sum;
+}
+
+__attribute__((target("sse2"))) double sse2_dot_dd(const double* a, const double* b,
+                                                   std::size_t n) {
+  __m128d acc = _mm_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    acc = _mm_add_pd(acc, _mm_mul_pd(_mm_loadu_pd(a + i), _mm_loadu_pd(b + i)));
+  }
+  double sum = _mm_cvtsd_f64(_mm_add_pd(acc, _mm_unpackhi_pd(acc, acc)));
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+__attribute__((target("sse2"))) double sse2_sqdist_dd(const double* a,
+                                                      const double* b,
+                                                      std::size_t n) {
+  __m128d acc = _mm_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d d = _mm_sub_pd(_mm_loadu_pd(a + i), _mm_loadu_pd(b + i));
+    acc = _mm_add_pd(acc, _mm_mul_pd(d, d));
+  }
+  double sum = _mm_cvtsd_f64(_mm_add_pd(acc, _mm_unpackhi_pd(acc, acc)));
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
 KernelSet sse2_set() noexcept {
   return KernelSet{&sse2_dot,    &sse2_axpy,      &sse2_scale,  &sse2_add,
                    &sse2_fill,   &sse2_ddot,      &sse2_sqdist, &sse2_sqdist_fd,
-                   &sse2_add_fd, &sse2_scale_d};
+                   &sse2_add_fd, &sse2_scale_d,   &sse2_dot_fd, &sse2_dot_dd,
+                   &sse2_sqdist_dd};
 }
 
 // ------------------------------------------------------------ AVX2/FMA --
@@ -348,10 +394,64 @@ __attribute__((target("avx2,fma"))) void avx2_scale_d(double* x, double alpha,
   for (; i < n; ++i) x[i] *= alpha;
 }
 
+__attribute__((target("avx2,fma"))) double avx2_dot_fd(const float* a,
+                                                       const double* b,
+                                                       std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d da = _mm256_cvtps_pd(_mm_loadu_ps(a + i));
+    acc = _mm256_fmadd_pd(da, _mm256_loadu_pd(b + i), acc);
+  }
+  __m128d lo = _mm256_castpd256_pd128(acc);
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);
+  lo = _mm_add_pd(lo, hi);
+  double sum = _mm_cvtsd_f64(_mm_add_pd(lo, _mm_unpackhi_pd(lo, lo)));
+  for (; i < n; ++i) sum += static_cast<double>(a[i]) * b[i];
+  return sum;
+}
+
+__attribute__((target("avx2,fma"))) double avx2_dot_dd(const double* a,
+                                                       const double* b,
+                                                       std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i), acc);
+  }
+  __m128d lo = _mm256_castpd256_pd128(acc);
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);
+  lo = _mm_add_pd(lo, hi);
+  double sum = _mm_cvtsd_f64(_mm_add_pd(lo, _mm_unpackhi_pd(lo, lo)));
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+__attribute__((target("avx2,fma"))) double avx2_sqdist_dd(const double* a,
+                                                          const double* b,
+                                                          std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d = _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    acc = _mm256_fmadd_pd(d, d, acc);
+  }
+  __m128d lo = _mm256_castpd256_pd128(acc);
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);
+  lo = _mm_add_pd(lo, hi);
+  double sum = _mm_cvtsd_f64(_mm_add_pd(lo, _mm_unpackhi_pd(lo, lo)));
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
 KernelSet avx2_set() noexcept {
   return KernelSet{&avx2_dot,    &avx2_axpy,      &avx2_scale,  &avx2_add,
                    &avx2_fill,   &avx2_ddot,      &avx2_sqdist, &avx2_sqdist_fd,
-                   &avx2_add_fd, &avx2_scale_d};
+                   &avx2_add_fd, &avx2_scale_d,   &avx2_dot_fd, &avx2_dot_dd,
+                   &avx2_sqdist_dd};
 }
 
 #pragma GCC diagnostic pop
@@ -413,7 +513,8 @@ KernelSet neon_set() noexcept {
   return KernelSet{&neon_dot,      &neon_axpy,      &neon_scale,
                    &neon_add,      &neon_fill,      &scalar::ddot,
                    &scalar::sqdist, &scalar::sqdist_fd, &scalar::add_fd,
-                   &scalar::scale_d};
+                   &scalar::scale_d, &scalar::dot_fd, &scalar::dot_dd,
+                   &scalar::sqdist_dd};
 }
 
 #endif  // V2V_KERNELS_NEON
@@ -506,6 +607,15 @@ void add_fd(const float* x, double* y, std::size_t n) noexcept {
 }
 void scale_d(double* x, double alpha, std::size_t n) noexcept {
   active().set.scale_d(x, alpha, n);
+}
+double dot_fd(const float* a, const double* b, std::size_t n) noexcept {
+  return active().set.dot_fd(a, b, n);
+}
+double dot_dd(const double* a, const double* b, std::size_t n) noexcept {
+  return active().set.dot_dd(a, b, n);
+}
+double sqdist_dd(const double* a, const double* b, std::size_t n) noexcept {
+  return active().set.sqdist_dd(a, b, n);
 }
 
 #endif  // V2V_TSAN_ENABLED

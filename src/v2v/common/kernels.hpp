@@ -63,6 +63,9 @@ struct KernelSet {
   double (*sqdist_fd)(const float*, const double*, std::size_t);
   void (*add_fd)(const float*, double*, std::size_t);
   void (*scale_d)(double*, double, std::size_t);
+  double (*dot_fd)(const float*, const double*, std::size_t);
+  double (*dot_dd)(const double*, const double*, std::size_t);
+  double (*sqdist_dd)(const double*, const double*, std::size_t);
 };
 
 /// Scalar reference implementations. Element accesses go through the
@@ -143,6 +146,36 @@ inline void scale_d(double* x, double alpha, std::size_t n) noexcept {
   for (std::size_t i = 0; i < n; ++i) relaxed_store(x + i, relaxed_load(x + i) * alpha);
 }
 
+/// Double-accumulated dot between a float row and a double row (k-means
+/// norm-cached distances: d² = ‖x‖² + ‖c‖² − 2⟨x,c⟩).
+[[nodiscard]] inline double dot_fd(const float* a, const double* b,
+                                   std::size_t n) noexcept {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += static_cast<double>(relaxed_load(a + i)) * relaxed_load(b + i);
+  }
+  return sum;
+}
+
+/// Dot between two double rows (centroid norms).
+[[nodiscard]] inline double dot_dd(const double* a, const double* b,
+                                   std::size_t n) noexcept {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += relaxed_load(a + i) * relaxed_load(b + i);
+  return sum;
+}
+
+/// Squared Euclidean distance between two double rows (centroid drift).
+[[nodiscard]] inline double sqdist_dd(const double* a, const double* b,
+                                      std::size_t n) noexcept {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = relaxed_load(a + i) - relaxed_load(b + i);
+    sum += d * d;
+  }
+  return sum;
+}
+
 }  // namespace scalar
 
 #if V2V_TSAN_ENABLED
@@ -180,6 +213,18 @@ inline void add_fd(const float* x, double* y, std::size_t n) noexcept {
 inline void scale_d(double* x, double alpha, std::size_t n) noexcept {
   scalar::scale_d(x, alpha, n);
 }
+[[nodiscard]] inline double dot_fd(const float* a, const double* b,
+                                   std::size_t n) noexcept {
+  return scalar::dot_fd(a, b, n);
+}
+[[nodiscard]] inline double dot_dd(const double* a, const double* b,
+                                   std::size_t n) noexcept {
+  return scalar::dot_dd(a, b, n);
+}
+[[nodiscard]] inline double sqdist_dd(const double* a, const double* b,
+                                      std::size_t n) noexcept {
+  return scalar::sqdist_dd(a, b, n);
+}
 
 #else
 
@@ -195,6 +240,9 @@ void fill(float* x, float value, std::size_t n) noexcept;
 [[nodiscard]] double sqdist_fd(const float* a, const double* b, std::size_t n) noexcept;
 void add_fd(const float* x, double* y, std::size_t n) noexcept;
 void scale_d(double* x, double alpha, std::size_t n) noexcept;
+[[nodiscard]] double dot_fd(const float* a, const double* b, std::size_t n) noexcept;
+[[nodiscard]] double dot_dd(const double* a, const double* b, std::size_t n) noexcept;
+[[nodiscard]] double sqdist_dd(const double* a, const double* b, std::size_t n) noexcept;
 
 #endif  // V2V_TSAN_ENABLED
 

@@ -28,6 +28,13 @@ walk::StepBias parse_bias(std::string_view value) {
   throw std::runtime_error("config: unknown walk.bias value");
 }
 
+ml::KMeansAssign parse_assign(std::string_view value) {
+  if (value == "naive") return ml::KMeansAssign::kNaive;
+  if (value == "norm_cached") return ml::KMeansAssign::kNormCached;
+  if (value == "hamerly") return ml::KMeansAssign::kHamerly;
+  throw std::runtime_error("config: unknown kmeans.assign value");
+}
+
 }  // namespace
 
 void save_config(const V2VConfig& config, std::ostream& out) {
@@ -61,6 +68,9 @@ void save_config(const V2VConfig& config, std::ostream& out) {
   out << "train.subsample = " << config.train.subsample << '\n';
   out << "train.threads = " << config.train.threads << '\n';
   out << "train.grain = " << config.train.grain << '\n';
+  out << "kmeans.threads = " << config.kmeans.threads << '\n';
+  out << "kmeans.restarts = " << config.kmeans.restarts << '\n';
+  out << "kmeans.assign = " << ml::assign_mode_name(config.kmeans.assign) << '\n';
 }
 
 void save_config_file(const V2VConfig& config, const std::string& path) {
@@ -143,6 +153,12 @@ V2VConfig load_config(std::istream& in) {
       {"train.threads",
        [&](std::string_view v) { as_size(v, config.train.threads); }},
       {"train.grain", [&](std::string_view v) { as_size(v, config.train.grain); }},
+      {"kmeans.threads",
+       [&](std::string_view v) { as_size(v, config.kmeans.threads); }},
+      {"kmeans.restarts",
+       [&](std::string_view v) { as_size(v, config.kmeans.restarts); }},
+      {"kmeans.assign",
+       [&](std::string_view v) { config.kmeans.assign = parse_assign(v); }},
   };
 
   std::string line;

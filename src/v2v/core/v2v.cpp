@@ -84,7 +84,8 @@ AutoCommunityResult detect_communities_auto(const embed::Embedding& embedding,
   V2V_CHECK(k_min <= k_max, "detect_communities_auto: k_min > k_max");
   k_max = std::min(k_max, embedding.vertex_count());
   const auto selection = ml::select_k_by_silhouette(
-      embedding.matrix(), k_min, k_max, kmeans_config.restarts, kmeans_config.seed);
+      embedding.matrix(), k_min, k_max, kmeans_config.restarts, kmeans_config.seed,
+      kmeans_config.threads);
   AutoCommunityResult result;
   result.chosen_k = selection.best_k;
   result.silhouette_curve = selection.scores;

@@ -37,6 +37,10 @@ struct V2VConfig {
   /// CBOW/SkipGram SGD parameters (paper §II-B defaults: CBOW, window
   /// n = 5, negative sampling).
   embed::TrainConfig train;
+  /// k-means engine parameters for the community-detection stage; `k` is
+  /// overwritten by the detect_communities argument. Config-file keys:
+  /// kmeans.threads, kmeans.restarts, kmeans.assign.
+  ml::KMeansConfig kmeans;
   /// Master seed; when nonzero it derives the walk and train seeds so one
   /// knob controls full reproducibility.
   std::uint64_t seed = 42;

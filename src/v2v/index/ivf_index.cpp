@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 #include <stdexcept>
 
 #include "v2v/common/kernels.hpp"
@@ -48,10 +47,24 @@ IvfIndex::IvfIndex(store::EmbeddingView data, DistanceMetric metric,
   }
   nlist = std::clamp<std::size_t>(nlist, 1, sample_count);
 
+  // All rows, metric-normalized once: feeds quantizer training, the
+  // engine assignment pass, and the posting repack without re-reading
+  // (and re-normalizing) the backing store three times.
+  const std::size_t threads = std::max<std::size_t>(1, config.threads);
+  MatrixF normalized(rows_, dims_);
+  parallel_for_dynamic(threads, rows_, 0,
+                       [&](std::size_t, std::size_t, std::size_t begin,
+                           std::size_t end) {
+                         for (std::size_t r = begin; r < end; ++r) {
+                           load_row(data.row(r), normalized.row(r), cosine);
+                         }
+                       });
+
   MatrixF train(sample_count, dims_);
   for (std::size_t i = 0; i < sample_count; ++i) {
     const std::size_t src = sample.empty() ? i : sample[i];
-    load_row(data.row(src), train.row(i), cosine);
+    const auto row = normalized.row(src);
+    std::copy(row.begin(), row.end(), train.row(i).begin());
   }
 
   ml::KMeansConfig kc;
@@ -59,7 +72,8 @@ IvfIndex::IvfIndex(store::EmbeddingView data, DistanceMetric metric,
   kc.max_iterations = std::max<std::size_t>(1, config.kmeans_iterations);
   kc.restarts = std::max<std::size_t>(1, config.kmeans_restarts);
   kc.seed = config.seed;
-  kc.threads = std::max<std::size_t>(1, config.threads);
+  kc.threads = threads;
+  kc.assign = config.kmeans_assign;
   kc.metrics = config.metrics;
   const ml::KMeansResult trained = ml::kmeans(train, kc);
 
@@ -70,27 +84,11 @@ IvfIndex::IvfIndex(store::EmbeddingView data, DistanceMetric metric,
     for (std::size_t j = 0; j < dims_; ++j) dst[j] = static_cast<float>(src[j]);
   }
 
-  // --- Assignment pass: every row to its nearest centroid, in parallel. -
-  std::vector<std::uint32_t> assignment(rows_);
-  parallel_for_dynamic(
-      std::max<std::size_t>(1, config.threads), rows_, 0,
-      [&](std::size_t, std::size_t, std::size_t begin, std::size_t end) {
-        std::vector<float> rowbuf(dims_);
-        for (std::size_t r = begin; r < end; ++r) {
-          load_row(data.row(r), rowbuf, cosine);
-          std::uint32_t best = 0;
-          double best_d = std::numeric_limits<double>::infinity();
-          for (std::size_t c = 0; c < nlist; ++c) {
-            const double d =
-                kernels::sqdist(rowbuf.data(), centroids_.row(c).data(), dims_);
-            if (d < best_d) {
-              best_d = d;
-              best = static_cast<std::uint32_t>(c);
-            }
-          }
-          assignment[r] = best;
-        }
-      });
+  // --- Assignment pass: every row to its nearest trained centroid via
+  // the k-means engine's exact norm-cached scan (same double-precision
+  // quantizer geometry the Lloyd runs used).
+  const std::vector<std::uint32_t> assignment = ml::assign_to_centroids(
+      normalized, trained.centroids, threads, config.kmeans_assign);
 
   // --- Repack rows into contiguous per-list postings (stable by id). ----
   list_offsets_.assign(nlist + 1, 0);
@@ -103,11 +101,13 @@ IvfIndex::IvfIndex(store::EmbeddingView data, DistanceMetric metric,
   for (std::size_t r = 0; r < rows_; ++r) {
     const std::size_t slot = cursor[assignment[r]]++;
     ids_[slot] = static_cast<std::uint32_t>(r);
-    load_row(data.row(r), codes_.row(slot), cosine);
+    const auto row = normalized.row(r);
+    std::copy(row.begin(), row.end(), codes_.row(slot).begin());
   }
 
   if (config.metrics != nullptr) {
     config.metrics->gauge("ivf.nlist").set(static_cast<double>(nlist));
+    config.metrics->gauge("ivf.build_threads").set(static_cast<double>(threads));
     config.metrics->counter("ivf.rows").add(rows_);
     auto& sizes = config.metrics->histogram(
         "ivf.list_size",

@@ -29,6 +29,7 @@
 
 #include "v2v/common/matrix.hpp"
 #include "v2v/index/vector_index.hpp"
+#include "v2v/ml/kmeans.hpp"
 #include "v2v/store/embedding_view.hpp"
 
 namespace v2v::obs {
@@ -50,10 +51,14 @@ struct IvfConfig {
   std::size_t kmeans_iterations = 15;
   std::size_t kmeans_restarts = 1;
   std::uint64_t seed = 1;
-  /// Worker threads for the build (assignment pass + k-means restarts).
+  /// Worker threads for the build (quantizer training + assignment pass).
   std::size_t threads = 1;
-  /// Optional observability sink: records ivf.nlist / ivf.build_seconds
-  /// gauges, an ivf.list_size histogram, and an "ivf_build" stage span.
+  /// Assignment engine for quantizer training and the row-assignment
+  /// pass. kNaive is the slow oracle kept for CI speedup gates.
+  ml::KMeansAssign kmeans_assign = ml::KMeansAssign::kHamerly;
+  /// Optional observability sink: records ivf.nlist / ivf.build_seconds /
+  /// ivf.build_threads gauges, an ivf.list_size histogram, and an
+  /// "ivf_build" stage span.
   obs::MetricsRegistry* metrics = nullptr;
 };
 

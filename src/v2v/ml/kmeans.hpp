@@ -1,6 +1,24 @@
 // k-means clustering (paper §III): Lloyd's algorithm with k-means++
 // seeding, repeated `restarts` times keeping the solution with the lowest
 // within-cluster sum of squares. The paper uses 100 restarts.
+//
+// The assignment step runs one of three interchangeable engines (see
+// docs/ARCHITECTURE.md "k-means engine"):
+//
+//   kNaive      — full O(n·k·d) sqdist scan; the parity oracle.
+//   kNormCached — d² = ‖x‖² + ‖c‖² − 2⟨x,c⟩ on the SIMD dot path with a
+//                 blocked point×centroid loop; near-ties fall back to the
+//                 exact scan, so assignments and SSE are bit-identical to
+//                 kNaive for a fixed seed.
+//   kHamerly    — triangle-inequality pruning (per-point bounds + centroid
+//                 drift) on top of the norm-cached scan; most points skip
+//                 the k-way scan entirely after the first few iterations.
+//                 Also exact: the bound test only ever *skips* the scan
+//                 when the incumbent centroid provably wins it.
+//
+// All engines share one deterministic accumulation scheme (fixed-grain
+// chunked SSE, posting-list centroid update), so results are bit-identical
+// across engines AND across thread counts for a fixed seed.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +34,13 @@ namespace v2v::ml {
 
 enum class KMeansSeeding : std::uint8_t { kPlusPlus, kUniform };
 
+/// Assignment-step engine. All three produce identical assignments and
+/// SSE for a fixed seed (kNaive is the oracle the others are tested
+/// against); they differ only in how many distances they evaluate.
+enum class KMeansAssign : std::uint8_t { kNaive, kNormCached, kHamerly };
+
+[[nodiscard]] const char* assign_mode_name(KMeansAssign mode) noexcept;
+
 struct KMeansConfig {
   std::size_t k = 10;
   std::size_t max_iterations = 100;   ///< Lloyd iterations per restart
@@ -23,10 +48,17 @@ struct KMeansConfig {
   KMeansSeeding seeding = KMeansSeeding::kPlusPlus;
   double tolerance = 1e-6;            ///< relative SSE improvement to keep iterating
   std::uint64_t seed = 1;
-  std::size_t threads = 1;            ///< restarts are embarrassingly parallel
+  /// Worker budget. When restarts >= threads the restarts themselves run
+  /// in parallel (each Lloyd run serial); otherwise restarts run
+  /// sequentially and each Lloyd run parallelizes its assignment/update
+  /// steps over points. Either way the result is bit-identical to
+  /// threads == 1.
+  std::size_t threads = 1;
+  KMeansAssign assign = KMeansAssign::kHamerly;
   /// Optional observability sink: kmeans() records an iterations-per-
-  /// restart histogram, the per-restart SSE trajectory, and a "kmeans"
-  /// stage span into it. Null (default) disables instrumentation.
+  /// restart histogram, the per-restart SSE trajectory, distance-eval /
+  /// pruning counters, per-step timing gauges, and a "kmeans" stage span
+  /// into it. Null (default) disables instrumentation.
   obs::MetricsRegistry* metrics = nullptr;
 };
 
@@ -39,10 +71,19 @@ struct KMeansResult {
 };
 
 /// Clusters the rows of `points`. Empty clusters are re-seeded with the
-/// point farthest from its centroid, so exactly k clusters are returned
-/// whenever k <= #points. Throws std::invalid_argument for k == 0 or
-/// k > #points.
+/// point farthest from its (pre-update) centroid, so exactly k clusters
+/// are returned whenever k <= #points. Throws std::invalid_argument for
+/// k == 0 or k > #points.
 [[nodiscard]] KMeansResult kmeans(const MatrixF& points, const KMeansConfig& config);
+
+/// One-shot nearest-centroid assignment of every row of `points` against
+/// `centroids` (the IVF build/quantization path). Uses the same exact
+/// norm-cached scan as the Lloyd engine — bit-identical to a naive
+/// sqdist argmin with lowest-index tie-breaking — chunked over `threads`
+/// workers deterministically. kNaive forces the plain scan (oracle).
+[[nodiscard]] std::vector<std::uint32_t> assign_to_centroids(
+    const MatrixF& points, const MatrixD& centroids, std::size_t threads,
+    KMeansAssign assign = KMeansAssign::kNormCached);
 
 /// SSE of an assignment against given centroids (for tests/validation).
 [[nodiscard]] double kmeans_sse(const MatrixF& points,

@@ -57,7 +57,7 @@ double silhouette_score(const MatrixF& points,
 
 KSelection select_k_by_silhouette(const MatrixF& points, std::size_t k_min,
                                   std::size_t k_max, std::size_t restarts,
-                                  std::uint64_t seed) {
+                                  std::uint64_t seed, std::size_t threads) {
   if (k_min < 2) throw std::invalid_argument("select_k: k_min must be >= 2");
   if (k_max < k_min) throw std::invalid_argument("select_k: k_max < k_min");
   if (k_max > points.rows()) {
@@ -70,6 +70,7 @@ KSelection select_k_by_silhouette(const MatrixF& points, std::size_t k_min,
     config.k = k;
     config.restarts = restarts;
     config.seed = seed + k;
+    config.threads = threads;
     const auto clusters = kmeans(points, config);
     const double score = silhouette_score(points, clusters.assignment);
     selection.scores.emplace_back(k, score);

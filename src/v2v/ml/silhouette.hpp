@@ -29,11 +29,13 @@ struct KSelection {
 };
 
 /// Clusters `points` with k-means for every k in [k_min, k_max] and
-/// returns the silhouette curve plus its argmax. `restarts` and `seed`
-/// feed the underlying k-means.
+/// returns the silhouette curve plus its argmax. `restarts`, `seed`, and
+/// `threads` feed the underlying k-means (large-k sweeps parallelize the
+/// Lloyd runs over points when restarts < threads).
 [[nodiscard]] KSelection select_k_by_silhouette(const MatrixF& points,
                                                 std::size_t k_min, std::size_t k_max,
                                                 std::size_t restarts = 10,
-                                                std::uint64_t seed = 1);
+                                                std::uint64_t seed = 1,
+                                                std::size_t threads = 1);
 
 }  // namespace v2v::ml

@@ -134,6 +134,51 @@ TEST_F(KernelParity, DoubleReductionsMatchScalar) {
   }
 }
 
+TEST_F(KernelParity, MixedDotAndDoubleRowsMatchScalar) {
+  // The k-means engine kernels: float-row x double-row dot (norm-cached
+  // distances), double-row dot (centroid norms), double-row sqdist
+  // (centroid drift).
+  for (const std::size_t n : kDims) {
+    const auto a = make_input(n, 31 + n);
+    const auto bd = make_input_d(n, 37 + n);
+    const auto cd = make_input_d(n, 43 + n);
+    const double dotfd_ref = scalar::dot_fd(a.data(), bd.data(), n);
+    const double dotdd_ref = scalar::dot_dd(bd.data(), cd.data(), n);
+    const double sqdd_ref = scalar::sqdist_dd(bd.data(), cd.data(), n);
+    for (const auto& [isa, set] : variants()) {
+      EXPECT_NEAR(set.dot_fd(a.data(), bd.data(), n), dotfd_ref,
+                  tol_for(std::fabs(dotfd_ref), n))
+          << isa_name(isa) << " dims=" << n;
+      EXPECT_NEAR(set.dot_dd(bd.data(), cd.data(), n), dotdd_ref,
+                  tol_for(std::fabs(dotdd_ref), n))
+          << isa_name(isa) << " dims=" << n;
+      EXPECT_NEAR(set.sqdist_dd(bd.data(), cd.data(), n), sqdd_ref,
+                  tol_for(sqdd_ref, n))
+          << isa_name(isa) << " dims=" << n;
+    }
+  }
+}
+
+TEST_F(KernelParity, DotFdAgreesWithDdotOnPromotedInput) {
+  // When the double row is an exact copy of a float row, dot_fd reduces
+  // the same exact products as ddot (float x float is exact in double);
+  // only the summation order may differ, so the gap is bounded by a few
+  // ulps per term rather than the usual float tolerance.
+  for (const std::size_t n : kDims) {
+    const auto a = make_input(n, 53 + n);
+    const auto b = make_input(n, 59 + n);
+    const AlignedVector<double> bd{b.begin(), b.end()};
+    for (const auto& [isa, set] : variants()) {
+      const double fd = set.dot_fd(a.data(), bd.data(), n);
+      const double dd = set.ddot(a.data(), b.data(), n);
+      const double bound = 64.0 * static_cast<double>(n + 1) *
+                           std::numeric_limits<double>::epsilon() *
+                           (std::fabs(dd) + 1.0);
+      EXPECT_NEAR(fd, dd, bound) << isa_name(isa) << " dims=" << n;
+    }
+  }
+}
+
 TEST_F(KernelParity, DoubleElementwiseMatchScalar) {
   for (const std::size_t n : kDims) {
     const auto x = make_input(n, 19 + n);

@@ -30,6 +30,9 @@ TEST(ConfigIo, RoundTripNonDefaultValues) {
   config.train.subsample = 1e-4;
   config.train.threads = 2;
   config.train.grain = 50;
+  config.kmeans.threads = 5;
+  config.kmeans.restarts = 21;
+  config.kmeans.assign = ml::KMeansAssign::kNormCached;
 
   std::stringstream buffer;
   save_config(config, buffer);
@@ -56,6 +59,20 @@ TEST(ConfigIo, RoundTripNonDefaultValues) {
   EXPECT_DOUBLE_EQ(loaded.train.subsample, 1e-4);
   EXPECT_EQ(loaded.train.threads, 2u);
   EXPECT_EQ(loaded.train.grain, 50u);
+  EXPECT_EQ(loaded.kmeans.threads, 5u);
+  EXPECT_EQ(loaded.kmeans.restarts, 21u);
+  EXPECT_EQ(loaded.kmeans.assign, ml::KMeansAssign::kNormCached);
+}
+
+TEST(ConfigIo, KMeansAssignModeParses) {
+  for (const auto mode : {ml::KMeansAssign::kNaive, ml::KMeansAssign::kNormCached,
+                          ml::KMeansAssign::kHamerly}) {
+    std::stringstream buffer;
+    buffer << "kmeans.assign = " << ml::assign_mode_name(mode) << "\n";
+    EXPECT_EQ(load_config(buffer).kmeans.assign, mode);
+  }
+  std::stringstream bad("kmeans.assign = elkanish\n");
+  EXPECT_THROW((void)load_config(bad), std::runtime_error);
 }
 
 TEST(ConfigIo, MissingKeysKeepDefaults) {

@@ -1,0 +1,235 @@
+// Parity suite for the k-means assignment engines: kNormCached and
+// kHamerly must reproduce the kNaive oracle bit-for-bit — identical
+// assignments, SSE, iteration counts, and centroids — on fixed seeds,
+// including the adversarial inputs where "exact up to deterministic
+// tie-breaking" is earned the hard way: exact-duplicate points,
+// exactly-equidistant ties, dimensions below/at/above one SIMD register,
+// and the empty-cluster reseed path.
+//
+// Suite names start with "KMeans" so the TSan preset filter picks these
+// up alongside the stress suite.
+#include "v2v/ml/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "v2v/common/rng.hpp"
+#include "v2v/obs/metrics.hpp"
+
+namespace v2v::ml {
+namespace {
+
+MatrixF random_points(std::size_t n, std::size_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  MatrixF m(n, d);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < d; ++c) {
+      m(r, c) = (rng.next_float() - 0.5f) * 8.0f;
+    }
+  }
+  return m;
+}
+
+/// `bases` distinct random locations, each repeated `copies` times as an
+/// exact bit copy (interleaved, so duplicates are never adjacent).
+MatrixF duplicated_points(std::size_t bases, std::size_t copies, std::size_t d,
+                          std::uint64_t seed) {
+  const MatrixF proto = random_points(bases, d, seed);
+  MatrixF m(bases * copies, d);
+  for (std::size_t i = 0; i < bases * copies; ++i) {
+    const std::size_t b = i % bases;
+    for (std::size_t c = 0; c < d; ++c) m(i, c) = proto(b, c);
+  }
+  return m;
+}
+
+/// Small-integer lattice: every coordinate (and therefore every squared
+/// distance) is exactly representable, so symmetric layouts produce
+/// *exact* distance ties that only lowest-index tie-breaking resolves.
+MatrixF lattice_points(std::uint64_t seed) {
+  Rng rng(seed);
+  MatrixF m(24, 2);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    m(r, 0) = static_cast<float>(static_cast<int>(rng.next_below(5)) - 2);
+    m(r, 1) = static_cast<float>(static_cast<int>(rng.next_below(5)) - 2);
+  }
+  return m;
+}
+
+KMeansResult run(const MatrixF& points, std::size_t k, KMeansAssign mode,
+                 KMeansSeeding seeding = KMeansSeeding::kPlusPlus,
+                 std::size_t restarts = 3, std::size_t threads = 1) {
+  KMeansConfig config;
+  config.k = k;
+  config.restarts = restarts;
+  config.seed = 9;
+  config.assign = mode;
+  config.seeding = seeding;
+  config.threads = threads;
+  return kmeans(points, config);
+}
+
+void expect_identical(const KMeansResult& oracle, const KMeansResult& got,
+                      const char* label) {
+  EXPECT_EQ(oracle.assignment, got.assignment) << label;
+  EXPECT_DOUBLE_EQ(oracle.sse, got.sse) << label;
+  EXPECT_EQ(oracle.iterations, got.iterations) << label;
+  ASSERT_EQ(oracle.centroids.rows(), got.centroids.rows()) << label;
+  ASSERT_EQ(oracle.centroids.cols(), got.centroids.cols()) << label;
+  for (std::size_t c = 0; c < oracle.centroids.rows(); ++c) {
+    for (std::size_t j = 0; j < oracle.centroids.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(oracle.centroids(c, j), got.centroids(c, j))
+          << label << " centroid " << c << "," << j;
+    }
+  }
+}
+
+void expect_all_modes_identical(const MatrixF& points, std::size_t k,
+                                KMeansSeeding seeding = KMeansSeeding::kPlusPlus,
+                                std::size_t restarts = 3) {
+  const auto oracle = run(points, k, KMeansAssign::kNaive, seeding, restarts);
+  expect_identical(oracle, run(points, k, KMeansAssign::kNormCached, seeding, restarts),
+                   "norm_cached");
+  expect_identical(oracle, run(points, k, KMeansAssign::kHamerly, seeding, restarts),
+                   "hamerly");
+}
+
+TEST(KMeansParity, RandomAcrossDims) {
+  // d below one SIMD register, exactly one, and register-count + 1.
+  for (const std::size_t d : {std::size_t{1}, std::size_t{8}, std::size_t{129}}) {
+    const MatrixF points = random_points(300, d, 11 + d);
+    for (const std::size_t k : {std::size_t{1}, std::size_t{2}, std::size_t{7}}) {
+      SCOPED_TRACE(::testing::Message() << "d=" << d << " k=" << k);
+      expect_all_modes_identical(points, k);
+    }
+  }
+}
+
+TEST(KMeansParity, ExactDuplicatePoints) {
+  // Every distance from a duplicate to a centroid collides exactly with
+  // its siblings': the pruned engines must reproduce the oracle's
+  // lowest-index choices, not just any optimal clustering.
+  const MatrixF points = duplicated_points(6, 8, 16, 23);
+  expect_all_modes_identical(points, 5);
+  expect_all_modes_identical(points, 5, KMeansSeeding::kUniform);
+}
+
+TEST(KMeansParity, EquidistantTies) {
+  // Integer lattice: exact ties between symmetric centroids are the norm,
+  // so the norm-cached certainty margin must always refuse to certify and
+  // fall back to the oracle scan.
+  const MatrixF points = lattice_points(31);
+  expect_all_modes_identical(points, 4, KMeansSeeding::kUniform, 5);
+  expect_all_modes_identical(points, 9);
+}
+
+TEST(KMeansParity, EmptyClusterReseedPath) {
+  // k close to n over heavily duplicated points: seeding lands several
+  // centroids on identical coordinates, assignment drains all but the
+  // lowest-index copy, and the reseed path fires every iteration.
+  const MatrixF points = duplicated_points(4, 3, 8, 41);  // n = 12, 4 distinct
+  for (const std::size_t k : {std::size_t{10}, std::size_t{11}}) {
+    SCOPED_TRACE(::testing::Message() << "k=" << k);
+    const auto oracle = run(points, k, KMeansAssign::kNaive);
+    for (const std::uint32_t a : oracle.assignment) EXPECT_LT(a, k);
+    EXPECT_GE(oracle.sse, 0.0);
+    expect_all_modes_identical(points, k);
+  }
+}
+
+TEST(KMeansParity, ThreadsDoNotChangeBits) {
+  // Same engine, different worker counts: the fixed assignment grain and
+  // chunk-ordered reduction make every count bit-identical, on both the
+  // restart-parallel (restarts >= threads) and point-parallel paths.
+  const MatrixF points = random_points(500, 12, 71);
+  for (const KMeansAssign mode :
+       {KMeansAssign::kNaive, KMeansAssign::kNormCached, KMeansAssign::kHamerly}) {
+    const auto serial = run(points, 6, mode, KMeansSeeding::kPlusPlus, 2, 1);
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+      SCOPED_TRACE(::testing::Message()
+                   << assign_mode_name(mode) << " threads=" << threads);
+      expect_identical(serial,
+                       run(points, 6, mode, KMeansSeeding::kPlusPlus, 2, threads),
+                       "threaded");
+    }
+  }
+}
+
+TEST(KMeansParity, AssignToCentroidsMatchesOracle) {
+  for (const std::size_t d : {std::size_t{1}, std::size_t{8}, std::size_t{129}}) {
+    const MatrixF points = random_points(400, d, 83 + d);
+    MatrixD centroids(7, d);
+    Rng rng(97 + d);
+    for (std::size_t c = 0; c < centroids.rows(); ++c) {
+      for (std::size_t j = 0; j < d; ++j) {
+        centroids(c, j) = (rng.next_double() - 0.5) * 8.0;
+      }
+    }
+    const auto oracle = assign_to_centroids(points, centroids, 1, KMeansAssign::kNaive);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{3}}) {
+      EXPECT_EQ(oracle, assign_to_centroids(points, centroids, threads,
+                                            KMeansAssign::kNormCached))
+          << "d=" << d << " threads=" << threads;
+      EXPECT_EQ(oracle, assign_to_centroids(points, centroids, threads,
+                                            KMeansAssign::kHamerly))
+          << "d=" << d << " threads=" << threads;
+    }
+  }
+}
+
+TEST(KMeansParity, AssignToCentroidsTieBreaksLowestIndex) {
+  // Two identical centroids: every point ties exactly; the winner must
+  // always be index 0, in every engine.
+  MatrixF points = random_points(50, 4, 101);
+  MatrixD centroids(2, 4);
+  for (std::size_t j = 0; j < 4; ++j) {
+    centroids(0, j) = 0.25 * static_cast<double>(j);
+    centroids(1, j) = centroids(0, j);
+  }
+  for (const KMeansAssign mode :
+       {KMeansAssign::kNaive, KMeansAssign::kNormCached, KMeansAssign::kHamerly}) {
+    const auto got = assign_to_centroids(points, centroids, 2, mode);
+    for (const std::uint32_t a : got) EXPECT_EQ(a, 0u) << assign_mode_name(mode);
+  }
+}
+
+TEST(KMeansParity, HamerlyPrunesAndReportsMetrics) {
+  // Well-separated blobs converge in a few iterations with most points
+  // pruned; the registry must show the per-iteration trajectory and a
+  // sane overall fraction, and Hamerly must spend strictly fewer distance
+  // evaluations than the oracle.
+  const MatrixF points = random_points(600, 8, 113);
+  obs::MetricsRegistry naive_metrics;
+  obs::MetricsRegistry fast_metrics;
+  KMeansConfig config;
+  config.k = 8;
+  config.restarts = 2;
+  config.seed = 9;
+  config.assign = KMeansAssign::kNaive;
+  config.metrics = &naive_metrics;
+  const auto oracle = kmeans(points, config);
+  config.assign = KMeansAssign::kHamerly;
+  config.metrics = &fast_metrics;
+  const auto fast = kmeans(points, config);
+  expect_identical(oracle, fast, "hamerly");
+
+  const std::uint64_t naive_evals = naive_metrics.counter("kmeans.dist_evals").value();
+  const std::uint64_t fast_evals = fast_metrics.counter("kmeans.dist_evals").value();
+  EXPECT_LT(fast_evals, naive_evals);
+  const double overall =
+      fast_metrics.gauge("kmeans.pruned_fraction_overall").value();
+  EXPECT_GT(overall, 0.0);
+  EXPECT_LE(overall, 1.0);
+  const auto trajectory = fast_metrics.series("kmeans.pruned_fraction").values();
+  ASSERT_EQ(trajectory.size(), fast.iterations);
+  EXPECT_DOUBLE_EQ(trajectory.front(), 0.0);  // first iteration scans everything
+  for (const double f : trajectory) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace v2v::ml

@@ -1,0 +1,127 @@
+// Threaded stress for the k-means engine, sized to be meaningful under
+// TSan (the suite name starts with "KMeans" so the tsan preset filter
+// runs it). Two claims under load:
+//
+//  1. Determinism: for a fixed seed, the full result (assignments, SSE,
+//     iteration count, centroids) is bit-identical across thread counts
+//     and across the restart-parallel / point-parallel work splits —
+//     the fixed assignment grain plus chunk-ordered reduction and the
+//     posting-list update make the arithmetic order a pure function of
+//     the input, never of the schedule.
+//  2. No data races: the assignment scratch, per-chunk stats, and
+//     drift/bound arrays are only ever touched by their owning worker.
+#include "v2v/ml/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "v2v/common/rng.hpp"
+
+namespace v2v::ml {
+namespace {
+
+MatrixF clustered_points(std::size_t n, std::size_t d, std::size_t blobs,
+                         std::uint64_t seed) {
+  Rng rng(seed);
+  MatrixF m(n, d);
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::size_t b = r % blobs;
+    for (std::size_t c = 0; c < d; ++c) {
+      const auto center = static_cast<float>((b * 7 + c * 3) % 13) - 6.0f;
+      m(r, c) = center + (rng.next_float() - 0.5f);
+    }
+  }
+  return m;
+}
+
+KMeansResult run(const MatrixF& points, KMeansAssign mode, std::size_t restarts,
+                 std::size_t threads, std::size_t max_iterations = 12) {
+  KMeansConfig config;
+  config.k = 17;
+  config.restarts = restarts;
+  config.max_iterations = max_iterations;
+  config.seed = 77;
+  config.assign = mode;
+  config.threads = threads;
+  return kmeans(points, config);
+}
+
+void expect_identical(const KMeansResult& a, const KMeansResult& b) {
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.sse, b.sse);
+  EXPECT_EQ(a.iterations, b.iterations);
+  ASSERT_EQ(a.centroids.rows(), b.centroids.rows());
+  for (std::size_t c = 0; c < a.centroids.rows(); ++c) {
+    for (std::size_t j = 0; j < a.centroids.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(a.centroids(c, j), b.centroids(c, j));
+    }
+  }
+}
+
+TEST(KMeansStress, PointParallelBitIdenticalAcrossThreads) {
+  // restarts=1 < threads forces the point-parallel split: the assignment
+  // loop itself runs on the pool. n is a multiple of the grain plus an
+  // awkward remainder so chunk boundaries land mid-tile.
+  const MatrixF points = clustered_points(4096 + 257, 9, 17, 5);
+  for (const KMeansAssign mode :
+       {KMeansAssign::kNaive, KMeansAssign::kNormCached, KMeansAssign::kHamerly}) {
+    SCOPED_TRACE(assign_mode_name(mode));
+    const auto serial = run(points, mode, 1, 1);
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+      SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+      expect_identical(serial, run(points, mode, 1, threads));
+    }
+  }
+}
+
+TEST(KMeansStress, RestartParallelMatchesSerial) {
+  // restarts >= threads keeps each Lloyd run serial and spreads restarts
+  // across the pool; the best-of merge walks chunks in order, so ties on
+  // SSE resolve to the lowest restart index exactly like the serial loop.
+  const MatrixF points = clustered_points(1500, 9, 17, 5);
+  const auto serial = run(points, KMeansAssign::kHamerly, 6, 1);
+  for (const std::size_t threads :
+       {std::size_t{2}, std::size_t{3}, std::size_t{6}}) {
+    SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+    expect_identical(serial, run(points, KMeansAssign::kHamerly, 6, threads));
+  }
+}
+
+TEST(KMeansStress, ModesAgreeUnderThreads) {
+  // The full matrix: every engine, both work splits, same bits.
+  const MatrixF points = clustered_points(2048, 6, 17, 23);
+  const auto oracle = run(points, KMeansAssign::kNaive, 2, 1, 8);
+  for (const KMeansAssign mode : {KMeansAssign::kNormCached, KMeansAssign::kHamerly}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      SCOPED_TRACE(::testing::Message()
+                   << assign_mode_name(mode) << " threads=" << threads);
+      expect_identical(oracle, run(points, mode, 2, threads, 8));
+    }
+  }
+}
+
+TEST(KMeansStress, AssignToCentroidsDeterministicUnderThreads) {
+  const MatrixF points = clustered_points(3000, 9, 17, 41);
+  MatrixD centroids(17, 9);
+  Rng rng(43);
+  for (std::size_t c = 0; c < centroids.rows(); ++c) {
+    for (std::size_t j = 0; j < centroids.cols(); ++j) {
+      centroids(c, j) = rng.next_double(-6.0, 6.0);
+    }
+  }
+  const auto serial =
+      assign_to_centroids(points, centroids, 1, KMeansAssign::kNormCached);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    EXPECT_EQ(serial, assign_to_centroids(points, centroids, threads,
+                                          KMeansAssign::kNormCached))
+        << "threads=" << threads;
+    EXPECT_EQ(serial, assign_to_centroids(points, centroids, threads,
+                                          KMeansAssign::kHamerly))
+        << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace v2v::ml

@@ -25,6 +25,12 @@ Enforced on src/ (and partially on tests/ and bench/, see each rule):
       per-row distances duplicates FlatIndex. Route the query through
       v2v/index (FlatIndex / QueryEngine / embedding_queries) so it picks
       up precomputed norms, serving metrics, and ANN acceleration
+  R9  no raw point-vs-centroid argmin loops outside ml/kmeans.cpp and the
+      kernel layer: a loop that computes kernel distances against centroid
+      rows while tracking a running best re-implements the k-means
+      assignment step without norm caching, triangle-inequality pruning,
+      or the oracle's tie-breaking. Call ml::assign_to_centroids (or run
+      ml::kmeans) instead
 
 Usage: tools/lint.py [--root REPO_ROOT]
 Exit code 0 = clean, 1 = findings (printed one per line as
@@ -52,6 +58,10 @@ ELEMENTWISE_ALLOWLIST: set[str] = {
     # t-SNE's gradient integrator updates gains/velocity/embedding in one
     # fused pass over 2-D double state; the float row kernels do not apply.
     "src/v2v/ml/tsne.cpp",
+    # The k-means engine's row arithmetic already goes through the kernel
+    # layer; what trips the rule is O(k) scalar bound maintenance
+    # (half_gap/drift updates), which is not row work.
+    "src/v2v/ml/kmeans.cpp",
 }
 
 # Directories whose row arithmetic must go through common/kernels.hpp (R7),
@@ -90,6 +100,22 @@ VERTEX_LOOP_RE = re.compile(r"\bfor\s*\(.*vertex_count\s*\(\s*\)")
 DISTANCE_CALL_RE = re.compile(
     r"\b(cosine_distance|squared_distance|cosine_similarity)\s*\(|"
     r"\bkernels::(ddot|sqdist)\s*\(")
+# R9: a kernel distance whose arguments reference a centroid row...
+CENTROID_DIST_RE = re.compile(
+    r"\b(?:kernels::)?sqdist(?:_fd|_dd)?\s*\([^;]*centroid", re.IGNORECASE)
+# ...combined with a running-best update in the same loop is a hand-rolled
+# k-means assignment step. (Collect-then-sort rankings, like the IVF
+# coarse probe, keep no running best and are not flagged.)
+BEST_TRACK_RE = re.compile(r"\b(best|nearest|closest|min_d)\w*\s*=[^=]|argmin",
+                           re.IGNORECASE)
+FOR_LOOP_RE = re.compile(r"\bfor\s*\(")
+
+# Files exempt from R9: the engine itself and the kernel layer.
+CENTROID_SCAN_ALLOWLIST: set[str] = {
+    "src/v2v/ml/kmeans.cpp",
+    "src/v2v/common/kernels.hpp",
+    "src/v2v/common/kernels.cpp",
+}
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -235,6 +261,42 @@ class Linter:
             if depth <= 0 and line_no > loop_line:
                 in_loop = False
 
+    def lint_centroid_scans(self, path: pathlib.Path) -> None:
+        rel = path.relative_to(self.root).as_posix()
+        if rel in CENTROID_SCAN_ALLOWLIST:
+            return
+        code = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+        lines = code.splitlines()
+        in_loop = False
+        depth = 0
+        loop_line = 0
+        dist_line = 0
+        has_best = False
+        for line_no, line in enumerate(lines, start=1):
+            if not in_loop:
+                if FOR_LOOP_RE.search(line):
+                    in_loop = True
+                    depth = 0
+                    loop_line = line_no
+                    dist_line = 0
+                    has_best = False
+                else:
+                    continue
+            if CENTROID_DIST_RE.search(line):
+                dist_line = line_no
+            if BEST_TRACK_RE.search(line):
+                has_best = True
+            if dist_line and has_best:
+                self.report(path, dist_line, "R9",
+                            "raw point-vs-centroid argmin loop (opened at line "
+                            f"{loop_line}); use ml::assign_to_centroids / "
+                            "ml::kmeans or allowlist in tools/lint.py")
+                in_loop = False
+                continue
+            depth += line.count("{") - line.count("}")
+            if depth <= 0 and line_no > loop_line:
+                in_loop = False
+
     def lint_include_hygiene(self, path: pathlib.Path) -> None:
         raw = path.read_text(encoding="utf-8")
         if path.suffix == ".hpp":
@@ -283,6 +345,7 @@ class Linter:
             self.lint_include_hygiene(path)
             self.lint_elementwise(path)
             self.lint_embedding_scans(path)
+            self.lint_centroid_scans(path)
         # Tests and benches get the behavioral rules (R1-R4) but not the
         # structural ones.
         for tree in (tests, bench):
