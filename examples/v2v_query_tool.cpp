@@ -1,25 +1,37 @@
 // v2v_query_tool: the serving-side companion to v2v_tool, operating on
-// binary embedding snapshots (see docs/ARCHITECTURE.md "Embedding store").
+// binary embedding snapshots (see docs/ARCHITECTURE.md "Embedding store"
+// and docs/SERVING.md for the full serve-mode operator guide).
 //
 //   v2v_query_tool convert <vectors.txt> <out.v2vsnap>
 //   v2v_query_tool export  <in.v2vsnap> <vectors.txt>
 //   v2v_query_tool info    <in.v2vsnap>
-//   v2v_query_tool serve   <in.v2vsnap> [--index=flat|ivf] [--metric=cosine|l2]
-//                          [--k=10] [--nlist=0] [--nprobe=8] [--threads=1]
-//                          [--queries=file] [--no-mmap]
+//   v2v_query_tool serve   <in.v2vsnap> [index/engine flags] [server flags]
 //
 // `serve` memory-maps the snapshot (zero-copy; --no-mmap forces the
-// buffered fallback), builds the requested index, then answers one query
-// per input line ("id x1 x2 ... xd" or just "x1 ... xd") from --queries or
-// stdin, printing "id distance" pairs per line. --metrics-out=<file>.json
-// writes the serving metrics sidecar (query counts, latency histogram,
-// ivf build stats; schema v2v.metrics.v1).
+// buffered fallback), builds the requested index, and is a thin launcher
+// over the serve/ library: with --port it runs the concurrent network
+// server (binary V2Q1 protocol + HTTP shim) until SIGINT/SIGTERM, then
+// drains gracefully; without --port it answers one query per input line
+// ("id x1 ... xd" or "x1 ... xd") from --queries or stdin, routed through
+// the same batching admission queue so both modes share one code path.
+// --metrics-out=<file>.json writes the serving metrics sidecar (admission
+// and latency histograms, query counts, ivf build stats; schema
+// v2v.metrics.v1).
+//
+// Unknown flags are a hard error (exit 2): a typo like --nprob silently
+// ignored would mean serving at default settings while believing
+// otherwise.
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <deque>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "v2v/common/cli.hpp"
@@ -28,11 +40,17 @@
 #include "v2v/index/query_engine.hpp"
 #include "v2v/obs/export.hpp"
 #include "v2v/obs/metrics.hpp"
+#include "v2v/serve/batch_queue.hpp"
+#include "v2v/serve/server.hpp"
 #include "v2v/store/snapshot.hpp"
 
 namespace {
 
 using namespace v2v;
+
+std::atomic<bool> g_stop{false};
+
+void handle_stop_signal(int) { g_stop.store(true, std::memory_order_release); }
 
 void maybe_write_metrics(const CliArgs& args, const obs::MetricsRegistry& registry) {
   const std::string path = args.metrics_out();
@@ -86,6 +104,103 @@ bool parse_query(const std::string& line, std::size_t dims,
   return true;
 }
 
+serve::BatchQueueConfig batch_config_from(const CliArgs& args,
+                                          obs::MetricsRegistry& metrics) {
+  serve::BatchQueueConfig config;
+  config.max_batch = static_cast<std::size_t>(args.get_int("batch", 64));
+  config.max_linger =
+      std::chrono::microseconds(args.get_int("linger-us", 200));
+  config.queue_capacity = static_cast<std::size_t>(args.get_int("queue", 4096));
+  config.default_deadline =
+      std::chrono::milliseconds(args.get_int("deadline-ms", 1000));
+  config.metrics = &metrics;
+  return config;
+}
+
+/// Network mode: serve until SIGINT/SIGTERM, then drain gracefully.
+int serve_network(const CliArgs& args, const index::QueryEngine& engine,
+                  obs::MetricsRegistry& metrics) {
+  serve::ServerConfig config;
+  config.host = args.get("host", "127.0.0.1");
+  config.port = static_cast<std::uint16_t>(args.get_int("port", 0));
+  config.max_connections = static_cast<std::size_t>(args.get_int("max-conns", 256));
+  config.batch = batch_config_from(args, metrics);
+  config.metrics = &metrics;
+  serve::Server server(engine, config);
+  std::fprintf(stderr,
+               "listening on %s:%u (binary V2Q1 + HTTP: POST /query, GET "
+               "/stats, GET /healthz); Ctrl-C drains and exits\n",
+               server.host().c_str(), server.port());
+
+  struct sigaction action {};
+  action.sa_handler = handle_stop_signal;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+  while (!g_stop.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::fprintf(stderr, "signal received: draining in-flight requests\n");
+  server.stop();
+  const auto snap = metrics.snapshot();
+  const auto counter = [&](const char* name) -> unsigned long long {
+    const auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? 0ULL : it->second;
+  };
+  std::fprintf(stderr,
+               "drained: %llu requests served (%llu timeouts, %llu "
+               "rejected overload), shutdown clean\n",
+               counter("serve.requests"), counter("serve.timeouts"),
+               counter("serve.rejected_queue_full"));
+  return 0;
+}
+
+/// Offline mode: one query per input line, still routed through the
+/// batching admission queue (a bounded window of in-flight futures keeps
+/// batches full while output order stays line order).
+int serve_offline(const CliArgs& args, const index::QueryEngine& engine,
+                  obs::MetricsRegistry& metrics, std::istream& in,
+                  std::size_t dims, std::size_t k) {
+  serve::BatchQueue queue(engine, batch_config_from(args, metrics));
+
+  std::deque<std::future<serve::SubmitResult>> window;
+  std::size_t answered = 0, malformed = 0, failed = 0;
+  const auto drain_one = [&] {
+    auto result = window.front().get();
+    window.pop_front();
+    if (result.status != serve::RequestStatus::kOk) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   serve::request_status_name(result.status));
+      ++failed;
+      std::printf("\n");
+      return;
+    }
+    for (std::size_t i = 0; i < result.neighbors.size(); ++i) {
+      std::printf("%s%u:%.6g", i == 0 ? "" : " ", result.neighbors[i].id,
+                  result.neighbors[i].distance);
+    }
+    std::printf("\n");
+    ++answered;
+  };
+
+  std::string line;
+  std::vector<float> query;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (!parse_query(line, dims, query)) {
+      std::fprintf(stderr, "skipping malformed query line: %s\n", line.c_str());
+      ++malformed;
+      continue;
+    }
+    window.push_back(queue.submit(query, k));
+    if (window.size() >= 512) drain_one();
+  }
+  while (!window.empty()) drain_one();
+  queue.shutdown();
+  std::fprintf(stderr, "answered %zu queries (%zu malformed, %zu failed)\n",
+               answered, malformed, failed);
+  return malformed == 0 && failed == 0 ? 0 : 1;
+}
+
 int cmd_serve(const CliArgs& args) {
   const auto& path = args.positional()[1];
   obs::MetricsRegistry metrics;
@@ -110,63 +225,102 @@ int cmd_serve(const CliArgs& args) {
     index::IvfConfig config;
     config.nlist = static_cast<std::size_t>(args.get_int("nlist", 0));
     config.nprobe = static_cast<std::size_t>(args.get_int("nprobe", 8));
-    // --build-threads overrides --threads for the one-off build (e.g. use
-    // all cores to build, few to serve).
+    // --build-threads overrides --threads for the one-off k-means build
+    // only (use all cores to build, few to serve); it never affects query
+    // results or serving parallelism.
     config.threads = static_cast<std::size_t>(
         args.get_int("build-threads", static_cast<std::int64_t>(threads)));
     config.metrics = &metrics;
     idx = std::make_unique<index::IvfIndex>(mapped.view(), metric, config);
   } else {
+    // IVF-only flags with --index=flat mean a misconfiguration worth
+    // flagging (they would be silently inert).
+    for (const char* flag : {"nlist", "nprobe", "build-threads"}) {
+      if (args.has(flag)) {
+        std::fprintf(stderr,
+                     "warning: --%s has no effect with --index=flat "
+                     "(flat is exact; it has no build step or probe knob)\n",
+                     flag);
+      }
+    }
     idx = std::make_unique<index::FlatIndex>(mapped.view(), metric);
   }
   const index::QueryEngine engine(*idx, {.threads = threads, .metrics = &metrics});
   engine.warmup();
 
-  std::ifstream query_file;
-  const std::string query_path = args.get("queries", "");
-  if (!query_path.empty()) {
-    query_file.open(query_path);
-    if (!query_file) {
-      std::fprintf(stderr, "error: cannot open %s\n", query_path.c_str());
-      return 1;
+  int rc = 0;
+  if (args.has("port")) {
+    rc = serve_network(args, engine, metrics);
+  } else {
+    std::ifstream query_file;
+    const std::string query_path = args.get("queries", "");
+    if (!query_path.empty()) {
+      query_file.open(query_path);
+      if (!query_file) {
+        std::fprintf(stderr, "error: cannot open %s\n", query_path.c_str());
+        return 1;
+      }
     }
+    std::istream& in = query_path.empty() ? std::cin : query_file;
+    rc = serve_offline(args, engine, metrics, in, mapped.dimensions(), k);
   }
-  std::istream& in = query_path.empty() ? std::cin : query_file;
-
-  std::string line;
-  std::vector<float> query;
-  std::vector<index::Neighbor> out;
-  std::size_t answered = 0, malformed = 0;
-  while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') continue;
-    if (!parse_query(line, mapped.dimensions(), query)) {
-      std::fprintf(stderr, "skipping malformed query line: %s\n", line.c_str());
-      ++malformed;
-      continue;
-    }
-    engine.query_into(query, k, out);
-    for (std::size_t i = 0; i < out.size(); ++i) {
-      std::printf("%s%u:%.6g", i == 0 ? "" : " ", out[i].id, out[i].distance);
-    }
-    std::printf("\n");
-    ++answered;
-  }
-  std::fprintf(stderr, "answered %zu queries (%zu malformed)\n", answered,
-               malformed);
   maybe_write_metrics(args, metrics);
-  return malformed == 0 ? 0 : 1;
+  return rc;
 }
 
 void usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  v2v_query_tool convert <vectors.txt> <out.v2vsnap>\n"
-               "  v2v_query_tool export  <in.v2vsnap> <vectors.txt>\n"
-               "  v2v_query_tool info    <in.v2vsnap>\n"
-               "  v2v_query_tool serve   <in.v2vsnap> [--index=flat|ivf]\n"
-               "      [--metric=cosine|l2] [--k=10] [--nlist=0] [--nprobe=8]\n"
-               "      [--threads=1] [--build-threads=N] [--queries=file] [--no-mmap]\n"
-               "      [--metrics-out=metrics.json]\n");
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  v2v_query_tool convert <vectors.txt> <out.v2vsnap>\n"
+      "  v2v_query_tool export  <in.v2vsnap> <vectors.txt>\n"
+      "  v2v_query_tool info    <in.v2vsnap>\n"
+      "  v2v_query_tool serve   <in.v2vsnap> [flags]\n"
+      "\n"
+      "serve index/engine flags:\n"
+      "  --index=flat|ivf     flat = exact scan (default); ivf = approximate\n"
+      "  --metric=cosine|l2   distance metric (default cosine)\n"
+      "  --threads=N          QueryEngine workers for batch fan-out (default 1)\n"
+      "  --nlist=N            IVF partitions; 0 = ~sqrt(rows) (ivf only)\n"
+      "  --nprobe=N           IVF lists scanned per query (ivf only; higher =\n"
+      "                       better recall, lower QPS; default 8)\n"
+      "  --build-threads=N    threads for the one-off IVF k-means build only\n"
+      "                       (defaults to --threads; never changes results or\n"
+      "                       serving parallelism — build wide, serve narrow)\n"
+      "  --no-mmap            force the buffered snapshot read\n"
+      "\n"
+      "serve server flags (docs/SERVING.md):\n"
+      "  --port=P             listen on P (0 = ephemeral); omit for offline\n"
+      "                       stdin/--queries mode\n"
+      "  --host=H             bind address (default 127.0.0.1)\n"
+      "  --batch=N            max requests coalesced per engine batch (64)\n"
+      "  --linger-us=N        max wait to fill a batch, microseconds (200)\n"
+      "  --queue=N            admission queue bound; beyond it requests are\n"
+      "                       rejected with overloaded + Retry-After (4096)\n"
+      "  --deadline-ms=N      default per-request deadline; 0 disables (1000)\n"
+      "  --max-conns=N        live TCP connection bound (256)\n"
+      "\n"
+      "offline-mode flags:\n"
+      "  --k=N                neighbors per query (default 10)\n"
+      "  --queries=file       read query lines from file instead of stdin\n"
+      "\n"
+      "common:\n"
+      "  --metrics-out=f.json write the v2v.metrics.v1 serving sidecar\n"
+      "\n"
+      "unknown flags are a hard error (exit 2).\n");
+}
+
+/// Hard-errors on any flag the subcommand does not know. Returns true
+/// when the command line is clean.
+bool check_flags(const CliArgs& args,
+                 std::initializer_list<std::string_view> known) {
+  const auto unknown = args.unknown_flags(known);
+  if (unknown.empty()) return true;
+  for (const auto& flag : unknown) {
+    std::fprintf(stderr, "error: unknown flag --%s\n", flag.c_str());
+  }
+  usage();
+  return false;
 }
 
 }  // namespace
@@ -176,10 +330,24 @@ int main(int argc, char** argv) {
   try {
     const auto& pos = args.positional();
     const std::string command = pos.empty() ? "" : pos[0];
-    if (command == "convert" && pos.size() >= 3) return cmd_convert(args);
-    if (command == "export" && pos.size() >= 3) return cmd_export(args);
-    if (command == "info" && pos.size() >= 2) return cmd_info(args);
-    if (command == "serve" && pos.size() >= 2) return cmd_serve(args);
+    if (command == "convert" && pos.size() >= 3) {
+      return check_flags(args, {}) ? cmd_convert(args) : 2;
+    }
+    if (command == "export" && pos.size() >= 3) {
+      return check_flags(args, {}) ? cmd_export(args) : 2;
+    }
+    if (command == "info" && pos.size() >= 2) {
+      return check_flags(args, {}) ? cmd_info(args) : 2;
+    }
+    if (command == "serve" && pos.size() >= 2) {
+      return check_flags(args, {"index", "metric", "k", "nlist", "nprobe",
+                                "threads", "build-threads", "queries",
+                                "no-mmap", "metrics-out", "port", "host",
+                                "batch", "linger-us", "queue", "deadline-ms",
+                                "max-conns"})
+                 ? cmd_serve(args)
+                 : 2;
+    }
     usage();
     return 2;
   } catch (const std::exception& e) {

@@ -68,6 +68,22 @@ std::vector<std::int64_t> CliArgs::get_int_list(
   return out;
 }
 
+std::vector<std::string> CliArgs::unknown_flags(
+    std::initializer_list<std::string_view> known) const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : flags_) {
+    bool found = false;
+    for (const std::string_view k : known) {
+      if (name == k) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) unknown.push_back(name);
+  }
+  return unknown;  // flags_ is an ordered map, so this is sorted
+}
+
 bool CliArgs::full_scale() const {
   if (get_bool("full")) return true;
   const char* env = std::getenv("V2V_FULL");

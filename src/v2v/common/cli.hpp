@@ -4,8 +4,10 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace v2v {
@@ -31,6 +33,13 @@ class CliArgs {
 
   /// True if --full was passed or V2V_FULL=1 is set: run paper-scale sizes.
   [[nodiscard]] bool full_scale() const;
+
+  /// Flags present on the command line but absent from `known`, sorted.
+  /// Tools that promise strict parsing call this after dispatching a
+  /// subcommand and treat a non-empty result as a hard usage error — a
+  /// typo like --nprob silently ignored is a misconfigured server.
+  [[nodiscard]] std::vector<std::string> unknown_flags(
+      std::initializer_list<std::string_view> known) const;
 
   /// Path given via --metrics-out <file>.json (or the V2V_METRICS_OUT
   /// environment variable): where the run should write its JSON metrics

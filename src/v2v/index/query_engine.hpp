@@ -6,12 +6,29 @@
 // `query.queries` counter and records wall latency into the
 // `query.latency_us` histogram (p50/p99 readable from the snapshot), and
 // `observe_recall` publishes a recall-vs-oracle gauge when ground truth
-// from a FlatIndex is supplied. Batch results are positionally ordered, so
-// output is deterministic no matter how queries land on workers.
+// from a FlatIndex is supplied.
+//
+// Batch semantics (what serve/'s batching admission queue builds on):
+//   - Each row of a batch is searched independently — query_batch(Q, k)[i]
+//     is identical, distances bit for bit, to query(Q.row(i), k). Batching
+//     buys scheduling efficiency, never changes results.
+//   - Results are positionally ordered: out[i] answers row i regardless of
+//     which pool worker ran it, so batch output is deterministic across
+//     thread counts and schedules.
+//   - Each result list is the exact top-k under (distance, id) ascending;
+//     because that order does not depend on k, the first k' entries of a
+//     top-k list ARE the top-k' answer (k' <= k). Callers may therefore
+//     over-ask and truncate (serve::BatchQueue batches at the largest
+//     per-request k this way).
+//   - A batch call blocks until every row is answered; there is no
+//     per-row cancellation. Deadline policy lives a layer up, in
+//     serve::BatchQueue.
 //
 // Thread-safety: all query methods are const and safe to call
 // concurrently (VectorIndex::search_into is required to be), including
-// concurrently with warmup().
+// concurrently with warmup(). Distinct batches submitted concurrently
+// share the one internal pool; their rows interleave freely without
+// affecting either batch's results or ordering.
 #pragma once
 
 #include <atomic>

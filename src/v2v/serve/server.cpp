@@ -1,0 +1,265 @@
+#include "v2v/serve/server.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "v2v/index/query_engine.hpp"
+#include "v2v/obs/export.hpp"
+#include "v2v/obs/metrics.hpp"
+
+namespace v2v::serve {
+
+namespace {
+
+const char* reason_for(int code) noexcept {
+  switch (code) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+  }
+  return "Unknown";
+}
+
+constexpr std::size_t kMaxHttpHeadBytes = 8192;
+
+}  // namespace
+
+Server::Server(const index::QueryEngine& engine, ServerConfig config)
+    : config_(std::move(config)), metrics_(config_.metrics) {
+  BatchQueueConfig batch = config_.batch;
+  if (batch.metrics == nullptr) batch.metrics = metrics_;
+  queue_ = std::make_unique<BatchQueue>(engine, batch);
+  listener_ = tcp_listen(config_.host, config_.port);
+  port_ = local_port(listener_);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+Server::~Server() { stop(); }
+
+void Server::bump(const char* name, std::uint64_t delta) {
+  if (metrics_ != nullptr) metrics_->counter(name).add(delta);
+}
+
+void Server::reap_finished() {
+  std::lock_guard lock(connections_mutex_);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    Socket accepted = tcp_accept(listener_);
+    if (!accepted.valid()) return;  // listener shut down
+    if (stopping_.load(std::memory_order_acquire)) return;
+    bump("serve.connections");
+    reap_finished();
+
+    std::lock_guard lock(connections_mutex_);
+    if (connections_.size() >= config_.max_connections) {
+      // Tell the client it is backpressure, not a crash, then close.
+      QueryResponse response;
+      response.status = RequestStatus::kOverloaded;
+      response.retry_after_ms = config_.retry_after_ms;
+      const auto frame = encode_response_frame(response);
+      (void)write_all(accepted, frame.data(), frame.size());
+      bump("serve.rejected_connections");
+      continue;  // Socket destructor closes
+    }
+    auto connection = std::make_unique<Connection>();
+    connection->socket = std::move(accepted);
+    Connection* raw = connection.get();
+    connections_.push_back(std::move(connection));
+    raw->thread = std::thread([this, raw] {
+      handle_connection(raw);
+      // The fd is reclaimed later (reap_finished/stop, which also
+      // synchronize the Socket itself) — but the peer must see EOF now,
+      // not at the next accept. shutdown_both only issues the syscall,
+      // so it cannot race stop()'s shutdown_read on this socket.
+      raw->socket.shutdown_both();
+      raw->done.store(true, std::memory_order_release);
+    });
+  }
+}
+
+void Server::handle_connection(Connection* connection) {
+  Socket& socket = connection->socket;
+  // The first kFrameHeaderBytes decide the dialect: a binary frame header
+  // or the start of an HTTP request line.
+  std::uint8_t header[kFrameHeaderBytes];
+  if (!read_exact(socket, header, sizeof header)) return;
+  if (looks_like_http({header, sizeof header})) {
+    handle_http(socket, std::string(reinterpret_cast<const char*>(header),
+                                    sizeof header));
+  } else {
+    handle_binary(socket, header);
+  }
+}
+
+QueryResponse Server::run_query(QueryRequest request) {
+  QueryResponse response;
+  auto result = queue_->submit(std::move(request.query), request.k,
+                               request.deadline_ms)
+                    .get();
+  response.status = result.status;
+  response.neighbors = std::move(result.neighbors);
+  if (response.status == RequestStatus::kOverloaded) {
+    response.retry_after_ms = config_.retry_after_ms;
+  }
+  return response;
+}
+
+void Server::handle_binary(Socket& socket, const std::uint8_t* first_header) {
+  std::uint8_t header[kFrameHeaderBytes];
+  std::memcpy(header, first_header, sizeof header);
+  std::vector<std::uint8_t> payload;
+  bool have_header = true;
+  while (have_header) {
+    const FrameHeader frame = decode_frame_header({header, sizeof header});
+    if (frame.magic != kRequestMagic ||
+        frame.payload_bytes > config_.max_frame_bytes) {
+      // Unsyncable (wrong magic) or refusing to read (oversized): answer
+      // kBadRequest and close — the stream position is no longer trusted.
+      bump("serve.protocol_errors");
+      QueryResponse response;
+      response.status = RequestStatus::kBadRequest;
+      const auto out = encode_response_frame(response);
+      (void)write_all(socket, out.data(), out.size());
+      return;
+    }
+    payload.resize(frame.payload_bytes);
+    if (!read_exact(socket, payload.data(), payload.size())) return;
+
+    QueryResponse response;
+    QueryRequest request;
+    if (!decode_request_payload(payload, request)) {
+      // Malformed payload of a well-framed request: the stream stays in
+      // sync, so answer kBadRequest and keep the connection.
+      bump("serve.protocol_errors");
+      response.status = RequestStatus::kBadRequest;
+    } else {
+      bump("serve.binary_requests");
+      response = run_query(std::move(request));
+    }
+    const auto out = encode_response_frame(response);
+    if (!write_all(socket, out.data(), out.size())) return;
+    have_header = read_exact(socket, header, sizeof header);
+  }
+}
+
+void Server::handle_http(Socket& socket, std::string buffered) {
+  // Read until the blank line that ends the head, within the size cap.
+  std::size_t head_end = std::string::npos;
+  while ((head_end = buffered.find("\r\n\r\n")) == std::string::npos) {
+    if (buffered.size() > kMaxHttpHeadBytes) {
+      bump("serve.protocol_errors");
+      const auto out = http_response(400, reason_for(400), "application/json",
+                                     "{\"error\":\"head too large\"}");
+      (void)write_all(socket, out.data(), out.size());
+      return;
+    }
+    char chunk[1024];
+    const long n = read_some(socket, chunk, sizeof chunk);
+    if (n <= 0) return;
+    buffered.append(chunk, static_cast<std::size_t>(n));
+  }
+
+  HttpHead head;
+  if (!parse_http_head(std::string_view(buffered).substr(0, head_end), head) ||
+      head.content_length > config_.max_frame_bytes) {
+    bump("serve.protocol_errors");
+    const auto out = http_response(400, reason_for(400), "application/json",
+                                   "{\"error\":\"malformed request\"}");
+    (void)write_all(socket, out.data(), out.size());
+    return;
+  }
+
+  std::string body = buffered.substr(head_end + 4);
+  while (body.size() < head.content_length) {
+    char chunk[4096];
+    const std::size_t want = std::min(sizeof chunk, head.content_length - body.size());
+    const long n = read_some(socket, chunk, want);
+    if (n <= 0) return;
+    body.append(chunk, static_cast<std::size_t>(n));
+  }
+  bump("serve.http_requests");
+
+  std::string out;
+  if (head.method == "POST" && head.target == "/query") {
+    QueryRequest request;
+    if (!parse_query_json(body, request)) {
+      out = http_response(400, reason_for(400), "application/json",
+                          "{\"status\":\"bad_request\",\"error\":\"body must be "
+                          "{\\\"query\\\":[floats],\\\"k\\\":n}\"}");
+    } else {
+      const QueryResponse response = run_query(std::move(request));
+      const int code = http_status_for(response.status);
+      std::string extra;
+      if (response.retry_after_ms != 0) {
+        // HTTP Retry-After is whole seconds; round up.
+        extra = "Retry-After: " +
+                std::to_string((response.retry_after_ms + 999) / 1000) + "\r\n";
+      }
+      out = http_response(code, reason_for(code), "application/json",
+                          query_response_json(response), extra);
+    }
+  } else if (head.method == "GET" && head.target == "/stats") {
+    const std::string stats =
+        metrics_ != nullptr ? obs::to_json(*metrics_) : "{}";
+    out = http_response(200, reason_for(200), "application/json", stats);
+  } else if (head.method == "GET" && head.target == "/healthz") {
+    const char* state = stopping_.load(std::memory_order_acquire)
+                            ? "draining"
+                            : "serving";
+    out = http_response(200, reason_for(200), "application/json",
+                        std::string("{\"status\":\"") + state + "\"}");
+  } else {
+    out = http_response(404, reason_for(404), "application/json",
+                        "{\"error\":\"unknown endpoint; try POST /query, GET "
+                        "/stats, GET /healthz\"}");
+  }
+  (void)write_all(socket, out.data(), out.size());
+  // One request per HTTP connection (Connection: close is always sent).
+}
+
+void Server::stop() {
+  std::lock_guard stop_lock(stop_mutex_);
+  if (!stopping_.exchange(true, std::memory_order_acq_rel)) {
+    // 1. No new connections: unblock and end the accept loop.
+    listener_.shutdown_both();
+    if (acceptor_.joinable()) acceptor_.join();
+    listener_.close();
+    // 2. Unblock handlers parked in reads; their pending writes still
+    //    flush, so in-flight requests answer normally.
+    {
+      std::lock_guard lock(connections_mutex_);
+      for (const auto& connection : connections_) {
+        connection->socket.shutdown_read();
+      }
+    }
+    // 3. Every connection thread finishes its in-flight work.
+    {
+      std::lock_guard lock(connections_mutex_);
+      for (const auto& connection : connections_) {
+        if (connection->thread.joinable()) connection->thread.join();
+      }
+      connections_.clear();
+    }
+    // 4. Drain whatever the handlers admitted.
+    queue_->shutdown();
+  } else if (queue_) {
+    queue_->shutdown();  // second caller still waits for the drain
+  }
+}
+
+}  // namespace v2v::serve

@@ -1,0 +1,158 @@
+#include "v2v/serve/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace v2v::serve {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+// Wire byte order without the htons macro (whose glibc expansion trips
+// -Wold-style-cast on some toolchains). Self-inverse, so it also converts
+// network order back to host order.
+std::uint16_t to_net16(std::uint16_t v) noexcept {
+  if constexpr (std::endian::native == std::endian::big) return v;
+  return static_cast<std::uint16_t>((v << 8) | (v >> 8));
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = to_net16(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("invalid IPv4 address: " + host);
+  }
+  return addr;
+}
+
+void set_nodelay(int fd) noexcept {
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_read() const noexcept {
+  if (fd_ >= 0) (void)::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::shutdown_both() const noexcept {
+  if (fd_ >= 0) (void)::shutdown(fd_, SHUT_RDWR);
+}
+
+Socket tcp_listen(const std::string& host, std::uint16_t port, int backlog) {
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) throw_errno("socket");
+  int one = 1;
+  (void)::setsockopt(socket.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  const sockaddr_in addr = make_addr(host, port);
+  if (::bind(socket.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    throw_errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(socket.fd(), backlog) != 0) throw_errno("listen");
+  return socket;
+}
+
+Socket tcp_connect(const std::string& host, std::uint16_t port) {
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) throw_errno("socket");
+  const sockaddr_in addr = make_addr(host, port);
+  int rc = 0;
+  do {
+    rc = ::connect(socket.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof addr);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) throw_errno("connect " + host + ":" + std::to_string(port));
+  set_nodelay(socket.fd());
+  return socket;
+}
+
+Socket tcp_accept(const Socket& listener) noexcept {
+  for (;;) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      set_nodelay(fd);
+      return Socket(fd);
+    }
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    return Socket();
+  }
+}
+
+std::uint16_t local_port(const Socket& socket) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    throw_errno("getsockname");
+  }
+  const std::uint16_t net = addr.sin_port;
+  return to_net16(net);
+}
+
+bool write_all(const Socket& socket, const void* data, std::size_t bytes) noexcept {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (bytes > 0) {
+    const ssize_t n = ::send(socket.fd(), p, bytes, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    bytes -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_exact(const Socket& socket, void* data, std::size_t bytes) noexcept {
+  auto* p = static_cast<std::uint8_t*>(data);
+  while (bytes > 0) {
+    const ssize_t n = ::recv(socket.fd(), p, bytes, 0);
+    if (n == 0) return false;  // EOF
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    bytes -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+long read_some(const Socket& socket, void* data, std::size_t bytes) noexcept {
+  for (;;) {
+    const ssize_t n = ::recv(socket.fd(), data, bytes, 0);
+    if (n >= 0) return static_cast<long>(n);
+    if (errno != EINTR) return -1;
+  }
+}
+
+}  // namespace v2v::serve

@@ -1,0 +1,80 @@
+// Thin POSIX TCP wrappers for the serving layer: an RAII fd, listen/
+// connect/accept helpers, and EINTR-safe full-buffer read/write. Nothing
+// here knows about frames — server.cpp, client.cpp, the load-gen bench
+// and the protocol tests all sit on these same primitives, so a test can
+// speak deliberately malformed bytes to a real server socket.
+//
+// Writes use MSG_NOSIGNAL: a peer that disappears mid-response surfaces
+// as a false return, never a process-killing SIGPIPE.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace v2v::serve {
+
+/// Move-only owner of a socket fd; closes on destruction. A
+/// default-constructed Socket is invalid (fd() < 0).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket() { close(); }
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+  void close() noexcept;
+  /// Half-close for reads: a peer (or our own handler) blocked in a read
+  /// on this socket unblocks with EOF while pending writes still flush —
+  /// the graceful-shutdown primitive.
+  void shutdown_read() const noexcept;
+  /// Full shutdown: unblocks both directions (used to abort a listener).
+  void shutdown_both() const noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on host:port (port 0 = kernel-assigned ephemeral
+/// port, read back via local_port). Throws std::runtime_error with errno
+/// context on failure. SO_REUSEADDR is set so restarts do not trip
+/// TIME_WAIT.
+[[nodiscard]] Socket tcp_listen(const std::string& host, std::uint16_t port,
+                                int backlog = 128);
+
+/// Blocking connect; throws std::runtime_error on failure. TCP_NODELAY is
+/// set (request/response frames are latency-bound, not throughput-bound).
+[[nodiscard]] Socket tcp_connect(const std::string& host, std::uint16_t port);
+
+/// Blocking accept. Returns an invalid Socket once the listener has been
+/// shut down or closed (the accept-loop termination signal); retries
+/// transient errors (EINTR, ECONNABORTED) internally. TCP_NODELAY is set
+/// on the accepted socket.
+[[nodiscard]] Socket tcp_accept(const Socket& listener) noexcept;
+
+/// The locally bound port of a listening socket (resolves port 0).
+[[nodiscard]] std::uint16_t local_port(const Socket& socket);
+
+/// Writes exactly `bytes` bytes; false on any error or peer reset.
+[[nodiscard]] bool write_all(const Socket& socket, const void* data,
+                             std::size_t bytes) noexcept;
+
+/// Reads exactly `bytes` bytes; false on EOF or error. A clean EOF before
+/// the first byte is indistinguishable from one mid-buffer by design —
+/// framing decides whether a partial read was a protocol violation.
+[[nodiscard]] bool read_exact(const Socket& socket, void* data,
+                              std::size_t bytes) noexcept;
+
+/// Reads at most `bytes` bytes (one recv); returns the count, 0 on EOF,
+/// -1 on error. Used by the HTTP path, which scans for the header
+/// terminator rather than a fixed length.
+[[nodiscard]] long read_some(const Socket& socket, void* data,
+                             std::size_t bytes) noexcept;
+
+}  // namespace v2v::serve

@@ -117,5 +117,22 @@ TEST(Cli, BadIntThrows) {
   EXPECT_THROW((void)args.get_int("k", 0), std::invalid_argument);
 }
 
+TEST(Cli, UnknownFlagsFindsTypos) {
+  const auto args = make_args({"prog", "serve", "--nprob=4", "--k=3"});
+  const auto unknown = args.unknown_flags({"nprobe", "k", "port"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "nprob");
+}
+
+TEST(Cli, UnknownFlagsEmptyWhenAllKnown) {
+  const auto args = make_args({"prog", "--k=3", "--port=80"});
+  EXPECT_TRUE(args.unknown_flags({"k", "port"}).empty());
+  // Strict subcommands pass an empty known set: every flag is unknown.
+  const auto all = args.unknown_flags({});
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], "k");  // map order: sorted by name
+  EXPECT_EQ(all[1], "port");
+}
+
 }  // namespace
 }  // namespace v2v
