@@ -1,0 +1,129 @@
+// Standalone driver for toolchains without libFuzzer (GCC): replays
+// corpus files through LLVMFuzzerTestOneInput and optionally hammers the
+// target with deterministic random mutations of that corpus. Linked into
+// the fuzz_* binaries only when the compiler is not Clang — under Clang
+// the real libFuzzer runtime (-fsanitize=fuzzer) provides main().
+//
+// Usage:
+//   fuzz_<target> [--runs N] [--seed S] [--max-len L] [path...]
+//
+// Each path is a corpus file or a directory of corpus files. Replay alone
+// (no --runs) is what CI uses for the GCC lanes: it is a fast regression
+// gate over the checked-in seeds. --runs adds N mutation iterations —
+// xorshift-seeded, so a failure reproduces from the same --seed — which is
+// how the harness bugs fixed in this repo were originally found locally.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+std::uint64_t xorshift(std::uint64_t& state) {
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
+}
+
+std::vector<std::uint8_t> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+// One mutation round: start from a random corpus entry (or empty) and
+// apply a handful of byte flips, insertions, erasures, and truncations.
+std::vector<std::uint8_t> mutate(const std::vector<std::vector<std::uint8_t>>& corpus,
+                                 std::uint64_t& rng, std::size_t max_len) {
+  std::vector<std::uint8_t> input;
+  if (!corpus.empty() && xorshift(rng) % 4 != 0) {
+    input = corpus[xorshift(rng) % corpus.size()];
+  }
+  const std::size_t edits = 1 + xorshift(rng) % 8;
+  for (std::size_t e = 0; e < edits; ++e) {
+    switch (xorshift(rng) % 4) {
+      case 0:  // flip a byte
+        if (!input.empty()) {
+          input[xorshift(rng) % input.size()] ^=
+              static_cast<std::uint8_t>(xorshift(rng));
+        }
+        break;
+      case 1:  // insert a byte
+        if (input.size() < max_len) {
+          input.insert(input.begin() +
+                           static_cast<std::ptrdiff_t>(
+                               xorshift(rng) % (input.size() + 1)),
+                       static_cast<std::uint8_t>(xorshift(rng)));
+        }
+        break;
+      case 2:  // erase a byte
+        if (!input.empty()) {
+          input.erase(input.begin() +
+                      static_cast<std::ptrdiff_t>(xorshift(rng) % input.size()));
+        }
+        break;
+      default:  // truncate
+        if (!input.empty()) input.resize(xorshift(rng) % input.size());
+    }
+  }
+  if (input.size() > max_len) input.resize(max_len);
+  return input;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  std::size_t runs = 0;
+  std::size_t max_len = 4096;
+  std::vector<std::filesystem::path> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--runs" && i + 1 < argc) {
+      runs = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+      if (seed == 0) seed = 1;  // xorshift has a zero fixed point
+    } else if (arg == "--max-len" && i + 1 < argc) {
+      max_len = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+
+  std::vector<std::vector<std::uint8_t>> corpus;
+  for (const auto& path : paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      for (const auto& entry : std::filesystem::directory_iterator(path)) {
+        if (entry.is_regular_file()) corpus.push_back(read_file(entry.path()));
+      }
+    } else if (std::filesystem::is_regular_file(path, ec)) {
+      corpus.push_back(read_file(path));
+    } else {
+      std::fprintf(stderr, "fuzz driver: no such corpus path: %s\n",
+                   path.c_str());
+      return 2;
+    }
+  }
+
+  for (const auto& entry : corpus) {
+    LLVMFuzzerTestOneInput(entry.data(), entry.size());
+  }
+  std::uint64_t rng = seed;
+  for (std::size_t i = 0; i < runs; ++i) {
+    const auto input = mutate(corpus, rng, max_len);
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+  std::printf("fuzz driver: %zu corpus entries replayed, %zu mutations run\n",
+              corpus.size(), runs);
+  return 0;
+}

@@ -3,8 +3,9 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <string_view>
+
+#include "v2v/common/sync.hpp"
 
 namespace v2v::log_detail {
 namespace {
@@ -42,8 +43,10 @@ LogLevel current_level() { return static_cast<LogLevel>(level_storage().load());
 void set_level(LogLevel level) { level_storage().store(static_cast<int>(level)); }
 
 void emit(LogLevel level, const std::string& message) {
-  static std::mutex mutex;
-  std::lock_guard lock(mutex);
+  // Leaf lock (highest rank): emitting a line is legal while holding
+  // anything else, and nothing may be acquired under it.
+  static Mutex mutex{"common.log", lock_rank::kLog};
+  const LockGuard lock(mutex);
   std::fprintf(stderr, "[v2v %s] %s\n", level_name(level), message.c_str());
 }
 

@@ -1,0 +1,355 @@
+// Runtime lock-order validator behind v2v::Mutex (see sync.hpp for the
+// model). Compiled out of Release entirely; in checked builds the hot
+// path (acquiring with an empty held stack — the overwhelmingly common
+// case for leaf locks) touches only thread-local state. The global graph
+// mutex is taken only when a thread nests locks over a pair it has not
+// already recorded, and instance ids are never reused, so the per-thread
+// seen-edge cache never yields a stale hit.
+#include "v2v/common/sync.hpp"
+
+#if V2V_LOCKDEP_ENABLED
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace v2v::sync_detail {
+
+namespace {
+
+struct Held {
+  std::uint64_t id = 0;
+  const char* name = "";
+  std::uint32_t rank = 0;
+};
+
+struct Witness {
+  std::vector<std::string> held;  ///< "name(rank R)" stack when recorded
+  std::string thread_id;
+};
+
+struct Edge {
+  std::uint64_t to = 0;
+  Witness witness;
+};
+
+struct Node {
+  std::string name;
+  std::uint32_t rank = 0;
+  std::vector<Edge> out;
+};
+
+// One global registry: the acquired-before graph plus the name->rank
+// table. A plain std::mutex (not v2v::Mutex — the validator cannot
+// instrument itself) guards everything; it is a leaf by construction
+// since no user code runs while it is held.
+struct Lockdep {
+  std::mutex mutex;
+  std::unordered_map<std::uint64_t, Node> nodes;
+  std::map<std::string, std::uint32_t> ranks;
+};
+
+Lockdep& global() {
+  // Constructed during the first Mutex registration, i.e. before any
+  // v2v::Mutex finishes construction — so it outlives every statically
+  // destroyed Mutex that will unregister at exit.
+  static Lockdep state;
+  return state;
+}
+
+// The held-lock stack of this thread plus its cache of edges already
+// recorded in the global graph (ids are never reused, so entries can
+// only go stale toward "dead pair nobody will look up again"). Both are
+// trivially destructible on purpose: static-duration mutexes (the log
+// mutex, default_registry's) unregister during program exit, after the
+// main thread's nontrivial thread_locals would already be gone.
+constexpr std::size_t kMaxHeld = 64;
+thread_local Held t_held[kMaxHeld];
+thread_local std::size_t t_held_size = 0;
+
+// Direct-mapped cache of (held id, acquired id) pairs already recorded
+// globally. A collision only costs an extra trip through the global
+// section; it can never hide an edge.
+constexpr std::size_t kSeenEdgeSlots = 4096;
+thread_local std::uint64_t t_seen_edges[kSeenEdgeSlots];
+
+std::size_t seen_slot(std::uint64_t key) noexcept {
+  return static_cast<std::size_t>(key * 0x9e3779b97f4a7c15ull) %
+         kSeenEdgeSlots;
+}
+
+std::string current_thread_id() {
+  std::ostringstream out;
+  out << std::this_thread::get_id();
+  return out.str();
+}
+
+std::string describe(const char* name, std::uint32_t rank) {
+  std::string text = name;
+  if (rank == lock_rank::kUnranked) {
+    text += "(unranked)";
+  } else {
+    text += "(rank " + std::to_string(rank) + ")";
+  }
+  return text;
+}
+
+std::vector<std::string> held_stack_names() {
+  std::vector<std::string> names;
+  names.reserve(t_held_size);
+  for (std::size_t i = 0; i < t_held_size; ++i) {
+    names.push_back(describe(t_held[i].name, t_held[i].rank));
+  }
+  return names;
+}
+
+void print_stack(const char* label, const std::vector<std::string>& stack,
+                 const std::string& thread_id) {
+  std::fprintf(stderr, "  %s (thread %s):\n", label, thread_id.c_str());
+  if (stack.empty()) {
+    std::fprintf(stderr, "    (no locks held)\n");
+    return;
+  }
+  for (const std::string& frame : stack) {
+    std::fprintf(stderr, "    holds %s\n", frame.c_str());
+  }
+}
+
+[[noreturn]] void lockdep_abort() {
+  std::fprintf(stderr,
+               "lockdep: see v2v::lock_rank in src/v2v/common/sync.hpp for "
+               "the global acquisition order\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+/// Depth-first search for `target` starting at `from` over the recorded
+/// acquired-before edges; fills `path` with the edges of one hit.
+bool find_path(const Lockdep& state, std::uint64_t from, std::uint64_t target,
+               std::unordered_set<std::uint64_t>& visited,
+               std::vector<const Edge*>& path) {
+  if (from == target) return true;
+  if (!visited.insert(from).second) return false;
+  const auto it = state.nodes.find(from);
+  if (it == state.nodes.end()) return false;
+  for (const Edge& edge : it->second.out) {
+    path.push_back(&edge);
+    if (find_path(state, edge.to, target, visited, path)) return true;
+    path.pop_back();
+  }
+  return false;
+}
+
+/// `acquiring` closed a cycle against `held`: report the prior recorded
+/// ordering (witness stack one) and the current acquisition (witness
+/// stack two), then abort. Called with state.mutex held.
+[[noreturn]] void report_cycle(const Lockdep& state, const Held& held,
+                               std::uint64_t acquiring_id, const char* name,
+                               std::uint32_t rank,
+                               const std::vector<const Edge*>& path) {
+  std::fprintf(stderr,
+               "lockdep: lock-order inversion (cycle in the acquired-before "
+               "graph) while acquiring %s\n",
+               describe(name, rank).c_str());
+  print_stack("witness stack: current acquisition", held_stack_names(),
+              current_thread_id());
+  std::fprintf(stderr, "  conflicting prior ordering %s -> ... -> %s:\n",
+               describe(name, rank).c_str(), describe(held.name, held.rank).c_str());
+  std::uint64_t from = acquiring_id;
+  for (const Edge* edge : path) {
+    const auto from_it = state.nodes.find(from);
+    const std::string from_name =
+        from_it != state.nodes.end()
+            ? describe(from_it->second.name.c_str(), from_it->second.rank)
+            : "(destroyed)";
+    const auto to_it = state.nodes.find(edge->to);
+    const std::string to_name =
+        to_it != state.nodes.end()
+            ? describe(to_it->second.name.c_str(), to_it->second.rank)
+            : "(destroyed)";
+    std::fprintf(stderr, "    %s acquired before %s\n", from_name.c_str(),
+                 to_name.c_str());
+    print_stack("witness stack: recorded by", edge->witness.held,
+                edge->witness.thread_id);
+    from = edge->to;
+  }
+  lockdep_abort();
+}
+
+[[noreturn]] void report_rank_violation(const Held& held, const char* name,
+                                        std::uint32_t rank) {
+  std::fprintf(stderr,
+               "lockdep: rank-order violation: acquiring %s while holding %s "
+               "(ranks must strictly increase along a thread's held stack)\n",
+               describe(name, rank).c_str(),
+               describe(held.name, held.rank).c_str());
+  print_stack("witness stack: current acquisition", held_stack_names(),
+              current_thread_id());
+  lockdep_abort();
+}
+
+/// Cache key for a recorded (held -> acquiring) pair. Instance ids are
+/// sequential from 1, so both halves fit 32 bits for any realistic run;
+/// fall back to "not cached" past that rather than risking a collision.
+bool cache_key(std::uint64_t from, std::uint64_t to, std::uint64_t& key) noexcept {
+  if (from > 0xffffffffu || to > 0xffffffffu) return false;
+  key = (from << 32) | to;
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t lockdep_register(const char* name, std::uint32_t rank) {
+  static std::atomic<std::uint64_t> next_id{1};
+  const std::uint64_t id = next_id.fetch_add(1, std::memory_order_relaxed);
+  Lockdep& state = global();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  if (rank != lock_rank::kUnranked) {
+    const auto [it, inserted] = state.ranks.emplace(name, rank);
+    if (!inserted && it->second != rank) {
+      std::fprintf(stderr,
+                   "lockdep: rank re-registration for '%s': already rank %u, "
+                   "new rank %u (a mutex name maps to exactly one rank)\n",
+                   name, it->second, rank);
+      lockdep_abort();
+    }
+  }
+  Node& node = state.nodes[id];
+  node.name = name;
+  node.rank = rank;
+  return id;
+}
+
+void lockdep_unregister(std::uint64_t id) noexcept {
+  for (std::size_t i = 0; i < t_held_size; ++i) {
+    const Held& held = t_held[i];
+    if (held.id == id) {
+      std::fprintf(stderr,
+                   "lockdep: destroying mutex %s while the calling thread "
+                   "still holds it\n",
+                   describe(held.name, held.rank).c_str());
+      lockdep_abort();
+    }
+  }
+  Lockdep& state = global();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  state.nodes.erase(id);
+  for (auto& [node_id, node] : state.nodes) {
+    (void)node_id;
+    std::erase_if(node.out, [id](const Edge& edge) { return edge.to == id; });
+  }
+}
+
+void lockdep_acquire(std::uint64_t id, const char* name, std::uint32_t rank,
+                     bool ordered) {
+  // Recursive self-acquisition deadlocks (std::mutex) — catch it before
+  // blocking, whatever the path (lock, try_lock, cv re-acquire).
+  for (std::size_t i = 0; i < t_held_size; ++i) {
+    if (t_held[i].id == id) {
+      std::fprintf(stderr,
+                   "lockdep: recursive acquisition of %s (already held by "
+                   "this thread)\n",
+                   describe(name, rank).c_str());
+      print_stack("witness stack: current acquisition", held_stack_names(),
+                  current_thread_id());
+      lockdep_abort();
+    }
+  }
+
+  // A try_lock acquisition cannot block, so it contributes no deadlock
+  // edge of its own (`ordered == false`); it still joins the held stack
+  // below and constrains every later blocking acquisition as a source.
+  if (t_held_size != 0 && ordered) {
+    // Rank enforcement is thread-local; remember any violation but let
+    // the graph speak first — a closed cycle carries both witness
+    // stacks, which is the more actionable report.
+    const Held* rank_violation = nullptr;
+    bool all_cached = true;
+    for (std::size_t i = 0; i < t_held_size; ++i) {
+      const Held& held = t_held[i];
+      if (held.rank != lock_rank::kUnranked && rank != lock_rank::kUnranked &&
+          rank <= held.rank && rank_violation == nullptr) {
+        rank_violation = &held;
+      }
+      std::uint64_t key = 0;
+      if (!cache_key(held.id, id, key) || t_seen_edges[seen_slot(key)] != key) {
+        all_cached = false;
+      }
+    }
+    if (!all_cached || rank_violation != nullptr) {
+      Lockdep& state = global();
+      const std::lock_guard<std::mutex> lock(state.mutex);
+      for (std::size_t i = 0; i < t_held_size; ++i) {
+        const Held& held = t_held[i];
+        std::unordered_set<std::uint64_t> visited;
+        std::vector<const Edge*> path;
+        if (find_path(state, id, held.id, visited, path)) {
+          report_cycle(state, held, id, name, rank, path);
+        }
+        Node& from = state.nodes[held.id];
+        bool present = false;
+        for (const Edge& edge : from.out) {
+          if (edge.to == id) {
+            present = true;
+            break;
+          }
+        }
+        if (!present) {
+          Edge edge;
+          edge.to = id;
+          edge.witness.held = held_stack_names();
+          edge.witness.held.push_back("acquiring " + describe(name, rank));
+          edge.witness.thread_id = current_thread_id();
+          from.out.push_back(std::move(edge));
+        }
+        std::uint64_t key = 0;
+        if (cache_key(held.id, id, key)) t_seen_edges[seen_slot(key)] = key;
+      }
+      if (rank_violation != nullptr) {
+        report_rank_violation(*rank_violation, name, rank);
+      }
+    }
+  }
+
+  if (t_held_size >= kMaxHeld) {
+    std::fprintf(stderr,
+                 "lockdep: held-lock stack overflow (more than %zu locks "
+                 "held by one thread)\n",
+                 kMaxHeld);
+    lockdep_abort();
+  }
+  t_held[t_held_size++] = Held{id, name, rank};
+}
+
+void lockdep_release(std::uint64_t id) noexcept {
+  // Unlock order need not mirror lock order; search from the top.
+  for (std::size_t i = t_held_size; i-- > 0;) {
+    if (t_held[i].id == id) {
+      for (std::size_t j = i + 1; j < t_held_size; ++j) t_held[j - 1] = t_held[j];
+      --t_held_size;
+      return;
+    }
+  }
+  // Releasing a lock this thread does not hold: UB with std::mutex.
+  std::fprintf(stderr, "lockdep: releasing a mutex not held by this thread\n");
+  lockdep_abort();
+}
+
+}  // namespace v2v::sync_detail
+
+#else  // !V2V_LOCKDEP_ENABLED
+
+// Keep the TU non-empty in Release so every build configuration compiles
+// the same source list.
+namespace v2v::sync_detail {
+void lockdep_disabled_anchor() noexcept {}
+}  // namespace v2v::sync_detail
+
+#endif  // V2V_LOCKDEP_ENABLED

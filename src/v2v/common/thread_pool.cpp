@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     stopping_ = true;
   }
   task_ready_.notify_all();
@@ -26,7 +26,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     tasks_.push(std::move(task));
     ++in_flight_;
   }
@@ -34,8 +34,8 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  idle_.wait(lock, [this] { return in_flight_ == 0; });
+  UniqueLock lock(mutex_);
+  while (in_flight_ != 0) idle_.wait(lock);
 }
 
 void ThreadPool::parallel_for(
@@ -59,15 +59,15 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      UniqueLock lock(mutex_);
+      while (!stopping_ && tasks_.empty()) task_ready_.wait(lock);
       if (stopping_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
     }
     task();
     {
-      std::lock_guard lock(mutex_);
+      LockGuard lock(mutex_);
       if (--in_flight_ == 0) idle_.notify_all();
     }
   }

@@ -9,13 +9,13 @@
 // per chunk index stay deterministic across thread counts.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "v2v/common/sync.hpp"
 
 namespace v2v {
 
@@ -31,27 +31,28 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
   /// Enqueues a task; runs on some worker eventually.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) V2V_EXCLUDES(mutex_);
 
   /// Blocks until all submitted tasks have completed.
-  void wait_idle();
+  void wait_idle() V2V_EXCLUDES(mutex_);
 
   /// Runs fn(chunk_index, begin, end) over [0, count) split into
   /// size() contiguous chunks, blocking until every chunk is done.
   /// fn must be safe to call concurrently from distinct threads.
   void parallel_for(std::size_t count,
-                    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+                    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn)
+      V2V_EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() V2V_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable task_ready_;
-  std::condition_variable idle_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
+  Mutex mutex_{"common.thread_pool", lock_rank::kThreadPool};
+  CondVar task_ready_;
+  CondVar idle_;
+  std::queue<std::function<void()>> tasks_ V2V_GUARDED_BY(mutex_);
+  std::size_t in_flight_ V2V_GUARDED_BY(mutex_) = 0;
+  bool stopping_ V2V_GUARDED_BY(mutex_) = false;
 };
 
 /// Convenience: one-shot parallel loop using a transient set of threads.

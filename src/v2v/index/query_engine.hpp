@@ -29,6 +29,13 @@
 // concurrently with warmup(). Distinct batches submitted concurrently
 // share the one internal pool; their rows interleave freely without
 // affecting either batch's results or ordering.
+//
+// The engine itself is lock-free by construction — no mutex, no mutable
+// state beyond a relaxed atomic sink (common/relaxed.hpp idiom); all of
+// its locking lives inside the capability-annotated ThreadPool
+// (common/sync.hpp), whose analysis and lockdep ranks it inherits. Keep
+// it that way: any new shared mutable state belongs behind a v2v::Mutex
+// with a rank from v2v::lock_rank.
 #pragma once
 
 #include <atomic>

@@ -157,6 +157,12 @@ class JsonParser {
   }
 
   JsonValue parse_value() {
+    // Containers recurse one frame per nesting level, so attacker-sized
+    // nesting ("[[[[...") means attacker-sized native stack. The serve
+    // HTTP shim feeds this parser network bytes; cap the depth well above
+    // any legitimate metrics/query document. Found by the fuzz lane
+    // (fuzz/fuzz_protocol.cpp).
+    if (depth_ >= kMaxDepth) fail("nesting deeper than 128 levels");
     const char ch = peek();
     switch (ch) {
       case '{': return parse_object();
@@ -265,10 +271,12 @@ class JsonParser {
 
   JsonValue parse_array() {
     expect('[');
+    ++depth_;
     JsonValue value;
     value.type = JsonValue::Type::kArray;
     if (peek() == ']') {
       ++pos_;
+      --depth_;
       return value;
     }
     while (true) {
@@ -279,16 +287,19 @@ class JsonParser {
         continue;
       }
       expect(']');
+      --depth_;
       return value;
     }
   }
 
   JsonValue parse_object() {
     expect('{');
+    ++depth_;
     JsonValue value;
     value.type = JsonValue::Type::kObject;
     if (peek() == '}') {
       ++pos_;
+      --depth_;
       return value;
     }
     while (true) {
@@ -302,12 +313,16 @@ class JsonParser {
         continue;
       }
       expect('}');
+      --depth_;
       return value;
     }
   }
 
+  static constexpr std::size_t kMaxDepth = 128;
+
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 std::string format_double(double value) {

@@ -103,17 +103,17 @@ HistogramSnapshot Histogram::snapshot() const {
 }
 
 void Series::append(double value) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   values_.push_back(value);
 }
 
 std::vector<double> Series::values() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   return values_;
 }
 
 std::size_t Series::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   return values_.size();
 }
 
@@ -123,7 +123,7 @@ MetricsRegistry::MetricsRegistry() {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   const auto it = counters_.find(name);
   if (it != counters_.end()) return *it->second;
   return *counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -131,14 +131,14 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   const auto it = gauges_.find(name);
   if (it != gauges_.end()) return *it->second;
   return *gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first->second;
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name, HistogramConfig config) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return *it->second;
   return *histograms_.emplace(std::string(name), std::make_unique<Histogram>(config))
@@ -146,14 +146,14 @@ Histogram& MetricsRegistry::histogram(std::string_view name, HistogramConfig con
 }
 
 Series& MetricsRegistry::series(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   const auto it = series_.find(name);
   if (it != series_.end()) return *it->second;
   return *series_.emplace(std::string(name), std::make_unique<Series>()).first->second;
 }
 
 MetricsRegistry::StageNode* MetricsRegistry::open_span(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   StageNode* parent = span_stack_.back();
   for (const auto& child : parent->children) {
     if (child->name == name) {
@@ -170,7 +170,7 @@ MetricsRegistry::StageNode* MetricsRegistry::open_span(std::string_view name) {
 }
 
 void MetricsRegistry::close_span(StageNode* node, double seconds) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   node->seconds += seconds;
   node->calls += 1;
   // Defensive against non-LIFO misuse: pop through the closing node but
@@ -184,7 +184,7 @@ void MetricsRegistry::close_span(StageNode* node, double seconds) {
 
 MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
   Snapshot snap;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   for (const auto& [name, counter] : counters_) snap.counters[name] = counter->value();
   for (const auto& [name, gauge] : gauges_) snap.gauges[name] = gauge->value();
   for (const auto& [name, histogram] : histograms_) {
@@ -208,7 +208,7 @@ StageSnapshot MetricsRegistry::snapshot_stage(const StageNode& node) {
 }
 
 void MetricsRegistry::reset() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

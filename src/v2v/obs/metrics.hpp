@@ -26,11 +26,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "v2v/common/sync.hpp"
 #include "v2v/common/timer.hpp"
 
 namespace v2v::obs {
@@ -127,13 +127,13 @@ class Histogram {
 /// the owning registry's mutex; cheap at orchestration cadence.
 class Series {
  public:
-  void append(double value);
-  [[nodiscard]] std::vector<double> values() const;
-  [[nodiscard]] std::size_t size() const;
+  void append(double value) V2V_EXCLUDES(mutex_);
+  [[nodiscard]] std::vector<double> values() const V2V_EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t size() const V2V_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<double> values_;
+  mutable Mutex mutex_{"obs.series", lock_rank::kMetricsSeries};
+  std::vector<double> values_ V2V_GUARDED_BY(mutex_);
 };
 
 /// One node of the stage-span tree: cumulative wall seconds and completed
@@ -159,10 +159,11 @@ class MetricsRegistry {
   /// Find-or-create by name. The HistogramConfig only applies on first
   /// creation; later calls with a different config return the existing
   /// instrument unchanged.
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
-  Histogram& histogram(std::string_view name, HistogramConfig config = {});
-  Series& series(std::string_view name);
+  Counter& counter(std::string_view name) V2V_EXCLUDES(mutex_);
+  Gauge& gauge(std::string_view name) V2V_EXCLUDES(mutex_);
+  Histogram& histogram(std::string_view name, HistogramConfig config = {})
+      V2V_EXCLUDES(mutex_);
+  Series& series(std::string_view name) V2V_EXCLUDES(mutex_);
 
   struct Snapshot {
     std::map<std::string, std::uint64_t> counters;
@@ -171,11 +172,11 @@ class MetricsRegistry {
     std::map<std::string, std::vector<double>> series;
     StageSnapshot stages;  ///< root node named "run"
   };
-  [[nodiscard]] Snapshot snapshot() const;
+  [[nodiscard]] Snapshot snapshot() const V2V_EXCLUDES(mutex_);
 
   /// Drops every instrument and the stage tree. Not safe concurrently
   /// with updates through previously obtained references.
-  void reset();
+  void reset() V2V_EXCLUDES(mutex_);
 
  private:
   friend class ScopedTimer;
@@ -187,17 +188,22 @@ class MetricsRegistry {
     std::vector<std::unique_ptr<StageNode>> children;
   };
 
-  StageNode* open_span(std::string_view name);
-  void close_span(StageNode* node, double seconds);
+  StageNode* open_span(std::string_view name) V2V_EXCLUDES(mutex_);
+  void close_span(StageNode* node, double seconds) V2V_EXCLUDES(mutex_);
   static StageSnapshot snapshot_stage(const StageNode& node);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
-  std::map<std::string, std::unique_ptr<Series>, std::less<>> series_;
-  StageNode root_;
-  std::vector<StageNode*> span_stack_;  ///< open spans, root at the bottom
+  mutable Mutex mutex_{"obs.registry", lock_rank::kMetricsRegistry};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      V2V_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      V2V_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      V2V_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Series>, std::less<>> series_
+      V2V_GUARDED_BY(mutex_);
+  StageNode root_ V2V_GUARDED_BY(mutex_);
+  /// Open spans, root at the bottom.
+  std::vector<StageNode*> span_stack_ V2V_GUARDED_BY(mutex_);
 };
 
 /// RAII stage span: attaches a child under the registry's innermost open

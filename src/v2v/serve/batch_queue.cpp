@@ -79,7 +79,7 @@ std::future<SubmitResult> BatchQueue::submit(std::vector<float> query,
   if (pending.has_deadline) pending.deadline = pending.enqueued + deadline;
 
   {
-    std::lock_guard lock(mutex_);
+    const LockGuard lock(mutex_);
     if (stopping_) {
       if (rejected_shutdown_ != nullptr) rejected_shutdown_->add(1);
       fulfill(pending, RequestStatus::kShuttingDown);
@@ -106,7 +106,7 @@ SubmitResult BatchQueue::query(std::vector<float> query, std::size_t k,
 }
 
 std::size_t BatchQueue::depth() const {
-  std::lock_guard lock(mutex_);
+  const LockGuard lock(mutex_);
   return queue_.size();
 }
 
@@ -115,8 +115,8 @@ void BatchQueue::dispatcher_loop() {
   for (;;) {
     bool draining = false;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      UniqueLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) cv_.wait(lock);
       if (queue_.empty()) return;  // stopping_ and fully drained
       draining = stopping_;
       // Linger: give concurrent submitters a short window to fill the
@@ -125,9 +125,9 @@ void BatchQueue::dispatcher_loop() {
       if (!draining && config_.max_linger.count() > 0 &&
           queue_.size() < config_.max_batch) {
         const auto until = std::chrono::steady_clock::now() + config_.max_linger;
-        cv_.wait_until(lock, until, [&] {
-          return stopping_ || queue_.size() >= config_.max_batch;
-        });
+        while (!stopping_ && queue_.size() < config_.max_batch) {
+          if (cv_.wait_until(lock, until) == std::cv_status::timeout) break;
+        }
         draining = stopping_;
       }
       const std::size_t take = std::min(queue_.size(), config_.max_batch);
@@ -191,12 +191,12 @@ void BatchQueue::execute_batch(std::vector<Pending>& batch, bool draining) {
 
 void BatchQueue::shutdown() {
   {
-    std::lock_guard lock(mutex_);
+    const LockGuard lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
   // Serialize the join so concurrent shutdown() calls are safe.
-  std::lock_guard join_lock(join_mutex_);
+  const LockGuard join_lock(join_mutex_);
   if (dispatcher_.joinable()) dispatcher_.join();
 }
 

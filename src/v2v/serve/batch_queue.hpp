@@ -53,14 +53,13 @@
 //   serve.latency_us            histogram: submit -> response ready
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "v2v/common/sync.hpp"
 #include "v2v/serve/protocol.hpp"
 
 namespace v2v::obs {
@@ -112,7 +111,8 @@ class BatchQueue {
   /// config.default_deadline.
   [[nodiscard]] std::future<SubmitResult> submit(std::vector<float> query,
                                                  std::size_t k,
-                                                 std::uint32_t deadline_ms = 0);
+                                                 std::uint32_t deadline_ms = 0)
+      V2V_EXCLUDES(mutex_);
 
   /// Blocking convenience: submit(...).get().
   [[nodiscard]] SubmitResult query(std::vector<float> query, std::size_t k,
@@ -121,10 +121,10 @@ class BatchQueue {
   /// Stops admission, drains every already-admitted request through the
   /// engine, and joins the dispatcher. Idempotent; safe from any thread
   /// (not from inside a request callback, which cannot exist here).
-  void shutdown();
+  void shutdown() V2V_EXCLUDES(mutex_, join_mutex_);
 
   /// Pending (admitted, not yet dispatched) request count.
-  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::size_t depth() const V2V_EXCLUDES(mutex_);
 
   [[nodiscard]] const BatchQueueConfig& config() const noexcept { return config_; }
 
@@ -138,8 +138,12 @@ class BatchQueue {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  void dispatcher_loop();
-  void execute_batch(std::vector<Pending>& batch, bool draining);
+  void dispatcher_loop() V2V_EXCLUDES(mutex_);
+  void execute_batch(std::vector<Pending>& batch, bool draining)
+      V2V_EXCLUDES(mutex_);
+  /// Lock-agnostic: touches only the one Pending (promise + metrics
+  /// atomics), so both the locked submit() rejection paths and the
+  /// unlocked dispatcher may call it.
   void fulfill(Pending& pending, RequestStatus status,
                std::vector<index::Neighbor> neighbors = {});
 
@@ -159,11 +163,12 @@ class BatchQueue {
   obs::Histogram* queue_depth_ = nullptr;
   obs::Histogram* latency_us_ = nullptr;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<Pending> queue_;
-  bool stopping_ = false;
-  std::mutex join_mutex_;  ///< serializes concurrent shutdown() joins
+  mutable Mutex mutex_{"serve.batch_queue", lock_rank::kBatchQueue};
+  CondVar cv_;
+  std::deque<Pending> queue_ V2V_GUARDED_BY(mutex_);
+  bool stopping_ V2V_GUARDED_BY(mutex_) = false;
+  /// Serializes concurrent shutdown() joins; never nested inside mutex_.
+  Mutex join_mutex_{"serve.batch_queue.join", lock_rank::kBatchQueueJoin};
   std::thread dispatcher_;
 };
 

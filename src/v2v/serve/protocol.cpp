@@ -231,6 +231,19 @@ std::string http_response(int status_code, std::string_view reason,
   return out;
 }
 
+namespace {
+
+// Untrusted double -> u32. The cast alone is UB for NaN or anything
+// outside [0, 2^32): `!(x >= 0)` also rejects NaN (every comparison with
+// NaN is false). Found by the fuzz lane (fuzz/fuzz_protocol.cpp).
+bool checked_u32(double value, std::uint32_t& out) noexcept {
+  if (!(value >= 0.0) || value > 4294967295.0) return false;
+  out = static_cast<std::uint32_t>(value);
+  return true;
+}
+
+}  // namespace
+
 bool parse_query_json(std::string_view body, QueryRequest& out) {
   obs::JsonValue doc;
   try {
@@ -245,14 +258,15 @@ bool parse_query_json(std::string_view body, QueryRequest& out) {
   out.k = 10;
   out.deadline_ms = 0;
   if (doc.contains("k")) {
-    if (!doc.at("k").is_number() || doc.at("k").number < 0) return false;
-    out.k = static_cast<std::uint32_t>(doc.at("k").number);
-  }
-  if (doc.contains("deadline_ms")) {
-    if (!doc.at("deadline_ms").is_number() || doc.at("deadline_ms").number < 0) {
+    if (!doc.at("k").is_number() || !checked_u32(doc.at("k").number, out.k)) {
       return false;
     }
-    out.deadline_ms = static_cast<std::uint32_t>(doc.at("deadline_ms").number);
+  }
+  if (doc.contains("deadline_ms")) {
+    if (!doc.at("deadline_ms").is_number() ||
+        !checked_u32(doc.at("deadline_ms").number, out.deadline_ms)) {
+      return false;
+    }
   }
   const auto& array = doc.at("query").array;
   out.query.resize(array.size());

@@ -46,7 +46,7 @@ void Server::bump(const char* name, std::uint64_t delta) {
 }
 
 void Server::reap_finished() {
-  std::lock_guard lock(connections_mutex_);
+  const LockGuard lock(connections_mutex_);
   for (auto it = connections_.begin(); it != connections_.end();) {
     if ((*it)->done.load(std::memory_order_acquire)) {
       if ((*it)->thread.joinable()) (*it)->thread.join();
@@ -65,15 +65,17 @@ void Server::accept_loop() {
     bump("serve.connections");
     reap_finished();
 
-    std::lock_guard lock(connections_mutex_);
+    const LockGuard lock(connections_mutex_);
     if (connections_.size() >= config_.max_connections) {
       // Tell the client it is backpressure, not a crash, then close.
       QueryResponse response;
       response.status = RequestStatus::kOverloaded;
       response.retry_after_ms = config_.retry_after_ms;
       const auto frame = encode_response_frame(response);
-      (void)write_all(accepted, frame.data(), frame.size());
+      // Bump before writing: a client that has read this response may
+      // immediately snapshot the registry and must see the rejection.
       bump("serve.rejected_connections");
+      (void)write_all(accepted, frame.data(), frame.size());
       continue;  // Socket destructor closes
     }
     auto connection = std::make_unique<Connection>();
@@ -233,7 +235,7 @@ void Server::handle_http(Socket& socket, std::string buffered) {
 }
 
 void Server::stop() {
-  std::lock_guard stop_lock(stop_mutex_);
+  const LockGuard stop_lock(stop_mutex_);
   if (!stopping_.exchange(true, std::memory_order_acq_rel)) {
     // 1. No new connections: unblock and end the accept loop.
     listener_.shutdown_both();
@@ -242,14 +244,14 @@ void Server::stop() {
     // 2. Unblock handlers parked in reads; their pending writes still
     //    flush, so in-flight requests answer normally.
     {
-      std::lock_guard lock(connections_mutex_);
+      const LockGuard lock(connections_mutex_);
       for (const auto& connection : connections_) {
         connection->socket.shutdown_read();
       }
     }
     // 3. Every connection thread finishes its in-flight work.
     {
-      std::lock_guard lock(connections_mutex_);
+      const LockGuard lock(connections_mutex_);
       for (const auto& connection : connections_) {
         if (connection->thread.joinable()) connection->thread.join();
       }

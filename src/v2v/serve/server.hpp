@@ -39,10 +39,10 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
+#include "v2v/common/sync.hpp"
 #include "v2v/serve/batch_queue.hpp"
 #include "v2v/serve/socket.hpp"
 
@@ -88,7 +88,7 @@ class Server {
 
   /// Graceful shutdown as documented above. Idempotent; blocks until the
   /// drain completes.
-  void stop();
+  void stop() V2V_EXCLUDES(stop_mutex_, connections_mutex_);
 
   [[nodiscard]] bool stopped() const noexcept {
     return stopping_.load(std::memory_order_acquire);
@@ -106,12 +106,12 @@ class Server {
     std::atomic<bool> done{false};
   };
 
-  void accept_loop();
+  void accept_loop() V2V_EXCLUDES(connections_mutex_);
   void handle_connection(Connection* connection);
   void handle_binary(Socket& socket, const std::uint8_t* first_header);
   void handle_http(Socket& socket, std::string buffered);
   [[nodiscard]] QueryResponse run_query(QueryRequest request);
-  void reap_finished();
+  void reap_finished() V2V_EXCLUDES(connections_mutex_);
   void bump(const char* name, std::uint64_t delta = 1);
 
   const ServerConfig config_;
@@ -121,10 +121,14 @@ class Server {
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
 
-  std::mutex connections_mutex_;
-  std::list<std::unique_ptr<Connection>> connections_;
+  /// Outer lock of the stop path: stop() nests connections_mutex_ (and,
+  /// through queue_->shutdown(), the batch-queue locks) inside it.
+  Mutex stop_mutex_{"serve.server.stop", lock_rank::kServerStop};
+  Mutex connections_mutex_{"serve.server.connections",
+                           lock_rank::kServerConnections};
+  std::list<std::unique_ptr<Connection>> connections_
+      V2V_GUARDED_BY(connections_mutex_);
   std::thread acceptor_;
-  std::mutex stop_mutex_;  ///< serializes concurrent stop() calls
 };
 
 }  // namespace v2v::serve

@@ -88,54 +88,8 @@ SnapshotHeader read_header_stream(std::istream& in, const std::string& path) {
 
   unsigned char buf[kHeaderBytes];
   in.read(reinterpret_cast<char*>(buf), kHeaderBytes);
-  if (!in || static_cast<std::size_t>(in.gcount()) != kHeaderBytes) {
-    fail(SnapshotErrorCode::kTruncatedHeader, path,
-         "file shorter than the fixed header");
-  }
-  if (std::memcmp(buf, kMagic, sizeof(kMagic)) != 0) {
-    fail(SnapshotErrorCode::kBadMagic, path, "not a V2V snapshot");
-  }
-  if (get<std::uint64_t>(buf, 64) != fnv1a64(buf, 64)) {
-    fail(SnapshotErrorCode::kHeaderChecksumMismatch, path,
-         "header checksum mismatch");
-  }
-
-  SnapshotHeader h;
-  h.version = get<std::uint32_t>(buf, 8);
-  h.dtype = get<std::uint16_t>(buf, 12);
-  const auto endian = get<std::uint16_t>(buf, 14);
-  h.rows = get<std::uint64_t>(buf, 16);
-  h.dims = get<std::uint64_t>(buf, 24);
-  h.row_stride = get<std::uint64_t>(buf, 32);
-  h.data_offset = get<std::uint64_t>(buf, 40);
-  h.data_bytes = get<std::uint64_t>(buf, 48);
-  h.data_checksum = get<std::uint64_t>(buf, 56);
-
-  if (h.version != kSnapshotVersion) {
-    fail(SnapshotErrorCode::kBadVersion, path,
-         "unsupported version " + std::to_string(h.version));
-  }
-  if (h.dtype != kDtypeFloat32) {
-    fail(SnapshotErrorCode::kBadDtype, path,
-         "unsupported dtype " + std::to_string(h.dtype));
-  }
-  if (endian != kEndianTag) {
-    fail(SnapshotErrorCode::kBadEndianness, path,
-         "byte order does not match this host");
-  }
-  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
-  if (h.row_stride < h.dims || h.data_offset < kHeaderBytes ||
-      h.row_stride > kMax / sizeof(float) ||
-      (h.row_stride != 0 && h.rows > kMax / (h.row_stride * sizeof(float))) ||
-      h.data_bytes != h.rows * h.row_stride * sizeof(float) ||
-      h.data_offset > kMax - h.data_bytes) {
-    fail(SnapshotErrorCode::kBadHeader, path, "inconsistent header fields");
-  }
-  if (file_size < h.data_offset + h.data_bytes) {
-    fail(SnapshotErrorCode::kTruncatedData, path,
-         "file shorter than header promises");
-  }
-  return h;
+  const auto got = !in ? std::size_t{0} : static_cast<std::size_t>(in.gcount());
+  return decode_snapshot_header({buf, got}, file_size, path);
 }
 
 [[nodiscard]] bool mmap_disabled_by_env() noexcept {
@@ -163,6 +117,62 @@ const char* snapshot_error_name(SnapshotErrorCode code) noexcept {
     case SnapshotErrorCode::kDataChecksumMismatch: return "data_checksum_mismatch";
   }
   return "unknown";
+}
+
+SnapshotHeader decode_snapshot_header(std::span<const std::uint8_t> bytes,
+                                      std::uint64_t file_size,
+                                      const std::string& origin) {
+  static_assert(kSnapshotHeaderBytes == kHeaderBytes,
+                "public header-size constant must match the on-disk layout");
+  if (bytes.size() < kHeaderBytes) {
+    fail(SnapshotErrorCode::kTruncatedHeader, origin,
+         "file shorter than the fixed header");
+  }
+  const auto* buf = reinterpret_cast<const unsigned char*>(bytes.data());
+  if (std::memcmp(buf, kMagic, sizeof(kMagic)) != 0) {
+    fail(SnapshotErrorCode::kBadMagic, origin, "not a V2V snapshot");
+  }
+  if (get<std::uint64_t>(buf, 64) != fnv1a64(buf, 64)) {
+    fail(SnapshotErrorCode::kHeaderChecksumMismatch, origin,
+         "header checksum mismatch");
+  }
+
+  SnapshotHeader h;
+  h.version = get<std::uint32_t>(buf, 8);
+  h.dtype = get<std::uint16_t>(buf, 12);
+  const auto endian = get<std::uint16_t>(buf, 14);
+  h.rows = get<std::uint64_t>(buf, 16);
+  h.dims = get<std::uint64_t>(buf, 24);
+  h.row_stride = get<std::uint64_t>(buf, 32);
+  h.data_offset = get<std::uint64_t>(buf, 40);
+  h.data_bytes = get<std::uint64_t>(buf, 48);
+  h.data_checksum = get<std::uint64_t>(buf, 56);
+
+  if (h.version != kSnapshotVersion) {
+    fail(SnapshotErrorCode::kBadVersion, origin,
+         "unsupported version " + std::to_string(h.version));
+  }
+  if (h.dtype != kDtypeFloat32) {
+    fail(SnapshotErrorCode::kBadDtype, origin,
+         "unsupported dtype " + std::to_string(h.dtype));
+  }
+  if (endian != kEndianTag) {
+    fail(SnapshotErrorCode::kBadEndianness, origin,
+         "byte order does not match this host");
+  }
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  if (h.row_stride < h.dims || h.data_offset < kHeaderBytes ||
+      h.row_stride > kMax / sizeof(float) ||
+      (h.row_stride != 0 && h.rows > kMax / (h.row_stride * sizeof(float))) ||
+      h.data_bytes != h.rows * h.row_stride * sizeof(float) ||
+      h.data_offset > kMax - h.data_bytes) {
+    fail(SnapshotErrorCode::kBadHeader, origin, "inconsistent header fields");
+  }
+  if (file_size < h.data_offset + h.data_bytes) {
+    fail(SnapshotErrorCode::kTruncatedData, origin,
+         "file shorter than header promises");
+  }
+  return h;
 }
 
 void EmbeddingStore::save(const embed::Embedding& embedding,

@@ -36,6 +36,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <stdexcept>
 #include <string>
 
@@ -92,6 +93,21 @@ struct SnapshotHeader {
   std::uint64_t data_bytes = 0;
   std::uint64_t data_checksum = 0;
 };
+
+/// Size of the fixed header on disk (magic through header_checksum).
+inline constexpr std::size_t kSnapshotHeaderBytes = 72;
+
+/// Validates and decodes the fixed header from an in-memory byte range
+/// (at least the first kSnapshotHeaderBytes of a purported snapshot).
+/// `file_size` is the total size of the purported file, checked against
+/// the region the header promises. Throws SnapshotError with the same
+/// typed codes as the file-based readers; `origin` names the source in
+/// error messages. This is the single validator behind
+/// read_header/load/MappedEmbedding::open for untrusted bytes — and the
+/// entry point fuzz/fuzz_snapshot.cpp drives.
+[[nodiscard]] SnapshotHeader decode_snapshot_header(
+    std::span<const std::uint8_t> bytes, std::uint64_t file_size,
+    const std::string& origin = "<memory>");
 
 class EmbeddingStore {
  public:

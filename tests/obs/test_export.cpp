@@ -52,6 +52,23 @@ TEST(ObsJson, RejectsMalformedDocuments) {
   EXPECT_THROW(parse_json("\"unterminated"), std::runtime_error);
 }
 
+// Regression for a fuzz-lane finding: the parser recursed once per nesting
+// level, so "[[[[..." gave attacker-controlled native-stack growth (the
+// serve HTTP shim feeds it network bytes). Depth is now capped at 128.
+TEST(ObsJson, RejectsPathologicalNestingWithoutOverflow) {
+  const std::string deep_array(100000, '[');
+  EXPECT_THROW(parse_json(deep_array), std::runtime_error);
+  std::string deep_object;
+  for (int i = 0; i < 100000; ++i) deep_object += "{\"a\":";
+  EXPECT_THROW(parse_json(deep_object), std::runtime_error);
+  // Documents inside the cap still parse.
+  std::string nested;
+  for (int i = 0; i < 100; ++i) nested += '[';
+  nested += '1';
+  for (int i = 0; i < 100; ++i) nested += ']';
+  EXPECT_TRUE(parse_json(nested).is_array());
+}
+
 TEST(ObsJson, EscapesRoundTrip) {
   MetricsRegistry registry;
   registry.counter("weird\"name\nwith\ttabs").add(1);

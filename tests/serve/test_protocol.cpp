@@ -193,6 +193,26 @@ TEST(ServeProtocol, ParsesQueryJson) {
   EXPECT_FALSE(parse_query_json(R"({"query": "nope"})", request));
 }
 
+// Regression for a fuzz-lane finding: "k"/"deadline_ms" were cast to u32
+// unchecked, which is UB for NaN and anything outside [0, 2^32). Every
+// out-of-range number must now be a clean reject.
+TEST(ServeProtocol, QueryJsonRejectsOutOfRangeNumbers) {
+  QueryRequest request;
+  EXPECT_FALSE(parse_query_json(R"({"query": [1], "k": -1})", request));
+  EXPECT_FALSE(parse_query_json(R"({"query": [1], "k": 1e300})", request));
+  EXPECT_FALSE(parse_query_json(R"({"query": [1], "k": 4294967296})", request));
+  EXPECT_FALSE(
+      parse_query_json(R"({"query": [1], "deadline_ms": -0.5})", request));
+  EXPECT_FALSE(
+      parse_query_json(R"({"query": [1], "deadline_ms": 1e20})", request));
+  // The extremes of the representable range still parse.
+  ASSERT_TRUE(
+      parse_query_json(R"({"query": [1], "k": 4294967295})", request));
+  EXPECT_EQ(request.k, 4294967295u);
+  ASSERT_TRUE(parse_query_json(R"({"query": [1], "k": 0})", request));
+  EXPECT_EQ(request.k, 0u);
+}
+
 TEST(ServeProtocol, QueryResponseJsonIsLossless) {
   QueryResponse response;
   response.status = RequestStatus::kOk;

@@ -332,5 +332,45 @@ TEST_F(SnapshotTest, DataBitflipIsChecksumMismatch) {
             SnapshotErrorCode::kDataChecksumMismatch);
 }
 
+// decode_snapshot_header is the in-memory validator the file readers (and
+// fuzz/fuzz_snapshot.cpp) share: it must agree with read_header on a real
+// file and reject in-memory corruption with the same typed codes.
+TEST_F(SnapshotTest, InMemoryHeaderDecodeMatchesFileReader) {
+  const auto p = path("inmemory.v2vsnap");
+  EmbeddingStore::save(make_embedding(6, 3, 11), p);
+  const auto bytes = read_file(p);
+  const SnapshotHeader from_file = EmbeddingStore::read_header(p);
+
+  std::span<const std::uint8_t> header(bytes.data(), kSnapshotHeaderBytes);
+  const SnapshotHeader decoded = decode_snapshot_header(header, bytes.size());
+  EXPECT_EQ(decoded.rows, from_file.rows);
+  EXPECT_EQ(decoded.dims, from_file.dims);
+  EXPECT_EQ(decoded.row_stride, from_file.row_stride);
+  EXPECT_EQ(decoded.data_offset, from_file.data_offset);
+  EXPECT_EQ(decoded.data_bytes, from_file.data_bytes);
+  EXPECT_EQ(decoded.data_checksum, from_file.data_checksum);
+
+  const auto code_of = [&](std::span<const std::uint8_t> h, std::uint64_t sz) {
+    try {
+      (void)decode_snapshot_header(h, sz);
+    } catch (const SnapshotError& e) {
+      return e.code();
+    }
+    return SnapshotErrorCode::kOpenFailed;  // sentinel: "did not throw"
+  };
+  EXPECT_EQ(code_of(header.first(40), bytes.size()),
+            SnapshotErrorCode::kTruncatedHeader);
+  EXPECT_EQ(code_of(header, from_file.data_offset + from_file.data_bytes - 1),
+            SnapshotErrorCode::kTruncatedData);
+  auto corrupt = bytes;
+  corrupt[0] ^= 0xff;
+  EXPECT_EQ(code_of({corrupt.data(), kSnapshotHeaderBytes}, corrupt.size()),
+            SnapshotErrorCode::kBadMagic);
+  corrupt = bytes;
+  corrupt[20] ^= 0x01;  // inside rows: integrity check fires first
+  EXPECT_EQ(code_of({corrupt.data(), kSnapshotHeaderBytes}, corrupt.size()),
+            SnapshotErrorCode::kHeaderChecksumMismatch);
+}
+
 }  // namespace
 }  // namespace v2v::store

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Runs the full static-analysis battery locally: clang-tidy (over a fresh
-# compile_commands.json), the custom repo lint, and an advisory
-# clang-format check. Exits non-zero if tidy or lint find anything.
+# compile_commands.json), the custom repo lint (including R10, the raw
+# std::mutex ban), a Clang thread-safety annotation build
+# (-Wthread-safety as errors over the library tree), and an advisory
+# clang-format check. Exits non-zero if tidy, lint, or the annotation
+# build find anything.
 #
 #   tools/check_all.sh              # analyze src/
 #   TIDY_JOBS=4 tools/check_all.sh  # limit tidy parallelism
@@ -38,6 +41,21 @@ fi
 
 echo "== custom lint (tools/lint.py) =="
 python3 "$ROOT/tools/lint.py" || status=1
+
+echo "== thread-safety annotation build (clang -Wthread-safety) =="
+if command -v clang++ > /dev/null 2>&1; then
+  # Library tree only (no tests/bench/examples): the annotations live in
+  # src/ and gtest needs no re-checking. V2V_THREAD_SAFETY promotes every
+  # -Wthread-safety diagnostic to an error.
+  cmake -B "$ROOT/build-thread-safety" -S "$ROOT" \
+    -DCMAKE_CXX_COMPILER=clang++ -DCMAKE_BUILD_TYPE=Debug \
+    -DV2V_THREAD_SAFETY=ON -DV2V_BUILD_TESTS=OFF -DV2V_BUILD_BENCH=OFF \
+    -DV2V_BUILD_EXAMPLES=OFF > /dev/null \
+    && cmake --build "$ROOT/build-thread-safety" -j "$TIDY_JOBS" > /dev/null \
+    || status=1
+else
+  echo "warning: clang++ not installed, skipping annotation build" >&2
+fi
 
 echo "== clang-format (advisory) =="
 if command -v clang-format > /dev/null 2>&1 && [ -f "$ROOT/.clang-format" ]; then

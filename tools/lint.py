@@ -31,6 +31,12 @@ Enforced on src/ (and partially on tests/ and bench/, see each rule):
       assignment step without norm caching, triangle-inequality pruning,
       or the oracle's tie-breaking. Call ml::assign_to_centroids (or run
       ml::kmeans) instead
+  R10 no raw std::mutex / std::lock_guard / std::condition_variable (and
+      friends) in src/ outside common/sync.hpp|cpp: locking goes through
+      v2v::Mutex / v2v::LockGuard / v2v::UniqueLock / v2v::CondVar so
+      every lock carries capability annotations (Clang -Wthread-safety)
+      and a lockdep rank (runtime lock-order validation in checked
+      builds). A raw primitive is invisible to both layers
 
 Usage: tools/lint.py [--root REPO_ROOT]
 Exit code 0 = clean, 1 = findings (printed one per line as
@@ -115,6 +121,22 @@ CENTROID_SCAN_ALLOWLIST: set[str] = {
     "src/v2v/ml/kmeans.cpp",
     "src/v2v/common/kernels.hpp",
     "src/v2v/common/kernels.cpp",
+}
+
+# R10: raw standard sync primitives. std::atomic stays legal everywhere
+# (the relaxed.hpp idiom builds on it); everything that blocks must wear
+# the annotated wrappers.
+RAW_SYNC_RE = re.compile(
+    r"\bstd::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+    r"condition_variable|condition_variable_any)\b")
+
+# Files exempt from R10: the sync layer itself (it wraps the primitives)
+# and the lock-free helpers that never block.
+RAW_SYNC_ALLOWLIST: set[str] = {
+    "src/v2v/common/sync.hpp",
+    "src/v2v/common/sync.cpp",
+    "src/v2v/common/relaxed.hpp",
 }
 
 
@@ -297,6 +319,20 @@ class Linter:
             if depth <= 0 and line_no > loop_line:
                 in_loop = False
 
+    def lint_raw_sync(self, path: pathlib.Path) -> None:
+        rel = path.relative_to(self.root).as_posix()
+        if rel in RAW_SYNC_ALLOWLIST:
+            return
+        code = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+        for line_no, line in enumerate(code.splitlines(), start=1):
+            m = RAW_SYNC_RE.search(line)
+            if m:
+                self.report(path, line_no, "R10",
+                            f"raw {m.group(0)} banned in src/; use the "
+                            "annotated v2v::Mutex/LockGuard/UniqueLock/"
+                            "CondVar from common/sync.hpp (thread-safety "
+                            "analysis + lockdep)")
+
     def lint_include_hygiene(self, path: pathlib.Path) -> None:
         raw = path.read_text(encoding="utf-8")
         if path.suffix == ".hpp":
@@ -346,6 +382,7 @@ class Linter:
             self.lint_elementwise(path)
             self.lint_embedding_scans(path)
             self.lint_centroid_scans(path)
+            self.lint_raw_sync(path)
         # Tests and benches get the behavioral rules (R1-R4) but not the
         # structural ones.
         for tree in (tests, bench):
