@@ -116,6 +116,11 @@ inline void write_metrics_sidecar(const CliArgs& args, const std::string& experi
   if (path.empty()) {
     path = (output_dir(args) / (experiment + ".metrics.json")).string();
   }
+  // Stamp the process high-water mark into every sidecar so a run that got
+  // faster by ballooning memory cannot pass a bench gate unnoticed.
+  metrics_registry()
+      .gauge("process.peak_rss_bytes")
+      .set(static_cast<double>(obs::peak_rss_bytes()));
   obs::write_json_file(metrics_registry(), path);
   std::printf("metrics sidecar: %s\n", path.c_str());
 }

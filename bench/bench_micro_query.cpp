@@ -21,7 +21,9 @@
 #include "v2v/common/timer.hpp"
 #include "v2v/index/flat_index.hpp"
 #include "v2v/index/ivf_index.hpp"
+#include "v2v/index/ivfpq_index.hpp"
 #include "v2v/index/query_engine.hpp"
+#include "v2v/index/sq_index.hpp"
 #include "v2v/obs/export.hpp"
 #include "v2v/obs/metrics.hpp"
 
@@ -224,6 +226,84 @@ void write_query_baseline() {
   const double speedup = flat_qps > 0.0 ? headline_qps / flat_qps : 0.0;
   baseline.gauge("query.speedup_vs_flat").set(speedup);
 
+  // Quantized frontier: memory-per-vector x recall@10 x QPS for SQ8 and
+  // IVF-PQ (+ exact rerank), all against the same flat truth. The CI gate
+  // reads the headline gauges; the full frontier stays in the JSON for
+  // regression diffing.
+  const double float_bpv =
+      static_cast<double>(MatrixF::padded_stride(kDims) * sizeof(float));
+  baseline.gauge("query.float_bytes_per_vector").set(float_bpv);
+
+  const index::SqIndex sq(view, index::DistanceMetric::kEuclidean,
+                          {.threads = kThreads});
+  const index::QueryEngine sq_engine(sq, {.threads = kThreads, .metrics = nullptr});
+  const double sq_qps = measure_qps(sq_engine, queries, kTopK, 3);
+  const double sq_recall =
+      sq_engine.observe_recall(truth, sq_engine.query_batch(queries, kTopK));
+  baseline.gauge("query.sq8_bytes_per_vector").set(sq.bytes_per_vector());
+  baseline.gauge("query.sq8_mem_ratio").set(sq.bytes_per_vector() / float_bpv);
+  baseline.gauge("query.sq8_qps").set(sq_qps);
+  baseline.gauge("query.sq8_recall_at_10").set(sq_recall);
+  std::printf("sq8        qps=%10.0f recall@10=%.4f bytes/vec=%.1f (%.2fx)\n",
+              sq_qps, sq_recall, sq.bytes_per_vector(),
+              sq.bytes_per_vector() / float_bpv);
+
+  index::IvfPqConfig pq_config;
+  pq_config.nlist = 0;  // ~sqrt(n), same default as ivf
+  pq_config.m = 16;
+  pq_config.threads = kThreads;
+  index::IvfPqIndex ivfpq(view, index::DistanceMetric::kEuclidean, pq_config);
+  const index::QueryEngine pq_engine(ivfpq, {.threads = kThreads, .metrics = nullptr});
+  const double pq_bpv = ivfpq.bytes_per_vector();
+  baseline.gauge("query.ivfpq_bytes_per_vector").set(pq_bpv);
+  baseline.gauge("query.ivfpq_mem_ratio").set(pq_bpv / float_bpv);
+
+  // Sweep nprobe twice — plain ADC ordering, then with exact rerank over
+  // the top 30*k — and headline the cheapest point clearing recall 0.9,
+  // mirroring the float-IVF sweep above.
+  double pq_qps = 0.0, pq_recall = 0.0, pqr_qps = 0.0, pqr_recall = 0.0;
+  std::size_t pq_nprobe = 0, pqr_nprobe = 0;
+  for (const std::size_t nprobe : {1, 2, 4, 8, 16, 32}) {
+    if (nprobe > ivfpq.nlist()) break;
+    ivfpq.set_nprobe(nprobe);
+    for (const std::size_t rerank : {std::size_t{0}, 30 * kTopK}) {
+      ivfpq.set_rerank(rerank);
+      const double qps = measure_qps(pq_engine, queries, kTopK, 3);
+      const double recall = pq_engine.observe_recall(
+          truth, pq_engine.query_batch(queries, kTopK));
+      const std::string tag = "query.ivfpq_nprobe_" + std::to_string(nprobe) +
+                              (rerank > 0 ? "_rerank" : "");
+      baseline.gauge(tag + ".qps").set(qps);
+      baseline.gauge(tag + ".recall_at_10").set(recall);
+      std::printf("ivfpq%s nprobe=%-3zu qps=%10.0f recall@10=%.4f\n",
+                  rerank > 0 ? "+rr" : "    ", nprobe, qps, recall);
+      if (rerank == 0 && pq_nprobe == 0 && recall >= 0.9) {
+        pq_nprobe = nprobe;
+        pq_qps = qps;
+        pq_recall = recall;
+      }
+      if (rerank > 0 && pqr_nprobe == 0 && recall >= 0.9) {
+        pqr_nprobe = nprobe;
+        pqr_qps = qps;
+        pqr_recall = recall;
+      }
+    }
+  }
+  ivfpq.set_rerank(0);
+  baseline.gauge("query.ivfpq_nprobe").set(static_cast<double>(pq_nprobe));
+  baseline.gauge("query.ivfpq_qps").set(pq_qps);
+  baseline.gauge("query.ivfpq_recall_at_10").set(pq_recall);
+  baseline.gauge("query.ivfpq_rerank_depth")
+      .set(static_cast<double>(30 * kTopK));
+  baseline.gauge("query.ivfpq_rerank_nprobe")
+      .set(static_cast<double>(pqr_nprobe));
+  baseline.gauge("query.ivfpq_rerank_qps").set(pqr_qps);
+  baseline.gauge("query.ivfpq_rerank_recall_at_10").set(pqr_recall);
+  baseline.gauge("query.ivfpq_rerank_speedup_vs_flat")
+      .set(flat_qps > 0.0 ? pqr_qps / flat_qps : 0.0);
+  baseline.gauge("process.peak_rss_bytes")
+      .set(static_cast<double>(obs::peak_rss_bytes()));
+
   const auto dir = bench_out_dir();
   std::filesystem::create_directories(dir);
   const auto path = (dir / "BENCH_micro_query.json").string();
@@ -239,6 +319,11 @@ void write_query_baseline() {
       build_seconds, ivf_naive.nlist(), naive_build_seconds,
       build_seconds > 0.0 ? naive_build_seconds / build_seconds : 0.0,
       eval_ratio);
+  std::printf(
+      "quantized frontier: sq8 %.2fx mem recall=%.3f; ivfpq+rerank %.2fx "
+      "mem recall=%.3f at nprobe=%zu (%.1fx flat qps)\n",
+      sq.bytes_per_vector() / float_bpv, sq_recall, pq_bpv / float_bpv,
+      pqr_recall, pqr_nprobe, flat_qps > 0.0 ? pqr_qps / flat_qps : 0.0);
 }
 
 [[nodiscard]] bool baseline_only() {

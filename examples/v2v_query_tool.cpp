@@ -2,10 +2,18 @@
 // binary embedding snapshots (see docs/ARCHITECTURE.md "Embedding store"
 // and docs/SERVING.md for the full serve-mode operator guide).
 //
-//   v2v_query_tool convert <vectors.txt> <out.v2vsnap>
+//   v2v_query_tool convert <vectors.txt> <out.v2vsnap> [--quantize=...]
 //   v2v_query_tool export  <in.v2vsnap> <vectors.txt>
 //   v2v_query_tool info    <in.v2vsnap>
 //   v2v_query_tool serve   <in.v2vsnap> [index/engine flags] [server flags]
+//
+// `convert --quantize=sq8|pq[:m]` trains the quantizer while converting
+// and writes a v2 sectioned snapshot carrying the codes; without
+// --keep-floats the float matrix is dropped entirely, so the serving
+// footprint is the quantized payload alone. `info` lists every section
+// with its checksum. `serve --index=sq8|ivfpq` loads such a snapshot
+// zero-copy (codes served straight from the mapping, no float matrix in
+// RAM) or quantizes float snapshots on the fly.
 //
 // `serve` memory-maps the snapshot (zero-copy; --no-mmap forces the
 // buffered fallback), builds the requested index, and is a thin launcher
@@ -30,14 +38,18 @@
 #include <iostream>
 #include <memory>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "v2v/common/cli.hpp"
+#include "v2v/embed/embedding.hpp"
 #include "v2v/index/flat_index.hpp"
 #include "v2v/index/ivf_index.hpp"
+#include "v2v/index/ivfpq_index.hpp"
 #include "v2v/index/query_engine.hpp"
+#include "v2v/index/sq_index.hpp"
 #include "v2v/obs/export.hpp"
 #include "v2v/obs/metrics.hpp"
 #include "v2v/serve/batch_queue.hpp"
@@ -59,12 +71,70 @@ void maybe_write_metrics(const CliArgs& args, const obs::MetricsRegistry& regist
   std::fprintf(stderr, "wrote metrics sidecar %s\n", path.c_str());
 }
 
+index::DistanceMetric metric_from(const CliArgs& args) {
+  const std::string name = args.get("metric", "cosine");
+  return name == "l2" || name == "euclidean"
+             ? index::DistanceMetric::kEuclidean
+             : index::DistanceMetric::kCosine;
+}
+
 int cmd_convert(const CliArgs& args) {
-  store::convert_text_to_snapshot(args.positional()[1], args.positional()[2]);
-  const auto h = store::EmbeddingStore::read_header(args.positional()[2]);
-  std::printf("wrote %s: %llu rows x %llu dims\n", args.positional()[2].c_str(),
-              static_cast<unsigned long long>(h.rows),
-              static_cast<unsigned long long>(h.dims));
+  const auto& out = args.positional()[2];
+  const std::string quantize = args.get("quantize", "");
+  if (quantize.empty()) {
+    for (const char* flag : {"metric", "nlist", "build-threads", "keep-floats"}) {
+      if (args.has(flag)) {
+        std::fprintf(stderr,
+                     "warning: --%s has no effect without --quantize\n", flag);
+      }
+    }
+    store::convert_text_to_snapshot(args.positional()[1], out);
+    const auto h = store::EmbeddingStore::read_header(out);
+    std::printf("wrote %s: %llu rows x %llu dims\n", out.c_str(),
+                static_cast<unsigned long long>(h.rows),
+                static_cast<unsigned long long>(h.dims));
+    return 0;
+  }
+
+  const auto emb = embed::Embedding::load_text_file(args.positional()[1]);
+  const auto metric = metric_from(args);
+  const auto threads =
+      static_cast<std::size_t>(args.get_int("build-threads", 1));
+  store::SnapshotBuilder builder(emb.vertex_count(), emb.dimensions());
+  if (args.get_bool("keep-floats")) {
+    builder.set_float_matrix(store::EmbeddingView::of(emb));
+  }
+
+  double bytes_per_vector = 0.0;
+  if (quantize == "sq8") {
+    const index::SqIndex sq(store::EmbeddingView::of(emb), metric,
+                            {.threads = threads});
+    sq.save_sections(builder);
+    bytes_per_vector = sq.bytes_per_vector();
+  } else if (quantize == "pq" || quantize.rfind("pq:", 0) == 0) {
+    index::IvfPqConfig config;
+    if (quantize.size() > 3) {
+      config.m = static_cast<std::size_t>(std::stoul(quantize.substr(3)));
+    }
+    config.nlist = static_cast<std::size_t>(args.get_int("nlist", 0));
+    config.threads = threads;
+    const index::IvfPqIndex ivfpq(store::EmbeddingView::of(emb), metric,
+                                  config);
+    ivfpq.save_sections(builder);
+    bytes_per_vector = ivfpq.bytes_per_vector();
+  } else {
+    std::fprintf(stderr,
+                 "error: --quantize=%s (expected sq8, pq, or pq:<m>)\n",
+                 quantize.c_str());
+    return 2;
+  }
+  builder.write(out);
+  std::printf("wrote %s: %llu rows x %llu dims, %s quantized "
+              "(%.1f bytes/vector%s)\n",
+              out.c_str(), static_cast<unsigned long long>(emb.vertex_count()),
+              static_cast<unsigned long long>(emb.dimensions()),
+              quantize.c_str(), bytes_per_vector,
+              args.get_bool("keep-floats") ? ", floats kept for rerank" : "");
   return 0;
 }
 
@@ -76,7 +146,8 @@ int cmd_export(const CliArgs& args) {
 
 int cmd_info(const CliArgs& args) {
   const auto& path = args.positional()[1];
-  const auto h = store::EmbeddingStore::read_header(path);
+  const auto snap = store::MappedSnapshot::open(path);
+  const auto& h = snap.header();
   std::printf("snapshot      %s\n", path.c_str());
   std::printf("version       %u\n", h.version);
   std::printf("rows          %llu\n", static_cast<unsigned long long>(h.rows));
@@ -87,6 +158,24 @@ int cmd_info(const CliArgs& args) {
   std::printf("data_bytes    %llu\n", static_cast<unsigned long long>(h.data_bytes));
   std::printf("data_checksum %016llx\n",
               static_cast<unsigned long long>(h.data_checksum));
+  std::printf("sections      %zu (checksums verified on open)\n",
+              snap.sections().size());
+  std::uint64_t float_bytes = 0, quant_bytes = 0;
+  for (const auto& s : snap.sections()) {
+    std::printf("  %-8s %12llu bytes  %016llx\n", s.name.c_str(),
+                static_cast<unsigned long long>(s.bytes),
+                static_cast<unsigned long long>(s.checksum));
+    (s.name == "fmat" ? float_bytes : quant_bytes) += s.bytes;
+  }
+  const auto rows = std::max<std::size_t>(1, snap.rows());
+  if (float_bytes > 0) {
+    std::printf("float bytes/vector      %.1f\n",
+                static_cast<double>(float_bytes) / static_cast<double>(rows));
+  }
+  if (quant_bytes > 0) {
+    std::printf("quantized bytes/vector  %.1f\n",
+                static_cast<double>(quant_bytes) / static_cast<double>(rows));
+  }
   return 0;
 }
 
@@ -206,36 +295,88 @@ int cmd_serve(const CliArgs& args) {
   obs::MetricsRegistry metrics;
 
   const auto mode = args.get_bool("no-mmap")
-                        ? store::MappedEmbedding::MapMode::kBuffered
-                        : store::MappedEmbedding::MapMode::kAuto;
-  const auto mapped = store::MappedEmbedding::open(path, mode);
-  std::fprintf(stderr, "serving %s: %zu rows x %zu dims (%s)\n", path.c_str(),
-               mapped.rows(), mapped.dimensions(),
-               mapped.zero_copy() ? "zero-copy mmap" : "buffered");
+                        ? store::MappedSnapshot::MapMode::kBuffered
+                        : store::MappedSnapshot::MapMode::kAuto;
+  const auto mapped = store::MappedSnapshot::open(path, mode);
+  std::fprintf(stderr, "serving %s: %zu rows x %zu dims (%s, %zu sections%s)\n",
+               path.c_str(), mapped.rows(), mapped.dimensions(),
+               mapped.zero_copy() ? "zero-copy mmap" : "buffered",
+               mapped.sections().size(),
+               mapped.has_floats() ? "" : ", no float matrix");
 
-  const std::string metric_name = args.get("metric", "cosine");
-  const auto metric = metric_name == "l2" || metric_name == "euclidean"
-                          ? index::DistanceMetric::kEuclidean
-                          : index::DistanceMetric::kCosine;
+  const auto metric = metric_from(args);
   const auto threads = static_cast<std::size_t>(args.get_int("threads", 1));
   const auto k = static_cast<std::size_t>(args.get_int("k", 10));
+  const auto rerank = static_cast<std::size_t>(args.get_int("rerank", 0));
+  // --build-threads overrides --threads for one-off index builds only
+  // (use all cores to build, few to serve); it never affects query
+  // results or serving parallelism.
+  const auto build_threads = static_cast<std::size_t>(
+      args.get_int("build-threads", static_cast<std::int64_t>(threads)));
+  const std::string kind = args.get("index", "flat");
+
+  const auto require_floats = [&](const char* what) {
+    if (!mapped.has_floats()) {
+      throw std::runtime_error(
+          std::string("snapshot carries no float matrix; ") + what);
+    }
+  };
+  const auto warn_stored_metric = [&](index::DistanceMetric stored) {
+    if (args.has("metric") && stored != metric) {
+      std::fprintf(stderr,
+                   "warning: --metric ignored; quantized snapshot was built "
+                   "with the other metric\n");
+    }
+  };
+  if (rerank > 0 && !mapped.has_floats()) {
+    std::fprintf(stderr,
+                 "warning: --rerank needs the snapshot's float matrix "
+                 "(re-convert with --keep-floats); rerank disabled\n");
+  }
 
   std::unique_ptr<index::VectorIndex> idx;
-  if (args.get("index", "flat") == "ivf") {
+  if (kind == "ivf") {
+    require_floats("--index=ivf needs float rows (use sq8/ivfpq)");
     index::IvfConfig config;
     config.nlist = static_cast<std::size_t>(args.get_int("nlist", 0));
     config.nprobe = static_cast<std::size_t>(args.get_int("nprobe", 8));
-    // --build-threads overrides --threads for the one-off k-means build
-    // only (use all cores to build, few to serve); it never affects query
-    // results or serving parallelism.
-    config.threads = static_cast<std::size_t>(
-        args.get_int("build-threads", static_cast<std::int64_t>(threads)));
+    config.threads = build_threads;
     config.metrics = &metrics;
-    idx = std::make_unique<index::IvfIndex>(mapped.view(), metric, config);
+    idx = std::make_unique<index::IvfIndex>(mapped.float_view(), metric,
+                                            config);
+  } else if (kind == "sq8") {
+    if (mapped.has_section("sq8c")) {
+      auto sq = index::SqIndex::from_snapshot(mapped, {.rerank = rerank});
+      warn_stored_metric(sq->metric());
+      idx = std::move(sq);
+    } else {
+      require_floats("--index=sq8 needs float rows or a pre-quantized "
+                     "snapshot (convert --quantize=sq8)");
+      idx = std::make_unique<index::SqIndex>(
+          mapped.float_view(), metric,
+          index::SqConfig{.threads = build_threads, .rerank = rerank});
+    }
+  } else if (kind == "ivfpq") {
+    index::IvfPqConfig config;
+    config.nlist = static_cast<std::size_t>(args.get_int("nlist", 0));
+    config.nprobe = static_cast<std::size_t>(args.get_int("nprobe", 8));
+    config.rerank = rerank;
+    config.threads = build_threads;
+    config.metrics = &metrics;
+    if (mapped.has_section("pqcd")) {
+      auto ivfpq = index::IvfPqIndex::from_snapshot(mapped, config);
+      warn_stored_metric(ivfpq->metric());
+      idx = std::move(ivfpq);
+    } else {
+      require_floats("--index=ivfpq needs float rows or a pre-quantized "
+                     "snapshot (convert --quantize=pq)");
+      idx = std::make_unique<index::IvfPqIndex>(mapped.float_view(), metric,
+                                                config);
+    }
   } else {
-    // IVF-only flags with --index=flat mean a misconfiguration worth
-    // flagging (they would be silently inert).
-    for (const char* flag : {"nlist", "nprobe", "build-threads"}) {
+    // Flags for other index kinds with --index=flat mean a
+    // misconfiguration worth flagging (they would be silently inert).
+    for (const char* flag : {"nlist", "nprobe", "build-threads", "rerank"}) {
       if (args.has(flag)) {
         std::fprintf(stderr,
                      "warning: --%s has no effect with --index=flat "
@@ -243,7 +384,8 @@ int cmd_serve(const CliArgs& args) {
                      flag);
       }
     }
-    idx = std::make_unique<index::FlatIndex>(mapped.view(), metric);
+    require_floats("--index=flat needs float rows (use sq8/ivfpq)");
+    idx = std::make_unique<index::FlatIndex>(mapped.float_view(), metric);
   }
   const index::QueryEngine engine(*idx, {.threads = threads, .metrics = &metrics});
   engine.warmup();
@@ -272,19 +414,37 @@ void usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  v2v_query_tool convert <vectors.txt> <out.v2vsnap>\n"
+      "  v2v_query_tool convert <vectors.txt> <out.v2vsnap> [convert flags]\n"
       "  v2v_query_tool export  <in.v2vsnap> <vectors.txt>\n"
       "  v2v_query_tool info    <in.v2vsnap>\n"
       "  v2v_query_tool serve   <in.v2vsnap> [flags]\n"
       "\n"
+      "convert flags:\n"
+      "  --quantize=sq8|pq[:m] also train + store quantized codes: sq8 = one\n"
+      "                       byte/dim scalar codes, pq[:m] = IVF-PQ with m\n"
+      "                       bytes/vector (default 8)\n"
+      "  --keep-floats        keep the float matrix alongside the codes (for\n"
+      "                       exact rerank); default drops it — the snapshot\n"
+      "                       then serves with no float matrix in RAM\n"
+      "  --metric=cosine|l2   metric the quantizer is trained for (cosine)\n"
+      "  --nlist=N            IVF-PQ partitions; 0 = ~sqrt(rows)\n"
+      "  --build-threads=N    training/encoding threads (default 1; codes are\n"
+      "                       byte-identical at any thread count)\n"
+      "\n"
       "serve index/engine flags:\n"
-      "  --index=flat|ivf     flat = exact scan (default); ivf = approximate\n"
-      "  --metric=cosine|l2   distance metric (default cosine)\n"
+      "  --index=flat|ivf|sq8|ivfpq\n"
+      "                       flat = exact scan (default); ivf = approximate;\n"
+      "                       sq8/ivfpq = quantized (loads pre-quantized\n"
+      "                       sections zero-copy, else quantizes on the fly)\n"
+      "  --metric=cosine|l2   distance metric (default cosine; pre-quantized\n"
+      "                       snapshots carry their own)\n"
       "  --threads=N          QueryEngine workers for batch fan-out (default 1)\n"
-      "  --nlist=N            IVF partitions; 0 = ~sqrt(rows) (ivf only)\n"
-      "  --nprobe=N           IVF lists scanned per query (ivf only; higher =\n"
+      "  --nlist=N            IVF/IVF-PQ partitions; 0 = ~sqrt(rows)\n"
+      "  --nprobe=N           IVF/IVF-PQ lists scanned per query (higher =\n"
       "                       better recall, lower QPS; default 8)\n"
-      "  --build-threads=N    threads for the one-off IVF k-means build only\n"
+      "  --rerank=N           sq8/ivfpq: re-score top-N candidates against\n"
+      "                       the float matrix exactly (needs floats; 0 off)\n"
+      "  --build-threads=N    threads for one-off index builds only\n"
       "                       (defaults to --threads; never changes results or\n"
       "                       serving parallelism — build wide, serve narrow)\n"
       "  --no-mmap            force the buffered snapshot read\n"
@@ -331,7 +491,10 @@ int main(int argc, char** argv) {
     const auto& pos = args.positional();
     const std::string command = pos.empty() ? "" : pos[0];
     if (command == "convert" && pos.size() >= 3) {
-      return check_flags(args, {}) ? cmd_convert(args) : 2;
+      return check_flags(args, {"quantize", "keep-floats", "metric", "nlist",
+                                "build-threads"})
+                 ? cmd_convert(args)
+                 : 2;
     }
     if (command == "export" && pos.size() >= 3) {
       return check_flags(args, {}) ? cmd_export(args) : 2;
@@ -341,10 +504,10 @@ int main(int argc, char** argv) {
     }
     if (command == "serve" && pos.size() >= 2) {
       return check_flags(args, {"index", "metric", "k", "nlist", "nprobe",
-                                "threads", "build-threads", "queries",
-                                "no-mmap", "metrics-out", "port", "host",
-                                "batch", "linger-us", "queue", "deadline-ms",
-                                "max-conns"})
+                                "rerank", "threads", "build-threads",
+                                "queries", "no-mmap", "metrics-out", "port",
+                                "host", "batch", "linger-us", "queue",
+                                "deadline-ms", "max-conns"})
                  ? cmd_serve(args)
                  : 2;
     }

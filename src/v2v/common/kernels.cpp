@@ -53,6 +53,51 @@ bool force_scalar_requested() noexcept {
   return env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
 }
 
+namespace scalar {
+
+// The quantized-kernel references live here rather than in the header so
+// they always compile under this TU's -ffp-contract=off (src/CMakeLists):
+// GCC fuses mul+add across statements when FMA is available, and a fused
+// decode would break bit-equality with the mul-then-add SIMD variants.
+// Each accumulates term i into lane i % 8 and reduces with adc_reduce8 —
+// the exact order every SIMD variant reproduces.
+
+float pq_adc(const float* lut, const std::uint8_t* codes,
+             std::size_t m) noexcept {
+  float lanes[8] = {0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f};
+  for (std::size_t s = 0; s < m; ++s) {
+    lanes[s & 7] += lut[s * kPqLutStride + codes[s]];
+  }
+  return adc_reduce8(lanes);
+}
+
+float sq8_sqdist(const float* q, const std::uint8_t* codes, const float* vmin,
+                 const float* scale, std::size_t n) noexcept {
+  float lanes[8] = {0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f};
+  for (std::size_t i = 0; i < n; ++i) {
+    const float prod = scale[i] * static_cast<float>(codes[i]);
+    const float decoded = vmin[i] + prod;
+    const float diff = q[i] - decoded;
+    const float sq = diff * diff;
+    lanes[i & 7] += sq;
+  }
+  return adc_reduce8(lanes);
+}
+
+float sq8_dot(const float* q, const std::uint8_t* codes, const float* vmin,
+              const float* scale, std::size_t n) noexcept {
+  float lanes[8] = {0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f};
+  for (std::size_t i = 0; i < n; ++i) {
+    const float prod = scale[i] * static_cast<float>(codes[i]);
+    const float decoded = vmin[i] + prod;
+    const float term = q[i] * decoded;
+    lanes[i & 7] += term;
+  }
+  return adc_reduce8(lanes);
+}
+
+}  // namespace scalar
+
 namespace {
 
 KernelSet scalar_set() noexcept {
@@ -60,7 +105,8 @@ KernelSet scalar_set() noexcept {
                    &scalar::add,    &scalar::fill,      &scalar::ddot,
                    &scalar::sqdist, &scalar::sqdist_fd, &scalar::add_fd,
                    &scalar::scale_d, &scalar::dot_fd,   &scalar::dot_dd,
-                   &scalar::sqdist_dd};
+                   &scalar::sqdist_dd, &scalar::pq_adc, &scalar::sq8_sqdist,
+                   &scalar::sq8_dot};
 }
 
 #if V2V_KERNELS_X86
@@ -248,11 +294,122 @@ __attribute__((target("sse2"))) double sse2_sqdist_dd(const double* a,
   return sum;
 }
 
+// Quantized asymmetric-distance variants. Contract (see kernels.hpp): term
+// i lands in lane i % 8 in index order, lane spill + scalar tail + the
+// shared adc_reduce8 tree, mul and add kept as separate rounded ops (never
+// fmadd) — so every variant is bit-identical to the scalar reference.
+
+__attribute__((target("sse2"))) float sse2_pq_adc(const float* lut,
+                                                  const std::uint8_t* codes,
+                                                  std::size_t m) {
+  // SSE2 has no gather; the table lookups stay scalar but the 8-lane
+  // accumulation runs in two registers (lanes 0-3 / 4-7).
+  __m128 acc_lo = _mm_setzero_ps();
+  __m128 acc_hi = _mm_setzero_ps();
+  std::size_t s = 0;
+  for (; s + 8 <= m; s += 8) {
+    const float* base = lut + s * kPqLutStride;
+    acc_lo = _mm_add_ps(
+        acc_lo, _mm_setr_ps(base[codes[s + 0]],
+                            base[1 * kPqLutStride + codes[s + 1]],
+                            base[2 * kPqLutStride + codes[s + 2]],
+                            base[3 * kPqLutStride + codes[s + 3]]));
+    acc_hi = _mm_add_ps(
+        acc_hi, _mm_setr_ps(base[4 * kPqLutStride + codes[s + 4]],
+                            base[5 * kPqLutStride + codes[s + 5]],
+                            base[6 * kPqLutStride + codes[s + 6]],
+                            base[7 * kPqLutStride + codes[s + 7]]));
+  }
+  alignas(16) float lanes[8];
+  _mm_store_ps(lanes, acc_lo);
+  _mm_store_ps(lanes + 4, acc_hi);
+  for (; s < m; ++s) lanes[s & 7] += lut[s * kPqLutStride + codes[s]];
+  return scalar::adc_reduce8(lanes);
+}
+
+/// Widens 8 packed code bytes at `codes` to two float vectors (lanes 0-3
+/// and 4-7). Exact: u8 -> i32 -> f32.
+__attribute__((target("sse2"))) inline void sse2_codes_to_ps(
+    const std::uint8_t* codes, __m128& lo, __m128& hi) {
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i raw =
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(codes));
+  const __m128i w16 = _mm_unpacklo_epi8(raw, zero);
+  lo = _mm_cvtepi32_ps(_mm_unpacklo_epi16(w16, zero));
+  hi = _mm_cvtepi32_ps(_mm_unpackhi_epi16(w16, zero));
+}
+
+__attribute__((target("sse2"))) float sse2_sq8_sqdist(const float* q,
+                                                      const std::uint8_t* codes,
+                                                      const float* vmin,
+                                                      const float* scale,
+                                                      std::size_t n) {
+  __m128 acc_lo = _mm_setzero_ps();
+  __m128 acc_hi = _mm_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m128 cf_lo, cf_hi;
+    sse2_codes_to_ps(codes + i, cf_lo, cf_hi);
+    const __m128 dec_lo = _mm_add_ps(_mm_loadu_ps(vmin + i),
+                                     _mm_mul_ps(_mm_loadu_ps(scale + i), cf_lo));
+    const __m128 dec_hi =
+        _mm_add_ps(_mm_loadu_ps(vmin + i + 4),
+                   _mm_mul_ps(_mm_loadu_ps(scale + i + 4), cf_hi));
+    const __m128 diff_lo = _mm_sub_ps(_mm_loadu_ps(q + i), dec_lo);
+    const __m128 diff_hi = _mm_sub_ps(_mm_loadu_ps(q + i + 4), dec_hi);
+    acc_lo = _mm_add_ps(acc_lo, _mm_mul_ps(diff_lo, diff_lo));
+    acc_hi = _mm_add_ps(acc_hi, _mm_mul_ps(diff_hi, diff_hi));
+  }
+  alignas(16) float lanes[8];
+  _mm_store_ps(lanes, acc_lo);
+  _mm_store_ps(lanes + 4, acc_hi);
+  for (; i < n; ++i) {
+    const float prod = scale[i] * static_cast<float>(codes[i]);
+    const float decoded = vmin[i] + prod;
+    const float diff = q[i] - decoded;
+    const float sq = diff * diff;
+    lanes[i & 7] += sq;
+  }
+  return scalar::adc_reduce8(lanes);
+}
+
+__attribute__((target("sse2"))) float sse2_sq8_dot(const float* q,
+                                                   const std::uint8_t* codes,
+                                                   const float* vmin,
+                                                   const float* scale,
+                                                   std::size_t n) {
+  __m128 acc_lo = _mm_setzero_ps();
+  __m128 acc_hi = _mm_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m128 cf_lo, cf_hi;
+    sse2_codes_to_ps(codes + i, cf_lo, cf_hi);
+    const __m128 dec_lo = _mm_add_ps(_mm_loadu_ps(vmin + i),
+                                     _mm_mul_ps(_mm_loadu_ps(scale + i), cf_lo));
+    const __m128 dec_hi =
+        _mm_add_ps(_mm_loadu_ps(vmin + i + 4),
+                   _mm_mul_ps(_mm_loadu_ps(scale + i + 4), cf_hi));
+    acc_lo = _mm_add_ps(acc_lo, _mm_mul_ps(_mm_loadu_ps(q + i), dec_lo));
+    acc_hi = _mm_add_ps(acc_hi, _mm_mul_ps(_mm_loadu_ps(q + i + 4), dec_hi));
+  }
+  alignas(16) float lanes[8];
+  _mm_store_ps(lanes, acc_lo);
+  _mm_store_ps(lanes + 4, acc_hi);
+  for (; i < n; ++i) {
+    const float prod = scale[i] * static_cast<float>(codes[i]);
+    const float decoded = vmin[i] + prod;
+    const float term = q[i] * decoded;
+    lanes[i & 7] += term;
+  }
+  return scalar::adc_reduce8(lanes);
+}
+
 KernelSet sse2_set() noexcept {
   return KernelSet{&sse2_dot,    &sse2_axpy,      &sse2_scale,  &sse2_add,
                    &sse2_fill,   &sse2_ddot,      &sse2_sqdist, &sse2_sqdist_fd,
                    &sse2_add_fd, &sse2_scale_d,   &sse2_dot_fd, &sse2_dot_dd,
-                   &sse2_sqdist_dd};
+                   &sse2_sqdist_dd, &sse2_pq_adc, &sse2_sq8_sqdist,
+                   &sse2_sq8_dot};
 }
 
 // ------------------------------------------------------------ AVX2/FMA --
@@ -447,11 +604,90 @@ __attribute__((target("avx2,fma"))) double avx2_sqdist_dd(const double* a,
   return sum;
 }
 
+__attribute__((target("avx2,fma"))) float avx2_pq_adc(const float* lut,
+                                                      const std::uint8_t* codes,
+                                                      std::size_t m) {
+  // Lane offsets put subspace s+j's LUT row at (s+j)*256; the gathered
+  // vector adds straight into lane j, preserving the i%8 lane mapping.
+  const __m256i lane_off = _mm256_setr_epi32(
+      0, 1 * static_cast<int>(kPqLutStride), 2 * static_cast<int>(kPqLutStride),
+      3 * static_cast<int>(kPqLutStride), 4 * static_cast<int>(kPqLutStride),
+      5 * static_cast<int>(kPqLutStride), 6 * static_cast<int>(kPqLutStride),
+      7 * static_cast<int>(kPqLutStride));
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t s = 0;
+  for (; s + 8 <= m; s += 8) {
+    const __m256i cidx = _mm256_cvtepu8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(codes + s)));
+    const __m256i idx = _mm256_add_epi32(
+        _mm256_add_epi32(_mm256_set1_epi32(static_cast<int>(s * kPqLutStride)),
+                         lane_off),
+        cidx);
+    acc = _mm256_add_ps(acc, _mm256_i32gather_ps(lut, idx, 4));
+  }
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, acc);
+  for (; s < m; ++s) lanes[s & 7] += lut[s * kPqLutStride + codes[s]];
+  return scalar::adc_reduce8(lanes);
+}
+
+__attribute__((target("avx2,fma"))) float avx2_sq8_sqdist(
+    const float* q, const std::uint8_t* codes, const float* vmin,
+    const float* scale, std::size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 cf = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(codes + i))));
+    // mul then add, not fmadd: bit-parity with the scalar reference.
+    const __m256 decoded = _mm256_add_ps(
+        _mm256_loadu_ps(vmin + i), _mm256_mul_ps(_mm256_loadu_ps(scale + i), cf));
+    const __m256 diff = _mm256_sub_ps(_mm256_loadu_ps(q + i), decoded);
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(diff, diff));
+  }
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, acc);
+  for (; i < n; ++i) {
+    const float prod = scale[i] * static_cast<float>(codes[i]);
+    const float decoded = vmin[i] + prod;
+    const float diff = q[i] - decoded;
+    const float sq = diff * diff;
+    lanes[i & 7] += sq;
+  }
+  return scalar::adc_reduce8(lanes);
+}
+
+__attribute__((target("avx2,fma"))) float avx2_sq8_dot(const float* q,
+                                                       const std::uint8_t* codes,
+                                                       const float* vmin,
+                                                       const float* scale,
+                                                       std::size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 cf = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(codes + i))));
+    const __m256 decoded = _mm256_add_ps(
+        _mm256_loadu_ps(vmin + i), _mm256_mul_ps(_mm256_loadu_ps(scale + i), cf));
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_loadu_ps(q + i), decoded));
+  }
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, acc);
+  for (; i < n; ++i) {
+    const float prod = scale[i] * static_cast<float>(codes[i]);
+    const float decoded = vmin[i] + prod;
+    const float term = q[i] * decoded;
+    lanes[i & 7] += term;
+  }
+  return scalar::adc_reduce8(lanes);
+}
+
 KernelSet avx2_set() noexcept {
   return KernelSet{&avx2_dot,    &avx2_axpy,      &avx2_scale,  &avx2_add,
                    &avx2_fill,   &avx2_ddot,      &avx2_sqdist, &avx2_sqdist_fd,
                    &avx2_add_fd, &avx2_scale_d,   &avx2_dot_fd, &avx2_dot_dd,
-                   &avx2_sqdist_dd};
+                   &avx2_sqdist_dd, &avx2_pq_adc, &avx2_sq8_sqdist,
+                   &avx2_sq8_dot};
 }
 
 #pragma GCC diagnostic pop
@@ -509,12 +745,84 @@ void neon_fill(float* x, float value, std::size_t n) {
   for (; i < n; ++i) x[i] = value;
 }
 
+// SQ8 asymmetric kernels: same 8-lane / mul-then-add / adc_reduce8
+// contract as the x86 variants (vmulq+vaddq, never vfmaq — bit-parity
+// with the scalar reference). pq_adc stays on the scalar reference: a
+// table gather has no NEON form, and the reference already accumulates in
+// the shared lane order.
+
+/// Widens 8 packed code bytes to two float vectors (lanes 0-3 / 4-7).
+inline void neon_codes_to_f32(const std::uint8_t* codes, float32x4_t& lo,
+                              float32x4_t& hi) {
+  const uint16x8_t w16 = vmovl_u8(vld1_u8(codes));
+  lo = vcvtq_f32_u32(vmovl_u16(vget_low_u16(w16)));
+  hi = vcvtq_f32_u32(vmovl_u16(vget_high_u16(w16)));
+}
+
+float neon_sq8_sqdist(const float* q, const std::uint8_t* codes,
+                      const float* vmin, const float* scale, std::size_t n) {
+  float32x4_t acc_lo = vdupq_n_f32(0.0f);
+  float32x4_t acc_hi = vdupq_n_f32(0.0f);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    float32x4_t cf_lo, cf_hi;
+    neon_codes_to_f32(codes + i, cf_lo, cf_hi);
+    const float32x4_t dec_lo =
+        vaddq_f32(vld1q_f32(vmin + i), vmulq_f32(vld1q_f32(scale + i), cf_lo));
+    const float32x4_t dec_hi = vaddq_f32(
+        vld1q_f32(vmin + i + 4), vmulq_f32(vld1q_f32(scale + i + 4), cf_hi));
+    const float32x4_t diff_lo = vsubq_f32(vld1q_f32(q + i), dec_lo);
+    const float32x4_t diff_hi = vsubq_f32(vld1q_f32(q + i + 4), dec_hi);
+    acc_lo = vaddq_f32(acc_lo, vmulq_f32(diff_lo, diff_lo));
+    acc_hi = vaddq_f32(acc_hi, vmulq_f32(diff_hi, diff_hi));
+  }
+  alignas(16) float lanes[8];
+  vst1q_f32(lanes, acc_lo);
+  vst1q_f32(lanes + 4, acc_hi);
+  for (; i < n; ++i) {
+    const float prod = scale[i] * static_cast<float>(codes[i]);
+    const float decoded = vmin[i] + prod;
+    const float diff = q[i] - decoded;
+    const float sq = diff * diff;
+    lanes[i & 7] += sq;
+  }
+  return scalar::adc_reduce8(lanes);
+}
+
+float neon_sq8_dot(const float* q, const std::uint8_t* codes,
+                   const float* vmin, const float* scale, std::size_t n) {
+  float32x4_t acc_lo = vdupq_n_f32(0.0f);
+  float32x4_t acc_hi = vdupq_n_f32(0.0f);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    float32x4_t cf_lo, cf_hi;
+    neon_codes_to_f32(codes + i, cf_lo, cf_hi);
+    const float32x4_t dec_lo =
+        vaddq_f32(vld1q_f32(vmin + i), vmulq_f32(vld1q_f32(scale + i), cf_lo));
+    const float32x4_t dec_hi = vaddq_f32(
+        vld1q_f32(vmin + i + 4), vmulq_f32(vld1q_f32(scale + i + 4), cf_hi));
+    acc_lo = vaddq_f32(acc_lo, vmulq_f32(vld1q_f32(q + i), dec_lo));
+    acc_hi = vaddq_f32(acc_hi, vmulq_f32(vld1q_f32(q + i + 4), dec_hi));
+  }
+  alignas(16) float lanes[8];
+  vst1q_f32(lanes, acc_lo);
+  vst1q_f32(lanes + 4, acc_hi);
+  for (; i < n; ++i) {
+    const float prod = scale[i] * static_cast<float>(codes[i]);
+    const float decoded = vmin[i] + prod;
+    const float term = q[i] * decoded;
+    lanes[i & 7] += term;
+  }
+  return scalar::adc_reduce8(lanes);
+}
+
 KernelSet neon_set() noexcept {
   return KernelSet{&neon_dot,      &neon_axpy,      &neon_scale,
                    &neon_add,      &neon_fill,      &scalar::ddot,
                    &scalar::sqdist, &scalar::sqdist_fd, &scalar::add_fd,
                    &scalar::scale_d, &scalar::dot_fd, &scalar::dot_dd,
-                   &scalar::sqdist_dd};
+                   &scalar::sqdist_dd, &scalar::pq_adc, &neon_sq8_sqdist,
+                   &neon_sq8_dot};
 }
 
 #endif  // V2V_KERNELS_NEON
@@ -616,6 +924,18 @@ double dot_dd(const double* a, const double* b, std::size_t n) noexcept {
 }
 double sqdist_dd(const double* a, const double* b, std::size_t n) noexcept {
   return active().set.sqdist_dd(a, b, n);
+}
+float pq_adc(const float* lut, const std::uint8_t* codes,
+             std::size_t m) noexcept {
+  return active().set.pq_adc(lut, codes, m);
+}
+float sq8_sqdist(const float* q, const std::uint8_t* codes, const float* vmin,
+                 const float* scale, std::size_t n) noexcept {
+  return active().set.sq8_sqdist(q, codes, vmin, scale, n);
+}
+float sq8_dot(const float* q, const std::uint8_t* codes, const float* vmin,
+              const float* scale, std::size_t n) noexcept {
+  return active().set.sq8_dot(q, codes, vmin, scale, n);
 }
 
 #endif  // V2V_TSAN_ENABLED

@@ -34,6 +34,9 @@
 // so float results may differ by a few ulps across ISAs; the parity suite
 // (tests/common/test_kernels.cpp) bounds the drift on every compiled
 // variant. For a fixed build and machine every path is deterministic.
+// Exception: the quantized kernels (pq_adc, sq8_sqdist, sq8_dot) are
+// BIT-identical across variants — term i lands in lane i % 8, one fixed
+// reduce tree (adc_reduce8), -ffp-contract=off; parity uses EXPECT_EQ.
 #pragma once
 
 #include <cstddef>
@@ -66,7 +69,15 @@ struct KernelSet {
   double (*dot_fd)(const float*, const double*, std::size_t);
   double (*dot_dd)(const double*, const double*, std::size_t);
   double (*sqdist_dd)(const double*, const double*, std::size_t);
+  float (*pq_adc)(const float*, const std::uint8_t*, std::size_t);
+  float (*sq8_sqdist)(const float*, const std::uint8_t*, const float*,
+                      const float*, std::size_t);
+  float (*sq8_dot)(const float*, const std::uint8_t*, const float*,
+                   const float*, std::size_t);
 };
+
+/// LUT row length of the PQ ADC kernel: one entry per possible code byte.
+inline constexpr std::size_t kPqLutStride = 256;
 
 /// Scalar reference implementations. Element accesses go through the
 /// TSan-gated relaxed accessors: under ThreadSanitizer they are relaxed
@@ -176,6 +187,41 @@ inline void scale_d(double* x, double alpha, std::size_t n) noexcept {
   return sum;
 }
 
+/// The one fixed reduction tree every quantized-kernel variant must use on
+/// its 8 lane accumulators — the same shape a 256-bit register reduces in
+/// (halves, then the classic 4-lane horizontal sum). With identical lane
+/// contents (term i in lane i % 8, in index order) and this reduction,
+/// float addition is fully determined, which is what makes the quantized
+/// kernels bit-identical across ISAs.
+[[nodiscard]] inline float adc_reduce8(const float* lanes) noexcept {
+  const float s04 = lanes[0] + lanes[4];
+  const float s15 = lanes[1] + lanes[5];
+  const float s26 = lanes[2] + lanes[6];
+  const float s37 = lanes[3] + lanes[7];
+  return (s04 + s15) + (s26 + s37);
+}
+
+// Quantized asymmetric-distance references. Defined out of line in
+// kernels.cpp — the one TU built with -ffp-contract=off — so no caller's
+// flags can fuse the decode's mul+add into an FMA and break the bit-exact
+// cross-variant contract. None of these touch Hogwild-raced memory, so
+// plain loads are TSan-clean.
+//
+/// ADC accumulation for PQ: sum over s < m of lut[s * kPqLutStride +
+/// codes[s]] — the per-query distance table gather over one packed code.
+[[nodiscard]] float pq_adc(const float* lut, const std::uint8_t* codes,
+                           std::size_t m) noexcept;
+/// Asymmetric squared distance between a float query and an SQ8 row:
+/// sum of (q[i] - (vmin[i] + scale[i] * codes[i]))².
+[[nodiscard]] float sq8_sqdist(const float* q, const std::uint8_t* codes,
+                               const float* vmin, const float* scale,
+                               std::size_t n) noexcept;
+/// Asymmetric dot between a float query and a decoded SQ8 row:
+/// sum of q[i] * (vmin[i] + scale[i] * codes[i]).
+[[nodiscard]] float sq8_dot(const float* q, const std::uint8_t* codes,
+                            const float* vmin, const float* scale,
+                            std::size_t n) noexcept;
+
 }  // namespace scalar
 
 #if V2V_TSAN_ENABLED
@@ -225,6 +271,20 @@ inline void scale_d(double* x, double alpha, std::size_t n) noexcept {
                                       std::size_t n) noexcept {
   return scalar::sqdist_dd(a, b, n);
 }
+[[nodiscard]] inline float pq_adc(const float* lut, const std::uint8_t* codes,
+                                  std::size_t m) noexcept {
+  return scalar::pq_adc(lut, codes, m);
+}
+[[nodiscard]] inline float sq8_sqdist(const float* q, const std::uint8_t* codes,
+                                      const float* vmin, const float* scale,
+                                      std::size_t n) noexcept {
+  return scalar::sq8_sqdist(q, codes, vmin, scale, n);
+}
+[[nodiscard]] inline float sq8_dot(const float* q, const std::uint8_t* codes,
+                                   const float* vmin, const float* scale,
+                                   std::size_t n) noexcept {
+  return scalar::sq8_dot(q, codes, vmin, scale, n);
+}
 
 #else
 
@@ -243,6 +303,14 @@ void scale_d(double* x, double alpha, std::size_t n) noexcept;
 [[nodiscard]] double dot_fd(const float* a, const double* b, std::size_t n) noexcept;
 [[nodiscard]] double dot_dd(const double* a, const double* b, std::size_t n) noexcept;
 [[nodiscard]] double sqdist_dd(const double* a, const double* b, std::size_t n) noexcept;
+[[nodiscard]] float pq_adc(const float* lut, const std::uint8_t* codes,
+                           std::size_t m) noexcept;
+[[nodiscard]] float sq8_sqdist(const float* q, const std::uint8_t* codes,
+                               const float* vmin, const float* scale,
+                               std::size_t n) noexcept;
+[[nodiscard]] float sq8_dot(const float* q, const std::uint8_t* codes,
+                            const float* vmin, const float* scale,
+                            std::size_t n) noexcept;
 
 #endif  // V2V_TSAN_ENABLED
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <stdexcept>
 
@@ -222,6 +223,26 @@ void MetricsRegistry::reset() {
 MetricsRegistry& default_registry() {
   static MetricsRegistry registry;
   return registry;
+}
+
+std::size_t peak_rss_bytes() noexcept {
+#if defined(__linux__)
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return 0;
+  char line[256];
+  std::size_t bytes = 0;
+  while (std::fgets(line, sizeof(line), status) != nullptr) {
+    unsigned long long kib = 0;
+    if (std::sscanf(line, "VmHWM: %llu kB", &kib) == 1) {
+      bytes = static_cast<std::size_t>(kib) * 1024;
+      break;
+    }
+  }
+  std::fclose(status);
+  return bytes;
+#else
+  return 0;
+#endif
 }
 
 }  // namespace v2v::obs

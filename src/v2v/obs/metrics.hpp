@@ -206,6 +206,12 @@ class MetricsRegistry {
   std::vector<StageNode*> span_stack_ V2V_GUARDED_BY(mutex_);
 };
 
+/// Peak resident set size of this process in bytes (VmHWM from
+/// /proc/self/status), 0 where the kernel does not expose it. Recorded as
+/// the "process.peak_rss_bytes" gauge in every bench sidecar so memory
+/// regressions show up next to the timing numbers they were traded for.
+[[nodiscard]] std::size_t peak_rss_bytes() noexcept;
+
 /// RAII stage span: attaches a child under the registry's innermost open
 /// span on construction and records its wall time on destruction. A null
 /// registry makes every operation a no-op, so call sites can pass an

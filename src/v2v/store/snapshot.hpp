@@ -39,6 +39,8 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "v2v/common/aligned.hpp"
 #include "v2v/embed/embedding.hpp"
@@ -47,7 +49,14 @@
 namespace v2v::store {
 
 inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// Version 2 appends a checksummed section table (quantized payloads) at
+/// byte 72; the fixed header is unchanged, so v1 readers of the float
+/// region keep working on v2 files that carry floats.
+inline constexpr std::uint32_t kSnapshotVersionSections = 2;
 inline constexpr std::uint16_t kDtypeFloat32 = 1;
+/// v2 only: the snapshot carries no float matrix (quantized-only serving);
+/// rows/dims still describe the logical corpus, row_stride/data_bytes are 0.
+inline constexpr std::uint16_t kDtypeNone = 0;
 inline constexpr std::uint16_t kEndianTag = 0x0102;
 
 /// FNV-1a 64-bit over a byte range. Exposed so tests can forge valid
@@ -65,6 +74,8 @@ enum class SnapshotErrorCode : std::uint8_t {
   kBadHeader,               ///< internally inconsistent header fields
   kTruncatedData,           ///< file shorter than header promises
   kDataChecksumMismatch,    ///< row region corrupted
+  kBadSectionTable,         ///< v2 section table malformed or truncated
+  kSectionChecksumMismatch, ///< a section payload is corrupted
 };
 
 [[nodiscard]] const char* snapshot_error_name(SnapshotErrorCode code) noexcept;
@@ -166,6 +177,108 @@ class MappedEmbedding {
   void* map_base_ = nullptr;  ///< non-null iff mmap-backed
   std::size_t map_bytes_ = 0;
   AlignedVector<float> buffer_;  ///< fallback storage
+};
+
+/// One entry of a v2 section table: a named, checksummed byte range.
+///
+/// v2 on-disk layout, after the unchanged 72-byte fixed header:
+///
+///   offset 72      section_count u32, reserved u32 (0)
+///          80      section_count entries of 32 bytes each:
+///                    name[8] (NUL-padded), offset u64, bytes u64,
+///                    checksum u64 (FNV-1a 64 over the payload)
+///          80+32n  table_checksum u64 (FNV-1a 64 over bytes [72, 80+32n))
+///   payloads       each 64-byte aligned; when a float matrix is present
+///                  it is the "fmat" section and the fixed header's
+///                  data_offset/data_bytes/data_checksum mirror its entry,
+///                  so MappedEmbedding reads v2-with-floats unchanged.
+struct SnapshotSection {
+  std::string name;  ///< up to 8 bytes, e.g. "fmat", "pqbk", "sq8c"
+  std::uint64_t offset = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t checksum = 0;
+};
+
+/// Writes a v2 snapshot: optional float matrix plus arbitrary named
+/// sections, every payload checksummed and 64-byte aligned. Payloads are
+/// buffered in memory until `write`.
+class SnapshotBuilder {
+ public:
+  /// Logical corpus shape (rows x dims), independent of which payloads
+  /// are attached.
+  SnapshotBuilder(std::uint64_t rows, std::uint64_t dims)
+      : rows_(rows), dims_(dims) {}
+
+  /// Attaches the float matrix as the "fmat" section (row-padded exactly
+  /// like EmbeddingStore::save, so the mmap path stays 64-byte aligned).
+  void set_float_matrix(const EmbeddingView& view);
+
+  /// Adds a named section (name must be 1..8 bytes and unique).
+  void add_section(const std::string& name,
+                   std::vector<std::uint8_t> payload);
+
+  /// Serializes everything to `path`.
+  void write(const std::string& path) const;
+
+ private:
+  std::uint64_t rows_;
+  std::uint64_t dims_;
+  std::uint64_t row_stride_ = 0;  ///< nonzero iff a float matrix is attached
+  std::vector<std::pair<std::string, std::vector<std::uint8_t>>> sections_;
+};
+
+/// A v2 (or v1) snapshot opened for serving with all sections validated.
+/// On POSIX the whole file is mmapped read-only and `section()` spans point
+/// straight into the mapping; elsewhere (or under V2V_STORE_NO_MMAP=1 /
+/// MapMode kBuffered) the file is read into an owning buffer. A v1 file
+/// appears as a single synthetic "fmat" section, so callers can treat both
+/// versions uniformly. Move-only.
+class MappedSnapshot {
+ public:
+  using MapMode = MappedEmbedding::MapMode;
+
+  /// Opens and fully validates `path`: header, section table, and every
+  /// section checksum (faults each page exactly once, doubling as warm-up).
+  [[nodiscard]] static MappedSnapshot open(const std::string& path,
+                                           MapMode mode = MapMode::kAuto);
+
+  MappedSnapshot(MappedSnapshot&& other) noexcept;
+  MappedSnapshot& operator=(MappedSnapshot&& other) noexcept;
+  MappedSnapshot(const MappedSnapshot&) = delete;
+  MappedSnapshot& operator=(const MappedSnapshot&) = delete;
+  ~MappedSnapshot();
+
+  [[nodiscard]] std::size_t rows() const noexcept { return header_.rows; }
+  [[nodiscard]] std::size_t dimensions() const noexcept { return header_.dims; }
+  [[nodiscard]] const SnapshotHeader& header() const noexcept { return header_; }
+  [[nodiscard]] const std::vector<SnapshotSection>& sections() const noexcept {
+    return sections_;
+  }
+  [[nodiscard]] bool has_section(const std::string& name) const noexcept;
+  /// Checksum-verified payload bytes; throws SnapshotError(kBadHeader) if
+  /// the section is absent — probe with has_section first.
+  [[nodiscard]] std::span<const std::uint8_t> section(
+      const std::string& name) const;
+
+  /// True when the snapshot carries a float matrix ("fmat" / v1 rows).
+  [[nodiscard]] bool has_floats() const noexcept {
+    return header_.dtype == kDtypeFloat32;
+  }
+  /// View over the float matrix; V2V_CHECKs has_floats().
+  [[nodiscard]] EmbeddingView float_view() const noexcept;
+  [[nodiscard]] bool zero_copy() const noexcept { return map_base_ != nullptr; }
+
+ private:
+  MappedSnapshot() = default;
+  void reset() noexcept;
+  [[nodiscard]] const std::uint8_t* base() const noexcept;
+
+  SnapshotHeader header_;
+  std::vector<SnapshotSection> sections_;
+  void* map_base_ = nullptr;
+  std::size_t map_bytes_ = 0;
+  std::vector<std::uint8_t> buffer_;  ///< fallback storage
+  std::size_t file_bytes_ = 0;
 };
 
 /// Converters between the word2vec text format and the snapshot format.

@@ -201,6 +201,63 @@ TEST_F(KernelParity, DoubleElementwiseMatchScalar) {
   }
 }
 
+/// Deterministic code bytes covering the full range, with the saturation
+/// edges (0 and 255) planted at fixed strides.
+AlignedVector<std::uint8_t> make_codes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  AlignedVector<std::uint8_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>(rng.next_below(256));
+    if (i % 5 == 0) out[i] = 0;
+    if (i % 5 == 2) out[i] = 255;
+  }
+  return out;
+}
+
+TEST_F(KernelParity, PqAdcBitMatchesScalar) {
+  // The quantized kernels promise bit-exactness (see kernels.hpp): every
+  // variant uses the same 8-lane accumulation and the shared adc_reduce8
+  // reduction tree, so this is EXPECT_EQ, not EXPECT_NEAR.
+  for (const std::size_t m : kDims) {
+    const auto lut = make_input(m * kPqLutStride, 61 + m);
+    const auto codes = make_codes(m, 67 + m);
+    const float ref = scalar::pq_adc(lut.data(), codes.data(), m);
+    for (const auto& [isa, set] : variants()) {
+      EXPECT_EQ(set.pq_adc(lut.data(), codes.data(), m), ref)
+          << isa_name(isa) << " m=" << m;
+    }
+  }
+}
+
+TEST_F(KernelParity, Sq8KernelsBitMatchScalar) {
+  for (const std::size_t n : kDims) {
+    const auto q = make_input(n, 71 + n);
+    const auto codes = make_codes(n, 73 + n);
+    const auto vmin = make_input(n, 79 + n);
+    // Scales must be non-negative (affine quantizer ranges); keep the
+    // denormals from make_input in play to exercise underflow edges.
+    auto scale = make_input(n, 83 + n);
+    for (std::size_t i = 0; i < n; ++i) {
+      scale[i] = std::fabs(scale[i]);
+      if (i % 13 == 4) scale[i] = 0.0f;  // degenerate constant dimension
+    }
+    const float sq_ref =
+        scalar::sq8_sqdist(q.data(), codes.data(), vmin.data(), scale.data(), n);
+    const float dot_ref =
+        scalar::sq8_dot(q.data(), codes.data(), vmin.data(), scale.data(), n);
+    for (const auto& [isa, set] : variants()) {
+      EXPECT_EQ(set.sq8_sqdist(q.data(), codes.data(), vmin.data(),
+                               scale.data(), n),
+                sq_ref)
+          << isa_name(isa) << " dims=" << n;
+      EXPECT_EQ(set.sq8_dot(q.data(), codes.data(), vmin.data(), scale.data(),
+                            n),
+                dot_ref)
+          << isa_name(isa) << " dims=" << n;
+    }
+  }
+}
+
 TEST(KernelDispatch, ActiveIsaIsCompiledAndNamed) {
   const Isa isa = active_isa();
   const std::string name = active_isa_name();
