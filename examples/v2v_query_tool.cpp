@@ -55,6 +55,7 @@
 #include "v2v/serve/batch_queue.hpp"
 #include "v2v/serve/server.hpp"
 #include "v2v/store/snapshot.hpp"
+#include "v2v/store/trainer_state.hpp"
 
 namespace {
 
@@ -160,12 +161,19 @@ int cmd_info(const CliArgs& args) {
               static_cast<unsigned long long>(h.data_checksum));
   std::printf("sections      %zu (checksums verified on open)\n",
               snap.sections().size());
-  std::uint64_t float_bytes = 0, quant_bytes = 0;
+  std::uint64_t float_bytes = 0, quant_bytes = 0, trainer_bytes = 0;
   for (const auto& s : snap.sections()) {
-    std::printf("  %-8s %12llu bytes  %016llx\n", s.name.c_str(),
+    const char* kind = store::section_kind(s.name);
+    std::printf("  %-8s %12llu bytes  %016llx  %s\n", s.name.c_str(),
                 static_cast<unsigned long long>(s.bytes),
-                static_cast<unsigned long long>(s.checksum));
-    (s.name == "fmat" ? float_bytes : quant_bytes) += s.bytes;
+                static_cast<unsigned long long>(s.checksum), kind);
+    if (s.name == "fmat") {
+      float_bytes += s.bytes;
+    } else if (std::string_view(kind) == "optimizer state") {
+      trainer_bytes += s.bytes;
+    } else {
+      quant_bytes += s.bytes;
+    }
   }
   const auto rows = std::max<std::size_t>(1, snap.rows());
   if (float_bytes > 0) {
@@ -176,6 +184,10 @@ int cmd_info(const CliArgs& args) {
     std::printf("quantized bytes/vector  %.1f\n",
                 static_cast<double>(quant_bytes) / static_cast<double>(rows));
   }
+  std::printf("trainer state           %s (%llu bytes)\n",
+              store::has_trainer_state(snap) ? "present (resume-capable)"
+                                             : "absent",
+              static_cast<unsigned long long>(trainer_bytes));
   return 0;
 }
 

@@ -4,6 +4,10 @@
 //
 //   v2v_tool embed <edges.txt> --output=vectors.txt [--dims=50] [--directed]
 //            [--config=saved.cfg] [--save-config=out.cfg]
+//            [--save-snapshot=model.v2v]   (resume-capable v3 snapshot)
+//   v2v_tool refresh <model.v2v> <edges.txt> <deltas.txt> --output=new.v2v
+//            [--save-edges=new_edges.txt] [--full-retrain]
+//            [--refresh-epochs=2] [--refresh-lr=x] [--epochs=N]
 //   v2v_tool communities <edges.txt> [--k=10] [--auto-k] [--threads=N]
 //            [--method=v2v|cnm|gn|louvain|lp]
 //   v2v_tool predict <vectors.txt> <labels.txt> [--k=3] [--folds=10]
@@ -11,16 +15,25 @@
 //   v2v_tool layout <edges.txt> --output=graph.svg [--iterations=200]
 //   v2v_tool stats <edges.txt> [--directed]
 //
+// refresh applies an edge-delta file ("a u v [w [ts]]" / "d u v" lines)
+// to the graph the snapshot was trained on and continues SGD from the
+// persisted optimizer state (dynamic::RefreshSession); --full-retrain is
+// the cold-start escape hatch. <edges.txt> must list the original edges
+// in their original order so the rebuilt CSR is bit-identical.
+//
 // Every pipeline command accepts --metrics-out=<file>.json to write a
 // machine-readable metrics sidecar (stage timings, walks/sec, words/sec;
 // schema v2v.metrics.v1 — see README "Observability").
 //
-// Edge lists are "u v [weight [timestamp]]" lines, '#' comments. Label
-// files are "vertex label" lines with integer labels.
+// Unknown flags are a hard error (exit 2). Edge lists are
+// "u v [weight [timestamp]]" lines, '#' comments. Label files are
+// "vertex label" lines with integer labels.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <span>
 #include <string>
 
 #include "v2v/common/cli.hpp"
@@ -32,6 +45,8 @@
 #include "v2v/community/modularity.hpp"
 #include "v2v/core/config_io.hpp"
 #include "v2v/core/v2v.hpp"
+#include "v2v/dynamic/delta_io.hpp"
+#include "v2v/dynamic/refresh.hpp"
 #include "v2v/graph/algorithms.hpp"
 #include "v2v/graph/io.hpp"
 #include "v2v/graph/labels_io.hpp"
@@ -39,6 +54,9 @@
 #include "v2v/index/embedding_queries.hpp"
 #include "v2v/obs/export.hpp"
 #include "v2v/obs/metrics.hpp"
+#include "v2v/store/embedding_view.hpp"
+#include "v2v/store/snapshot.hpp"
+#include "v2v/store/trainer_state.hpp"
 #include "v2v/viz/svg.hpp"
 
 namespace {
@@ -85,6 +103,17 @@ V2VConfig config_from_args(const CliArgs& args) {
   return config;
 }
 
+/// Writes a resume-capable (v3) snapshot: float matrix + trainer state.
+void write_checkpoint_snapshot(const std::string& path,
+                               const embed::Embedding& embedding,
+                               const embed::TrainerCheckpoint& checkpoint) {
+  store::SnapshotBuilder builder(embedding.vertex_count(),
+                                 embedding.dimensions());
+  builder.set_float_matrix(store::EmbeddingView::of(embedding));
+  store::add_trainer_state(builder, checkpoint);
+  builder.write(path);
+}
+
 int cmd_embed(const CliArgs& args) {
   const auto& input = args.positional().at(1);
   const graph::Graph g = load_graph(input, args);
@@ -93,6 +122,8 @@ int cmd_embed(const CliArgs& args) {
   obs::MetricsRegistry metrics;
   V2VConfig config = config_from_args(args);
   config.metrics = &metrics;
+  const std::string snapshot_path = args.get("save-snapshot", "");
+  if (!snapshot_path.empty()) config.train.capture_checkpoint = true;
   if (args.has("save-config")) save_config_file(config, args.get("save-config", ""));
   const auto model = learn_embedding(g, config);
   std::fprintf(stderr, "trained %zu x %zu in %.2fs (%zu walks, %zu tokens)\n",
@@ -102,6 +133,114 @@ int cmd_embed(const CliArgs& args) {
   const std::string output = args.get("output", "vectors.txt");
   model.embedding.save_text_file(output);
   std::fprintf(stderr, "wrote %s\n", output.c_str());
+  if (!snapshot_path.empty()) {
+    if (!model.checkpoint) {
+      std::fprintf(stderr, "error: trainer produced no checkpoint\n");
+      return 1;
+    }
+    write_checkpoint_snapshot(snapshot_path, model.embedding, *model.checkpoint);
+    std::fprintf(stderr, "wrote resume-capable snapshot %s\n",
+                 snapshot_path.c_str());
+  }
+  maybe_write_metrics(args, metrics);
+  return 0;
+}
+
+int cmd_refresh(const CliArgs& args) {
+  const auto& snapshot_path = args.positional().at(1);
+  const auto& edges_path = args.positional().at(2);
+  const auto& deltas_path = args.positional().at(3);
+  const std::string output = args.get("output", "");
+  if (output.empty()) {
+    std::fprintf(stderr, "error: refresh requires --output=<snapshot>\n");
+    return 2;
+  }
+
+  const auto snap = store::MappedSnapshot::open(snapshot_path);
+  if (!snap.has_floats()) {
+    std::fprintf(stderr, "error: %s carries no float matrix\n",
+                 snapshot_path.c_str());
+    return 2;
+  }
+  if (!store::has_trainer_state(snap)) {
+    std::fprintf(stderr,
+                 "error: %s is not resume-capable (no trainer state);\n"
+                 "       re-embed with: v2v_tool embed <edges> "
+                 "--save-snapshot=<file>\n",
+                 snapshot_path.c_str());
+    return 2;
+  }
+  auto checkpoint = store::load_trainer_state(snap);
+
+  // Materialize the mmapped matrix: the session mutates it in place.
+  const auto view = snap.float_view();
+  MatrixF warm(view.rows(), view.dimensions());
+  for (std::size_t r = 0; r < view.rows(); ++r) {
+    const auto row = view.row(r);
+    std::copy(row.begin(), row.end(), warm.row(r).begin());
+  }
+  embed::Embedding embedding{std::move(warm)};
+
+  const auto threads =
+      static_cast<std::size_t>(args.get_int("threads", 1));
+  walk::WalkConfig walk_config;
+  walk_config.walks_per_vertex = checkpoint.walks_per_vertex;
+  walk_config.walk_length = checkpoint.walk_length;
+  walk_config.threads = threads;
+  embed::TrainConfig train_config;
+  train_config.dimensions = checkpoint.dimensions;
+  train_config.window = checkpoint.window;
+  train_config.negative = checkpoint.negative;
+  train_config.architecture = checkpoint.architecture;
+  train_config.objective = checkpoint.objective;
+  train_config.initial_lr = checkpoint.initial_lr;
+  train_config.min_lr_fraction = checkpoint.min_lr_fraction;
+  train_config.subsample = checkpoint.subsample;
+  train_config.seed = checkpoint.seed;
+  train_config.epochs =
+      static_cast<std::size_t>(args.get_int("epochs", 10));
+  train_config.threads = threads;
+
+  dynamic::RefreshTuning tuning;
+  tuning.epochs = static_cast<std::size_t>(args.get_int("refresh-epochs", 2));
+  tuning.initial_lr = args.get_double("refresh-lr", 0.0);
+
+  dynamic::DynamicGraph graph(args.get_bool("directed"), tuning.graph_config());
+  const auto records = dynamic::read_edge_records_file(edges_path);
+  for (const auto& e : records) {
+    graph.add_edge(e.u, e.v, e.weight, e.timestamp);
+  }
+  std::fprintf(stderr, "loaded %zu edges, checkpoint round %llu\n",
+               records.size(),
+               static_cast<unsigned long long>(checkpoint.refresh_rounds));
+
+  obs::MetricsRegistry metrics;
+  dynamic::RefreshSession session(std::move(graph), std::move(embedding),
+                                  std::move(checkpoint), walk_config,
+                                  train_config, tuning, &metrics);
+  const auto deltas = dynamic::read_delta_file(deltas_path);
+  const std::size_t applied = session.apply(std::span<const dynamic::EdgeDelta>(deltas));
+  std::fprintf(stderr, "applied %zu/%zu deltas\n", applied, deltas.size());
+
+  const auto stats =
+      args.get_bool("full-retrain") ? session.full_retrain() : session.refresh();
+  std::fprintf(stderr,
+               "%s: %zu dirty vertices, %zu/%zu walk blocks regenerated, "
+               "%.2fs walks + %.2fs training\n",
+               stats.full_retrain ? "full retrain" : "refresh",
+               stats.dirty_vertices, stats.regenerated_starts,
+               stats.regenerated_starts + stats.reused_starts,
+               stats.walk_seconds, stats.train_seconds);
+
+  write_checkpoint_snapshot(output, session.embedding(), session.checkpoint());
+  std::fprintf(stderr, "wrote resume-capable snapshot %s\n", output.c_str());
+  if (args.has("save-edges")) {
+    const auto live = session.graph().live_edges();
+    dynamic::write_edge_records_file(
+        std::span<const dynamic::LiveEdge>(live), args.get("save-edges", ""));
+    std::fprintf(stderr, "wrote %zu edges to %s\n", live.size(),
+                 args.get("save-edges", "").c_str());
+  }
   maybe_write_metrics(args, metrics);
   return 0;
 }
@@ -219,8 +358,23 @@ int cmd_stats(const CliArgs& args) {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: v2v_tool <embed|communities|predict|nearest|layout|stats> "
-               "<args...>\n       (see the header of examples/v2v_tool.cpp)\n");
+               "usage: v2v_tool <embed|refresh|communities|predict|nearest|"
+               "layout|stats> <args...>\n"
+               "       (see the header of examples/v2v_tool.cpp)\n"
+               "       unknown flags are a hard error (exit 2)\n");
+}
+
+/// Hard-errors on any flag the subcommand does not know. Returns true
+/// when the command line is clean.
+bool check_flags(const CliArgs& args,
+                 std::initializer_list<std::string_view> known) {
+  const auto unknown = args.unknown_flags(known);
+  if (unknown.empty()) return true;
+  for (const auto& flag : unknown) {
+    std::fprintf(stderr, "error: unknown flag --%s\n", flag.c_str());
+  }
+  usage();
+  return false;
 }
 
 }  // namespace
@@ -233,14 +387,46 @@ int main(int argc, char** argv) {
   }
   const std::string& command = args.positional()[0];
   try {
-    if (command == "embed" && args.positional().size() >= 2) return cmd_embed(args);
-    if (command == "communities" && args.positional().size() >= 2) {
-      return cmd_communities(args);
+    const std::size_t n = args.positional().size();
+    if (command == "embed" && n >= 2) {
+      return check_flags(args, {"config", "dims", "walks", "walk-length",
+                                "epochs", "seed", "temporal", "threads",
+                                "directed", "metrics-out", "output",
+                                "save-config", "save-snapshot"})
+                 ? cmd_embed(args)
+                 : 2;
     }
-    if (command == "predict" && args.positional().size() >= 3) return cmd_predict(args);
-    if (command == "nearest" && args.positional().size() >= 3) return cmd_nearest(args);
-    if (command == "layout" && args.positional().size() >= 2) return cmd_layout(args);
-    if (command == "stats" && args.positional().size() >= 2) return cmd_stats(args);
+    if (command == "refresh" && n >= 4) {
+      return check_flags(args, {"output", "save-edges", "full-retrain",
+                                "refresh-epochs", "refresh-lr", "epochs",
+                                "threads", "directed", "metrics-out"})
+                 ? cmd_refresh(args)
+                 : 2;
+    }
+    if (command == "communities" && n >= 2) {
+      return check_flags(args, {"config", "dims", "walks", "walk-length",
+                                "epochs", "seed", "temporal", "threads",
+                                "directed", "metrics-out", "k", "auto-k",
+                                "method"})
+                 ? cmd_communities(args)
+                 : 2;
+    }
+    if (command == "predict" && n >= 3) {
+      return check_flags(args, {"k", "folds", "repeats", "metrics-out"})
+                 ? cmd_predict(args)
+                 : 2;
+    }
+    if (command == "nearest" && n >= 3) {
+      return check_flags(args, {"k"}) ? cmd_nearest(args) : 2;
+    }
+    if (command == "layout" && n >= 2) {
+      return check_flags(args, {"output", "iterations", "directed"})
+                 ? cmd_layout(args)
+                 : 2;
+    }
+    if (command == "stats" && n >= 2) {
+      return check_flags(args, {"directed"}) ? cmd_stats(args) : 2;
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -4,20 +4,24 @@
 // input space instead of rediscovering the magic bytes.
 //
 // Usage: fuzz_seed_corpus <protocol_corpus_dir> <snapshot_corpus_dir>
+//        [delta_corpus_dir]
 //
 // Protocol seeds are mode-prefixed to match fuzz_protocol.cpp's dispatch
 // byte. Snapshot seeds follow fuzz_snapshot.cpp's convention: header bytes
-// followed by an 8-byte little-endian purported file size.
+// followed by an 8-byte little-endian purported file size. Delta seeds are
+// plain text straight from the dynamic/delta_io.hpp encoder.
 
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "v2v/dynamic/delta_io.hpp"
 #include "v2v/embed/embedding.hpp"
 #include "v2v/serve/protocol.hpp"
 #include "v2v/store/snapshot.hpp"
@@ -131,13 +135,35 @@ void write_snapshot_seeds(const fs::path& dir) {
   write_seed(dir, "truncated_header", snapshot_seed(truncated, file_size));
 }
 
+void write_text(const fs::path& dir, const std::string& name,
+                std::string_view text) {
+  write_seed(dir, name, std::vector<std::uint8_t>(text.begin(), text.end()));
+}
+
+void write_delta_seeds(const fs::path& dir) {
+  // Canonical output of the project's own encoder: the parser must accept
+  // every byte of it, so the fuzzer starts from the accept path.
+  const std::vector<v2v::dynamic::EdgeDelta> deltas{
+      {v2v::dynamic::EdgeDelta::Op::kInsert, 0, 1, 1.0, -1.0},
+      {v2v::dynamic::EdgeDelta::Op::kInsert, 7, 3, 2.5, -1.0},
+      {v2v::dynamic::EdgeDelta::Op::kInsert, 2, 9, 0.125, 42.0},
+      {v2v::dynamic::EdgeDelta::Op::kRemove, 0, 1, 1.0, -1.0},
+  };
+  write_text(dir, "canonical",
+             v2v::dynamic::encode_deltas(
+                 std::span<const v2v::dynamic::EdgeDelta>(deltas)));
+  write_text(dir, "comments", "# churn batch\n\na 1 2\nd 1 2 # undo\n");
+  write_text(dir, "max_vertex", "a 4294967295 0 3.25 1e9\n");
+  write_text(dir, "near_valid", "a 1 2 -1.5\nd 3\nx 0 0\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 3) {
+  if (argc != 3 && argc != 4) {
     std::fprintf(stderr,
                  "usage: fuzz_seed_corpus <protocol_corpus_dir> "
-                 "<snapshot_corpus_dir>\n");
+                 "<snapshot_corpus_dir> [delta_corpus_dir]\n");
     return 2;
   }
   const fs::path protocol_dir = argv[1];
@@ -146,6 +172,14 @@ int main(int argc, char** argv) {
   fs::create_directories(snapshot_dir);
   write_protocol_seeds(protocol_dir);
   write_snapshot_seeds(snapshot_dir);
+  if (argc == 4) {
+    const fs::path delta_dir = argv[3];
+    fs::create_directories(delta_dir);
+    write_delta_seeds(delta_dir);
+    std::printf("fuzz_seed_corpus: wrote seeds to %s, %s and %s\n",
+                protocol_dir.c_str(), snapshot_dir.c_str(), delta_dir.c_str());
+    return 0;
+  }
   std::printf("fuzz_seed_corpus: wrote seeds to %s and %s\n",
               protocol_dir.c_str(), snapshot_dir.c_str());
   return 0;

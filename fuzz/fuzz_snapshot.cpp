@@ -41,11 +41,21 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   try {
     const v2v::store::SnapshotHeader h =
         v2v::store::decode_snapshot_header(header, file_size);
-    FUZZ_CHECK(h.version == v2v::store::kSnapshotVersion);
-    FUZZ_CHECK(h.dtype == v2v::store::kDtypeFloat32);
-    FUZZ_CHECK(h.row_stride >= h.dims);
+    FUZZ_CHECK(h.version >= v2v::store::kSnapshotVersion &&
+               h.version <= v2v::store::kSnapshotVersionTrainerState);
+    // A dtype-less header (quantized payloads only) is legal from the
+    // section-table version on and must carry an empty float region.
+    const bool dtype_none =
+        h.dtype == v2v::store::kDtypeNone &&
+        h.version >= v2v::store::kSnapshotVersionSections;
+    FUZZ_CHECK(h.dtype == v2v::store::kDtypeFloat32 || dtype_none);
+    if (dtype_none) {
+      FUZZ_CHECK(h.row_stride == 0 && h.data_bytes == 0);
+    } else {
+      FUZZ_CHECK(h.row_stride >= h.dims);
+      FUZZ_CHECK(h.data_bytes == h.rows * h.row_stride * sizeof(float));
+    }
     FUZZ_CHECK(h.data_offset >= v2v::store::kSnapshotHeaderBytes);
-    FUZZ_CHECK(h.data_bytes == h.rows * h.row_stride * sizeof(float));
     FUZZ_CHECK(h.data_offset + h.data_bytes >= h.data_offset);  // no wrap
     FUZZ_CHECK(h.data_offset + h.data_bytes <= file_size);
 

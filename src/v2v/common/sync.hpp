@@ -91,6 +91,7 @@ inline constexpr std::uint32_t kServerConnections = 20;  ///< serve::Server conn
 inline constexpr std::uint32_t kBatchQueue = 30;         ///< serve::BatchQueue mutex_
 inline constexpr std::uint32_t kBatchQueueJoin = 34;     ///< serve::BatchQueue join_mutex_
 inline constexpr std::uint32_t kThreadPool = 40;         ///< ThreadPool mutex_
+inline constexpr std::uint32_t kDynamicGraph = 50;       ///< dynamic::DynamicGraph mutex_
 inline constexpr std::uint32_t kMetricsRegistry = 60;    ///< obs::MetricsRegistry mutex_
 inline constexpr std::uint32_t kMetricsSeries = 64;      ///< obs::Series mutex_
 inline constexpr std::uint32_t kLog = 90;                ///< log emit mutex (leaf)

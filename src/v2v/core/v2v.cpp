@@ -42,6 +42,12 @@ V2VModel learn_embedding(const graph::Graph& g, const V2VConfig& config) {
     model.train_seconds = result.stats.train_seconds;
     model.train_stats = std::move(result.stats);
     model.embedding = std::move(result.embedding);
+    if (result.checkpoint) {
+      result.checkpoint->walks_per_vertex = walk_config.walks_per_vertex;
+      result.checkpoint->walk_length = walk_config.walk_length;
+      result.checkpoint->walk_seed = walk_seed;
+      model.checkpoint = std::move(result.checkpoint);
+    }
     return model;
   }
 
@@ -55,6 +61,12 @@ V2VModel learn_embedding(const graph::Graph& g, const V2VConfig& config) {
   model.train_seconds = result.stats.train_seconds;
   model.train_stats = std::move(result.stats);
   model.embedding = std::move(result.embedding);
+  if (result.checkpoint) {
+    result.checkpoint->walks_per_vertex = walk_config.walks_per_vertex;
+    result.checkpoint->walk_length = walk_config.walk_length;
+    result.checkpoint->walk_seed = walk_seed;
+    model.checkpoint = std::move(result.checkpoint);
+  }
   return model;
 }
 

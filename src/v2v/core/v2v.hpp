@@ -13,8 +13,10 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "v2v/dynamic/refresh.hpp"
 #include "v2v/embed/embedding.hpp"
 #include "v2v/embed/trainer.hpp"
 #include "v2v/graph/graph.hpp"
@@ -41,6 +43,10 @@ struct V2VConfig {
   /// overwritten by the detect_communities argument. Config-file keys:
   /// kmeans.threads, kmeans.restarts, kmeans.assign.
   ml::KMeansConfig kmeans;
+  /// Incremental-refresh knobs for dynamic::RefreshSession (config-file
+  /// keys refresh.epochs, refresh.initial_lr, refresh.compact_min_delta,
+  /// refresh.compact_ratio). Ignored by plain learn_embedding.
+  dynamic::RefreshTuning refresh;
   /// Master seed; when nonzero it derives the walk and train seeds so one
   /// knob controls full reproducibility.
   std::uint64_t seed = 42;
@@ -64,6 +70,9 @@ struct V2VModel {
   double train_seconds = 0.0;            ///< SGD wall time (s)
   std::size_t corpus_walks = 0;          ///< walks generated (count)
   std::size_t corpus_tokens = 0;         ///< corpus vertices incl. starts (count; 0 when streaming)
+  /// Warm-start state for dynamic refresh / snapshot v3; populated only
+  /// when config.train.capture_checkpoint was set.
+  std::optional<embed::TrainerCheckpoint> checkpoint;
 
   /// Total learning time, the paper's "training time" column.
   [[nodiscard]] double learn_seconds() const noexcept {

@@ -1,0 +1,202 @@
+#include "v2v/dynamic/delta_io.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "v2v/common/string_util.hpp"
+
+namespace v2v::dynamic {
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& why) {
+  throw std::runtime_error("delta line " + std::to_string(line_no) + ": " + why);
+}
+
+[[nodiscard]] graph::VertexId parse_vertex(std::string_view field,
+                                           std::size_t line_no) {
+  const auto id = parse_int(field);
+  constexpr auto kMaxId =
+      static_cast<std::int64_t>(std::numeric_limits<graph::VertexId>::max());
+  if (!id || *id < 0) fail(line_no, "bad vertex id");
+  if (*id > kMaxId) fail(line_no, "vertex id out of range");
+  return static_cast<graph::VertexId>(*id);
+}
+
+/// Shortest round-trippable decimal form (%.17g is exact for doubles).
+void append_double(std::string& out, double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out += buffer;
+}
+
+}  // namespace
+
+std::vector<EdgeDelta> parse_deltas(std::string_view text) {
+  std::vector<EdgeDelta> deltas;
+  std::size_t line_no = 0;
+  while (!text.empty()) {
+    ++line_no;
+    const auto newline = text.find('\n');
+    std::string_view line = text.substr(0, newline);
+    text = newline == std::string_view::npos ? std::string_view()
+                                             : text.substr(newline + 1);
+    const auto hash = line.find('#');
+    const std::string_view body =
+        trim(hash == std::string_view::npos ? line : line.substr(0, hash));
+    if (body.empty()) continue;
+    const auto fields = split_ws(body);
+    if (fields[0] != "a" && fields[0] != "d") {
+      fail(line_no, "expected op 'a' or 'd'");
+    }
+    EdgeDelta delta;
+    delta.op = fields[0] == "a" ? EdgeDelta::Op::kInsert : EdgeDelta::Op::kRemove;
+    if (fields.size() < 3) fail(line_no, "expected '<op> u v'");
+    delta.u = parse_vertex(fields[1], line_no);
+    delta.v = parse_vertex(fields[2], line_no);
+    if (delta.op == EdgeDelta::Op::kRemove) {
+      if (fields.size() > 3) fail(line_no, "remove takes only 'd u v'");
+    } else {
+      if (fields.size() >= 4) {
+        const auto w = parse_double(fields[3]);
+        // The same contract GraphBuilder enforces, checked here so a
+        // parsed delta can always be applied.
+        if (!w || !std::isfinite(*w) || *w < 0.0) fail(line_no, "bad weight");
+        delta.weight = *w;
+      }
+      if (fields.size() >= 5) {
+        const auto ts = parse_double(fields[4]);
+        if (!ts || !std::isfinite(*ts)) fail(line_no, "bad timestamp");
+        delta.timestamp = *ts;
+      }
+      if (fields.size() > 5) fail(line_no, "too many columns");
+    }
+    deltas.push_back(delta);
+  }
+  return deltas;
+}
+
+std::vector<EdgeDelta> read_deltas(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_deltas(buffer.str());
+}
+
+std::vector<EdgeDelta> read_delta_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_deltas(in);
+}
+
+std::string encode_deltas(std::span<const EdgeDelta> deltas) {
+  std::string out;
+  for (const EdgeDelta& delta : deltas) {
+    const bool insert = delta.op == EdgeDelta::Op::kInsert;
+    out += insert ? 'a' : 'd';
+    out += ' ';
+    out += std::to_string(delta.u);
+    out += ' ';
+    out += std::to_string(delta.v);
+    if (insert &&
+        (delta.weight != 1.0 || delta.timestamp != graph::kNoTimestamp)) {
+      out += ' ';
+      append_double(out, delta.weight);
+      if (delta.timestamp != graph::kNoTimestamp) {
+        out += ' ';
+        append_double(out, delta.timestamp);
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void write_deltas(std::span<const EdgeDelta> deltas, std::ostream& out) {
+  out << encode_deltas(deltas);
+}
+
+void write_delta_file(std::span<const EdgeDelta> deltas,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  write_deltas(deltas, out);
+  if (!out) throw std::runtime_error("cannot write " + path);
+}
+
+std::vector<LiveEdge> read_edge_records(std::istream& in) {
+  std::vector<LiveEdge> edges;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    const std::string_view body = trim(
+        hash == std::string::npos ? std::string_view(line)
+                                  : std::string_view(line).substr(0, hash));
+    if (body.empty()) continue;
+    const auto fields = split_ws(body);
+    if (fields.size() < 2) fail(line_no, "expected at least 'u v'");
+    LiveEdge edge;
+    edge.u = parse_vertex(fields[0], line_no);
+    edge.v = parse_vertex(fields[1], line_no);
+    if (fields.size() >= 3) {
+      const auto w = parse_double(fields[2]);
+      if (!w || !std::isfinite(*w) || *w < 0.0) fail(line_no, "bad weight");
+      edge.weight = *w;
+    }
+    if (fields.size() >= 4) {
+      const auto ts = parse_double(fields[3]);
+      if (!ts || !std::isfinite(*ts)) fail(line_no, "bad timestamp");
+      edge.timestamp = *ts;
+    }
+    if (fields.size() > 4) fail(line_no, "too many columns");
+    edges.push_back(edge);
+  }
+  return edges;
+}
+
+std::vector<LiveEdge> read_edge_records_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_edge_records(in);
+}
+
+void write_edge_records(std::span<const LiveEdge> edges, std::ostream& out) {
+  bool any_weight = false;
+  bool any_timestamp = false;
+  for (const LiveEdge& edge : edges) {
+    any_weight = any_weight || edge.weight != 1.0;
+    any_timestamp = any_timestamp || edge.timestamp != graph::kNoTimestamp;
+  }
+  std::string buffer;
+  for (const LiveEdge& edge : edges) {
+    buffer.clear();
+    buffer += std::to_string(edge.u);
+    buffer += ' ';
+    buffer += std::to_string(edge.v);
+    if (any_weight || any_timestamp) {
+      buffer += ' ';
+      append_double(buffer, edge.weight);
+    }
+    if (any_timestamp) {
+      buffer += ' ';
+      append_double(buffer, edge.timestamp);
+    }
+    buffer += '\n';
+    out << buffer;
+  }
+}
+
+void write_edge_records_file(std::span<const LiveEdge> edges,
+                             const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  write_edge_records(edges, out);
+  if (!out) throw std::runtime_error("cannot write " + path);
+}
+
+}  // namespace v2v::dynamic

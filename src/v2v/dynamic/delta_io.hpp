@@ -1,0 +1,45 @@
+// Edge-delta file I/O. Text format, one mutation per line:
+//
+//   a <u> <v> [weight [timestamp]]   insert an edge
+//   d <u> <v>                        remove an edge (endpoints only)
+//
+// '#' starts a comment; blank lines are skipped. Parse errors throw
+// std::runtime_error naming the offending line — never undefined
+// behavior (the parser is fuzzed in fuzz/fuzz_edge_delta.cpp, and
+// write_deltas() is its seed encoder: encode(parse(x)) == canonical
+// form, parse(encode(d)) == d).
+//
+// Also hosts the raw edge-list record reader the refresh tool uses to
+// rebuild a DynamicGraph in the exact insertion order of the original
+// `v2v_tool embed` run (same order -> bit-identical compacted CSR).
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "v2v/dynamic/dynamic_graph.hpp"
+
+namespace v2v::dynamic {
+
+[[nodiscard]] std::vector<EdgeDelta> parse_deltas(std::string_view text);
+[[nodiscard]] std::vector<EdgeDelta> read_deltas(std::istream& in);
+[[nodiscard]] std::vector<EdgeDelta> read_delta_file(const std::string& path);
+
+void write_deltas(std::span<const EdgeDelta> deltas, std::ostream& out);
+[[nodiscard]] std::string encode_deltas(std::span<const EdgeDelta> deltas);
+void write_delta_file(std::span<const EdgeDelta> deltas, const std::string& path);
+
+/// Edge-list records in file order ("u v [weight [timestamp]]", same
+/// format as graph/io.hpp but kept as a list instead of a CSR).
+[[nodiscard]] std::vector<LiveEdge> read_edge_records(std::istream& in);
+[[nodiscard]] std::vector<LiveEdge> read_edge_records_file(const std::string& path);
+
+/// One line per logical edge; weight/timestamp columns only when present.
+void write_edge_records(std::span<const LiveEdge> edges, std::ostream& out);
+void write_edge_records_file(std::span<const LiveEdge> edges,
+                             const std::string& path);
+
+}  // namespace v2v::dynamic

@@ -1,0 +1,103 @@
+#include "v2v/dynamic/incremental_walks.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "v2v/common/check.hpp"
+#include "v2v/common/rng.hpp"
+#include "v2v/common/thread_pool.hpp"
+
+namespace v2v::dynamic {
+
+IncrementalWalkResult regenerate_corpus_incremental(
+    const graph::Graph& g, const walk::WalkConfig& config, std::uint64_t seed,
+    const walk::Corpus& old_corpus, const walk::WalkIndex& old_index,
+    std::span<const graph::VertexId> dirty) {
+  const std::size_t walks_per_vertex = config.walks_per_vertex;
+  V2V_CHECK(walks_per_vertex > 0, "incremental walks: walks_per_vertex == 0");
+  V2V_CHECK(old_corpus.walk_count() % walks_per_vertex == 0,
+            "incremental walks: old corpus is not start-vertex blocked");
+  const std::size_t old_n = old_corpus.walk_count() / walks_per_vertex;
+  V2V_CHECK(old_index.walk_count() == old_corpus.walk_count(),
+            "incremental walks: index does not match the old corpus");
+  const std::size_t n = g.vertex_count();
+  V2V_CHECK(n >= old_n, "incremental walks: graph lost vertices");
+
+  // Mark affected start vertices: dirty ones, plus the owners of every
+  // old walk that visited a dirty vertex. New vertices (>= old_n) have no
+  // old walks and are always regenerated.
+  std::vector<bool> affected(n, false);
+  for (const graph::VertexId d : dirty) {
+    if (d >= n) continue;
+    affected[d] = true;
+    if (d < old_index.vertex_count()) {
+      for (const std::uint32_t walk_id : old_index.walks_visiting(d)) {
+        affected[walk_id / walks_per_vertex] = true;
+      }
+    }
+  }
+  for (std::size_t v = old_n; v < n; ++v) affected[v] = true;
+
+  // Mirror generate_corpus's sharding exactly (same grain, same chunk
+  // order, same per-vertex RNG forks) so the merged corpus is
+  // token-for-token what a full regeneration would produce.
+  const walk::Walker walker(g, config);
+  const std::size_t threads = std::max<std::size_t>(1, config.threads);
+  const std::size_t grain =
+      config.grain != 0 ? config.grain : default_grain(n, threads);
+  const std::size_t chunks = chunk_count(n, grain);
+
+  std::vector<walk::Corpus> shards(chunks);
+  std::vector<std::size_t> shard_regenerated(chunks, 0);
+  const Rng root(seed);
+  parallel_for_dynamic(
+      threads, n, grain,
+      [&](std::size_t /*worker*/, std::size_t chunk, std::size_t begin,
+          std::size_t end) {
+        walk::Corpus& shard = shards[chunk];
+        shard.reserve((end - begin) * walks_per_vertex,
+                      (end - begin) * walks_per_vertex * config.walk_length);
+        std::vector<graph::VertexId> buffer;
+        buffer.reserve(config.walk_length);
+        for (std::size_t v = begin; v < end; ++v) {
+          if (affected[v]) {
+            // Whole block re-walked: the block is the unit of RNG
+            // determinism (one fork per start vertex).
+            Rng rng = root.fork(v);
+            for (std::size_t w = 0; w < walks_per_vertex; ++w) {
+              walker.walk_from(static_cast<graph::VertexId>(v), rng, buffer);
+              shard.add_walk(buffer);
+            }
+            ++shard_regenerated[chunk];
+          } else {
+            for (std::size_t w = 0; w < walks_per_vertex; ++w) {
+              shard.add_walk(old_corpus.walk(v * walks_per_vertex + w));
+            }
+          }
+        }
+      });
+
+  IncrementalWalkResult result;
+  for (const std::size_t count : shard_regenerated) {
+    result.regenerated_starts += count;
+  }
+  result.reused_starts = n - result.regenerated_starts;
+  // Invalidated = affected starts that HAD old walks (new vertices never
+  // had any to discard).
+  std::size_t affected_old = 0;
+  for (std::size_t v = 0; v < old_n; ++v) {
+    if (affected[v]) ++affected_old;
+  }
+  result.invalidated_walks = affected_old * walks_per_vertex;
+
+  if (chunks == 1) {
+    result.corpus = std::move(shards[0]);
+    return result;
+  }
+  walk::Corpus merged;
+  for (auto& shard : shards) merged.append(std::move(shard));
+  result.corpus = std::move(merged);
+  return result;
+}
+
+}  // namespace v2v::dynamic

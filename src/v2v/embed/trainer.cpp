@@ -309,8 +309,62 @@ TrainResult run_training(TrainerState& state,
                result.stats.train_seconds);
     }
   }
+  if (config.capture_checkpoint) {
+    // The caller fills frequencies and the walk-parameter echo; this is
+    // the state only the training loop knows.
+    TrainerCheckpoint ckpt;
+    ckpt.last_lr = current_lr(state);
+    ckpt.tokens_processed = state.tokens_processed.load(std::memory_order_relaxed);
+    ckpt.planned_tokens = state.planned_tokens;
+    ckpt.syn1 = std::move(state.syn1);
+    ckpt.architecture = config.architecture;
+    ckpt.objective = config.objective;
+    ckpt.dimensions = config.dimensions;
+    ckpt.window = config.window;
+    ckpt.negative = config.negative;
+    ckpt.initial_lr = config.initial_lr;
+    ckpt.min_lr_fraction = config.min_lr_fraction;
+    ckpt.subsample = config.subsample;
+    ckpt.seed = config.seed;
+    result.checkpoint = std::move(ckpt);
+  }
   result.embedding = Embedding(std::move(state.syn0));
   return result;
+}
+
+/// Shared corpus-backed epoch driver: resolves the work-queue geometry
+/// and runs the chunk-indexed-RNG epoch loop (results depend only on
+/// (seed, grain), not on which worker claims which chunk). Used by both
+/// the cold-start and warm-start entry points.
+TrainResult run_corpus_training(TrainerState& state, const walk::Corpus& corpus) {
+  const TrainConfig& config = state.config;
+  const std::size_t threads = std::max<std::size_t>(1, config.threads);
+  const std::size_t grain =
+      config.grain != 0 ? config.grain : default_grain(corpus.walk_count(), threads);
+  const std::size_t chunks = chunk_count(corpus.walk_count(), grain);
+  state.grain = grain;
+  state.chunks = chunks;
+  const Rng root(config.seed ^ 0xd1b54a32d192ed03ULL);
+
+  return run_training(state, [&](std::size_t epoch) {
+    std::vector<EpochShard> shards(chunks);
+    parallel_for_dynamic(
+        threads, corpus.walk_count(), grain,
+        [&](std::size_t /*worker*/, std::size_t chunk, std::size_t begin,
+            std::size_t end) {
+          SentenceTrainer trainer(state, root.fork(epoch * chunks + chunk));
+          for (std::size_t w = begin; w < end; ++w) {
+            trainer.train_sentence(corpus.walk(w));
+          }
+          shards[chunk] = trainer.finish();
+        });
+    EpochShard totals;
+    for (const auto& shard : shards) {
+      totals.loss += shard.loss;
+      totals.examples += shard.examples;
+    }
+    return totals;
+  });
 }
 
 }  // namespace
@@ -333,35 +387,110 @@ TrainResult train_embedding(const walk::Corpus& corpus, std::size_t vocab_size,
   initialize_subsampling(state, std::span<const std::uint64_t>(frequencies),
                          corpus.token_count());
 
-  const std::size_t threads = std::max<std::size_t>(1, config.threads);
-  const std::size_t grain =
-      config.grain != 0 ? config.grain : default_grain(corpus.walk_count(), threads);
-  const std::size_t chunks = chunk_count(corpus.walk_count(), grain);
-  state.grain = grain;
-  state.chunks = chunks;
-  const Rng root(config.seed ^ 0xd1b54a32d192ed03ULL);
+  TrainResult result = run_corpus_training(state, corpus);
+  if (result.checkpoint) result.checkpoint->frequencies = frequencies;
+  return result;
+}
 
-  // Chunk-indexed RNG streams and shard slots: results depend only on
-  // (seed, grain), not on which worker claims which chunk.
-  return run_training(state, [&](std::size_t epoch) {
-    std::vector<EpochShard> shards(chunks);
-    parallel_for_dynamic(
-        threads, corpus.walk_count(), grain,
-        [&](std::size_t /*worker*/, std::size_t chunk, std::size_t begin,
-            std::size_t end) {
-          SentenceTrainer trainer(state, root.fork(epoch * chunks + chunk));
-          for (std::size_t w = begin; w < end; ++w) {
-            trainer.train_sentence(corpus.walk(w));
-          }
-          shards[chunk] = trainer.finish();
-        });
-    EpochShard totals;
-    for (const auto& shard : shards) {
-      totals.loss += shard.loss;
-      totals.examples += shard.examples;
+TrainResult train_embedding_resume(const walk::Corpus& corpus,
+                                   const Embedding& warm_start,
+                                   const TrainerCheckpoint& checkpoint,
+                                   const TrainConfig& config) {
+  validate_config(config);
+  if (config.dimensions != checkpoint.dimensions) {
+    throw std::invalid_argument("resume: config/checkpoint dimensions disagree");
+  }
+  if (warm_start.dimensions() != config.dimensions) {
+    throw std::invalid_argument("resume: warm-start dimensions disagree");
+  }
+  if (config.architecture != checkpoint.architecture ||
+      config.objective != checkpoint.objective) {
+    throw std::invalid_argument(
+        "resume: architecture/objective differ from the checkpoint");
+  }
+  std::size_t vocab_size = warm_start.vertex_count();
+  for (const auto token : corpus.tokens()) {
+    vocab_size = std::max<std::size_t>(vocab_size, static_cast<std::size_t>(token) + 1);
+  }
+  if (vocab_size == 0) throw std::invalid_argument("resume: empty vocabulary");
+
+  TrainerState state(config);
+  state.planned_tokens =
+      std::max<std::uint64_t>(1, config.epochs * corpus.token_count());
+
+  // syn0: warm rows verbatim, new vertices get the usual small random
+  // init from a per-row stream, so the result is independent of how many
+  // refreshes it took to reach this vocabulary.
+  const std::size_t d = config.dimensions;
+  state.syn0 = MatrixF(vocab_size, d);
+  for (std::size_t v = 0; v < warm_start.vertex_count(); ++v) {
+    const auto src = warm_start.vector(v);
+    auto dst = state.syn0.row(v);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  const Rng init_root(config.seed ^ 0xa0761d6478bd642fULL);
+  const float inv_dims = 1.0f / static_cast<float>(d);
+  for (std::size_t v = warm_start.vertex_count(); v < vocab_size; ++v) {
+    Rng row_rng = init_root.fork(v);
+    auto row = state.syn0.row(v);
+    for (auto& x : row) x = row_rng.next_float() - 0.5f;
+    kernels::scale(row.data(), inv_dims, row.size());
+  }
+
+  const auto new_frequencies = corpus.vertex_frequencies(vocab_size);
+  std::unique_ptr<HuffmanTree> huffman;
+  if (config.objective == Objective::kHierarchicalSoftmax) {
+    // syn1 rows are tied to Huffman tree topology, which is a pure
+    // function of the stored frequency profile — so the tree must be
+    // rebuilt from the checkpoint, and the vocabulary cannot grow.
+    if (vocab_size > checkpoint.frequencies.size()) {
+      throw std::invalid_argument(
+          "resume: vocabulary grew under hierarchical softmax");
     }
-    return totals;
-  });
+    huffman = std::make_unique<HuffmanTree>(
+        std::span<const std::uint64_t>(checkpoint.frequencies));
+    state.huffman = huffman.get();
+    if (checkpoint.syn1.rows() != huffman->inner_count() ||
+        checkpoint.syn1.cols() != d) {
+      throw std::invalid_argument("resume: checkpoint syn1 shape mismatch");
+    }
+    state.syn1 = checkpoint.syn1;
+  } else {
+    if (checkpoint.syn1.cols() != d || checkpoint.syn1.rows() > vocab_size) {
+      throw std::invalid_argument("resume: checkpoint syn1 shape mismatch");
+    }
+    // Warm output rows verbatim; new vertices start at zero (the word2vec
+    // convention for fresh output vectors). The noise distribution is
+    // recomputed from the NEW corpus so sampling tracks current structure.
+    state.syn1 = MatrixF(vocab_size, d);
+    for (std::size_t v = 0; v < checkpoint.syn1.rows(); ++v) {
+      const auto src = checkpoint.syn1.row(v);
+      auto dst = state.syn1.row(v);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+    std::vector<double> noise_weights(vocab_size);
+    for (std::size_t v = 0; v < vocab_size; ++v) {
+      noise_weights[v] = std::pow(
+          static_cast<double>(std::max<std::uint64_t>(new_frequencies[v], 1)), 0.75);
+    }
+    state.noise = walk::AliasTable(noise_weights);
+  }
+  initialize_subsampling(state, std::span<const std::uint64_t>(new_frequencies),
+                         corpus.token_count());
+
+  TrainResult result = run_corpus_training(state, corpus);
+  if (result.checkpoint) {
+    result.checkpoint->frequencies =
+        config.objective == Objective::kHierarchicalSoftmax
+            ? checkpoint.frequencies
+            : new_frequencies;
+    result.checkpoint->tokens_processed += checkpoint.tokens_processed;
+    result.checkpoint->walks_per_vertex = checkpoint.walks_per_vertex;
+    result.checkpoint->walk_length = checkpoint.walk_length;
+    result.checkpoint->walk_seed = checkpoint.walk_seed;
+    result.checkpoint->refresh_rounds = checkpoint.refresh_rounds + 1;
+  }
+  return result;
 }
 
 TrainResult train_embedding_streaming(const graph::Graph& g,
@@ -401,7 +530,7 @@ TrainResult train_embedding_streaming(const graph::Graph& g,
   const Rng root(config.seed ^ 0xd1b54a32d192ed03ULL);
   const Rng walk_root(config.seed ^ 0x94d049bb133111ebULL);
 
-  return run_training(state, [&](std::size_t epoch) {
+  TrainResult result = run_training(state, [&](std::size_t epoch) {
     std::vector<EpochShard> shards(chunks);
     parallel_for_dynamic(
         threads, vocab_size, grain,
@@ -427,6 +556,8 @@ TrainResult train_embedding_streaming(const graph::Graph& g,
     }
     return totals;
   });
+  if (result.checkpoint) result.checkpoint->frequencies = frequencies;
+  return result;
 }
 
 }  // namespace v2v::embed

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "v2v/embed/embedding.hpp"
@@ -75,6 +76,47 @@ struct TrainConfig {
   /// and a "train" > "epoch" stage span tree into it. Null (default)
   /// disables instrumentation.
   obs::MetricsRegistry* metrics = nullptr;
+  /// When set, TrainResult::checkpoint carries the optimizer state needed
+  /// to continue SGD later (see TrainerCheckpoint). Off by default: the
+  /// checkpoint owns a second vocab x dims matrix.
+  bool capture_checkpoint = false;
+};
+
+/// Everything besides the embedding itself (syn0) that continued SGD
+/// needs: the output layer, the frequency profile the objective was
+/// built from, and learning-rate bookkeeping. Serialized by
+/// store/trainer_state.hpp as optional snapshot-v3 sections; consumed by
+/// train_embedding_resume() and the dynamic-refresh pipeline.
+struct TrainerCheckpoint {
+  MatrixF syn1;  ///< output vectors (HS inner nodes or NS per-vertex)
+  /// Frequency profile the objective was initialized from. Under
+  /// hierarchical softmax this is load-bearing: resuming rebuilds the
+  /// *identical* Huffman tree from it (syn1 rows are tied to tree
+  /// topology). Under negative sampling it is informational — resume
+  /// recomputes the noise distribution from the new corpus.
+  std::vector<std::uint64_t> frequencies;
+  std::uint64_t tokens_processed = 0;  ///< cumulative across all runs
+  std::uint64_t planned_tokens = 0;    ///< last run's schedule denominator
+  double last_lr = 0.0;                ///< decayed lr at the end of the last run
+  /// Echo of the producing TrainConfig, so a refresh tool can rebuild a
+  /// compatible config from the snapshot alone.
+  Architecture architecture = Architecture::kCbow;
+  Objective objective = Objective::kNegativeSampling;
+  std::uint64_t dimensions = 0;
+  std::uint64_t window = 0;
+  std::uint64_t negative = 0;
+  double initial_lr = 0.0;
+  double min_lr_fraction = 0.0;
+  double subsample = 0.0;
+  std::uint64_t seed = 0;  ///< trainer seed of the producing run
+  /// Walk parameters of the corpus the embedding was trained on (filled
+  /// by learn_embedding / the refresh driver, 0 = unknown). walk_seed is
+  /// the seed generate_corpus ran with — replaying it reproduces the old
+  /// corpus for incremental invalidation.
+  std::uint64_t walks_per_vertex = 0;
+  std::uint64_t walk_length = 0;
+  std::uint64_t walk_seed = 0;
+  std::uint64_t refresh_rounds = 0;  ///< continued-SGD refreshes so far
 };
 
 struct TrainStats {
@@ -88,6 +130,8 @@ struct TrainStats {
 struct TrainResult {
   Embedding embedding;
   TrainStats stats;
+  /// Present iff TrainConfig::capture_checkpoint was set.
+  std::optional<TrainerCheckpoint> checkpoint;
 };
 
 /// Trains vertex embeddings from a walk corpus. `vocab_size` must be at
@@ -96,6 +140,22 @@ struct TrainResult {
 [[nodiscard]] TrainResult train_embedding(const walk::Corpus& corpus,
                                           std::size_t vocab_size,
                                           const TrainConfig& config);
+
+/// Continues SGD from a previous run's embedding + checkpoint on a (new)
+/// corpus — the warm-start path of the dynamic-refresh pipeline. The
+/// vocabulary may grow (new vertices get fresh deterministic init rows
+/// and, under negative sampling, zero output rows); under hierarchical
+/// softmax growth throws (the Huffman tree shape is fixed by the stored
+/// frequency profile). `config` must agree with the checkpoint on
+/// dimensions/architecture/objective; its learning-rate fields define a
+/// fresh linear decay over this run's token budget (callers typically
+/// set initial_lr = checkpoint.last_lr to continue the decayed schedule).
+/// The returned checkpoint (when captured) accumulates tokens_processed
+/// and refresh_rounds across runs.
+[[nodiscard]] TrainResult train_embedding_resume(const walk::Corpus& corpus,
+                                                 const Embedding& warm_start,
+                                                 const TrainerCheckpoint& checkpoint,
+                                                 const TrainConfig& config);
 
 /// Streaming variant: generates walks on the fly and trains on each walk
 /// immediately, never materializing the corpus. At the paper's full scale

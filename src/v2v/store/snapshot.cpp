@@ -150,7 +150,7 @@ SnapshotHeader decode_snapshot_header(std::span<const std::uint8_t> bytes,
   h.data_bytes = get<std::uint64_t>(buf, 48);
   h.data_checksum = get<std::uint64_t>(buf, 56);
 
-  if (h.version != kSnapshotVersion && h.version != kSnapshotVersionSections) {
+  if (h.version < kSnapshotVersion || h.version > kSnapshotVersionTrainerState) {
     fail(SnapshotErrorCode::kBadVersion, origin,
          "unsupported version " + std::to_string(h.version));
   }
@@ -449,6 +449,12 @@ void SnapshotBuilder::add_section(const std::string& name,
   sections_.emplace_back(name, std::move(payload));
 }
 
+void SnapshotBuilder::set_min_version(std::uint32_t version) {
+  V2V_CHECK(version <= kSnapshotVersionTrainerState,
+            "SnapshotBuilder: version beyond what this build can write");
+  min_version_ = std::max(min_version_, version);
+}
+
 void SnapshotBuilder::write(const std::string& path) const {
   V2V_CHECK(sections_.size() <= kMaxSections, "too many sections");
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
@@ -474,7 +480,7 @@ void SnapshotBuilder::write(const std::string& path) const {
   }
 
   SnapshotHeader h;
-  h.version = kSnapshotVersionSections;
+  h.version = std::max(kSnapshotVersionSections, min_version_);
   h.rows = rows_;
   h.dims = dims_;
   if (fmat != nullptr) {

@@ -53,6 +53,13 @@ inline constexpr std::uint32_t kSnapshotVersion = 1;
 /// byte 72; the fixed header is unchanged, so v1 readers of the float
 /// region keep working on v2 files that carry floats.
 inline constexpr std::uint32_t kSnapshotVersionSections = 2;
+/// Version 3 adds optional trainer/optimizer-state sections ("tsyn1",
+/// "tfreq", "tlrst" — see store/trainer_state.hpp) on top of the v2
+/// section machinery. The layout is byte-identical to v2; the version
+/// bump only signals "this file can warm-start continued SGD", so v1/v2
+/// files keep loading and v2 readers that ignore unknown sections would
+/// still serve the floats.
+inline constexpr std::uint32_t kSnapshotVersionTrainerState = 3;
 inline constexpr std::uint16_t kDtypeFloat32 = 1;
 /// v2 only: the snapshot carries no float matrix (quantized-only serving);
 /// rows/dims still describe the logical corpus, row_stride/data_bytes are 0.
@@ -217,6 +224,12 @@ class SnapshotBuilder {
   void add_section(const std::string& name,
                    std::vector<std::uint8_t> payload);
 
+  /// Raises the version stamped into the header (attaching trainer state
+  /// requires v3 so old tools fail loudly instead of silently dropping
+  /// the optimizer state on a rewrite). The builder never writes below
+  /// kSnapshotVersionSections.
+  void set_min_version(std::uint32_t version);
+
   /// Serializes everything to `path`.
   void write(const std::string& path) const;
 
@@ -224,6 +237,7 @@ class SnapshotBuilder {
   std::uint64_t rows_;
   std::uint64_t dims_;
   std::uint64_t row_stride_ = 0;  ///< nonzero iff a float matrix is attached
+  std::uint32_t min_version_ = kSnapshotVersionSections;
   std::vector<std::pair<std::string, std::vector<std::uint8_t>>> sections_;
 };
 

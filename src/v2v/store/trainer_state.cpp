@@ -1,0 +1,173 @@
+#include "v2v/store/trainer_state.hpp"
+
+#include <cstring>
+#include <string_view>
+
+namespace v2v::store {
+namespace {
+
+// "tlrst" fixed block, little-endian (the snapshot endian tag guards
+// byte order for the whole file):
+//   0   u32  trainer-state format version (1)
+//   4   u8   architecture (0 = CBOW, 1 = SkipGram)
+//   5   u8   objective (0 = negative sampling, 1 = hierarchical softmax)
+//   6   u16  reserved (0)
+//   8   u64  dimensions        16  u64  window         24  u64  negative
+//   32  f64  initial_lr        40  f64  last_lr
+//   48  f64  min_lr_fraction   56  f64  subsample
+//   64  u64  tokens_processed  72  u64  planned_tokens
+//   80  u64  seed              88  u64  walks_per_vertex
+//   96  u64  walk_length       104 u64  walk_seed
+//   112 u64  refresh_rounds    120 u64  reserved (0)
+constexpr std::uint32_t kLrStateVersion = 1;
+constexpr std::size_t kLrStateBytes = 128;
+
+template <typename T>
+void put(std::uint8_t* buf, std::size_t offset, T value) {
+  std::memcpy(buf + offset, &value, sizeof(T));
+}
+
+template <typename T>
+[[nodiscard]] T get(const std::uint8_t* buf, std::size_t offset) {
+  T value;
+  std::memcpy(&value, buf + offset, sizeof(T));
+  return value;
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw SnapshotError(SnapshotErrorCode::kBadHeader, "trainer state: " + what);
+}
+
+}  // namespace
+
+bool has_trainer_state(const MappedSnapshot& snap) noexcept {
+  return snap.has_section(kSectionTrainerSyn1) &&
+         snap.has_section(kSectionTrainerFreq) &&
+         snap.has_section(kSectionTrainerLrState);
+}
+
+void add_trainer_state(SnapshotBuilder& builder,
+                       const embed::TrainerCheckpoint& checkpoint) {
+  // syn1: dense rows x dims floats, stride stripped (the padded stride is
+  // an in-memory layout choice, not a serialization contract).
+  const std::size_t rows = checkpoint.syn1.rows();
+  const std::size_t dims = checkpoint.syn1.cols();
+  std::vector<std::uint8_t> syn1(16 + rows * dims * sizeof(float));
+  put<std::uint64_t>(syn1.data(), 0, rows);
+  put<std::uint64_t>(syn1.data(), 8, dims);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto row = checkpoint.syn1.row(r);
+    std::memcpy(syn1.data() + 16 + r * dims * sizeof(float), row.data(),
+                dims * sizeof(float));
+  }
+  builder.add_section(kSectionTrainerSyn1, std::move(syn1));
+
+  std::vector<std::uint8_t> freq(8 + checkpoint.frequencies.size() * 8);
+  put<std::uint64_t>(freq.data(), 0, checkpoint.frequencies.size());
+  for (std::size_t i = 0; i < checkpoint.frequencies.size(); ++i) {
+    put<std::uint64_t>(freq.data(), 8 + i * 8, checkpoint.frequencies[i]);
+  }
+  builder.add_section(kSectionTrainerFreq, std::move(freq));
+
+  std::vector<std::uint8_t> lr(kLrStateBytes, 0);
+  put<std::uint32_t>(lr.data(), 0, kLrStateVersion);
+  lr[4] = static_cast<std::uint8_t>(checkpoint.architecture);
+  lr[5] = static_cast<std::uint8_t>(checkpoint.objective);
+  put<std::uint64_t>(lr.data(), 8, checkpoint.dimensions);
+  put<std::uint64_t>(lr.data(), 16, checkpoint.window);
+  put<std::uint64_t>(lr.data(), 24, checkpoint.negative);
+  put<double>(lr.data(), 32, checkpoint.initial_lr);
+  put<double>(lr.data(), 40, checkpoint.last_lr);
+  put<double>(lr.data(), 48, checkpoint.min_lr_fraction);
+  put<double>(lr.data(), 56, checkpoint.subsample);
+  put<std::uint64_t>(lr.data(), 64, checkpoint.tokens_processed);
+  put<std::uint64_t>(lr.data(), 72, checkpoint.planned_tokens);
+  put<std::uint64_t>(lr.data(), 80, checkpoint.seed);
+  put<std::uint64_t>(lr.data(), 88, checkpoint.walks_per_vertex);
+  put<std::uint64_t>(lr.data(), 96, checkpoint.walk_length);
+  put<std::uint64_t>(lr.data(), 104, checkpoint.walk_seed);
+  put<std::uint64_t>(lr.data(), 112, checkpoint.refresh_rounds);
+  builder.add_section(kSectionTrainerLrState, std::move(lr));
+
+  builder.set_min_version(kSnapshotVersionTrainerState);
+}
+
+embed::TrainerCheckpoint load_trainer_state(const MappedSnapshot& snap) {
+  if (!has_trainer_state(snap)) {
+    fail("snapshot carries no trainer-state sections (not resume-capable)");
+  }
+  embed::TrainerCheckpoint checkpoint;
+
+  const auto lr = snap.section(kSectionTrainerLrState);
+  if (lr.size() != kLrStateBytes) fail("tlrst has unexpected size");
+  if (get<std::uint32_t>(lr.data(), 0) != kLrStateVersion) {
+    fail("unknown tlrst format version");
+  }
+  if (lr[4] > 1) fail("bad architecture tag");
+  if (lr[5] > 1) fail("bad objective tag");
+  checkpoint.architecture = static_cast<embed::Architecture>(lr[4]);
+  checkpoint.objective = static_cast<embed::Objective>(lr[5]);
+  checkpoint.dimensions = get<std::uint64_t>(lr.data(), 8);
+  checkpoint.window = get<std::uint64_t>(lr.data(), 16);
+  checkpoint.negative = get<std::uint64_t>(lr.data(), 24);
+  checkpoint.initial_lr = get<double>(lr.data(), 32);
+  checkpoint.last_lr = get<double>(lr.data(), 40);
+  checkpoint.min_lr_fraction = get<double>(lr.data(), 48);
+  checkpoint.subsample = get<double>(lr.data(), 56);
+  checkpoint.tokens_processed = get<std::uint64_t>(lr.data(), 64);
+  checkpoint.planned_tokens = get<std::uint64_t>(lr.data(), 72);
+  checkpoint.seed = get<std::uint64_t>(lr.data(), 80);
+  checkpoint.walks_per_vertex = get<std::uint64_t>(lr.data(), 88);
+  checkpoint.walk_length = get<std::uint64_t>(lr.data(), 96);
+  checkpoint.walk_seed = get<std::uint64_t>(lr.data(), 104);
+  checkpoint.refresh_rounds = get<std::uint64_t>(lr.data(), 112);
+
+  const auto syn1 = snap.section(kSectionTrainerSyn1);
+  if (syn1.size() < 16) fail("tsyn1 truncated");
+  const auto rows = get<std::uint64_t>(syn1.data(), 0);
+  const auto dims = get<std::uint64_t>(syn1.data(), 8);
+  if (dims != checkpoint.dimensions) fail("tsyn1 dims disagree with tlrst");
+  // Divide instead of multiplying shape fields read from disk, so a
+  // crafted rows*dims cannot wrap around the size check.
+  const std::uint64_t syn1_avail = syn1.size() - 16;
+  const std::uint64_t row_bytes = dims * sizeof(float);
+  if (dims == 0 || dims > syn1_avail / sizeof(float) ||
+      syn1_avail % row_bytes != 0 || rows != syn1_avail / row_bytes) {
+    fail("tsyn1 payload size disagrees with its shape");
+  }
+  checkpoint.syn1 = MatrixF(rows, dims);
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    auto row = checkpoint.syn1.row(r);
+    std::memcpy(row.data(), syn1.data() + 16 + r * dims * sizeof(float),
+                dims * sizeof(float));
+  }
+
+  const auto freq = snap.section(kSectionTrainerFreq);
+  if (freq.size() < 8) fail("tfreq truncated");
+  const auto count = get<std::uint64_t>(freq.data(), 0);
+  const std::uint64_t freq_avail = freq.size() - 8;
+  if (freq_avail % 8 != 0 || count != freq_avail / 8) {
+    fail("tfreq payload size disagrees with its count");
+  }
+  checkpoint.frequencies.resize(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    checkpoint.frequencies[i] = get<std::uint64_t>(freq.data(), 8 + i * 8);
+  }
+  return checkpoint;
+}
+
+const char* section_kind(const std::string& name) noexcept {
+  const std::string_view n(name);
+  if (n == "fmat") return "float matrix";
+  if (n == kSectionTrainerSyn1 || n == kSectionTrainerFreq ||
+      n == kSectionTrainerLrState) {
+    return "optimizer state";
+  }
+  if (n == "qmet" || n == "sq8p" || n == "sq8c" || n == "pqbk" || n == "pqcc" ||
+      n == "pqcd" || n == "pqid" || n == "pqls") {
+    return "quantized payload";
+  }
+  return "unknown";
+}
+
+}  // namespace v2v::store

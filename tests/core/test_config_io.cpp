@@ -33,6 +33,10 @@ TEST(ConfigIo, RoundTripNonDefaultValues) {
   config.kmeans.threads = 5;
   config.kmeans.restarts = 21;
   config.kmeans.assign = ml::KMeansAssign::kNormCached;
+  config.refresh.epochs = 6;
+  config.refresh.initial_lr = 0.02;
+  config.refresh.compact_min_delta = 512;
+  config.refresh.compact_ratio = 0.125;
 
   std::stringstream buffer;
   save_config(config, buffer);
@@ -62,6 +66,10 @@ TEST(ConfigIo, RoundTripNonDefaultValues) {
   EXPECT_EQ(loaded.kmeans.threads, 5u);
   EXPECT_EQ(loaded.kmeans.restarts, 21u);
   EXPECT_EQ(loaded.kmeans.assign, ml::KMeansAssign::kNormCached);
+  EXPECT_EQ(loaded.refresh.epochs, 6u);
+  EXPECT_DOUBLE_EQ(loaded.refresh.initial_lr, 0.02);
+  EXPECT_EQ(loaded.refresh.compact_min_delta, 512u);
+  EXPECT_DOUBLE_EQ(loaded.refresh.compact_ratio, 0.125);
 }
 
 TEST(ConfigIo, KMeansAssignModeParses) {

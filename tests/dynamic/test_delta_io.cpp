@@ -1,0 +1,131 @@
+// Edge-delta file parser/encoder: canonical round-trips, typed line
+// errors (never UB — the same contract the fuzz harness enforces), and
+// the raw edge-record reader the refresh tool uses.
+#include "v2v/dynamic/delta_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "v2v/graph/graph.hpp"
+
+namespace v2v::dynamic {
+namespace {
+
+TEST(DynamicDeltaIO, ParsesInsertsAndRemoves) {
+  const auto deltas = parse_deltas(
+      "# churn batch\n"
+      "a 1 2\n"
+      "a 3 4 2.5\n"
+      "a 5 6 0.5 100.25\n"
+      "\n"
+      "d 1 2\n");
+  ASSERT_EQ(deltas.size(), 4u);
+  EXPECT_EQ(deltas[0], (EdgeDelta{EdgeDelta::Op::kInsert, 1, 2, 1.0,
+                                  graph::kNoTimestamp}));
+  EXPECT_EQ(deltas[1], (EdgeDelta{EdgeDelta::Op::kInsert, 3, 4, 2.5,
+                                  graph::kNoTimestamp}));
+  EXPECT_EQ(deltas[2],
+            (EdgeDelta{EdgeDelta::Op::kInsert, 5, 6, 0.5, 100.25}));
+  EXPECT_EQ(deltas[3], (EdgeDelta{EdgeDelta::Op::kRemove, 1, 2, 1.0,
+                                  graph::kNoTimestamp}));
+}
+
+TEST(DynamicDeltaIO, EncodeParseRoundTrip) {
+  std::vector<EdgeDelta> deltas{
+      {EdgeDelta::Op::kInsert, 0, 4294967295u, 1.0, graph::kNoTimestamp},
+      {EdgeDelta::Op::kInsert, 7, 7, 0.12345678901234567, graph::kNoTimestamp},
+      {EdgeDelta::Op::kInsert, 1, 2, 1.0, 3.5},  // default weight, explicit ts
+      {EdgeDelta::Op::kRemove, 9, 8, 1.0, graph::kNoTimestamp},
+  };
+  const auto text = encode_deltas(deltas);
+  EXPECT_EQ(parse_deltas(text), deltas);
+  // Canonical form is a fixed point of encode(parse(.)).
+  EXPECT_EQ(encode_deltas(parse_deltas(text)), text);
+}
+
+TEST(DynamicDeltaIO, LineErrorsNameTheLine) {
+  const char* bad[] = {
+      "x 1 2\n",          // unknown op
+      "a 1\n",            // too few fields
+      "a 1 2 3 4 5\n",    // too many fields
+      "d 1 2 0.5\n",      // removals take endpoints only
+      "a -1 2\n",         // negative vertex
+      "a 1 99999999999\n",   // out-of-range vertex
+      "a one 2\n",        // non-integer vertex
+      "a 1 2 -0.5\n",     // negative weight (GraphBuilder contract)
+      "a 1 2 nan\n",      // non-finite weight
+      "a 1 2 1.0 inf\n",  // non-finite timestamp
+  };
+  for (const auto* text : bad) {
+    try {
+      (void)parse_deltas(text);
+      ADD_FAILURE() << "accepted: " << text;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("delta line 1"), std::string::npos)
+          << e.what();
+    }
+  }
+  // Errors past a comment still count physical lines.
+  try {
+    (void)parse_deltas("# ok\na 1 2\nbogus\n");
+    ADD_FAILURE() << "accepted trailing garbage";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(DynamicDeltaIO, StreamReaderMatchesParser) {
+  const std::string text = "a 1 2\nd 3 4\n";
+  std::istringstream in(text);
+  EXPECT_EQ(read_deltas(in), parse_deltas(text));
+}
+
+TEST(DynamicDeltaIO, EdgeRecordsRoundTrip) {
+  std::vector<LiveEdge> edges{
+      {0, 1, 1.0, graph::kNoTimestamp},
+      {2, 3, 2.25, graph::kNoTimestamp},
+      {3, 3, 1.0, graph::kNoTimestamp},
+  };
+  std::ostringstream out;
+  write_edge_records(edges, out);
+  std::istringstream in(out.str());
+  const auto back = read_edge_records(in);
+  ASSERT_EQ(back.size(), edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    EXPECT_EQ(back[i].u, edges[i].u);
+    EXPECT_EQ(back[i].v, edges[i].v);
+    EXPECT_EQ(back[i].weight, edges[i].weight);
+    EXPECT_EQ(back[i].timestamp, edges[i].timestamp);
+  }
+}
+
+TEST(DynamicDeltaIO, EdgeRecordsEmitTimestampColumnWhenAnyPresent) {
+  std::vector<LiveEdge> edges{
+      {0, 1, 1.0, graph::kNoTimestamp},
+      {1, 2, 1.0, 5.0},
+  };
+  std::ostringstream out;
+  write_edge_records(edges, out);
+  std::istringstream in(out.str());
+  const auto back = read_edge_records(in);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].timestamp, graph::kNoTimestamp);
+  EXPECT_EQ(back[1].timestamp, 5.0);
+}
+
+TEST(DynamicDeltaIO, EdgeRecordsPreserveFileOrder) {
+  // Order is the contract: replaying the records rebuilds the CSR
+  // bit-identically only if it is untouched.
+  std::istringstream in("5 1\n0 3\n2 2\n");
+  const auto records = read_edge_records(in);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].u, 5u);
+  EXPECT_EQ(records[1].u, 0u);
+  EXPECT_EQ(records[2].u, 2u);
+}
+
+}  // namespace
+}  // namespace v2v::dynamic

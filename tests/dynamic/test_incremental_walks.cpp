@@ -1,0 +1,188 @@
+// The incremental-regeneration contract: after any mutation batch, the
+// incrementally rebuilt corpus equals walk::generate_corpus on the new
+// graph token-for-token — splicing is an optimization, never an
+// approximation.
+#include "v2v/dynamic/incremental_walks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "v2v/common/rng.hpp"
+#include "v2v/dynamic/dynamic_graph.hpp"
+#include "v2v/graph/generators.hpp"
+#include "v2v/walk/walk_index.hpp"
+#include "v2v/walk/walker.hpp"
+
+namespace v2v::dynamic {
+namespace {
+
+using graph::VertexId;
+using walk::Corpus;
+using walk::WalkConfig;
+using walk::WalkIndex;
+
+void expect_corpus_equal(const Corpus& a, const Corpus& b) {
+  ASSERT_EQ(a.walk_count(), b.walk_count());
+  ASSERT_EQ(a.token_count(), b.token_count());
+  for (std::size_t w = 0; w < a.walk_count(); ++w) {
+    const auto wa = a.walk(w), wb = b.walk(w);
+    ASSERT_TRUE(std::equal(wa.begin(), wa.end(), wb.begin(), wb.end()))
+        << "walk " << w << " diverged";
+  }
+}
+
+/// Seeds a DynamicGraph with a random base graph's edges.
+DynamicGraph seed_graph(std::size_t n, std::size_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto base = graph::make_erdos_renyi_gnm(n, m, rng);
+  DynamicGraph g(false);
+  g.reserve_vertices(n);
+  for (VertexId u = 0; u < base.vertex_count(); ++u) {
+    for (const auto v : base.neighbors(u)) {
+      if (v >= u) g.add_edge(u, v);
+    }
+  }
+  g.compact();
+  (void)g.drain_dirty();
+  return g;
+}
+
+/// Shared scenario: old corpus on the compacted base, random churn,
+/// incremental regen, exact comparison against a full regen.
+void check_incremental(DynamicGraph& g, const WalkConfig& config,
+                       std::uint64_t walk_seed, std::size_t mutations,
+                       std::uint64_t churn_seed) {
+  const Corpus old_corpus = walk::generate_corpus(g.base(), config, walk_seed);
+  const WalkIndex old_index(old_corpus, g.base().vertex_count());
+
+  Rng rng(churn_seed);
+  const auto n = g.vertex_count();
+  for (std::size_t i = 0; i < mutations; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(n));
+    const auto v = static_cast<VertexId>(rng.next_below(n));
+    if (rng.next_below(3) == 0) {
+      (void)g.remove_edge(u, v);
+    } else {
+      g.add_edge(u, v);
+    }
+  }
+  const auto dirty = g.drain_dirty();
+  g.compact();
+
+  const auto result = regenerate_corpus_incremental(
+      g.base(), config, walk_seed, old_corpus, old_index,
+      std::span<const VertexId>(dirty));
+  const Corpus full = walk::generate_corpus(g.base(), config, walk_seed);
+  expect_corpus_equal(result.corpus, full);
+  EXPECT_EQ(result.regenerated_starts + result.reused_starts,
+            g.base().vertex_count());
+}
+
+TEST(DynamicIncrementalWalks, EqualsFullRegenAfterChurn) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    auto g = seed_graph(60, 150, seed);
+    WalkConfig config;
+    config.walks_per_vertex = 4;
+    config.walk_length = 10;
+    check_incremental(g, config, 1000 + seed, 12, 500 + seed);
+  }
+}
+
+TEST(DynamicIncrementalWalks, EqualsFullRegenMultithreaded) {
+  auto g = seed_graph(80, 200, 9);
+  WalkConfig config;
+  config.walks_per_vertex = 3;
+  config.walk_length = 8;
+  config.threads = 4;
+  check_incremental(g, config, 42, 15, 77);
+}
+
+TEST(DynamicIncrementalWalks, EqualsFullRegenWithEdgeWeightBias) {
+  Rng rng(13);
+  DynamicGraph g(false);
+  g.reserve_vertices(40);
+  for (std::size_t i = 0; i < 120; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(40));
+    const auto v = static_cast<VertexId>(rng.next_below(40));
+    g.add_edge(u, v, 1.0 + static_cast<double>(rng.next_below(5)));
+  }
+  g.compact();
+  (void)g.drain_dirty();
+  WalkConfig config;
+  config.walks_per_vertex = 3;
+  config.walk_length = 9;
+  config.bias = walk::StepBias::kEdgeWeight;
+  check_incremental(g, config, 21, 10, 31);
+}
+
+TEST(DynamicIncrementalWalks, NoChurnReusesEveryStart) {
+  auto g = seed_graph(50, 130, 4);
+  WalkConfig config;
+  config.walks_per_vertex = 2;
+  config.walk_length = 7;
+  const Corpus old_corpus = walk::generate_corpus(g.base(), config, 5);
+  const WalkIndex old_index(old_corpus, g.base().vertex_count());
+  const auto result = regenerate_corpus_incremental(
+      g.base(), config, 5, old_corpus, old_index, {});
+  expect_corpus_equal(result.corpus, old_corpus);
+  EXPECT_EQ(result.reused_starts, g.base().vertex_count());
+  EXPECT_EQ(result.regenerated_starts, 0u);
+  EXPECT_EQ(result.invalidated_walks, 0u);
+}
+
+TEST(DynamicIncrementalWalks, NewVerticesAlwaysRegenerated) {
+  auto g = seed_graph(30, 80, 6);
+  WalkConfig config;
+  config.walks_per_vertex = 2;
+  config.walk_length = 6;
+  const Corpus old_corpus = walk::generate_corpus(g.base(), config, 8);
+  const WalkIndex old_index(old_corpus, g.base().vertex_count());
+
+  // Grow the graph: edges to brand-new vertices 30..34.
+  g.add_edge(3, 30);
+  g.add_edge(30, 31);
+  g.add_edge(12, 34);
+  const auto dirty = g.drain_dirty();
+  g.compact();
+
+  const auto result = regenerate_corpus_incremental(
+      g.base(), config, 8, old_corpus, old_index,
+      std::span<const VertexId>(dirty));
+  const Corpus full = walk::generate_corpus(g.base(), config, 8);
+  expect_corpus_equal(result.corpus, full);
+  // 5 new vertices plus the dirty old ones must be fresh.
+  EXPECT_GE(result.regenerated_starts, 5u);
+  EXPECT_EQ(result.corpus.walk_count(),
+            g.base().vertex_count() * config.walks_per_vertex);
+}
+
+TEST(DynamicIncrementalWalks, IsolatedVertexStaysReusable) {
+  // A vertex with no edges emits single-token walks; it must splice
+  // through untouched churn elsewhere.
+  DynamicGraph g(false);
+  g.reserve_vertices(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);  // vertex 5 stays isolated
+  g.compact();
+  (void)g.drain_dirty();
+  WalkConfig config;
+  config.walks_per_vertex = 2;
+  config.walk_length = 5;
+  const Corpus old_corpus = walk::generate_corpus(g.base(), config, 2);
+  const WalkIndex old_index(old_corpus, g.base().vertex_count());
+
+  g.add_edge(3, 0);
+  const auto dirty = g.drain_dirty();
+  g.compact();
+  const auto result = regenerate_corpus_incremental(
+      g.base(), config, 2, old_corpus, old_index,
+      std::span<const VertexId>(dirty));
+  expect_corpus_equal(result.corpus,
+                      walk::generate_corpus(g.base(), config, 2));
+  EXPECT_GE(result.reused_starts, 1u);  // at least vertex 5
+}
+
+}  // namespace
+}  // namespace v2v::dynamic

@@ -1,0 +1,83 @@
+// WalkIndex: the inverted visits index must agree with a brute-force
+// scan of the corpus, list each walk at most once per vertex, and cover
+// every token.
+#include "v2v/walk/walk_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "v2v/common/rng.hpp"
+#include "v2v/graph/generators.hpp"
+#include "v2v/walk/walker.hpp"
+
+namespace v2v::walk {
+namespace {
+
+using graph::VertexId;
+
+TEST(WalkIndex, MatchesBruteForceScan) {
+  Rng rng(5);
+  const auto g = graph::make_erdos_renyi_gnm(40, 120, rng);
+  WalkConfig config;
+  config.walks_per_vertex = 3;
+  config.walk_length = 12;
+  const Corpus corpus = generate_corpus(g, config, 77);
+  const WalkIndex index(corpus, g.vertex_count());
+
+  ASSERT_EQ(index.walk_count(), corpus.walk_count());
+  ASSERT_EQ(index.vertex_count(), g.vertex_count());
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    std::set<std::uint32_t> expected;
+    for (std::size_t w = 0; w < corpus.walk_count(); ++w) {
+      for (const auto token : corpus.walk(w)) {
+        if (token == v) expected.insert(static_cast<std::uint32_t>(w));
+      }
+    }
+    const auto actual = index.walks_visiting(v);
+    ASSERT_EQ(actual.size(), expected.size()) << "vertex " << v;
+    auto it = expected.begin();
+    for (std::size_t i = 0; i < actual.size(); ++i, ++it) {
+      EXPECT_EQ(actual[i], *it);  // ascending, deduplicated
+    }
+  }
+}
+
+TEST(WalkIndex, DeduplicatesRevisits) {
+  // On a 2-ring every walk revisits its two vertices constantly; each
+  // walk must still appear exactly once per vertex.
+  const auto g = graph::make_ring(2);
+  WalkConfig config;
+  config.walks_per_vertex = 4;
+  config.walk_length = 50;
+  const Corpus corpus = generate_corpus(g, config, 3);
+  const WalkIndex index(corpus, g.vertex_count());
+  for (VertexId v = 0; v < 2; ++v) {
+    EXPECT_EQ(index.walks_visiting(v).size(), corpus.walk_count());
+  }
+  EXPECT_EQ(index.entry_count(), 2 * corpus.walk_count());
+}
+
+TEST(WalkIndex, DefaultIsEmpty) {
+  const WalkIndex index;
+  EXPECT_EQ(index.vertex_count(), 0u);
+  EXPECT_EQ(index.walk_count(), 0u);
+  EXPECT_EQ(index.entry_count(), 0u);
+}
+
+TEST(WalkIndex, UnvisitedVertexHasNoEntries) {
+  // Index over a wider id space than the corpus touches.
+  Corpus corpus;
+  const std::vector<VertexId> walk{1, 2, 1};
+  corpus.add_walk(walk);
+  const WalkIndex index(corpus, 8);
+  EXPECT_EQ(index.vertex_count(), 8u);
+  EXPECT_TRUE(index.walks_visiting(0).empty());
+  EXPECT_TRUE(index.walks_visiting(7).empty());
+  EXPECT_EQ(index.walks_visiting(1).size(), 1u);
+  EXPECT_EQ(index.walks_visiting(2).size(), 1u);
+}
+
+}  // namespace
+}  // namespace v2v::walk

@@ -37,6 +37,12 @@ Enforced on src/ (and partially on tests/ and bench/, see each rule):
       every lock carries capability annotations (Clang -Wthread-safety)
       and a lockdep rank (runtime lock-order validation in checked
       builds). A raw primitive is invisible to both layers
+  R11 no direct GraphBuilder use in src/ outside src/v2v/graph/ and
+      src/v2v/dynamic/: every other layer consumes a finished CSR Graph
+      or mutates through dynamic::DynamicGraph. A stray builder bypasses
+      the dynamic layer's insertion-order record, which is what makes
+      compaction bit-identical to a fresh build. Tests and benches are
+      exempt (they construct fixtures and oracles by design)
 
 Usage: tools/lint.py [--root REPO_ROOT]
 Exit code 0 = clean, 1 = findings (printed one per line as
@@ -138,6 +144,14 @@ RAW_SYNC_ALLOWLIST: set[str] = {
     "src/v2v/common/sync.cpp",
     "src/v2v/common/relaxed.hpp",
 }
+
+# R11: direct CSR construction. Only the graph layer (the builder's home)
+# and the dynamic layer (whose record replay feeds it) may name it.
+GRAPH_BUILDER_RE = re.compile(r"\bGraphBuilder\b")
+GRAPH_BUILDER_SCOPES = ("src/v2v/graph/", "src/v2v/dynamic/")
+
+# Files exempt from R11. Keep short and justified.
+GRAPH_BUILDER_ALLOWLIST: set[str] = set()
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -333,6 +347,19 @@ class Linter:
                             "CondVar from common/sync.hpp (thread-safety "
                             "analysis + lockdep)")
 
+    def lint_graph_builder(self, path: pathlib.Path) -> None:
+        rel = path.relative_to(self.root).as_posix()
+        if rel.startswith(GRAPH_BUILDER_SCOPES) or rel in GRAPH_BUILDER_ALLOWLIST:
+            return
+        code = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+        for line_no, line in enumerate(code.splitlines(), start=1):
+            if GRAPH_BUILDER_RE.search(line):
+                self.report(path, line_no, "R11",
+                            "direct GraphBuilder use outside src/v2v/graph/ "
+                            "and src/v2v/dynamic/; consume a built Graph or "
+                            "go through dynamic::DynamicGraph (or allowlist "
+                            "in tools/lint.py)")
+
     def lint_include_hygiene(self, path: pathlib.Path) -> None:
         raw = path.read_text(encoding="utf-8")
         if path.suffix == ".hpp":
@@ -383,6 +410,7 @@ class Linter:
             self.lint_embedding_scans(path)
             self.lint_centroid_scans(path)
             self.lint_raw_sync(path)
+            self.lint_graph_builder(path)
         # Tests and benches get the behavioral rules (R1-R4) but not the
         # structural ones.
         for tree in (tests, bench):
