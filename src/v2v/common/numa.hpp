@@ -1,0 +1,85 @@
+// NUMA topology detection and placement helpers for the training drivers.
+//
+// On multi-socket hosts the Hogwild trainer and the k-means assignment
+// engine are memory-bandwidth bound; letting workers float across sockets
+// makes most accesses remote. This layer provides the three placement
+// tools the pipelines use:
+//
+//   - Topology: which cpus belong to which NUMA node. Detected through
+//     libnuma when it was found at configure time (V2V_HAVE_LIBNUMA),
+//     through /sys/devices/system/node otherwise, with a single-node
+//     fallback everywhere else (non-Linux, sysfs unavailable).
+//   - schedule(): a thread_pool NumaSchedule — the node-preferring chunk
+//     queue for parallel_for_dynamic plus best-effort worker pinning.
+//     Purely a locality hint: chunk geometry is unchanged, so results are
+//     bit-identical to the default single-queue handout.
+//   - first_touch_stripes(): re-places a freshly zero-initialized buffer
+//     so node n's stripe is first-touched (hence allocated) on node n.
+//
+// Environment overrides (read once, at first system_topology() call):
+//   V2V_NUMA=0            disable entirely (single-node behaviour)
+//   V2V_NUMA_FAKE_NODES=n pretend the host has n nodes with no cpu lists
+//                         (no pinning) — how the multi-queue scheduling
+//                         path is exercised in tests and parity benches
+//                         on single-node machines.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "v2v/common/thread_pool.hpp"
+
+namespace v2v::numa {
+
+struct Topology {
+  /// cpu ids per node; a node's list may be empty (synthetic topologies),
+  /// in which case no pinning happens for that node.
+  std::vector<std::vector<int>> node_cpus;
+  /// True when the topology came from V2V_NUMA_FAKE_NODES rather than the
+  /// hardware: scheduling uses it, pinning and page placement are no-ops.
+  bool synthetic = false;
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return node_cpus.empty() ? 1 : node_cpus.size();
+  }
+  [[nodiscard]] bool multi_node() const noexcept { return node_count() > 1; }
+};
+
+/// Detects the host topology (env overrides applied). Never throws: any
+/// detection failure degrades to a single-node topology.
+[[nodiscard]] Topology detect_topology();
+
+/// Cached detect_topology() result (detection reads sysfs; callers probe
+/// this per training run).
+[[nodiscard]] const Topology& system_topology();
+
+/// Node preferring chunk `chunk` of `chunks` under the contiguous split
+/// the node-preferring queue uses (node n owns an equal contiguous slice
+/// of chunk indices).
+[[nodiscard]] std::size_t node_of_chunk(std::size_t chunk, std::size_t chunks,
+                                        std::size_t nodes) noexcept;
+
+/// Best-effort: pins the calling thread to `node`'s cpus. No-op when the
+/// node has no cpu list (synthetic topology) or the platform lacks
+/// sched_setaffinity; failures are ignored (pinning is advisory).
+void bind_current_thread(const Topology& topo, std::size_t node) noexcept;
+
+/// Builds the parallel_for_dynamic schedule for `topo`: per-node chunk
+/// queues plus a bind_worker hook pinning each worker to its home node.
+/// For a single-node topology the schedule degrades to the default queue.
+[[nodiscard]] NumaSchedule schedule(const Topology& topo);
+
+/// schedule(system_topology()).
+[[nodiscard]] NumaSchedule schedule();
+
+/// Re-places a freshly *zero-initialized* buffer across nodes: the page-
+/// aligned interior is discarded (MADV_DONTNEED — contents must be all
+/// zeroes, and read as zeroes after) and re-faulted in `topo.node_count()`
+/// contiguous stripes, each first-touched from a thread bound to its
+/// node, so the kernel allocates stripe n's pages on node n. Call between
+/// allocating a shared matrix and filling it with values (the fill
+/// rewrites values in place; the pages stay put). No-op on single-node
+/// topologies and non-Linux platforms.
+void first_touch_stripes(void* base, std::size_t bytes, const Topology& topo);
+
+}  // namespace v2v::numa

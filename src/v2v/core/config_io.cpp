@@ -48,6 +48,8 @@ void save_config(const V2VConfig& config, std::ostream& out) {
   out << "walk.time_window = " << config.walk.time_window << '\n';
   out << "walk.threads = " << config.walk.threads << '\n';
   out << "walk.grain = " << config.walk.grain << '\n';
+  out << "walk.spool_dir = " << config.walk.spool_dir << '\n';
+  out << "walk.spool_buffer_mb = " << config.walk.spool_buffer_mb << '\n';
   out << "train.dimensions = " << config.train.dimensions << '\n';
   out << "train.window = " << config.train.window << '\n';
   out << "train.architecture = "
@@ -118,6 +120,10 @@ V2VConfig load_config(std::istream& in) {
        [&](std::string_view v) { as_double(v, config.walk.time_window); }},
       {"walk.threads", [&](std::string_view v) { as_size(v, config.walk.threads); }},
       {"walk.grain", [&](std::string_view v) { as_size(v, config.walk.grain); }},
+      {"walk.spool_dir",
+       [&](std::string_view v) { config.walk.spool_dir = std::string(v); }},
+      {"walk.spool_buffer_mb",
+       [&](std::string_view v) { as_size(v, config.walk.spool_buffer_mb); }},
       {"train.dimensions",
        [&](std::string_view v) { as_size(v, config.train.dimensions); }},
       {"train.window", [&](std::string_view v) { as_size(v, config.train.window); }},

@@ -10,6 +10,7 @@
 #include "v2v/ml/pca.hpp"
 #include "v2v/ml/silhouette.hpp"
 #include "v2v/obs/metrics.hpp"
+#include "v2v/walk/corpus_spool.hpp"
 
 namespace v2v {
 
@@ -51,13 +52,29 @@ V2VModel learn_embedding(const graph::Graph& g, const V2VConfig& config) {
     return model;
   }
 
-  WallTimer timer;
-  const walk::Corpus corpus = walk::generate_corpus(g, walk_config, walk_seed);
-  model.walk_seconds = timer.seconds();
-  model.corpus_walks = corpus.walk_count();
-  model.corpus_tokens = corpus.token_count();
-
-  auto result = embed::train_embedding(corpus, g.vertex_count(), train_config);
+  embed::TrainResult result;
+  if (!walk_config.spool_dir.empty()) {
+    // Out-of-core path: walks stream to disk segments as they are
+    // generated, then training reads them back through the mmap'd
+    // SpooledCorpus. The spool mirrors generate_corpus's sharding, so a
+    // fixed seed produces the same epoch_loss trajectory either way.
+    WallTimer timer;
+    const walk::SpoolStats stats =
+        walk::generate_corpus_spooled(g, walk_config, walk_seed);
+    model.walk_seconds = timer.seconds();
+    model.corpus_walks = stats.walks;
+    model.corpus_tokens = stats.tokens;
+    const walk::SpooledCorpus corpus =
+        walk::SpooledCorpus::open(walk_config.spool_dir);
+    result = embed::train_embedding(corpus, g.vertex_count(), train_config);
+  } else {
+    WallTimer timer;
+    const walk::Corpus corpus = walk::generate_corpus(g, walk_config, walk_seed);
+    model.walk_seconds = timer.seconds();
+    model.corpus_walks = corpus.walk_count();
+    model.corpus_tokens = corpus.token_count();
+    result = embed::train_embedding(corpus, g.vertex_count(), train_config);
+  }
   model.train_seconds = result.stats.train_seconds;
   model.train_stats = std::move(result.stats);
   model.embedding = std::move(result.embedding);

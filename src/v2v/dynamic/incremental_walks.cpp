@@ -13,6 +13,16 @@ IncrementalWalkResult regenerate_corpus_incremental(
     const graph::Graph& g, const walk::WalkConfig& config, std::uint64_t seed,
     const walk::Corpus& old_corpus, const walk::WalkIndex& old_index,
     std::span<const graph::VertexId> dirty) {
+  const walk::InMemoryCorpus reader(old_corpus);
+  return regenerate_corpus_incremental(
+      g, config, seed, static_cast<const walk::CorpusReader&>(reader), old_index,
+      dirty);
+}
+
+IncrementalWalkResult regenerate_corpus_incremental(
+    const graph::Graph& g, const walk::WalkConfig& config, std::uint64_t seed,
+    const walk::CorpusReader& old_corpus, const walk::WalkIndex& old_index,
+    std::span<const graph::VertexId> dirty) {
   const std::size_t walks_per_vertex = config.walks_per_vertex;
   V2V_CHECK(walks_per_vertex > 0, "incremental walks: walks_per_vertex == 0");
   V2V_CHECK(old_corpus.walk_count() % walks_per_vertex == 0,

@@ -20,6 +20,7 @@
 
 #include "v2v/graph/graph.hpp"
 #include "v2v/walk/corpus.hpp"
+#include "v2v/walk/corpus_reader.hpp"
 #include "v2v/walk/walk_index.hpp"
 #include "v2v/walk/walker.hpp"
 
@@ -37,7 +38,15 @@ struct IncrementalWalkResult {
 /// the same `config` and `seed`) whose trajectories avoided every vertex
 /// in `dirty`. `old_index` must index `old_corpus`; `old_corpus` must
 /// hold exactly walks_per_vertex walks per old vertex in start-vertex
-/// order (the generate_corpus layout).
+/// order (the generate_corpus layout). The old corpus is read through the
+/// CorpusReader abstraction, so it can be the RAM corpus or a disk spool
+/// (walk::SpooledCorpus) — splicing reads each reused walk once.
+[[nodiscard]] IncrementalWalkResult regenerate_corpus_incremental(
+    const graph::Graph& g, const walk::WalkConfig& config, std::uint64_t seed,
+    const walk::CorpusReader& old_corpus, const walk::WalkIndex& old_index,
+    std::span<const graph::VertexId> dirty);
+
+/// Convenience overload for a RAM-resident old corpus.
 [[nodiscard]] IncrementalWalkResult regenerate_corpus_incremental(
     const graph::Graph& g, const walk::WalkConfig& config, std::uint64_t seed,
     const walk::Corpus& old_corpus, const walk::WalkIndex& old_index,

@@ -38,13 +38,16 @@ RefreshSession::RefreshSession(DynamicGraph graph,
   (void)graph_.drain_dirty();
   V2V_CHECK(graph_.vertex_count() > 0, "RefreshSession: empty graph");
 
-  corpus_ = walk::generate_corpus(graph_.base(), walk_config_, walk_seed_);
+  regenerate_corpus();
   rebuild_index();
 
   embed::TrainConfig config = train_config_;
   config.capture_checkpoint = true;
   auto result =
-      embed::train_embedding(corpus_, graph_.base().vertex_count(), config);
+      spool_ ? embed::train_embedding(*spool_, graph_.base().vertex_count(),
+                                      config)
+             : embed::train_embedding(corpus_, graph_.base().vertex_count(),
+                                      config);
   embedding_ = std::move(result.embedding);
   checkpoint_ = std::move(*result.checkpoint);
   checkpoint_.walks_per_vertex = walk_config_.walks_per_vertex;
@@ -79,12 +82,29 @@ RefreshSession::RefreshSession(DynamicGraph graph, embed::Embedding warm_start,
 
   // Deterministically replay the corpus the snapshot was trained on; from
   // here on the session is indistinguishable from one that never exited.
-  corpus_ = walk::generate_corpus(graph_.base(), walk_config_, walk_seed_);
+  regenerate_corpus();
   rebuild_index();
 }
 
+void RefreshSession::regenerate_corpus() {
+  if (!walk_config_.spool_dir.empty()) {
+    // Out-of-core replay: walks stream to disk and are read back mmap'd,
+    // so peak RSS stays O(spool buffer) instead of O(corpus). The spool
+    // holds the exact generate_corpus token stream (same seed, same
+    // sharding), preserving the session's replay invariant.
+    (void)walk::generate_corpus_spooled(graph_.base(), walk_config_,
+                                        walk_seed_);
+    spool_.emplace(walk::SpooledCorpus::open(walk_config_.spool_dir));
+    corpus_ = walk::Corpus();
+    return;
+  }
+  spool_.reset();
+  corpus_ = walk::generate_corpus(graph_.base(), walk_config_, walk_seed_);
+}
+
 void RefreshSession::rebuild_index() {
-  index_ = walk::WalkIndex(corpus_, graph_.base().vertex_count());
+  index_ = spool_ ? walk::WalkIndex(*spool_, graph_.base().vertex_count())
+                  : walk::WalkIndex(corpus_, graph_.base().vertex_count());
 }
 
 embed::TrainConfig RefreshSession::refresh_train_config() const {
@@ -114,14 +134,22 @@ RefreshStats RefreshSession::refresh() {
   graph_.compact();
 
   WallTimer walk_timer;
-  auto incremental = regenerate_corpus_incremental(
-      graph_.base(), walk_config_, walk_seed_, corpus_, index_,
-      std::span<const graph::VertexId>(dirty));
+  // Splice from whichever backing currently holds the session corpus;
+  // the merged result is RAM-resident either way, so a spooled session
+  // pays the disk read exactly once.
+  auto incremental =
+      spool_ ? regenerate_corpus_incremental(
+                   graph_.base(), walk_config_, walk_seed_, *spool_, index_,
+                   std::span<const graph::VertexId>(dirty))
+             : regenerate_corpus_incremental(
+                   graph_.base(), walk_config_, walk_seed_, corpus_, index_,
+                   std::span<const graph::VertexId>(dirty));
   stats.walk_seconds = walk_timer.seconds();
   stats.regenerated_starts = incremental.regenerated_starts;
   stats.reused_starts = incremental.reused_starts;
   stats.invalidated_walks = incremental.invalidated_walks;
   corpus_ = std::move(incremental.corpus);
+  spool_.reset();
   rebuild_index();
 
   WallTimer train_timer;
@@ -145,7 +173,7 @@ RefreshStats RefreshSession::full_retrain() {
   graph_.compact();
 
   WallTimer walk_timer;
-  corpus_ = walk::generate_corpus(graph_.base(), walk_config_, walk_seed_);
+  regenerate_corpus();
   stats.walk_seconds = walk_timer.seconds();
   stats.regenerated_starts = graph_.base().vertex_count();
   rebuild_index();
@@ -154,7 +182,10 @@ RefreshStats RefreshSession::full_retrain() {
   embed::TrainConfig config = train_config_;
   config.capture_checkpoint = true;
   auto result =
-      embed::train_embedding(corpus_, graph_.base().vertex_count(), config);
+      spool_ ? embed::train_embedding(*spool_, graph_.base().vertex_count(),
+                                      config)
+             : embed::train_embedding(corpus_, graph_.base().vertex_count(),
+                                      config);
   stats.train_seconds = train_timer.seconds();
   embedding_ = std::move(result.embedding);
   checkpoint_ = std::move(*result.checkpoint);

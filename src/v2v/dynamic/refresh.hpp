@@ -21,11 +21,13 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 
 #include "v2v/dynamic/dynamic_graph.hpp"
 #include "v2v/dynamic/incremental_walks.hpp"
 #include "v2v/embed/trainer.hpp"
+#include "v2v/walk/corpus_spool.hpp"
 #include "v2v/walk/walk_index.hpp"
 
 namespace v2v::obs {
@@ -106,13 +108,23 @@ class RefreshSession {
   [[nodiscard]] const embed::TrainerCheckpoint& checkpoint() const noexcept {
     return checkpoint_;
   }
+  /// The RAM-resident session corpus. Empty while the corpus lives in the
+  /// disk spool (walk_config.spool_dir set and no refresh() round has
+  /// materialized it yet) — check spooled() first.
   [[nodiscard]] const walk::Corpus& corpus() const noexcept { return corpus_; }
+  /// True while the session corpus is backed by the disk spool instead of
+  /// corpus_. Bootstrap/resume with walk_config.spool_dir set starts
+  /// spooled; the first refresh() materializes the merged corpus in RAM.
+  [[nodiscard]] bool spooled() const noexcept { return spool_.has_value(); }
   [[nodiscard]] const walk::WalkConfig& walk_config() const noexcept {
     return walk_config_;
   }
   [[nodiscard]] std::uint64_t walk_seed() const noexcept { return walk_seed_; }
 
  private:
+  /// (Re)creates the session corpus from graph_.base() at walk_seed_:
+  /// spooled to walk_config_.spool_dir when set, RAM-resident otherwise.
+  void regenerate_corpus();
   void rebuild_index();
   [[nodiscard]] embed::TrainConfig refresh_train_config() const;
   void record_stats(const RefreshStats& stats) const;
@@ -123,6 +135,9 @@ class RefreshSession {
   RefreshTuning tuning_;
   std::uint64_t walk_seed_ = 0;
   walk::Corpus corpus_;
+  /// Disk-backed session corpus (exactly one of corpus_ / spool_ is the
+  /// live one; spool_ engaged iff spooled()).
+  std::optional<walk::SpooledCorpus> spool_;
   walk::WalkIndex index_;
   embed::Embedding embedding_;
   embed::TrainerCheckpoint checkpoint_;

@@ -11,6 +11,7 @@
 
 #include "v2v/common/aligned.hpp"
 #include "v2v/common/kernels.hpp"
+#include "v2v/common/numa.hpp"
 #include "v2v/common/rng.hpp"
 #include "v2v/common/thread_pool.hpp"
 #include "v2v/common/timer.hpp"
@@ -195,9 +196,20 @@ void validate_config(const TrainConfig& config) {
   if (config.epochs == 0) throw std::invalid_argument("train: epochs == 0");
 }
 
+/// NUMA page placement for a freshly constructed (hence all-zero) shared
+/// matrix: stripe its pages across the nodes before values are written,
+/// so Hogwild's random row traffic spreads over every node's memory
+/// controllers instead of hammering the allocating thread's node. Values
+/// are untouched (zeroes stay zeroes) — results are bit-identical.
+void place_shared_matrix(MatrixF& m) {
+  numa::first_touch_stripes(m.data(), m.rows() * m.stride() * sizeof(float),
+                            numa::system_topology());
+}
+
 void initialize_vectors(TrainerState& state, std::size_t vocab_size) {
   Rng init_rng(state.config.seed);
   state.syn0 = MatrixF(vocab_size, state.config.dimensions);
+  place_shared_matrix(state.syn0);
   const float inv_dims = 1.0f / static_cast<float>(state.config.dimensions);
   for (std::size_t v = 0; v < vocab_size; ++v) {
     auto row = state.syn0.row(v);
@@ -216,8 +228,10 @@ std::unique_ptr<HuffmanTree> initialize_objective(
     huffman = std::make_unique<HuffmanTree>(frequencies);
     state.huffman = huffman.get();
     state.syn1 = MatrixF(huffman->inner_count(), state.config.dimensions);
+    place_shared_matrix(state.syn1);
   } else {
     state.syn1 = MatrixF(frequencies.size(), state.config.dimensions);
+    place_shared_matrix(state.syn1);
     std::vector<double> noise_weights(frequencies.size());
     for (std::size_t v = 0; v < frequencies.size(); ++v) {
       noise_weights[v] =
@@ -335,8 +349,13 @@ TrainResult run_training(TrainerState& state,
 /// Shared corpus-backed epoch driver: resolves the work-queue geometry
 /// and runs the chunk-indexed-RNG epoch loop (results depend only on
 /// (seed, grain), not on which worker claims which chunk). Used by both
-/// the cold-start and warm-start entry points.
-TrainResult run_corpus_training(TrainerState& state, const walk::Corpus& corpus) {
+/// the cold-start and warm-start entry points, for RAM-resident and
+/// spooled corpora alike — the chunk geometry is a pure function of
+/// walk_count, so the two backings train bit-identically. Chunks are
+/// handed out through the node-preferring NUMA queue (a no-op schedule on
+/// single-node hosts), which changes claiming order only, never results.
+TrainResult run_corpus_training(TrainerState& state,
+                                const walk::CorpusReader& corpus) {
   const TrainConfig& config = state.config;
   const std::size_t threads = std::max<std::size_t>(1, config.threads);
   const std::size_t grain =
@@ -345,13 +364,18 @@ TrainResult run_corpus_training(TrainerState& state, const walk::Corpus& corpus)
   state.grain = grain;
   state.chunks = chunks;
   const Rng root(config.seed ^ 0xd1b54a32d192ed03ULL);
+  const NumaSchedule numa_schedule = numa::schedule();
 
   return run_training(state, [&](std::size_t epoch) {
     std::vector<EpochShard> shards(chunks);
     parallel_for_dynamic(
-        threads, corpus.walk_count(), grain,
+        threads, corpus.walk_count(), grain, numa_schedule,
         [&](std::size_t /*worker*/, std::size_t chunk, std::size_t begin,
             std::size_t end) {
+          // Kick off readahead for the whole chunk before the SGD loop
+          // starts faulting token pages one walk at a time (no-op for the
+          // in-RAM backing).
+          corpus.prefetch(begin, end);
           SentenceTrainer trainer(state, root.fork(epoch * chunks + chunk));
           for (std::size_t w = begin; w < end; ++w) {
             trainer.train_sentence(corpus.walk(w));
@@ -371,10 +395,17 @@ TrainResult run_corpus_training(TrainerState& state, const walk::Corpus& corpus)
 
 TrainResult train_embedding(const walk::Corpus& corpus, std::size_t vocab_size,
                             const TrainConfig& config) {
+  const walk::InMemoryCorpus reader(corpus);
+  return train_embedding(static_cast<const walk::CorpusReader&>(reader),
+                         vocab_size, config);
+}
+
+TrainResult train_embedding(const walk::CorpusReader& corpus,
+                            std::size_t vocab_size, const TrainConfig& config) {
   validate_config(config);
   if (vocab_size == 0) throw std::invalid_argument("train: empty vocabulary");
-  for (const auto token : corpus.tokens()) {
-    if (token >= vocab_size) throw std::invalid_argument("train: token out of vocabulary");
+  if (corpus.token_count() > 0 && corpus.max_token() >= vocab_size) {
+    throw std::invalid_argument("train: token out of vocabulary");
   }
 
   TrainerState state(config);
@@ -396,6 +427,15 @@ TrainResult train_embedding_resume(const walk::Corpus& corpus,
                                    const Embedding& warm_start,
                                    const TrainerCheckpoint& checkpoint,
                                    const TrainConfig& config) {
+  const walk::InMemoryCorpus reader(corpus);
+  return train_embedding_resume(static_cast<const walk::CorpusReader&>(reader),
+                                warm_start, checkpoint, config);
+}
+
+TrainResult train_embedding_resume(const walk::CorpusReader& corpus,
+                                   const Embedding& warm_start,
+                                   const TrainerCheckpoint& checkpoint,
+                                   const TrainConfig& config) {
   validate_config(config);
   if (config.dimensions != checkpoint.dimensions) {
     throw std::invalid_argument("resume: config/checkpoint dimensions disagree");
@@ -409,8 +449,9 @@ TrainResult train_embedding_resume(const walk::Corpus& corpus,
         "resume: architecture/objective differ from the checkpoint");
   }
   std::size_t vocab_size = warm_start.vertex_count();
-  for (const auto token : corpus.tokens()) {
-    vocab_size = std::max<std::size_t>(vocab_size, static_cast<std::size_t>(token) + 1);
+  if (corpus.token_count() > 0) {
+    vocab_size = std::max<std::size_t>(
+        vocab_size, static_cast<std::size_t>(corpus.max_token()) + 1);
   }
   if (vocab_size == 0) throw std::invalid_argument("resume: empty vocabulary");
 
@@ -423,6 +464,7 @@ TrainResult train_embedding_resume(const walk::Corpus& corpus,
   // refreshes it took to reach this vocabulary.
   const std::size_t d = config.dimensions;
   state.syn0 = MatrixF(vocab_size, d);
+  place_shared_matrix(state.syn0);
   for (std::size_t v = 0; v < warm_start.vertex_count(); ++v) {
     const auto src = warm_start.vector(v);
     auto dst = state.syn0.row(v);
@@ -463,6 +505,7 @@ TrainResult train_embedding_resume(const walk::Corpus& corpus,
     // convention for fresh output vectors). The noise distribution is
     // recomputed from the NEW corpus so sampling tracks current structure.
     state.syn1 = MatrixF(vocab_size, d);
+    place_shared_matrix(state.syn1);
     for (std::size_t v = 0; v < checkpoint.syn1.rows(); ++v) {
       const auto src = checkpoint.syn1.row(v);
       auto dst = state.syn1.row(v);
@@ -529,11 +572,12 @@ TrainResult train_embedding_streaming(const graph::Graph& g,
   state.chunks = chunks;
   const Rng root(config.seed ^ 0xd1b54a32d192ed03ULL);
   const Rng walk_root(config.seed ^ 0x94d049bb133111ebULL);
+  const NumaSchedule numa_schedule = numa::schedule();
 
   TrainResult result = run_training(state, [&](std::size_t epoch) {
     std::vector<EpochShard> shards(chunks);
     parallel_for_dynamic(
-        threads, vocab_size, grain,
+        threads, vocab_size, grain, numa_schedule,
         [&](std::size_t /*worker*/, std::size_t chunk, std::size_t begin,
             std::size_t end) {
           SentenceTrainer trainer(state, root.fork(epoch * chunks + chunk));

@@ -22,6 +22,7 @@
 
 #include "v2v/embed/embedding.hpp"
 #include "v2v/walk/corpus.hpp"
+#include "v2v/walk/corpus_reader.hpp"
 #include "v2v/walk/walker.hpp"
 
 namespace v2v::obs {
@@ -141,6 +142,16 @@ struct TrainResult {
                                           std::size_t vocab_size,
                                           const TrainConfig& config);
 
+/// Backing-agnostic variant: trains from any CorpusReader — the RAM
+/// corpus via walk::InMemoryCorpus or a disk spool via
+/// walk::SpooledCorpus. Chunk geometry and RNG streams depend only on
+/// (walk_count, seed, grain), so a fixed-seed run produces bit-identical
+/// results whichever backing serves the walks (exact with 1 thread;
+/// Hogwild-racy above).
+[[nodiscard]] TrainResult train_embedding(const walk::CorpusReader& corpus,
+                                          std::size_t vocab_size,
+                                          const TrainConfig& config);
+
 /// Continues SGD from a previous run's embedding + checkpoint on a (new)
 /// corpus — the warm-start path of the dynamic-refresh pipeline. The
 /// vocabulary may grow (new vertices get fresh deterministic init rows
@@ -153,6 +164,13 @@ struct TrainResult {
 /// The returned checkpoint (when captured) accumulates tokens_processed
 /// and refresh_rounds across runs.
 [[nodiscard]] TrainResult train_embedding_resume(const walk::Corpus& corpus,
+                                                 const Embedding& warm_start,
+                                                 const TrainerCheckpoint& checkpoint,
+                                                 const TrainConfig& config);
+
+/// Backing-agnostic warm-start variant (see the CorpusReader overload of
+/// train_embedding).
+[[nodiscard]] TrainResult train_embedding_resume(const walk::CorpusReader& corpus,
                                                  const Embedding& warm_start,
                                                  const TrainerCheckpoint& checkpoint,
                                                  const TrainConfig& config);

@@ -11,7 +11,6 @@
 
 #include "v2v/common/check.hpp"
 #include "v2v/common/matrix.hpp"
-#include "v2v/embed/embedding.hpp"
 
 namespace v2v::store {
 
@@ -27,7 +26,10 @@ class EmbeddingView {
   [[nodiscard]] static EmbeddingView of(const MatrixF& m) noexcept {
     return {m.data(), m.rows(), m.cols(), m.stride()};
   }
-  [[nodiscard]] static EmbeddingView of(const embed::Embedding& e) noexcept {
+  /// Anything exposing a MatrixF via .matrix() (embed::Embedding in
+  /// practice — templated so this header stays below the embed layer).
+  template <typename E>
+  [[nodiscard]] static EmbeddingView of(const E& e) noexcept {
     return of(e.matrix());
   }
 

@@ -1,10 +1,7 @@
 #include "v2v/store/snapshot.hpp"
 
 #include <algorithm>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
-#include <limits>
 #include <utility>
 #include <vector>
 
@@ -23,169 +20,15 @@
 namespace v2v::store {
 namespace {
 
-constexpr char kMagic[8] = {'V', '2', 'V', 'S', 'N', 'A', 'P', '1'};
-constexpr std::size_t kHeaderBytes = 72;   // fixed fields + header checksum
-constexpr std::size_t kDataOffset = 128;   // what this writer emits; 64-aligned
-
-constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
-constexpr std::uint64_t kFnvPrime = 0x00000100000001b3ULL;
-
-std::uint64_t fnv1a64_accumulate(std::uint64_t state, const void* data,
-                                 std::size_t bytes) noexcept {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < bytes; ++i) {
-    state ^= p[i];
-    state *= kFnvPrime;
-  }
-  return state;
-}
-
-template <typename T>
-void put(unsigned char* buf, std::size_t offset, T value) noexcept {
-  std::memcpy(buf + offset, &value, sizeof(T));
-}
-
-template <typename T>
-[[nodiscard]] T get(const unsigned char* buf, std::size_t offset) noexcept {
-  T value;
-  std::memcpy(&value, buf + offset, sizeof(T));
-  return value;
-}
+constexpr std::size_t kHeaderBytes = kSnapshotHeaderBytes;
+constexpr std::size_t kDataOffset = 128;  // what this writer emits; 64-aligned
 
 [[noreturn]] void fail(SnapshotErrorCode code, const std::string& path,
                        const std::string& detail) {
-  throw SnapshotError(code, "snapshot: " + path + ": " + detail + " [" +
-                                snapshot_error_name(code) + "]");
-}
-
-struct RawHeader {
-  SnapshotHeader decoded;
-  unsigned char bytes[kHeaderBytes];
-};
-
-/// Serializes `h` (checksum over the first 64 bytes goes last).
-void encode_header(const SnapshotHeader& h, unsigned char* buf) noexcept {
-  std::memcpy(buf, kMagic, sizeof(kMagic));
-  put<std::uint32_t>(buf, 8, h.version);
-  put<std::uint16_t>(buf, 12, h.dtype);
-  put<std::uint16_t>(buf, 14, kEndianTag);
-  put<std::uint64_t>(buf, 16, h.rows);
-  put<std::uint64_t>(buf, 24, h.dims);
-  put<std::uint64_t>(buf, 32, h.row_stride);
-  put<std::uint64_t>(buf, 40, h.data_offset);
-  put<std::uint64_t>(buf, 48, h.data_bytes);
-  put<std::uint64_t>(buf, 56, h.data_checksum);
-  put<std::uint64_t>(buf, 64, fnv1a64(buf, 64));
-}
-
-/// Reads and validates the fixed header; also checks the total file size
-/// against what the header promises. The stream is left positioned at
-/// byte kHeaderBytes.
-SnapshotHeader read_header_stream(std::istream& in, const std::string& path) {
-  in.seekg(0, std::ios::end);
-  const auto file_size = static_cast<std::uint64_t>(in.tellg());
-  in.seekg(0, std::ios::beg);
-
-  unsigned char buf[kHeaderBytes];
-  in.read(reinterpret_cast<char*>(buf), kHeaderBytes);
-  const auto got = !in ? std::size_t{0} : static_cast<std::size_t>(in.gcount());
-  return decode_snapshot_header({buf, got}, file_size, path);
-}
-
-[[nodiscard]] bool mmap_disabled_by_env() noexcept {
-  const char* env = std::getenv("V2V_STORE_NO_MMAP");
-  return env != nullptr && env[0] != '\0' && env[0] != '0';
+  throw_snapshot_error(code, path, detail);
 }
 
 }  // namespace
-
-std::uint64_t fnv1a64(const void* data, std::size_t bytes) noexcept {
-  return fnv1a64_accumulate(kFnvOffsetBasis, data, bytes);
-}
-
-const char* snapshot_error_name(SnapshotErrorCode code) noexcept {
-  switch (code) {
-    case SnapshotErrorCode::kOpenFailed: return "open_failed";
-    case SnapshotErrorCode::kTruncatedHeader: return "truncated_header";
-    case SnapshotErrorCode::kBadMagic: return "bad_magic";
-    case SnapshotErrorCode::kHeaderChecksumMismatch: return "header_checksum_mismatch";
-    case SnapshotErrorCode::kBadVersion: return "bad_version";
-    case SnapshotErrorCode::kBadDtype: return "bad_dtype";
-    case SnapshotErrorCode::kBadEndianness: return "bad_endianness";
-    case SnapshotErrorCode::kBadHeader: return "bad_header";
-    case SnapshotErrorCode::kTruncatedData: return "truncated_data";
-    case SnapshotErrorCode::kDataChecksumMismatch: return "data_checksum_mismatch";
-    case SnapshotErrorCode::kBadSectionTable: return "bad_section_table";
-    case SnapshotErrorCode::kSectionChecksumMismatch: return "section_checksum_mismatch";
-  }
-  return "unknown";
-}
-
-SnapshotHeader decode_snapshot_header(std::span<const std::uint8_t> bytes,
-                                      std::uint64_t file_size,
-                                      const std::string& origin) {
-  static_assert(kSnapshotHeaderBytes == kHeaderBytes,
-                "public header-size constant must match the on-disk layout");
-  if (bytes.size() < kHeaderBytes) {
-    fail(SnapshotErrorCode::kTruncatedHeader, origin,
-         "file shorter than the fixed header");
-  }
-  const auto* buf = reinterpret_cast<const unsigned char*>(bytes.data());
-  if (std::memcmp(buf, kMagic, sizeof(kMagic)) != 0) {
-    fail(SnapshotErrorCode::kBadMagic, origin, "not a V2V snapshot");
-  }
-  if (get<std::uint64_t>(buf, 64) != fnv1a64(buf, 64)) {
-    fail(SnapshotErrorCode::kHeaderChecksumMismatch, origin,
-         "header checksum mismatch");
-  }
-
-  SnapshotHeader h;
-  h.version = get<std::uint32_t>(buf, 8);
-  h.dtype = get<std::uint16_t>(buf, 12);
-  const auto endian = get<std::uint16_t>(buf, 14);
-  h.rows = get<std::uint64_t>(buf, 16);
-  h.dims = get<std::uint64_t>(buf, 24);
-  h.row_stride = get<std::uint64_t>(buf, 32);
-  h.data_offset = get<std::uint64_t>(buf, 40);
-  h.data_bytes = get<std::uint64_t>(buf, 48);
-  h.data_checksum = get<std::uint64_t>(buf, 56);
-
-  if (h.version < kSnapshotVersion || h.version > kSnapshotVersionTrainerState) {
-    fail(SnapshotErrorCode::kBadVersion, origin,
-         "unsupported version " + std::to_string(h.version));
-  }
-  const bool dtype_none =
-      h.dtype == kDtypeNone && h.version >= kSnapshotVersionSections;
-  if (h.dtype != kDtypeFloat32 && !dtype_none) {
-    fail(SnapshotErrorCode::kBadDtype, origin,
-         "unsupported dtype " + std::to_string(h.dtype));
-  }
-  if (endian != kEndianTag) {
-    fail(SnapshotErrorCode::kBadEndianness, origin,
-         "byte order does not match this host");
-  }
-  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
-  if (dtype_none) {
-    // No float region: stride and data byte count must both be zero; the
-    // quantized payloads live in the section table instead.
-    if (h.row_stride != 0 || h.data_bytes != 0 ||
-        h.data_offset < kHeaderBytes) {
-      fail(SnapshotErrorCode::kBadHeader, origin, "inconsistent header fields");
-    }
-  } else if (h.row_stride < h.dims || h.data_offset < kHeaderBytes ||
-             h.row_stride > kMax / sizeof(float) ||
-             (h.row_stride != 0 &&
-              h.rows > kMax / (h.row_stride * sizeof(float))) ||
-             h.data_bytes != h.rows * h.row_stride * sizeof(float) ||
-             h.data_offset > kMax - h.data_bytes) {
-    fail(SnapshotErrorCode::kBadHeader, origin, "inconsistent header fields");
-  }
-  if (file_size < h.data_offset + h.data_bytes) {
-    fail(SnapshotErrorCode::kTruncatedData, origin,
-         "file shorter than header promises");
-  }
-  return h;
-}
 
 void EmbeddingStore::save(const embed::Embedding& embedding,
                           const std::string& path) {
@@ -205,7 +48,7 @@ void EmbeddingStore::save(const embed::Embedding& embedding,
   out.write(zeros.data(), static_cast<std::streamsize>(zeros.size()));
 
   std::vector<float> rowbuf(h.row_stride, 0.0f);
-  std::uint64_t checksum = kFnvOffsetBasis;
+  std::uint64_t checksum = fnv1a64_seed();
   for (std::size_t v = 0; v < h.rows; ++v) {
     const auto r = embedding.vector(v);
     std::copy(r.begin(), r.end(), rowbuf.begin());
@@ -216,8 +59,8 @@ void EmbeddingStore::save(const embed::Embedding& embedding,
   }
   h.data_checksum = checksum;
 
-  unsigned char header[kHeaderBytes];
-  encode_header(h, header);
+  std::uint8_t header[kHeaderBytes];
+  encode_snapshot_header(h, header);
   out.seekp(0);
   out.write(reinterpret_cast<const char*>(header), kHeaderBytes);
   out.flush();
@@ -225,15 +68,13 @@ void EmbeddingStore::save(const embed::Embedding& embedding,
 }
 
 SnapshotHeader EmbeddingStore::read_header(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) fail(SnapshotErrorCode::kOpenFailed, path, "cannot open");
-  return read_header_stream(in, path);
+  return read_snapshot_header(path);
 }
 
 embed::Embedding EmbeddingStore::load(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) fail(SnapshotErrorCode::kOpenFailed, path, "cannot open");
-  const SnapshotHeader h = read_header_stream(in, path);
+  const SnapshotHeader h = read_snapshot_header(in, path);
   if (h.dtype != kDtypeFloat32) {
     fail(SnapshotErrorCode::kBadDtype, path, "snapshot carries no float matrix");
   }
@@ -241,7 +82,7 @@ embed::Embedding EmbeddingStore::load(const std::string& path) {
   embed::Embedding out(h.rows, h.dims);
   in.seekg(static_cast<std::streamoff>(h.data_offset));
   std::vector<float> rowbuf(h.row_stride);
-  std::uint64_t checksum = kFnvOffsetBasis;
+  std::uint64_t checksum = fnv1a64_seed();
   for (std::size_t v = 0; v < h.rows; ++v) {
     const std::size_t bytes = h.row_stride * sizeof(float);
     in.read(reinterpret_cast<char*>(rowbuf.data()),
@@ -260,7 +101,7 @@ embed::Embedding EmbeddingStore::load(const std::string& path) {
 }
 
 MappedEmbedding MappedEmbedding::open(const std::string& path, MapMode mode) {
-  SnapshotHeader h = EmbeddingStore::read_header(path);
+  SnapshotHeader h = read_snapshot_header(path);
   if (h.dtype != kDtypeFloat32) {
     fail(SnapshotErrorCode::kBadDtype, path, "snapshot carries no float matrix");
   }
@@ -295,8 +136,6 @@ MappedEmbedding MappedEmbedding::open(const std::string& path, MapMode mode) {
       // buffered path rather than failing a readable file.
     }
   }
-#else
-  (void)mmap_disabled_by_env;
 #endif
   (void)mode;
   (void)total_bytes;
@@ -352,299 +191,6 @@ void MappedEmbedding::reset() noexcept {
   map_bytes_ = 0;
   buffer_.clear();
   view_ = EmbeddingView();
-}
-
-namespace {
-
-constexpr std::size_t kSectionEntryBytes = 32;
-constexpr std::size_t kSectionNameBytes = 8;
-constexpr std::size_t kSectionTableOffset = kHeaderBytes;
-constexpr std::uint32_t kMaxSections = 1024;
-
-[[nodiscard]] std::uint64_t align64(std::uint64_t offset) noexcept {
-  return (offset + 63) & ~std::uint64_t{63};
-}
-
-/// Parses and validates the section table of an in-memory snapshot image.
-/// v1 files have no table: a nonempty float region is surfaced as one
-/// synthetic "fmat" entry. Payload checksums are NOT verified here (the
-/// caller decides when to fault pages); table structure and ranges are.
-std::vector<SnapshotSection> parse_section_table(const std::uint8_t* base,
-                                                 std::uint64_t file_size,
-                                                 const SnapshotHeader& h,
-                                                 const std::string& path) {
-  std::vector<SnapshotSection> out;
-  if (h.version < kSnapshotVersionSections) {
-    if (h.data_bytes > 0) {
-      out.push_back({"fmat", h.data_offset, h.data_bytes, h.data_checksum});
-    }
-    return out;
-  }
-  if (file_size < kSectionTableOffset + 16) {
-    fail(SnapshotErrorCode::kBadSectionTable, path,
-         "file shorter than the section table prologue");
-  }
-  const auto count = get<std::uint32_t>(base, kSectionTableOffset);
-  if (count > kMaxSections) {
-    fail(SnapshotErrorCode::kBadSectionTable, path,
-         "implausible section count " + std::to_string(count));
-  }
-  const std::uint64_t entries_end =
-      kSectionTableOffset + 8 + std::uint64_t{count} * kSectionEntryBytes;
-  if (file_size < entries_end + 8) {
-    fail(SnapshotErrorCode::kBadSectionTable, path, "truncated section table");
-  }
-  const std::uint64_t table_bytes = entries_end - kSectionTableOffset;
-  if (get<std::uint64_t>(base, entries_end) !=
-      fnv1a64(base + kSectionTableOffset, table_bytes)) {
-    fail(SnapshotErrorCode::kBadSectionTable, path,
-         "section table checksum mismatch");
-  }
-  out.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    const std::uint64_t at = kSectionTableOffset + 8 +
-                             std::uint64_t{i} * kSectionEntryBytes;
-    SnapshotSection s;
-    const char* name = reinterpret_cast<const char*>(base + at);
-    std::size_t len = 0;
-    while (len < kSectionNameBytes && name[len] != '\0') ++len;
-    s.name.assign(name, len);
-    s.offset = get<std::uint64_t>(base, at + 8);
-    s.bytes = get<std::uint64_t>(base, at + 16);
-    s.checksum = get<std::uint64_t>(base, at + 24);
-    if (s.name.empty() || s.offset < entries_end + 8 ||
-        s.bytes > file_size || s.offset > file_size - s.bytes) {
-      fail(SnapshotErrorCode::kBadSectionTable, path,
-           "section '" + s.name + "' out of range");
-    }
-    out.push_back(std::move(s));
-  }
-  return out;
-}
-
-}  // namespace
-
-void SnapshotBuilder::set_float_matrix(const EmbeddingView& view) {
-  V2V_CHECK(view.rows() == rows_ && view.dimensions() == dims_,
-            "float matrix shape must match the builder's corpus shape");
-  row_stride_ = MatrixF::padded_stride(dims_);
-  std::vector<std::uint8_t> payload(
-      static_cast<std::size_t>(rows_ * row_stride_ * sizeof(float)), 0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const auto row = view.row(r);
-    std::memcpy(payload.data() + r * row_stride_ * sizeof(float), row.data(),
-                dims_ * sizeof(float));
-  }
-  add_section("fmat", std::move(payload));
-}
-
-void SnapshotBuilder::add_section(const std::string& name,
-                                  std::vector<std::uint8_t> payload) {
-  V2V_CHECK(!name.empty() && name.size() <= kSectionNameBytes,
-            "section name must be 1..8 bytes");
-  for (const auto& [existing, bytes] : sections_) {
-    (void)bytes;
-    V2V_CHECK(existing != name, "duplicate section name");
-  }
-  sections_.emplace_back(name, std::move(payload));
-}
-
-void SnapshotBuilder::set_min_version(std::uint32_t version) {
-  V2V_CHECK(version <= kSnapshotVersionTrainerState,
-            "SnapshotBuilder: version beyond what this build can write");
-  min_version_ = std::max(min_version_, version);
-}
-
-void SnapshotBuilder::write(const std::string& path) const {
-  V2V_CHECK(sections_.size() <= kMaxSections, "too many sections");
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) fail(SnapshotErrorCode::kOpenFailed, path, "cannot open for writing");
-
-  // Lay out payloads: 64-byte aligned, "fmat" placed wherever it appears
-  // in add order (set_float_matrix callers add it first in practice).
-  const std::uint64_t entries_end =
-      kSectionTableOffset + 8 + sections_.size() * kSectionEntryBytes;
-  std::uint64_t cursor = align64(entries_end + 8);
-  std::vector<SnapshotSection> entries;
-  entries.reserve(sections_.size());
-  const SnapshotSection* fmat = nullptr;
-  for (const auto& [name, payload] : sections_) {
-    SnapshotSection s;
-    s.name = name;
-    s.offset = cursor;
-    s.bytes = payload.size();
-    s.checksum = fnv1a64(payload.data(), payload.size());
-    cursor = align64(cursor + s.bytes);
-    entries.push_back(std::move(s));
-    if (name == "fmat") fmat = &entries.back();
-  }
-
-  SnapshotHeader h;
-  h.version = std::max(kSnapshotVersionSections, min_version_);
-  h.rows = rows_;
-  h.dims = dims_;
-  if (fmat != nullptr) {
-    h.dtype = kDtypeFloat32;
-    h.row_stride = row_stride_;
-    h.data_offset = fmat->offset;
-    h.data_bytes = fmat->bytes;
-    h.data_checksum = fmat->checksum;
-  } else {
-    h.dtype = kDtypeNone;
-    h.row_stride = 0;
-    h.data_offset = align64(entries_end + 8);
-    h.data_bytes = 0;
-    h.data_checksum = 0;
-  }
-
-  unsigned char header[kHeaderBytes];
-  encode_header(h, header);
-  out.write(reinterpret_cast<const char*>(header), kHeaderBytes);
-
-  // Section table: count + reserved, entries, then the table checksum.
-  std::vector<std::uint8_t> table(8 + sections_.size() * kSectionEntryBytes, 0);
-  put<std::uint32_t>(table.data(), 0,
-                     static_cast<std::uint32_t>(sections_.size()));
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    const std::size_t at = 8 + i * kSectionEntryBytes;
-    std::memcpy(table.data() + at, entries[i].name.data(),
-                entries[i].name.size());
-    put<std::uint64_t>(table.data(), at + 8, entries[i].offset);
-    put<std::uint64_t>(table.data(), at + 16, entries[i].bytes);
-    put<std::uint64_t>(table.data(), at + 24, entries[i].checksum);
-  }
-  out.write(reinterpret_cast<const char*>(table.data()),
-            static_cast<std::streamsize>(table.size()));
-  const std::uint64_t table_checksum = fnv1a64(table.data(), table.size());
-  out.write(reinterpret_cast<const char*>(&table_checksum), 8);
-
-  // Payloads, with zero padding up to each aligned offset.
-  std::uint64_t written = entries_end + 8;
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    const std::vector<char> pad(
-        static_cast<std::size_t>(entries[i].offset - written), 0);
-    out.write(pad.data(), static_cast<std::streamsize>(pad.size()));
-    const auto& payload = sections_[i].second;
-    out.write(reinterpret_cast<const char*>(payload.data()),
-              static_cast<std::streamsize>(payload.size()));
-    written = entries[i].offset + entries[i].bytes;
-  }
-  out.flush();
-  if (!out) fail(SnapshotErrorCode::kOpenFailed, path, "write failed");
-}
-
-MappedSnapshot MappedSnapshot::open(const std::string& path, MapMode mode) {
-  const SnapshotHeader h = EmbeddingStore::read_header(path);
-
-  MappedSnapshot out;
-  out.header_ = h;
-
-  std::uint64_t file_size = 0;
-  {
-    std::ifstream in(path, std::ios::binary | std::ios::ate);
-    if (!in) fail(SnapshotErrorCode::kOpenFailed, path, "cannot open");
-    file_size = static_cast<std::uint64_t>(in.tellg());
-  }
-  out.file_bytes_ = static_cast<std::size_t>(file_size);
-
-#if V2V_STORE_HAS_MMAP
-  if (mode == MapMode::kAuto && !mmap_disabled_by_env() && file_size > 0) {
-    const int fd = ::open(path.c_str(), O_RDONLY);
-    if (fd >= 0) {
-      void* base =
-          ::mmap(nullptr, out.file_bytes_, PROT_READ, MAP_PRIVATE, fd, 0);
-      ::close(fd);
-      if (base != MAP_FAILED) {
-        out.map_base_ = base;
-        out.map_bytes_ = out.file_bytes_;
-      }
-    }
-  }
-#endif
-  if (out.map_base_ == nullptr) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) fail(SnapshotErrorCode::kOpenFailed, path, "cannot open");
-    out.buffer_.resize(out.file_bytes_);
-    if (!out.buffer_.empty()) {
-      in.read(reinterpret_cast<char*>(out.buffer_.data()),
-              static_cast<std::streamsize>(out.buffer_.size()));
-      if (!in) fail(SnapshotErrorCode::kTruncatedData, path, "short file read");
-    }
-  }
-
-  out.sections_ = parse_section_table(out.base(), file_size, h, path);
-  for (const auto& s : out.sections_) {
-    const std::uint64_t checksum =
-        fnv1a64(out.base() + s.offset, static_cast<std::size_t>(s.bytes));
-    if (checksum != s.checksum) {
-      fail(SnapshotErrorCode::kSectionChecksumMismatch, path,
-           "section '" + s.name + "' checksum mismatch");
-    }
-  }
-  return out;
-}
-
-bool MappedSnapshot::has_section(const std::string& name) const noexcept {
-  for (const auto& s : sections_) {
-    if (s.name == name) return true;
-  }
-  return false;
-}
-
-std::span<const std::uint8_t> MappedSnapshot::section(
-    const std::string& name) const {
-  for (const auto& s : sections_) {
-    if (s.name == name) {
-      return {base() + s.offset, static_cast<std::size_t>(s.bytes)};
-    }
-  }
-  fail(SnapshotErrorCode::kBadHeader, "<mapped>",
-       "section '" + name + "' not present");
-}
-
-EmbeddingView MappedSnapshot::float_view() const noexcept {
-  V2V_CHECK(has_floats(), "snapshot carries no float matrix");
-  const auto* data =
-      reinterpret_cast<const float*>(base() + header_.data_offset);
-  return EmbeddingView(data, header_.rows, header_.dims, header_.row_stride);
-}
-
-const std::uint8_t* MappedSnapshot::base() const noexcept {
-  return map_base_ != nullptr ? static_cast<const std::uint8_t*>(map_base_)
-                              : buffer_.data();
-}
-
-MappedSnapshot::MappedSnapshot(MappedSnapshot&& other) noexcept
-    : header_(other.header_),
-      sections_(std::move(other.sections_)),
-      map_base_(std::exchange(other.map_base_, nullptr)),
-      map_bytes_(std::exchange(other.map_bytes_, 0)),
-      buffer_(std::move(other.buffer_)),
-      file_bytes_(std::exchange(other.file_bytes_, 0)) {}
-
-MappedSnapshot& MappedSnapshot::operator=(MappedSnapshot&& other) noexcept {
-  if (this != &other) {
-    reset();
-    header_ = other.header_;
-    sections_ = std::move(other.sections_);
-    map_base_ = std::exchange(other.map_base_, nullptr);
-    map_bytes_ = std::exchange(other.map_bytes_, 0);
-    buffer_ = std::move(other.buffer_);
-    file_bytes_ = std::exchange(other.file_bytes_, 0);
-  }
-  return *this;
-}
-
-MappedSnapshot::~MappedSnapshot() { reset(); }
-
-void MappedSnapshot::reset() noexcept {
-#if V2V_STORE_HAS_MMAP
-  if (map_base_ != nullptr) ::munmap(map_base_, map_bytes_);
-#endif
-  map_base_ = nullptr;
-  map_bytes_ = 0;
-  buffer_.clear();
-  sections_.clear();
 }
 
 void convert_text_to_snapshot(const std::string& text_path,

@@ -12,7 +12,10 @@ void Corpus::append(const Corpus& other) {
 }
 
 void Corpus::append(Corpus&& other) {
-  if (tokens_.empty()) {
+  // Keying the wholesale steal on the *walk* count matters: a destination
+  // holding only zero-length walks has no tokens, but replacing its
+  // offsets would silently drop those walks.
+  if (walk_count() == 0) {
     // Wholesale steal: no copy at all for the first shard.
     tokens_ = std::move(other.tokens_);
     offsets_ = std::move(other.offsets_);

@@ -1,0 +1,15 @@
+#include "v2v/walk/corpus_reader.hpp"
+
+#include <algorithm>
+
+namespace v2v::walk {
+
+void CorpusReader::prefetch(std::size_t /*begin*/, std::size_t /*end*/) const {}
+
+graph::VertexId InMemoryCorpus::max_token() const noexcept {
+  const auto tokens = corpus_.tokens();
+  if (tokens.empty()) return 0;
+  return *std::max_element(tokens.begin(), tokens.end());
+}
+
+}  // namespace v2v::walk

@@ -1,0 +1,73 @@
+// Read-only corpus abstraction the trainer iterates. Two implementations:
+// InMemoryCorpus wraps the classic RAM-resident walk::Corpus, and
+// SpooledCorpus (corpus_spool.hpp) serves walks straight out of mmap'd
+// disk segments. The trainer's chunk geometry depends only on
+// walk_count(), so a fixed-seed run produces the same epoch_loss
+// trajectory whichever implementation backs it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "v2v/walk/corpus.hpp"
+
+namespace v2v::walk {
+
+class CorpusReader {
+ public:
+  virtual ~CorpusReader() = default;
+
+  [[nodiscard]] virtual std::size_t walk_count() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t token_count() const noexcept = 0;
+
+  /// Tokens of walk `i` (i < walk_count()); the span stays valid for the
+  /// reader's lifetime.
+  [[nodiscard]] virtual std::span<const graph::VertexId> walk(
+      std::size_t i) const noexcept = 0;
+
+  /// Largest token id present (0 when the corpus has no tokens — check
+  /// token_count() to tell the two apart). The trainer validates vocab
+  /// bounds against this instead of rescanning every token.
+  [[nodiscard]] virtual graph::VertexId max_token() const noexcept = 0;
+
+  /// Occurrence count per vertex id in [0, vocab); ids >= vocab ignored.
+  [[nodiscard]] virtual std::vector<std::uint64_t> vertex_frequencies(
+      std::size_t vocab) const = 0;
+
+  /// Locality hint: a worker is about to iterate walks [begin, end) in
+  /// order. Disk-backed readers use it to madvise/prefetch the byte range;
+  /// the in-RAM reader ignores it.
+  virtual void prefetch(std::size_t begin, std::size_t end) const;
+};
+
+/// CorpusReader over a RAM-resident Corpus. Non-owning: the corpus must
+/// outlive the reader (the trainer holds both on its stack).
+class InMemoryCorpus final : public CorpusReader {
+ public:
+  explicit InMemoryCorpus(const Corpus& corpus) : corpus_(corpus) {}
+  /// Binding a temporary would dangle; reject it at compile time.
+  explicit InMemoryCorpus(Corpus&&) = delete;
+
+  [[nodiscard]] std::size_t walk_count() const noexcept override {
+    return corpus_.walk_count();
+  }
+  [[nodiscard]] std::size_t token_count() const noexcept override {
+    return corpus_.token_count();
+  }
+  [[nodiscard]] std::span<const graph::VertexId> walk(
+      std::size_t i) const noexcept override {
+    return corpus_.walk(i);
+  }
+  [[nodiscard]] graph::VertexId max_token() const noexcept override;
+  [[nodiscard]] std::vector<std::uint64_t> vertex_frequencies(
+      std::size_t vocab) const override {
+    return corpus_.vertex_frequencies(vocab);
+  }
+
+ private:
+  const Corpus& corpus_;
+};
+
+}  // namespace v2v::walk

@@ -17,6 +17,7 @@
 
 #include "v2v/graph/graph.hpp"
 #include "v2v/walk/corpus.hpp"
+#include "v2v/walk/corpus_reader.hpp"
 
 namespace v2v::walk {
 
@@ -26,6 +27,9 @@ class WalkIndex {
 
   /// Indexes every walk of `corpus`. `vertex_count` bounds the vertex id
   /// space (tokens are vertex ids; all are < vertex_count by contract).
+  /// The reader form streams each walk once, so a disk-spooled corpus is
+  /// indexed without materializing it.
+  WalkIndex(const CorpusReader& corpus, std::size_t vertex_count);
   WalkIndex(const Corpus& corpus, std::size_t vertex_count);
 
   [[nodiscard]] std::size_t vertex_count() const noexcept {

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "v2v/common/rng.hpp"
@@ -56,6 +57,14 @@ struct WalkConfig {
   /// throughput counters, per-shard balance, and a "walk" stage span into
   /// it. Null (default) disables instrumentation.
   obs::MetricsRegistry* metrics = nullptr;
+  /// When non-empty, corpus generation spools to disk segments under this
+  /// directory instead of materializing the corpus in RAM (see
+  /// corpus_spool.hpp); empty (the default) keeps the in-memory path.
+  std::string spool_dir;
+  /// Per-shard token flush buffer for spooled generation, in MiB (peak
+  /// generation RSS is O(workers * this), independent of corpus size).
+  /// 0 falls back to the 64 MiB default.
+  std::size_t spool_buffer_mb = 64;
 };
 
 /// Runs walks from all start vertices and returns the merged corpus.

@@ -18,6 +18,8 @@ TEST(ConfigIo, RoundTripNonDefaultValues) {
   config.walk.time_window = 2.5;
   config.walk.threads = 3;
   config.walk.grain = 25;
+  config.walk.spool_dir = "/tmp/v2v-spool";
+  config.walk.spool_buffer_mb = 7;
   config.train.dimensions = 123;
   config.train.window = 7;
   config.train.architecture = embed::Architecture::kSkipGram;
@@ -51,6 +53,8 @@ TEST(ConfigIo, RoundTripNonDefaultValues) {
   EXPECT_DOUBLE_EQ(loaded.walk.time_window, 2.5);
   EXPECT_EQ(loaded.walk.threads, 3u);
   EXPECT_EQ(loaded.walk.grain, 25u);
+  EXPECT_EQ(loaded.walk.spool_dir, "/tmp/v2v-spool");
+  EXPECT_EQ(loaded.walk.spool_buffer_mb, 7u);
   EXPECT_EQ(loaded.train.dimensions, 123u);
   EXPECT_EQ(loaded.train.window, 7u);
   EXPECT_EQ(loaded.train.architecture, embed::Architecture::kSkipGram);
@@ -70,6 +74,17 @@ TEST(ConfigIo, RoundTripNonDefaultValues) {
   EXPECT_DOUBLE_EQ(loaded.refresh.initial_lr, 0.02);
   EXPECT_EQ(loaded.refresh.compact_min_delta, 512u);
   EXPECT_DOUBLE_EQ(loaded.refresh.compact_ratio, 0.125);
+}
+
+TEST(ConfigIo, EmptySpoolDirRoundTripsAsDisabled) {
+  // The default (in-RAM) config writes an empty walk.spool_dir value;
+  // loading it back must stay on the in-RAM path.
+  const V2VConfig defaults;
+  std::stringstream buffer;
+  save_config(defaults, buffer);
+  const V2VConfig loaded = load_config(buffer);
+  EXPECT_TRUE(loaded.walk.spool_dir.empty());
+  EXPECT_EQ(loaded.walk.spool_buffer_mb, defaults.walk.spool_buffer_mb);
 }
 
 TEST(ConfigIo, KMeansAssignModeParses) {

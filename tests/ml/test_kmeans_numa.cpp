@@ -1,0 +1,71 @@
+// k-means under the node-preferring chunk queue: forcing a synthetic
+// multi-node topology must leave assignments, centroids, and SSE
+// bit-identical at any thread count (the assignment engines are
+// schedule-independent, and the NUMA queue only reorders chunk claiming).
+#include "v2v/ml/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "v2v/common/rng.hpp"
+
+namespace v2v::ml {
+namespace {
+
+MatrixF clustered_points() {
+  Rng rng(123);
+  MatrixF points(90, 6);
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    const float center = static_cast<float>(i % 3) * 10.0f;
+    for (std::size_t d = 0; d < points.cols(); ++d) {
+      points(i, d) = center + static_cast<float>(rng.next_double()) - 0.5f;
+    }
+  }
+  return points;
+}
+
+TEST(KMeansNuma, FakeNodesKeepBitIdenticalResults) {
+  // Force the multi-queue scheduling path before the first (cached)
+  // topology probe in this process.
+  ::setenv("V2V_NUMA_FAKE_NODES", "3", 1);
+  const MatrixF points = clustered_points();
+
+  KMeansConfig config;
+  config.k = 3;
+  config.restarts = 2;  // restarts < threads => Lloyd parallelizes over points
+  config.seed = 9;
+
+  config.threads = 1;
+  const KMeansResult serial = kmeans(points, config);
+  config.threads = 4;
+  const KMeansResult parallel = kmeans(points, config);
+  ::unsetenv("V2V_NUMA_FAKE_NODES");
+
+  ASSERT_EQ(parallel.assignment, serial.assignment);
+  EXPECT_EQ(parallel.sse, serial.sse);
+  ASSERT_EQ(parallel.centroids.rows(), serial.centroids.rows());
+  for (std::size_t c = 0; c < serial.centroids.rows(); ++c) {
+    for (std::size_t d = 0; d < serial.centroids.cols(); ++d) {
+      ASSERT_EQ(parallel.centroids(c, d), serial.centroids(c, d));
+    }
+  }
+}
+
+TEST(KMeansNuma, AssignToCentroidsParityUnderFakeNodes) {
+  ::setenv("V2V_NUMA_FAKE_NODES", "4", 1);
+  const MatrixF points = clustered_points();
+  MatrixD centroids(3, 6);
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t d = 0; d < 6; ++d) {
+      centroids(c, d) = static_cast<double>(c) * 10.0;
+    }
+  }
+  const auto serial = assign_to_centroids(points, centroids, 1);
+  const auto parallel = assign_to_centroids(points, centroids, 4);
+  ::unsetenv("V2V_NUMA_FAKE_NODES");
+  EXPECT_EQ(parallel, serial);
+}
+
+}  // namespace
+}  // namespace v2v::ml

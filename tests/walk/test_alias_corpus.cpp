@@ -127,6 +127,24 @@ TEST(Corpus, MoveAppendIntoEmptyStealsWholesale) {
   EXPECT_EQ(b.token_count(), 0u);
 }
 
+TEST(Corpus, MoveAppendKeepsDestinationZeroLengthWalks) {
+  // Regression: the wholesale-steal fast path must key on the walk count,
+  // not the token count. A destination holding only zero-length walks has
+  // no tokens, but adopting the source's offsets would silently drop
+  // those walks.
+  Corpus a, b;
+  a.add_walk(std::vector<graph::VertexId>{});
+  a.add_walk(std::vector<graph::VertexId>{});
+  b.add_walk(std::vector<graph::VertexId>{1, 2, 3});
+  a.append(std::move(b));
+  ASSERT_EQ(a.walk_count(), 3u);
+  EXPECT_TRUE(a.walk(0).empty());
+  EXPECT_TRUE(a.walk(1).empty());
+  ASSERT_EQ(a.walk(2).size(), 3u);
+  EXPECT_EQ(a.walk(2)[0], 1u);
+  EXPECT_EQ(a.token_count(), 3u);
+}
+
 TEST(Corpus, VertexFrequencies) {
   Corpus corpus;
   corpus.add_walk(std::vector<graph::VertexId>{0, 1, 1, 2});

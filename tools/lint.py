@@ -43,6 +43,13 @@ Enforced on src/ (and partially on tests/ and bench/, see each rule):
       the dynamic layer's insertion-order record, which is what makes
       compaction bit-identical to a fresh build. Tests and benches are
       exempt (they construct fixtures and oracles by design)
+  R12 no whole-corpus materialization in src/v2v/embed/: declaring a
+      by-value walk::Corpus or calling generate_corpus() inside the
+      trainer pulls the full token stream into RAM and silently defeats
+      the out-of-core spool. The trainer consumes walks through the
+      walk::CorpusReader interface (InMemoryCorpus / SpooledCorpus);
+      `const Corpus&` parameters stay legal (they borrow, they do not
+      materialize)
 
 Usage: tools/lint.py [--root REPO_ROOT]
 Exit code 0 = clean, 1 = findings (printed one per line as
@@ -152,6 +159,24 @@ GRAPH_BUILDER_SCOPES = ("src/v2v/graph/", "src/v2v/dynamic/")
 
 # Files exempt from R11. Keep short and justified.
 GRAPH_BUILDER_ALLOWLIST: set[str] = set()
+
+# R12: a by-value Corpus declaration (`Corpus tmp` / `walk::Corpus out` —
+# no & or *, so `const Corpus&` parameters stay legal) or a
+# generate_corpus() call inside the embed layer materializes the whole
+# token stream in RAM. generate_corpus_spooled does not match (the \(
+# anchor sits right after the name), and InMemoryCorpus/SpooledCorpus do
+# not match (\b fails mid-identifier).
+CORPUS_MATERIALIZE_RE = re.compile(
+    r"\bCorpus\s+[A-Za-z_]|\bgenerate_corpus\s*\(")
+CORPUS_MATERIALIZE_SCOPE = "src/v2v/embed/"
+
+# Files exempt from R12. Keep short and justified.
+CORPUS_MATERIALIZE_ALLOWLIST: set[str] = {
+    # Vocabulary::remap exists to build a compacted corpus: producing a
+    # new in-RAM Corpus is its contract, not an accident.
+    "src/v2v/embed/vocabulary.hpp",
+    "src/v2v/embed/vocabulary.cpp",
+}
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -360,6 +385,21 @@ class Linter:
                             "go through dynamic::DynamicGraph (or allowlist "
                             "in tools/lint.py)")
 
+    def lint_corpus_materialization(self, path: pathlib.Path) -> None:
+        rel = path.relative_to(self.root).as_posix()
+        if (not rel.startswith(CORPUS_MATERIALIZE_SCOPE)
+                or rel in CORPUS_MATERIALIZE_ALLOWLIST):
+            return
+        code = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+        for line_no, line in enumerate(code.splitlines(), start=1):
+            if CORPUS_MATERIALIZE_RE.search(line):
+                self.report(path, line_no, "R12",
+                            "whole-corpus materialization in src/v2v/embed/ "
+                            "(by-value Corpus or generate_corpus call) defeats "
+                            "the out-of-core spool; consume walks through "
+                            "walk::CorpusReader (or allowlist in "
+                            "tools/lint.py)")
+
     def lint_include_hygiene(self, path: pathlib.Path) -> None:
         raw = path.read_text(encoding="utf-8")
         if path.suffix == ".hpp":
@@ -411,6 +451,7 @@ class Linter:
             self.lint_centroid_scans(path)
             self.lint_raw_sync(path)
             self.lint_graph_builder(path)
+            self.lint_corpus_materialization(path)
         # Tests and benches get the behavioral rules (R1-R4) but not the
         # structural ones.
         for tree in (tests, bench):
